@@ -1,0 +1,60 @@
+#ifndef GFOMQ_BENCH_BENCH_UTIL_H_
+#define GFOMQ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction benches. Every bench binary first
+// prints its reproduction table (the qualitative result mirroring the
+// paper's artifact) and then runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "instance/instance.h"
+#include "logic/symbols.h"
+
+namespace gfomq::bench {
+
+inline Instance SymmetricCycle(SymbolsPtr sym, int n,
+                               const std::string& prefix = "v") {
+  Instance d(sym);
+  uint32_t e_rel = sym->Rel("E", 2);
+  std::vector<ElemId> es;
+  for (int i = 0; i < n; ++i) {
+    es.push_back(d.AddConstant(prefix + std::to_string(n) + "_" +
+                               std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    ElemId u = es[static_cast<size_t>(i)];
+    ElemId v = es[static_cast<size_t>((i + 1) % n)];
+    d.AddFact(e_rel, {u, v});
+    d.AddFact(e_rel, {v, u});
+  }
+  return d;
+}
+
+inline Instance DirectedCycle(SymbolsPtr sym, uint32_t rel, int n,
+                              const std::string& prefix = "c") {
+  Instance d(sym);
+  std::vector<ElemId> es;
+  for (int i = 0; i < n; ++i) {
+    es.push_back(d.AddConstant(prefix + std::to_string(n) + "_" +
+                               std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    d.AddFact(rel, {es[static_cast<size_t>(i)],
+                    es[static_cast<size_t>((i + 1) % n)]});
+  }
+  return d;
+}
+
+}  // namespace gfomq::bench
+
+#define GFOMQ_BENCH_MAIN(print_table)                       \
+  int main(int argc, char** argv) {                         \
+    print_table();                                          \
+    ::benchmark::Initialize(&argc, argv);                   \
+    ::benchmark::RunSpecifiedBenchmarks();                  \
+    return 0;                                               \
+  }
+
+#endif  // GFOMQ_BENCH_BENCH_UTIL_H_

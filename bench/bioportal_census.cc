@@ -1,0 +1,48 @@
+// E2 — the BioPortal analysis (introduction of the paper): 411 ontologies,
+// 405 within ALCHIF at depth <= 2, 385 within ALCHIQ at depth 1. BioPortal
+// is substituted by the calibrated synthetic corpus (see DESIGN.md); the
+// census pipeline (constructor filtering, depth measurement, fragment
+// classification) is the artifact under test.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "corpus/corpus.h"
+
+using namespace gfomq;
+
+namespace {
+
+void PrintTable() {
+  std::printf("E2 / BioPortal census reproduction\n");
+  auto corpus = GenerateCorpus(2017, 411);
+  CorpusReport report = AnalyzeCorpus(corpus);
+  std::printf("%-34s %-8s %-8s\n", "metric", "paper", "measured");
+  std::printf("%-34s %-8d %-8d\n", "corpus size", 411, report.total);
+  std::printf("%-34s %-8d %-8d\n", "ALCHIF-filtered depth <= 2", 405,
+              report.alchif_depth_le2);
+  std::printf("%-34s %-8d %-8d\n", "ALCHIQ depth <= 1", 385,
+              report.alchiq_depth_le1);
+  std::printf("dichotomy-band ontologies: %d/%d\n\n", report.dichotomy,
+              report.total);
+}
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCorpus(2017, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_GenerateCorpus)->Arg(50)->Arg(200)->Arg(411);
+
+void BM_AnalyzeCorpus(benchmark::State& state) {
+  auto corpus = GenerateCorpus(2017, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeCorpus(corpus));
+  }
+}
+BENCHMARK(BM_AnalyzeCorpus)->Arg(50)->Arg(200)->Arg(411);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

@@ -1,0 +1,107 @@
+// E1 — Figure 1: the dichotomy landscape. One representative ontology per
+// fragment box; the classifier must reproduce the figure's three bands.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dl/tbox.h"
+#include "fragments/fragments.h"
+#include "logic/parser.h"
+
+using namespace gfomq;
+
+namespace {
+
+struct Row {
+  const char* box;                 // Figure 1 box
+  DichotomyStatus expected;        // the band in the figure
+  const char* kind;                // "guarded" or "dl"
+  const char* text;
+};
+
+const std::vector<Row>& Rows() {
+  static const std::vector<Row> rows = {
+      // Dichotomy band.
+      {"uGF(1)", DichotomyStatus::kDichotomy, "guarded",
+       "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));"},
+      {"uGF-(1,=)", DichotomyStatus::kDichotomy, "guarded",
+       "forall x . (A(x) -> exists y (R(x,y) & !(x = y)));"},
+      {"uGF-2(2)", DichotomyStatus::kDichotomy, "guarded",
+       "forall x . (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x))));"},
+      {"uGC-2(1,=)", DichotomyStatus::kDichotomy, "guarded",
+       "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)));"},
+      {"ALCHIQ depth 1", DichotomyStatus::kDichotomy, "dl",
+       "A sub >=2 R-. B; role R sub S;"},
+      {"ALCHIF depth 2", DichotomyStatus::kDichotomy, "dl",
+       "A sub exists R. exists S. B; func F;"},
+      // CSP-hard band.
+      {"uGF2(1,=)", DichotomyStatus::kCspHard, "guarded",
+       "forall x, y (G(x,y) -> exists y (R(x,y) & !(x = y)));"},
+      {"uGF2(2)", DichotomyStatus::kCspHard, "guarded",
+       "forall x, y (G(x,y) -> exists y (R(x,y) & exists x (S(y,x))));"},
+      {"uGF2(1,f)", DichotomyStatus::kCspHard, "guarded",
+       "func F; forall x, y (G(x,y) -> exists y (R(x,y)));"},
+      {"ALCFl depth 2", DichotomyStatus::kCspHard, "dl",
+       "A sub exists R. <=1 S. top;"},
+      {"ALC depth 3", DichotomyStatus::kCspHard, "dl",
+       "A sub exists R. exists R. exists R. B;"},
+      // No-dichotomy band.
+      {"uGF-2(2,f)", DichotomyStatus::kNoDichotomy, "guarded",
+       "func F; forall x . (A(x) -> exists y (R(x,y) & exists x (F(y,x))));"},
+      {"ALCIFl depth 2", DichotomyStatus::kNoDichotomy, "dl",
+       "A sub exists R-. <=1 S. top;"},
+      {"ALCF depth 3", DichotomyStatus::kNoDichotomy, "dl",
+       "A sub exists R. exists R. exists R. B; func F;"},
+  };
+  return rows;
+}
+
+DichotomyStatus ClassifyRow(const Row& row) {
+  if (std::string(row.kind) == "dl") {
+    auto onto = ParseDlOntology(row.text);
+    return onto.ok() ? ClassifyDl(onto->Census()).verdict
+                     : DichotomyStatus::kOpen;
+  }
+  auto onto = ParseOntology(row.text);
+  return onto.ok() ? ClassifyOntology(*onto).verdict
+                   : DichotomyStatus::kOpen;
+}
+
+void PrintTable() {
+  std::printf("E1 / Figure 1 — dichotomy landscape reproduction\n");
+  std::printf("%-18s %-14s %-14s %s\n", "fragment box", "paper band",
+              "classifier", "agreement");
+  auto band = [](DichotomyStatus s) {
+    switch (s) {
+      case DichotomyStatus::kDichotomy: return "dichotomy";
+      case DichotomyStatus::kCspHard: return "csp-hard";
+      case DichotomyStatus::kNoDichotomy: return "no-dichotomy";
+      case DichotomyStatus::kOpen: return "open";
+    }
+    return "?";
+  };
+  int agree = 0;
+  for (const Row& row : Rows()) {
+    DichotomyStatus got = ClassifyRow(row);
+    bool ok = got == row.expected;
+    agree += ok;
+    std::printf("%-18s %-14s %-14s %s\n", row.box, band(row.expected),
+                band(got), ok ? "ok" : "MISMATCH");
+  }
+  std::printf("=> %d/%zu boxes reproduced\n\n", agree, Rows().size());
+}
+
+void BM_ClassifyLandscape(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const Row& row : Rows()) {
+      benchmark::DoNotOptimize(ClassifyRow(row));
+    }
+  }
+}
+BENCHMARK(BM_ClassifyLandscape);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

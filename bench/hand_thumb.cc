@@ -1,0 +1,127 @@
+// E3 — the O1/O2 example from the introduction. O1 and O2 each admit PTIME
+// query evaluation; O1 ∪ O2 is coNP-hard. The table shows the meta
+// decision verdicts (via an exactly-2-fingers variant small enough to
+// decide); the timings show polynomial growth of certain-answer checking
+// for the PTIME ontologies as the number of hands grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "logic/parser.h"
+#include "reasoner/bouquet.h"
+
+using namespace gfomq;
+
+namespace {
+
+Ontology MakeO1(SymbolsPtr sym, int k) {
+  auto onto = ParseOntology(
+      "forall x . (Hand(x) -> exists>=" + std::to_string(k) +
+          " y (hasFinger(x,y)) & exists<=" + std::to_string(k) +
+          " y (hasFinger(x,y)));",
+      sym);
+  return *onto;
+}
+
+Ontology MakeO2(SymbolsPtr sym) {
+  auto onto = ParseOntology(
+      "forall x . (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y)));", sym);
+  return *onto;
+}
+
+Instance Hands(SymbolsPtr sym, int n) {
+  Instance d(sym);
+  uint32_t hand = sym->Rel("Hand", 1);
+  for (int i = 0; i < n; ++i) {
+    d.AddFact(hand, {d.AddConstant("h" + std::to_string(i))});
+  }
+  return d;
+}
+
+void PrintTable() {
+  std::printf("E3 / O1-O2 hand-thumb example (exactly-2 variant)\n");
+  std::printf("%-12s %-30s %-30s\n", "ontology", "paper claim",
+              "meta decision (bouquets)");
+  BouquetOptions opts;
+  opts.max_outdegree = 2;
+  auto decide = [&](const Ontology& onto) {
+    auto solver = CertainAnswerSolver::Create(onto);
+    MetaDecision md = DecidePtimeByBouquets(*solver, onto.symbols,
+                                            onto.Signature(), opts);
+    switch (md.ptime) {
+      case Certainty::kYes: return "PTIME (materializable)";
+      case Certainty::kNo: return "coNP-hard (violation found)";
+      case Certainty::kUnknown: return "undetermined";
+    }
+    return "?";
+  };
+  {
+    SymbolsPtr sym = MakeSymbols();
+    std::printf("%-12s %-30s %-30s\n", "O1", "PTIME",
+                decide(MakeO1(sym, 2)));
+  }
+  {
+    SymbolsPtr sym = MakeSymbols();
+    std::printf("%-12s %-30s %-30s\n", "O2", "PTIME", decide(MakeO2(sym)));
+  }
+  {
+    SymbolsPtr sym = MakeSymbols();
+    Ontology both = Ontology::Union(MakeO1(sym, 2), MakeO2(sym));
+    std::printf("%-12s %-30s %-30s\n", "O1 u O2", "coNP-hard",
+                decide(both));
+  }
+  std::printf("\n");
+}
+
+void BM_CertainAnswersO2(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  Ontology o2 = MakeO2(sym);
+  auto solver = CertainAnswerSolver::Create(o2);
+  Instance d = Hands(sym, static_cast<int>(state.range(0)));
+  auto q = ParseCq("q(x) :- hasFinger(x,y), Thumb(y)", sym);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver->CertainAnswers(d, Ucq::Single(*q)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CertainAnswersO2)->RangeMultiplier(2)->Range(2, 32)
+    ->Complexity();
+
+void BM_ConsistencyO1(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  Ontology o1 = MakeO1(sym, 2);
+  auto solver = CertainAnswerSolver::Create(o1);
+  Instance d = Hands(sym, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->IsConsistent(d));
+  }
+}
+BENCHMARK(BM_ConsistencyO1)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_DisjunctionViolationUnion(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  Ontology both = Ontology::Union(MakeO1(sym, 2), MakeO2(sym));
+  auto solver = CertainAnswerSolver::Create(both);
+  Instance d(sym);
+  ElemId h = d.AddConstant("h");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("Hand")), {h});
+  uint32_t has_finger = static_cast<uint32_t>(sym->FindRel("hasFinger"));
+  std::vector<ElemId> fingers;
+  for (int i = 0; i < 2; ++i) {
+    ElemId f = d.AddConstant("f" + std::to_string(i));
+    fingers.push_back(f);
+    d.AddFact(has_finger, {h, f});
+  }
+  auto q = ParseCq("q(y) :- Thumb(y)", sym);
+  std::vector<std::pair<Ucq, std::vector<ElemId>>> disjuncts;
+  for (ElemId f : fingers) disjuncts.push_back({Ucq::Single(*q), {f}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->HasDisjunctionViolation(d, disjuncts));
+  }
+}
+BENCHMARK(BM_DisjunctionViolationUnion);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

@@ -1,0 +1,98 @@
+// E8 — Theorem 13 / Lemmas 5-6: deciding PTIME query evaluation. The table
+// shows meta-decision verdicts on the paper's key ontologies (O1, O2,
+// O1 ∪ O2, and the reflexive-loop ontology of Example 7); the timings show
+// how the bouquet search scales with the out-degree bound.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "logic/parser.h"
+#include "reasoner/bouquet.h"
+
+using namespace gfomq;
+
+namespace {
+
+struct Row {
+  const char* name;
+  const char* paper;
+  std::string text;
+  uint32_t outdegree;
+};
+
+std::vector<Row> Rows() {
+  return {
+      {"O1 (exactly-2)", "PTIME",
+       "forall x . (Hand(x) -> exists>=2 y (hasFinger(x,y)) & "
+       "exists<=2 y (hasFinger(x,y)));",
+       2},
+      {"O2", "PTIME",
+       "forall x . (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y)));", 2},
+      {"O1 u O2", "coNP-hard",
+       "forall x . (Hand(x) -> exists>=2 y (hasFinger(x,y)) & "
+       "exists<=2 y (hasFinger(x,y)));"
+       "forall x . (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y)));",
+       2},
+      {"covering disj.", "coNP-hard",
+       "forall x . (A(x) -> B1(x) | B2(x));", 1},
+      {"Example 7", "coNP-hard (not materializable)",
+       "forall x (S(x,x) -> (R(x,x) -> exists y (R(x,y) & x != y) | "
+       "exists y (S(x,y) & x != y)));"
+       "forall x . (exists y (R(y,x) & x != y) -> exists y (Rp(x,y)));"
+       "forall x . (exists y (S(y,x) & x != y) -> exists y (Sp(x,y)));",
+       1},
+  };
+}
+
+void PrintTable() {
+  std::printf("E8 / Theorem 13 — deciding PTIME query evaluation\n");
+  std::printf("%-16s %-32s %-28s %s\n", "ontology", "paper claim",
+              "bouquet decision", "bouquets");
+  for (const Row& row : Rows()) {
+    auto onto = ParseOntology(row.text);
+    if (!onto.ok()) {
+      std::printf("%-16s parse error: %s\n", row.name,
+                  onto.status().ToString().c_str());
+      continue;
+    }
+    auto solver = CertainAnswerSolver::Create(*onto);
+    BouquetOptions opts;
+    opts.max_outdegree = row.outdegree;
+    MetaDecision md = DecidePtimeByBouquets(*solver, onto->symbols,
+                                            onto->Signature(), opts);
+    const char* verdict = md.ptime == Certainty::kYes ? "PTIME"
+                          : md.ptime == Certainty::kNo ? "coNP-hard"
+                                                       : "undetermined";
+    std::printf("%-16s %-32s %-28s %llu\n", row.name, row.paper, verdict,
+                static_cast<unsigned long long>(md.bouquets_checked));
+  }
+  std::printf("\n");
+}
+
+void BM_BouquetSearchOutdegree(benchmark::State& state) {
+  auto onto = ParseOntology("forall x . (A(x) -> B(x));");
+  auto solver = CertainAnswerSolver::Create(*onto);
+  BouquetOptions opts;
+  opts.max_outdegree = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecidePtimeByBouquets(
+        *solver, onto->symbols, onto->Signature(), opts));
+  }
+}
+BENCHMARK(BM_BouquetSearchOutdegree)->DenseRange(0, 3);
+
+void BM_ViolationDetection(benchmark::State& state) {
+  auto onto = ParseOntology("forall x . (A(x) -> B1(x) | B2(x));");
+  auto solver = CertainAnswerSolver::Create(*onto);
+  BouquetOptions opts;
+  opts.max_outdegree = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecidePtimeByBouquets(
+        *solver, onto->symbols, onto->Signature(), opts));
+  }
+}
+BENCHMARK(BM_ViolationDetection);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

@@ -1,0 +1,156 @@
+// E9 — the substrate of Theorems 10-12: rectangle tilings, the cell-marking
+// ontology O_cell (Lemma 11), and the run fitting problem. The table checks
+// the Lemma 11 behaviour (marker derived exactly at closed cells) and run
+// fitting semantics; the timings show solver scaling.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tm/tiling.h"
+#include "tm/turing.h"
+
+using namespace gfomq;
+
+namespace {
+
+Ntm GuessMachine() {
+  Ntm m;
+  m.states = "qpa";
+  m.tape_symbols = "01_";
+  m.start_state = 'q';
+  m.accept_state = 'a';
+  m.transitions.push_back({'q', '_', 'q', '0', +1});
+  m.transitions.push_back({'q', '_', 'q', '1', +1});
+  m.transitions.push_back({'q', '_', 'a', '1', +1});
+  return m;
+}
+
+void PrintTable() {
+  std::printf("E9 / Theorems 10-12 substrate — tiling and run fitting\n");
+
+  // Lemma 11 shape: marker at closed vs open cells.
+  SymbolsPtr sym = MakeSymbols();
+  CellOntology cell = BuildCellOntology(sym, /*include_cycle_axioms=*/false);
+  auto solver = CertainAnswerSolver::Create(cell.ontology);
+  std::printf("  O_cell: %zu sentences, %zu marker relations\n",
+              cell.ontology.sentences.size(), cell.marker_rels.size());
+  {
+    Instance g = BuildGridInstance(sym, 2, 2, nullptr);
+    MarkerStatus closed = CheckMarker(*solver, g, cell.p_marker, 0, 1);
+    Instance open(sym);
+    ElemId d = open.AddConstant("d");
+    ElemId d1 = open.AddConstant("d1");
+    ElemId d2 = open.AddConstant("d2");
+    open.AddFact(cell.x_rel, {d, d1});
+    open.AddFact(cell.y_rel, {d, d2});
+    open.AddFact(cell.y_rel, {d1, open.AddConstant("d3")});
+    open.AddFact(cell.x_rel, {d2, open.AddConstant("d4")});
+    MarkerStatus opened = CheckMarker(*solver, open, cell.p_marker, d, 1);
+    std::printf("  closed cell: marker %s (paper: derived)\n",
+                closed == MarkerStatus::kRefuted ? "REFUTED (mismatch)"
+                                                 : "holds");
+    std::printf("  open cell:   marker %s (paper: not derived)\n",
+                opened == MarkerStatus::kRefuted ? "refuted"
+                                                 : "HOLDS (mismatch)");
+  }
+
+  // The grid ontology O_P (Figure 4): on a correctly tiled row the F
+  // marker is derived at the final tile; on a mistiled row it is refuted.
+  {
+    SymbolsPtr gsym = MakeSymbols();
+    TilingProblem trivial;
+    trivial.num_tiles = 2;
+    trivial.initial = 0;
+    trivial.final = 1;
+    trivial.horizontal = {{0, 1}};
+    GridOntology grid = BuildGridOntology(gsym, trivial);
+    auto gsolver = CertainAnswerSolver::Create(grid.cell.ontology);
+    std::vector<std::vector<int>> good{{0}, {1}};
+    Instance good_row = BuildGridInstance(gsym, 2, 1, &good);
+    std::vector<std::vector<int>> bad{{0}, {0}};
+    Instance bad_row = BuildGridInstance(gsym, 2, 1, &bad);
+    MarkerStatus ok_status =
+        CheckMarker(*gsolver, good_row, grid.f_marker, 1, 1);
+    MarkerStatus bad_status =
+        CheckMarker(*gsolver, bad_row, grid.f_marker, 1, 1);
+    std::printf("  O_P (%zu sentences): tiled row F-marker %s, mistiled row "
+                "F-marker %s (paper: derived / not derived)\n",
+                grid.cell.ontology.sentences.size(),
+                ok_status == MarkerStatus::kRefuted ? "REFUTED (mismatch)"
+                                                    : "holds",
+                bad_status == MarkerStatus::kRefuted ? "refuted"
+                                                     : "HOLDS (mismatch)");
+  }
+
+  // Tiling solver sanity (the bounded substrate of the undecidability
+  // reduction).
+  TilingProblem p;
+  p.num_tiles = 3;
+  p.initial = 0;
+  p.final = 2;
+  p.horizontal = {{0, 1}, {1, 1}, {1, 2}};
+  p.vertical = {};
+  auto grid = SolveRectangleTiling(p, 5, 2);
+  std::printf("  tiling 0->1*->2: %s (width %zu)\n",
+              grid ? "solved" : "NO TILING",
+              grid ? grid->size() : 0);
+
+  // Run fitting: constrained vs unconstrained partial runs.
+  Ntm m = GuessMachine();
+  PartialRun free_run;
+  free_run.rows = {"q___", "????", "??a?"};
+  PartialRun forced_zero;
+  forced_zero.rows = {"q___", "0???", "?0a?"};
+  std::printf("  run fitting: wildcard run %s, 0-forced run %s "
+              "(paper: RF(M) in NP, can be NP-intermediate)\n",
+              SolveRunFitting(m, free_run) ? "fits" : "NO FIT",
+              SolveRunFitting(m, forced_zero) ? "fits" : "no fit");
+  std::printf("\n");
+}
+
+void BM_RunFitting(benchmark::State& state) {
+  Ntm m = GuessMachine();
+  int len = static_cast<int>(state.range(0));
+  PartialRun partial;
+  std::string first = "q" + std::string(static_cast<size_t>(len - 1), '_');
+  partial.rows.push_back(first);
+  for (int i = 1; i + 1 < len; ++i) {
+    partial.rows.push_back(std::string(static_cast<size_t>(len), '?'));
+  }
+  std::string last(static_cast<size_t>(len), '?');
+  partial.rows.push_back(last);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveRunFitting(m, partial, 5000000));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RunFitting)->DenseRange(4, 10, 2)->Complexity();
+
+void BM_TilingSearch(benchmark::State& state) {
+  TilingProblem p;
+  p.num_tiles = 3;
+  p.initial = 0;
+  p.final = 2;
+  p.horizontal = {{0, 1}, {1, 1}, {1, 2}};
+  p.vertical = {{0, 0}, {1, 1}, {2, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveRectangleTiling(p, static_cast<int>(state.range(0)), 2));
+  }
+}
+BENCHMARK(BM_TilingSearch)->DenseRange(2, 8, 2);
+
+void BM_CellMarkerCheck(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  CellOntology cell = BuildCellOntology(sym, false);
+  auto solver = CertainAnswerSolver::Create(cell.ontology);
+  Instance g = BuildGridInstance(sym, 2, 2, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckMarker(*solver, g, cell.p_marker, 0, 0));
+  }
+}
+BENCHMARK(BM_CellMarkerCheck);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

@@ -1,0 +1,142 @@
+// E10 — Theorem 3: non-materializability ⇒ coNP-hardness via 2+2-SAT. The
+// table validates the reduction end-to-end: for 2+2 formulas, the OMQ
+// built from a disjunction-property violation is certain exactly when the
+// formula is unsatisfiable. Timings show the reduction construction and
+// the certain-answer check growing with formula size.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "logic/parser.h"
+#include "reasoner/twoplustwo.h"
+
+using namespace gfomq;
+
+namespace {
+
+struct Setup {
+  SymbolsPtr sym = MakeSymbols();
+  Ontology onto;
+  std::optional<CertainAnswerSolver> solver;
+  std::optional<DisjunctionViolation> violation;
+
+  Setup() : onto(sym) {
+    auto parsed =
+        ParseOntology("forall x . (A(x) -> B1(x) | B2(x));", sym);
+    onto = *parsed;
+    auto s = CertainAnswerSolver::Create(onto);
+    solver.emplace(std::move(*s));
+    Instance d(sym);
+    ElemId a = d.AddConstant("a");
+    d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+    bool conclusive = false;
+    violation =
+        FindDisjunctionViolation(*solver, d, onto.Signature(), &conclusive);
+  }
+};
+
+TwoPlusTwoFormula RandomFormula(Rng& rng, uint32_t vars, int clauses) {
+  TwoPlusTwoFormula f;
+  f.num_vars = vars;
+  auto slot = [&](bool allow_const) -> uint32_t {
+    if (allow_const && rng.Chance(0.3)) {
+      return rng.Chance(0.5) ? kConstTrue : kConstFalse;
+    }
+    return static_cast<uint32_t>(rng.Below(vars));
+  };
+  for (int i = 0; i < clauses; ++i) {
+    f.clauses.push_back({slot(true), slot(true), slot(true), slot(true)});
+  }
+  return f;
+}
+
+void PrintTable() {
+  std::printf("E10 / Theorem 3 — 2+2-SAT reduction validation\n");
+  Setup setup;
+  if (!setup.violation) {
+    std::printf("  no violation found (unexpected)\n");
+    return;
+  }
+  Rng rng(99);
+  std::vector<TwoPlusTwoFormula> formulas;
+  for (int t = 0; t < 8; ++t) {
+    formulas.push_back(RandomFormula(rng, 3, 2 + t % 3));
+  }
+  {
+    // Deterministic unsatisfiable formulas (constants force both truth
+    // values of a variable / violate a constant-only clause).
+    TwoPlusTwoFormula f;
+    f.num_vars = 1;
+    f.clauses.push_back({0, kConstFalse, kConstTrue, kConstTrue});
+    f.clauses.push_back({kConstFalse, kConstFalse, 0, kConstTrue});
+    formulas.push_back(f);
+    TwoPlusTwoFormula g;
+    g.num_vars = 1;
+    g.clauses.push_back({kConstFalse, kConstFalse, kConstTrue, kConstTrue});
+    formulas.push_back(g);
+    TwoPlusTwoFormula h;  // chain: x, x->y, !y
+    h.num_vars = 2;
+    h.clauses.push_back({0, kConstFalse, kConstTrue, kConstTrue});
+    h.clauses.push_back({1, kConstFalse, 0, kConstTrue});
+    h.clauses.push_back({kConstFalse, kConstFalse, 1, kConstTrue});
+    formulas.push_back(h);
+  }
+  int total = 0, agree = 0, sat_count = 0;
+  for (const TwoPlusTwoFormula& f : formulas) {
+    bool sat = SolveTwoPlusTwo(f);
+    auto reduction = BuildTwoPlusTwoReduction(*setup.violation, f);
+    if (!reduction.ok()) continue;
+    Certainty certain =
+        setup.solver->IsCertain(reduction->instance, reduction->query, {});
+    ++total;
+    sat_count += sat;
+    if ((certain == Certainty::kYes) == !sat) ++agree;
+  }
+  std::printf("  random 2+2 formulas: %d (sat: %d, unsat: %d)\n", total,
+              sat_count, total - sat_count);
+  std::printf("  'certain(q~) iff unsatisfiable' agreements: %d/%d\n",
+              agree, total);
+  std::printf("(paper: O,D_phi |= q~ iff phi has no satisfying "
+              "assignment)\n\n");
+}
+
+void BM_BuildReduction(benchmark::State& state) {
+  Setup setup;
+  Rng rng(7);
+  TwoPlusTwoFormula f =
+      RandomFormula(rng, static_cast<uint32_t>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTwoPlusTwoReduction(*setup.violation, f));
+  }
+}
+BENCHMARK(BM_BuildReduction)->DenseRange(2, 10, 2);
+
+void BM_ReductionCertainAnswer(benchmark::State& state) {
+  Setup setup;
+  Rng rng(7);
+  TwoPlusTwoFormula f =
+      RandomFormula(rng, static_cast<uint32_t>(state.range(0)), 3);
+  auto reduction = BuildTwoPlusTwoReduction(*setup.violation, f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.solver->IsCertain(reduction->instance, reduction->query, {}));
+  }
+}
+BENCHMARK(BM_ReductionCertainAnswer)->DenseRange(2, 6, 2);
+
+void BM_BruteForce2p2(benchmark::State& state) {
+  Rng rng(13);
+  TwoPlusTwoFormula f =
+      RandomFormula(rng, static_cast<uint32_t>(state.range(0)),
+                    static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTwoPlusTwo(f));
+  }
+}
+BENCHMARK(BM_BruteForce2p2)->DenseRange(4, 20, 4);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTable)

@@ -1,0 +1,48 @@
+// Reproduces the shape of the paper's BioPortal analysis (introduction):
+// of 411 repository ontologies, 405 fall within ALCHIF at depth <= 2 (a
+// dichotomy fragment) and 385 within ALCHIQ at depth 1. BioPortal itself
+// is not distributable; per DESIGN.md the corpus is synthetic, calibrated
+// to those proportions, and the *census pipeline* is the deliverable.
+//
+// Build & run:  ./build/examples/bioportal_report [seed] [count]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/corpus.h"
+#include "dl/translate.h"
+#include "fragments/fragments.h"
+
+using namespace gfomq;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2017;
+  int count = argc > 2 ? std::atoi(argv[2]) : 411;
+
+  std::vector<DlOntology> corpus = GenerateCorpus(seed, count);
+  CorpusReport report = AnalyzeCorpus(corpus);
+  std::printf("synthetic BioPortal-like corpus (seed %llu)\n\n%s\n",
+              static_cast<unsigned long long>(seed),
+              report.ToString().c_str());
+  std::printf("paper reference: 411 total, 405 ALCHIF depth<=2, "
+              "385 ALCHIQ depth 1\n\n");
+
+  std::printf("family breakdown:\n");
+  for (const auto& [family, n] : report.by_family) {
+    std::printf("  %-24s %d\n", family.c_str(), n);
+  }
+
+  // Show one ontology end to end: census, translation, classification.
+  const DlOntology& sample = corpus[0];
+  std::printf("\nsample ontology:\n%s",
+              DlOntologyToString(sample).c_str());
+  DlFeatures f = sample.Census();
+  std::printf("family: %s, depth %d\n", f.FamilyName().c_str(), f.depth);
+  std::printf("verdict: %s\n", ClassifyDl(f).ToString().c_str());
+  auto guarded = TranslateToGuarded(sample);
+  if (guarded.ok()) {
+    std::printf("guarded translation: %zu sentences, depth %d\n",
+                guarded->sentences.size(), guarded->Depth());
+  }
+  return 0;
+}

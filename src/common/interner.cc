@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace gfomq {
+
+uint32_t Interner::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+int64_t Interner::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace gfomq

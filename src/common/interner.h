@@ -1,0 +1,34 @@
+#ifndef GFOMQ_COMMON_INTERNER_H_
+#define GFOMQ_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gfomq {
+
+/// Maps strings to dense integer ids and back. Ids are stable for the
+/// lifetime of the interner and start at 0. Used for relation symbols,
+/// constants and variables so that hot paths compare integers.
+class Interner {
+ public:
+  /// Returns the id for `name`, creating a fresh one on first sight.
+  uint32_t Intern(const std::string& name);
+
+  /// Returns the id for `name` or -1 if it was never interned.
+  int64_t Find(const std::string& name) const;
+
+  /// Returns the string for an id previously returned by Intern.
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_COMMON_INTERNER_H_

@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+namespace gfomq {
+
+uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  // 53-bit mantissa precision is ample for workload generation.
+  return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,34 @@
+#ifndef GFOMQ_COMMON_RNG_H_
+#define GFOMQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace gfomq {
+
+/// Deterministic 64-bit RNG (splitmix64 core). Used everywhere randomness
+/// appears (corpus generation, random workloads) so results reproduce
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Chance(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_COMMON_RNG_H_

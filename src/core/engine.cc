@@ -1,0 +1,55 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+namespace gfomq {
+
+Result<OmqEngine> OmqEngine::Create(Ontology ontology, EngineOptions options) {
+  Status v = ontology.Validate();
+  if (!v.ok()) return v;
+  Result<CertainAnswerSolver> solver =
+      CertainAnswerSolver::Create(ontology, options.certain);
+  if (!solver.ok()) return solver.status();
+  return OmqEngine(std::move(ontology), std::move(*solver), options);
+}
+
+OmqVerdict OmqEngine::Classify() {
+  OmqVerdict verdict;
+  verdict.syntactic = ClassifyOntology(ontology_);
+  if (options_.decide_ptime &&
+      verdict.syntactic.verdict == DichotomyStatus::kDichotomy) {
+    MetaDecision md = DecidePtimeByBouquets(
+        solver_, ontology_.symbols, ontology_.Signature(), options_.bouquet);
+    verdict.ptime = md.ptime;
+    verdict.violation = std::move(md.violation);
+    verdict.bouquets_checked = md.bouquets_checked;
+  }
+  return verdict;
+}
+
+std::string OmqVerdict::Summary(const Symbols& symbols) const {
+  (void)symbols;
+  std::ostringstream out;
+  out << "fragment band: " << syntactic.ToString() << "\n";
+  switch (ptime) {
+    case Certainty::kYes:
+      out << "meta decision: PTIME query evaluation "
+             "(materializable; Datalog!=-rewritable)\n";
+      break;
+    case Certainty::kNo:
+      out << "meta decision: coNP-hard query evaluation\n";
+      if (violation) {
+        out << "  witness: " << violation->ToString() << "\n";
+      }
+      break;
+    case Certainty::kUnknown:
+      out << "meta decision: not determined\n";
+      break;
+  }
+  if (bouquets_checked > 0) {
+    out << "bouquets checked: " << bouquets_checked << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gfomq

@@ -1,0 +1,208 @@
+#include "corpus/corpus.h"
+
+#include <functional>
+#include <sstream>
+
+namespace gfomq {
+
+namespace {
+
+struct GenContext {
+  Rng* rng;
+  const CorpusProfile* profile;
+  SymbolsPtr sym;
+  std::vector<uint32_t> concepts;
+  std::vector<uint32_t> roles;
+  bool allow_inverse = false;
+  bool allow_qualified = false;
+  bool allow_local_func = false;
+};
+
+Role RandomRole(GenContext& ctx) {
+  Role r;
+  r.rel = ctx.roles[ctx.rng->Below(ctx.roles.size())];
+  r.inverse = ctx.allow_inverse && ctx.rng->Chance(0.3);
+  return r;
+}
+
+ConceptPtr RandomConcept(GenContext& ctx, int depth) {
+  // Leaf.
+  if (depth == 0 || ctx.rng->Chance(0.35)) {
+    uint64_t pick = ctx.rng->Below(10);
+    if (pick == 0) return Concept::Top();
+    return Concept::Name(ctx.concepts[ctx.rng->Below(ctx.concepts.size())]);
+  }
+  uint64_t pick = ctx.rng->Below(10);
+  if (pick < 2) {
+    return Concept::And(
+        {RandomConcept(ctx, depth), RandomConcept(ctx, depth)});
+  }
+  if (pick < 4) {
+    return Concept::Or({RandomConcept(ctx, depth), RandomConcept(ctx, depth)});
+  }
+  if (pick < 5) return Concept::Not(RandomConcept(ctx, depth));
+  if (pick < 7) {
+    return Concept::Exists(RandomRole(ctx), RandomConcept(ctx, depth - 1));
+  }
+  if (pick < 9) {
+    return Concept::Forall(RandomRole(ctx), RandomConcept(ctx, depth - 1));
+  }
+  if (ctx.allow_qualified) {
+    uint32_t n = 1 + static_cast<uint32_t>(ctx.rng->Below(3));
+    return ctx.rng->Chance(0.5)
+               ? Concept::AtLeast(n, RandomRole(ctx),
+                                  RandomConcept(ctx, depth - 1))
+               : Concept::AtMost(n, RandomRole(ctx),
+                                 RandomConcept(ctx, depth - 1));
+  }
+  if (ctx.allow_local_func) {
+    return Concept::AtMost(1, RandomRole(ctx), Concept::Top());
+  }
+  return Concept::Exists(RandomRole(ctx), RandomConcept(ctx, depth - 1));
+}
+
+// A concept of depth EXACTLY d (at least one chain reaches d).
+ConceptPtr ConceptOfDepth(GenContext& ctx, int d) {
+  if (d == 0) {
+    return Concept::Name(ctx.concepts[ctx.rng->Below(ctx.concepts.size())]);
+  }
+  return Concept::Exists(RandomRole(ctx), ConceptOfDepth(ctx, d - 1));
+}
+
+}  // namespace
+
+DlOntology GenerateOntology(Rng& rng, const CorpusProfile& profile) {
+  DlOntology onto;
+  GenContext ctx;
+  ctx.rng = &rng;
+  ctx.profile = &profile;
+  ctx.sym = onto.symbols;
+  for (int i = 0; i < profile.num_concept_names; ++i) {
+    ctx.concepts.push_back(onto.symbols->Rel("C" + std::to_string(i), 1));
+  }
+  for (int i = 0; i < profile.num_role_names; ++i) {
+    ctx.roles.push_back(onto.symbols->Rel("r" + std::to_string(i), 2));
+  }
+  ctx.allow_inverse = rng.Chance(profile.p_inverse);
+  ctx.allow_qualified = rng.Chance(profile.p_qualified);
+  ctx.allow_local_func = rng.Chance(profile.p_local_functionality);
+
+  int target_depth = 1;
+  double roll = (rng.Next() >> 11) * (1.0 / 9007199254740992.0);
+  if (roll < profile.p_depth3plus) {
+    target_depth = 3;
+  } else if (roll < profile.p_depth3plus + profile.p_depth2) {
+    target_depth = 2;
+  }
+
+  int n = static_cast<int>(
+      rng.Range(profile.min_inclusions, profile.max_inclusions));
+  for (int i = 0; i < n; ++i) {
+    int depth_budget = static_cast<int>(rng.Below(
+        static_cast<uint64_t>(target_depth) + 1));
+    ConceptPtr lhs = RandomConcept(ctx, 0);
+    ConceptPtr rhs = RandomConcept(ctx, depth_budget);
+    onto.cis.push_back({std::move(lhs), std::move(rhs)});
+  }
+  // Ensure the target depth is actually achieved.
+  if (onto.Depth() < target_depth) {
+    onto.cis.push_back({RandomConcept(ctx, 0),
+                        ConceptOfDepth(ctx, target_depth)});
+  }
+  if (rng.Chance(profile.p_role_inclusions)) {
+    onto.ris.push_back({RandomRole(ctx), RandomRole(ctx)});
+  }
+  if (rng.Chance(profile.p_functionality)) {
+    onto.functional.push_back(RandomRole(ctx));
+  }
+  return onto;
+}
+
+std::vector<DlOntology> GenerateCorpus(uint64_t seed, int count,
+                                       const CorpusProfile& profile) {
+  Rng rng(seed);
+  std::vector<DlOntology> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(GenerateOntology(rng, profile));
+  }
+  return out;
+}
+
+namespace {
+
+// Removes constructors outside ALCHIF from a concept (the paper's
+// preprocessing: "after removing all constructors that do not fall within
+// ALCHIF"): qualified number restrictions are dropped to ⊤ / rewritten.
+ConceptPtr StripToAlchif(const ConceptPtr& c) {
+  switch (c->kind()) {
+    case ConceptKind::kTop:
+    case ConceptKind::kBottom:
+    case ConceptKind::kName:
+      return c;
+    case ConceptKind::kNot:
+      return Concept::Not(StripToAlchif(c->child()));
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      std::vector<ConceptPtr> cs;
+      for (const auto& ch : c->children()) cs.push_back(StripToAlchif(ch));
+      return c->kind() == ConceptKind::kAnd ? Concept::And(std::move(cs))
+                                            : Concept::Or(std::move(cs));
+    }
+    case ConceptKind::kExists:
+      return Concept::Exists(c->role(), StripToAlchif(c->child()));
+    case ConceptKind::kForall:
+      return Concept::Forall(c->role(), StripToAlchif(c->child()));
+    case ConceptKind::kAtLeast:
+      // ≥1 R C is ∃R.C; anything else is dropped (outside ALCHIF).
+      if (c->n() <= 1) {
+        return Concept::Exists(c->role(), StripToAlchif(c->child()));
+      }
+      return Concept::Top();
+    case ConceptKind::kAtMost:
+      return Concept::Top();
+  }
+  return Concept::Top();
+}
+
+}  // namespace
+
+CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus) {
+  CorpusReport report;
+  report.total = static_cast<int>(corpus.size());
+  for (const DlOntology& onto : corpus) {
+    DlFeatures f = onto.Census();
+    ++report.by_family[f.FamilyName() + " depth " + std::to_string(f.depth)];
+    // (a) ALCHIF filter, then depth ≤ 2?
+    DlOntology stripped(onto.symbols);
+    for (const ConceptInclusion& ci : onto.cis) {
+      stripped.cis.push_back(
+          {StripToAlchif(ci.lhs), StripToAlchif(ci.rhs)});
+    }
+    stripped.ris = onto.ris;
+    stripped.functional = onto.functional;
+    if (stripped.Depth() <= 2) ++report.alchif_depth_le2;
+    // (b) full ALCHIQ, depth ≤ 1?
+    if (onto.Depth() <= 1) ++report.alchiq_depth_le1;
+    // Verdict.
+    switch (ClassifyDl(f).verdict) {
+      case DichotomyStatus::kDichotomy: ++report.dichotomy; break;
+      case DichotomyStatus::kCspHard: ++report.csp_hard; break;
+      case DichotomyStatus::kNoDichotomy: ++report.no_dichotomy; break;
+      case DichotomyStatus::kOpen: ++report.open; break;
+    }
+  }
+  return report;
+}
+
+std::string CorpusReport::ToString() const {
+  std::ostringstream out;
+  out << "corpus size:                      " << total << "\n"
+      << "ALCHIF-filtered with depth <= 2:  " << alchif_depth_le2 << "\n"
+      << "ALCHIQ with depth <= 1:           " << alchiq_depth_le1 << "\n"
+      << "verdicts: dichotomy=" << dichotomy << " csp-hard=" << csp_hard
+      << " no-dichotomy=" << no_dichotomy << " open=" << open << "\n";
+  return out.str();
+}
+
+}  // namespace gfomq

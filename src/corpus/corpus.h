@@ -1,0 +1,63 @@
+#ifndef GFOMQ_CORPUS_CORPUS_H_
+#define GFOMQ_CORPUS_CORPUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dl/tbox.h"
+#include "fragments/fragments.h"
+
+namespace gfomq {
+
+/// Shape parameters of the synthetic BioPortal-like corpus. The defaults
+/// are calibrated to the statistics the paper reports for the 411
+/// repository ontologies: ~98.5% fall within ALCHIF at depth ≤ 2 and
+/// ~93.7% within ALCHIQ at depth 1 (405/411 and 385/411).
+struct CorpusProfile {
+  int num_concept_names = 12;
+  int num_role_names = 6;
+  int min_inclusions = 4;
+  int max_inclusions = 30;
+  double p_depth2 = 0.048;       // ontologies of depth exactly 2
+  double p_depth3plus = 0.015;   // ontologies of depth ≥ 3
+  double p_inverse = 0.25;       // uses inverse roles somewhere
+  double p_role_inclusions = 0.30;
+  double p_qualified = 0.08;     // uses (≥/≤ n R C) beyond functionality
+  double p_functionality = 0.15;
+  double p_local_functionality = 0.04;
+};
+
+/// Generates one random TBox according to the profile (deterministic in
+/// the RNG state).
+DlOntology GenerateOntology(Rng& rng, const CorpusProfile& profile);
+
+/// Generates a corpus of `count` TBoxes from a seed.
+std::vector<DlOntology> GenerateCorpus(uint64_t seed, int count,
+                                       const CorpusProfile& profile = {});
+
+/// Aggregate census mirroring the paper's BioPortal analysis.
+struct CorpusReport {
+  int total = 0;
+  /// After removing constructors outside ALCHIF: how many have depth ≤ 2
+  /// (the paper's 405/411).
+  int alchif_depth_le2 = 0;
+  /// Within ALCHIQ (everything the corpus generates) at depth ≤ 1
+  /// (the paper's 385/411).
+  int alchiq_depth_le1 = 0;
+  // Verdict counts from the Figure 1 classifier.
+  int dichotomy = 0;
+  int csp_hard = 0;
+  int no_dichotomy = 0;
+  int open = 0;
+  std::map<std::string, int> by_family;
+
+  std::string ToString() const;
+};
+
+CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_CORPUS_CORPUS_H_

@@ -1,0 +1,191 @@
+#include "csp/csp.h"
+
+#include <algorithm>
+
+#include "instance/homomorphism.h"
+
+namespace gfomq {
+
+bool SolveCsp(const Instance& input, const Instance& templ) {
+  return FindHomomorphism(input, templ, {}).has_value();
+}
+
+Instance AddPrecoloring(const Instance& templ,
+                        std::map<ElemId, uint32_t>* precolor_rels) {
+  Instance out = templ;
+  for (ElemId a = 0; a < templ.NumElements(); ++a) {
+    uint32_t pa = templ.symbols()->Rel("P_" + templ.ElemName(a), 1);
+    out.AddFact(pa, {a});
+    (*precolor_rels)[a] = pa;
+  }
+  return out;
+}
+
+namespace {
+
+// ϕ≠a(outer) / ϕ=a(outer) in the chosen variant. `inner` is the second of
+// the two variables (the fragment is two-variable).
+FormulaPtr PhiNeq(CspEncodingVariant variant, uint32_t color_rel, uint32_t f,
+                  uint32_t outer, uint32_t inner) {
+  switch (variant) {
+    case CspEncodingVariant::kEquality:
+      return Formula::Exists({inner}, Formula::Atom(color_rel, {outer, inner}),
+                             Formula::Not(Formula::Eq(outer, inner)));
+    case CspEncodingVariant::kFunction:
+      return Formula::Exists(
+          {inner}, Formula::Atom(color_rel, {outer, inner}),
+          Formula::Not(Formula::Atom(f, {outer, inner})));
+    case CspEncodingVariant::kLocalFunctionality:
+      return Formula::CountQ(true, 2, inner,
+                             Formula::Atom(color_rel, {outer, inner}),
+                             Formula::True());
+  }
+  return Formula::True();
+}
+
+FormulaPtr PhiEq(CspEncodingVariant variant, uint32_t color_rel, uint32_t f,
+                 uint32_t outer, uint32_t inner) {
+  switch (variant) {
+    case CspEncodingVariant::kEquality:
+      return Formula::Exists({inner}, Formula::Atom(color_rel, {outer, inner}),
+                             Formula::Eq(outer, inner));
+    case CspEncodingVariant::kFunction:
+      return Formula::Exists({inner}, Formula::Atom(color_rel, {outer, inner}),
+                             Formula::Atom(f, {outer, inner}));
+    case CspEncodingVariant::kLocalFunctionality:
+      return Formula::Exists({inner}, Formula::Atom(color_rel, {outer, inner}),
+                             Formula::True());
+  }
+  return Formula::True();
+}
+
+}  // namespace
+
+Instance CspEncoding::EncodeInput(const Instance& input) const {
+  Instance out = input;
+  // For each precolouring fact P_a(d), hang an R_a edge to a fresh null,
+  // pre-setting the colour marker ϕ≠a at d.
+  std::vector<std::pair<uint32_t, ElemId>> to_add;
+  for (const Fact& f : input.facts()) {
+    for (const auto& [a, pa] : precolor_rels) {
+      if (f.rel == pa) to_add.emplace_back(color_rel.at(a), f.args[0]);
+    }
+  }
+  for (const auto& [ra, d] : to_add) {
+    ElemId fresh = out.AddNull();
+    out.AddFact(ra, {d, fresh});
+  }
+  return out;
+}
+
+Instance CspEncoding::DecodeToCspInput(const Instance& input) const {
+  Instance out(input.symbols());
+  // Copy elements.
+  for (ElemId e = 0; e < input.NumElements(); ++e) {
+    if (input.IsNull(e)) {
+      out.AddNull();
+    } else {
+      out.AddConstant(input.ElemName(e));
+    }
+  }
+  // Keep only sig(A) facts (template signature including precolouring).
+  std::vector<uint32_t> template_sig = templ.Signature();
+  for (const Fact& f : input.facts()) {
+    if (std::find(template_sig.begin(), template_sig.end(), f.rel) !=
+        template_sig.end()) {
+      out.AddFact(f);
+    }
+  }
+  // Every explicit colour edge R_a(d,d') with d ≠ d' pre-colours d with a.
+  for (const Fact& f : input.facts()) {
+    for (const auto& [a, ra] : color_rel) {
+      if (f.rel == ra && f.args[0] != f.args[1]) {
+        out.AddFact(precolor_rels.at(a), {f.args[0]});
+      }
+    }
+  }
+  return out;
+}
+
+Result<CspEncoding> EncodeTemplate(const Instance& templ,
+                                   CspEncodingVariant variant) {
+  SymbolsPtr sym = templ.symbols();
+  for (uint32_t rel : templ.Signature()) {
+    if (sym->RelArity(rel) > 2) {
+      return Status::Unsupported(
+          "templates must use relations of arity <= 2");
+    }
+  }
+  CspEncoding enc(sym);
+  enc.variant = variant;
+  enc.templ = AddPrecoloring(templ, &enc.precolor_rels);
+
+  uint32_t x = sym->Var("x");
+  uint32_t y = sym->Var("y");
+  uint32_t f = 0;
+  if (variant == CspEncodingVariant::kFunction) {
+    f = sym->Rel("F#csp", 2);
+    enc.ontology.Add(Sentence::Functionality(f));
+    // ∀x F(x,x).
+    enc.ontology.Add(Sentence::UniversalEq(x, Formula::Atom(f, {x, x})));
+  }
+  for (ElemId a = 0; a < templ.NumElements(); ++a) {
+    enc.color_rel[a] = sym->Rel("Rc_" + templ.ElemName(a), 2);
+  }
+  enc.query_rel = sym->Rel("N#csp", 1);
+
+  const size_t n = templ.NumElements();
+  auto phi_neq = [&](ElemId a, uint32_t outer, uint32_t inner) {
+    return PhiNeq(variant, enc.color_rel[a], f, outer, inner);
+  };
+
+  // (1a) Every node has some colour: ∀x ⋁_a ϕ≠a(x).
+  {
+    std::vector<FormulaPtr> options;
+    for (ElemId a = 0; a < n; ++a) options.push_back(phi_neq(a, x, y));
+    enc.ontology.Add(Sentence::UniversalEq(x, Formula::Or(std::move(options))));
+  }
+  // (1b) Colours are exclusive: ∀x ¬(ϕ≠a ∧ ϕ≠a') for a ≠ a'.
+  for (ElemId a = 0; a < n; ++a) {
+    for (ElemId b = a + 1; b < n; ++b) {
+      enc.ontology.Add(Sentence::UniversalEq(
+          x, Formula::Or(Formula::Not(phi_neq(a, x, y)),
+                         Formula::Not(phi_neq(b, x, y)))));
+    }
+  }
+  // (2) Unary constraints: U(x) → ¬ϕ≠a(x) whenever U(a) ∉ A.
+  for (uint32_t rel : enc.templ.Signature()) {
+    if (sym->RelArity(rel) != 1) continue;
+    for (ElemId a = 0; a < n; ++a) {
+      if (enc.templ.HasFact(rel, {a})) continue;
+      enc.ontology.Add(Sentence::UniversalEq(
+          x, Formula::Or(Formula::Not(Formula::Atom(rel, {x})),
+                         Formula::Not(phi_neq(a, x, y)))));
+    }
+  }
+  // (3) Binary constraints: R(x,y) → ¬(ϕ≠a(x) ∧ ϕ≠a'(y)) when R(a,a') ∉ A.
+  for (uint32_t rel : enc.templ.Signature()) {
+    if (sym->RelArity(rel) != 2) continue;
+    for (ElemId a = 0; a < n; ++a) {
+      for (ElemId b = 0; b < n; ++b) {
+        if (enc.templ.HasFact(rel, {a, b})) continue;
+        enc.ontology.Add(Sentence::GuardedUniversal(
+            {x, y}, Formula::Atom(rel, {x, y}),
+            Formula::Or(Formula::Not(phi_neq(a, x, y)),
+                        Formula::Not(phi_neq(b, y, x)))));
+      }
+    }
+  }
+  // (4) ∀x ϕ=a(x): makes the colour choice invisible to (in)equality-free
+  // queries.
+  for (ElemId a = 0; a < n; ++a) {
+    enc.ontology.Add(Sentence::UniversalEq(
+        x, PhiEq(variant, enc.color_rel[a], f, x, y)));
+  }
+
+  Status v = enc.ontology.Validate();
+  if (!v.ok()) return v;
+  return enc;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,60 @@
+#ifndef GFOMQ_CSP_CSP_H_
+#define GFOMQ_CSP_CSP_H_
+
+#include <map>
+#include <optional>
+
+#include "common/status.h"
+#include "instance/instance.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// Decides CSP(A): is there a homomorphism `input` → `templ`? Both are
+/// finite structures over a shared symbol table (relations of arity ≤ 2,
+/// per the paper's w.l.o.g. assumption).
+bool SolveCsp(const Instance& input, const Instance& templ);
+
+/// Adds precolouring: for each template element a, a fresh unary relation
+/// P_a with P_a(b) iff b = a (the paper's "template admits precolouring").
+/// Returns the extended template and the element → P_a map.
+Instance AddPrecoloring(const Instance& templ,
+                        std::map<ElemId, uint32_t>* precolor_rels);
+
+/// The three encodings of Theorem 8.
+enum class CspEncodingVariant {
+  kEquality,            // uGF2(1,=)
+  kFunction,            // uGF2(1,f)
+  kLocalFunctionality,  // ALCF-local depth 2 style (counting)
+};
+
+/// The Theorem 8 construction: an ontology O(A) such that evaluating the
+/// OMQ (O, q ← N(x)) is polynomially equivalent to coCSP(A).
+struct CspEncoding {
+  Ontology ontology;
+  std::map<ElemId, uint32_t> color_rel;  // template element a → R_a
+  uint32_t query_rel = 0;                // the fresh unary N of q ← N(x)
+  CspEncodingVariant variant = CspEncodingVariant::kEquality;
+  Instance templ;                        // template with precolouring
+  std::map<ElemId, uint32_t> precolor_rels;
+
+  explicit CspEncoding(SymbolsPtr sym)
+      : ontology(sym), templ(std::move(sym)) {}
+
+  /// coCSP → OMQ direction: extends a CSP input D with the R_a edges that
+  /// realize its precolouring facts, yielding D' with: D → A iff D' is
+  /// consistent w.r.t. the ontology (iff the OMQ has no certain answer).
+  Instance EncodeInput(const Instance& input) const;
+
+  /// OMQ → coCSP direction: reduces consistency of an arbitrary instance D
+  /// w.r.t. the ontology to a CSP question D• → A (proof of Theorem 8).
+  Instance DecodeToCspInput(const Instance& input) const;
+};
+
+/// Builds the encoding for a template over unary/binary relations.
+Result<CspEncoding> EncodeTemplate(const Instance& templ,
+                                   CspEncodingVariant variant);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_CSP_CSP_H_

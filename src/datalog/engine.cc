@@ -1,0 +1,78 @@
+#include "datalog/engine.h"
+
+#include "instance/homomorphism.h"
+
+namespace gfomq {
+
+Instance DatalogEngine::Evaluate(const Instance& input) {
+  stats_ = DatalogStats{};
+  Instance db = input;
+  // Semi-naive: in each round, require at least one body atom to match a
+  // fact derived in the previous round.
+  std::set<Fact> delta(input.facts().begin(), input.facts().end());
+  while (!delta.empty()) {
+    ++stats_.iterations;
+    std::set<Fact> next_delta;
+    for (const DatalogRule& rule : program_.rules) {
+      std::vector<PatternAtom> pattern;
+      pattern.reserve(rule.body.size());
+      for (const DatalogAtom& a : rule.body) pattern.push_back({a.rel, a.vars});
+      for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+        // Match the pivot atom against delta facts only.
+        for (const Fact& df : delta) {
+          if (df.rel != rule.body[pivot].rel) continue;
+          std::vector<int64_t> fixed(rule.num_vars, -1);
+          bool ok = true;
+          for (size_t i = 0; i < df.args.size() && ok; ++i) {
+            uint32_t v = rule.body[pivot].vars[i];
+            if (fixed[v] >= 0 && fixed[v] != static_cast<int64_t>(df.args[i])) {
+              ok = false;
+            }
+            fixed[v] = static_cast<int64_t>(df.args[i]);
+          }
+          if (!ok) continue;
+          std::vector<PatternAtom> rest;
+          for (size_t i = 0; i < pattern.size(); ++i) {
+            if (i != pivot) rest.push_back(pattern[i]);
+          }
+          ForEachMatch(rest, rule.num_vars, db, fixed,
+                       [&](const std::vector<int64_t>& assign) {
+                         for (const auto& [x, y] : rule.neq) {
+                           if (assign[x] == assign[y]) return false;
+                         }
+                         std::vector<ElemId> args;
+                         args.reserve(rule.head.vars.size());
+                         for (uint32_t v : rule.head.vars) {
+                           args.push_back(static_cast<ElemId>(assign[v]));
+                         }
+                         Fact f{rule.head.rel, std::move(args)};
+                         if (!db.HasFact(f) && !next_delta.count(f)) {
+                           next_delta.insert(std::move(f));
+                         }
+                         return false;
+                       });
+        }
+      }
+    }
+    for (const Fact& f : next_delta) {
+      db.AddFact(f);
+      ++stats_.derived_facts;
+    }
+    delta = std::move(next_delta);
+  }
+  return db;
+}
+
+std::set<std::vector<ElemId>> DatalogEngine::GoalTuples(const Instance& input) {
+  std::set<std::vector<ElemId>> out;
+  if (program_.goal_rel < 0) return out;
+  Instance db = Evaluate(input);
+  for (const Fact& f : db.facts()) {
+    if (f.rel == static_cast<uint32_t>(program_.goal_rel)) {
+      out.insert(f.args);
+    }
+  }
+  return out;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,37 @@
+#ifndef GFOMQ_DATALOG_ENGINE_H_
+#define GFOMQ_DATALOG_ENGINE_H_
+
+#include <set>
+
+#include "datalog/program.h"
+#include "instance/instance.h"
+
+namespace gfomq {
+
+/// Statistics of one bottom-up evaluation.
+struct DatalogStats {
+  uint64_t iterations = 0;
+  uint64_t derived_facts = 0;
+};
+
+/// Semi-naive bottom-up evaluation of Datalog(≠) programs.
+class DatalogEngine {
+ public:
+  explicit DatalogEngine(const DatalogProgram& program) : program_(program) {}
+
+  /// Computes the fixpoint: the input plus all derived facts.
+  Instance Evaluate(const Instance& input);
+
+  /// Tuples of the goal relation in the fixpoint (empty set if no goal).
+  std::set<std::vector<ElemId>> GoalTuples(const Instance& input);
+
+  const DatalogStats& stats() const { return stats_; }
+
+ private:
+  const DatalogProgram& program_;
+  DatalogStats stats_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_DATALOG_ENGINE_H_

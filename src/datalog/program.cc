@@ -1,0 +1,201 @@
+#include "datalog/program.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gfomq {
+
+bool DatalogProgram::IsPlainDatalog() const {
+  for (const DatalogRule& r : rules) {
+    if (!r.neq.empty()) return false;
+  }
+  return true;
+}
+
+Status DatalogProgram::Validate() const {
+  for (const DatalogRule& r : rules) {
+    std::set<uint32_t> body_vars;
+    for (const DatalogAtom& a : r.body) {
+      if (static_cast<int>(a.vars.size()) != symbols->RelArity(a.rel)) {
+        return Status::InvalidArgument("arity mismatch in rule body");
+      }
+      body_vars.insert(a.vars.begin(), a.vars.end());
+    }
+    for (uint32_t v : r.head.vars) {
+      if (!body_vars.count(v)) {
+        return Status::InvalidArgument(
+            "head variable not bound in rule body (range restriction)");
+      }
+    }
+    for (const auto& [x, y] : r.neq) {
+      if (!body_vars.count(x) || !body_vars.count(y)) {
+        return Status::InvalidArgument("inequality variable not bound");
+      }
+    }
+    if (r.body.empty()) {
+      return Status::InvalidArgument("rules must have non-empty bodies");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string DatalogProgram::ToString() const {
+  std::ostringstream out;
+  auto print_atom = [&](const DatalogAtom& a) {
+    out << symbols->RelName(a.rel) << "(";
+    for (size_t i = 0; i < a.vars.size(); ++i) {
+      if (i) out << ",";
+      out << "v" << a.vars[i];
+    }
+    out << ")";
+  };
+  for (const DatalogRule& r : rules) {
+    print_atom(r.head);
+    out << " :- ";
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (i) out << ", ";
+      print_atom(r.body[i]);
+    }
+    for (const auto& [x, y] : r.neq) {
+      out << ", v" << x << " != v" << y;
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+Result<DatalogProgram> ParseDatalog(const std::string& text,
+                                    SymbolsPtr symbols) {
+  DatalogProgram prog(symbols);
+
+  size_t pos = 0;
+  auto skip = [&]() {
+    while (pos < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto read_name = [&]() -> Result<std::string> {
+    skip();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::InvalidArgument("expected name at offset " +
+                                     std::to_string(pos));
+    }
+    return text.substr(start, pos - start);
+  };
+  auto expect = [&](char c) -> Status {
+    skip();
+    if (pos >= text.size() || text[pos] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos));
+    }
+    ++pos;
+    return Status::Ok();
+  };
+  auto peek = [&](char c) {
+    size_t p = pos;
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p]))) {
+      ++p;
+    }
+    return p < text.size() && text[p] == c;
+  };
+
+  skip();
+  while (pos < text.size()) {
+    DatalogRule rule;
+    std::map<std::string, uint32_t> vars;
+    auto var_id = [&](const std::string& n) {
+      auto it = vars.find(n);
+      if (it != vars.end()) return it->second;
+      uint32_t id = rule.num_vars++;
+      vars.emplace(n, id);
+      return id;
+    };
+    auto read_atom = [&]() -> Result<DatalogAtom> {
+      Result<std::string> rel = read_name();
+      if (!rel.ok()) return rel.status();
+      Status s = expect('(');
+      if (!s.ok()) return s;
+      std::vector<uint32_t> args;
+      if (!peek(')')) {
+        for (;;) {
+          Result<std::string> v = read_name();
+          if (!v.ok()) return v.status();
+          args.push_back(var_id(*v));
+          if (peek(',')) {
+            (void)expect(',');
+            continue;
+          }
+          break;
+        }
+      }
+      s = expect(')');
+      if (!s.ok()) return s;
+      int64_t existing = symbols->FindRel(*rel);
+      uint32_t rid = existing >= 0
+                         ? static_cast<uint32_t>(existing)
+                         : symbols->Rel(*rel, static_cast<int>(args.size()));
+      if (symbols->RelArity(rid) != static_cast<int>(args.size())) {
+        return Status::InvalidArgument("arity mismatch for " + *rel);
+      }
+      return DatalogAtom{rid, std::move(args)};
+    };
+
+    Result<DatalogAtom> head = read_atom();
+    if (!head.ok()) return head.status();
+    rule.head = std::move(*head);
+    Status s = expect(':');
+    if (!s.ok()) return s;
+    s = expect('-');
+    if (!s.ok()) return s;
+    for (;;) {
+      skip();
+      // Either an atom or an inequality `x != y`.
+      size_t save = pos;
+      Result<std::string> first = read_name();
+      if (!first.ok()) return first.status();
+      skip();
+      if (pos + 1 < text.size() && text[pos] == '!' && text[pos + 1] == '=') {
+        pos += 2;
+        Result<std::string> second = read_name();
+        if (!second.ok()) return second.status();
+        rule.neq.emplace_back(var_id(*first), var_id(*second));
+      } else {
+        pos = save;
+        Result<DatalogAtom> atom = read_atom();
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(*atom));
+      }
+      if (peek(',')) {
+        (void)expect(',');
+        continue;
+      }
+      break;
+    }
+    s = expect(';');
+    if (!s.ok()) return s;
+    prog.rules.push_back(std::move(rule));
+    skip();
+  }
+  int64_t goal = symbols->FindRel("goal");
+  prog.goal_rel = goal;
+  Status v = prog.Validate();
+  if (!v.ok()) return v;
+  return prog;
+}
+
+}  // namespace gfomq

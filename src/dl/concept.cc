@@ -1,0 +1,119 @@
+#include "dl/concept.h"
+
+#include <algorithm>
+
+namespace gfomq {
+
+int Concept::Depth() const {
+  switch (kind_) {
+    case ConceptKind::kTop:
+    case ConceptKind::kBottom:
+    case ConceptKind::kName:
+      return 0;
+    case ConceptKind::kNot:
+      return children_[0]->Depth();
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      int d = 0;
+      for (const auto& c : children_) d = std::max(d, c->Depth());
+      return d;
+    }
+    case ConceptKind::kExists:
+    case ConceptKind::kForall:
+    case ConceptKind::kAtLeast:
+    case ConceptKind::kAtMost:
+      return 1 + children_[0]->Depth();
+  }
+  return 0;
+}
+
+ConceptPtr Concept::Top() {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kTop;
+  return c;
+}
+
+ConceptPtr Concept::Bottom() {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kBottom;
+  return c;
+}
+
+ConceptPtr Concept::Name(uint32_t rel) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kName;
+  c->name_ = rel;
+  return c;
+}
+
+ConceptPtr Concept::Not(ConceptPtr inner) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kNot;
+  c->children_ = {std::move(inner)};
+  return c;
+}
+
+ConceptPtr Concept::And(std::vector<ConceptPtr> cs) {
+  if (cs.size() == 1) return cs[0];
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kAnd;
+  c->children_ = std::move(cs);
+  return c;
+}
+
+ConceptPtr Concept::Or(std::vector<ConceptPtr> cs) {
+  if (cs.size() == 1) return cs[0];
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kOr;
+  c->children_ = std::move(cs);
+  return c;
+}
+
+ConceptPtr Concept::Exists(Role r, ConceptPtr inner) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kExists;
+  c->role_ = r;
+  c->children_ = {std::move(inner)};
+  return c;
+}
+
+ConceptPtr Concept::Forall(Role r, ConceptPtr inner) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kForall;
+  c->role_ = r;
+  c->children_ = {std::move(inner)};
+  return c;
+}
+
+ConceptPtr Concept::AtLeast(uint32_t n, Role r, ConceptPtr inner) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kAtLeast;
+  c->n_ = n;
+  c->role_ = r;
+  c->children_ = {std::move(inner)};
+  return c;
+}
+
+ConceptPtr Concept::AtMost(uint32_t n, Role r, ConceptPtr inner) {
+  auto c = std::shared_ptr<Concept>(new Concept());
+  c->kind_ = ConceptKind::kAtMost;
+  c->n_ = n;
+  c->role_ = r;
+  c->children_ = {std::move(inner)};
+  return c;
+}
+
+std::string DlFeatures::FamilyName() const {
+  std::string out = "ALC";
+  if (role_inclusions) out += "H";
+  if (inverse) out += "I";
+  if (qualified_numbers) {
+    out += "Q";
+  } else {
+    if (global_functionality) out += "F";
+    if (local_functionality) out += "Fl";
+  }
+  return out;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,90 @@
+#ifndef GFOMQ_DL_CONCEPT_H_
+#define GFOMQ_DL_CONCEPT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// A DL role: a binary relation or its inverse (the 'I' constructor).
+struct Role {
+  uint32_t rel = 0;
+  bool inverse = false;
+
+  auto operator<=>(const Role&) const = default;
+
+  Role Inverse() const { return {rel, !inverse}; }
+};
+
+/// Concept constructors of ALCHIQ (and the F / F-local sugar on top).
+enum class ConceptKind {
+  kTop,
+  kBottom,
+  kName,     // atomic concept (unary relation)
+  kNot,
+  kAnd,
+  kOr,
+  kExists,   // ∃R.C
+  kForall,   // ∀R.C
+  kAtLeast,  // (≥ n R C)
+  kAtMost,   // (≤ n R C)
+};
+
+class Concept;
+using ConceptPtr = std::shared_ptr<const Concept>;
+
+/// Immutable DL concept node.
+class Concept {
+ public:
+  ConceptKind kind() const { return kind_; }
+  uint32_t name() const { return name_; }
+  const Role& role() const { return role_; }
+  uint32_t n() const { return n_; }
+  const std::vector<ConceptPtr>& children() const { return children_; }
+  const ConceptPtr& child() const { return children_[0]; }
+
+  /// Nesting depth of role restrictions (∃/∀/≥/≤), the paper's DL depth.
+  int Depth() const;
+
+  static ConceptPtr Top();
+  static ConceptPtr Bottom();
+  static ConceptPtr Name(uint32_t rel);
+  static ConceptPtr Not(ConceptPtr c);
+  static ConceptPtr And(std::vector<ConceptPtr> cs);
+  static ConceptPtr Or(std::vector<ConceptPtr> cs);
+  static ConceptPtr Exists(Role r, ConceptPtr c);
+  static ConceptPtr Forall(Role r, ConceptPtr c);
+  static ConceptPtr AtLeast(uint32_t n, Role r, ConceptPtr c);
+  static ConceptPtr AtMost(uint32_t n, Role r, ConceptPtr c);
+
+ private:
+  Concept() = default;
+
+  ConceptKind kind_ = ConceptKind::kTop;
+  uint32_t name_ = 0;
+  Role role_;
+  uint32_t n_ = 0;
+  std::vector<ConceptPtr> children_;
+};
+
+/// Feature census of a DL ontology, used to position it in the paper's DL
+/// naming scheme (ALC + I/H/Q/F/F-local).
+struct DlFeatures {
+  bool inverse = false;              // I
+  bool role_inclusions = false;      // H
+  bool qualified_numbers = false;    // Q: (≥/≤ n R C) with C ≠ ⊤ or n > 1
+  bool global_functionality = false; // F: func(R) axioms
+  bool local_functionality = false;  // F-local: (≤ 1 R ⊤)
+  int depth = 0;
+
+  /// Name like "ALCHIQ" / "ALCIF" / "ALC".
+  std::string FamilyName() const;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_DL_CONCEPT_H_

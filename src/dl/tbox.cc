@@ -1,0 +1,384 @@
+#include "dl/tbox.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gfomq {
+
+int DlOntology::Depth() const {
+  int d = 0;
+  for (const ConceptInclusion& ci : cis) {
+    d = std::max(d, std::max(ci.lhs->Depth(), ci.rhs->Depth()));
+  }
+  return d;
+}
+
+namespace {
+
+void CensusConcept(const Concept& c, DlFeatures* f) {
+  switch (c.kind()) {
+    case ConceptKind::kTop:
+    case ConceptKind::kBottom:
+    case ConceptKind::kName:
+      return;
+    case ConceptKind::kNot:
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr:
+      for (const auto& ch : c.children()) CensusConcept(*ch, f);
+      return;
+    case ConceptKind::kExists:
+    case ConceptKind::kForall:
+      if (c.role().inverse) f->inverse = true;
+      CensusConcept(*c.child(), f);
+      return;
+    case ConceptKind::kAtLeast:
+    case ConceptKind::kAtMost:
+      if (c.role().inverse) f->inverse = true;
+      if (c.kind() == ConceptKind::kAtMost && c.n() == 1 &&
+          c.child()->kind() == ConceptKind::kTop) {
+        f->local_functionality = true;
+      } else {
+        f->qualified_numbers = true;
+      }
+      CensusConcept(*c.child(), f);
+      return;
+  }
+}
+
+}  // namespace
+
+DlFeatures DlOntology::Census() const {
+  DlFeatures f;
+  f.depth = Depth();
+  for (const ConceptInclusion& ci : cis) {
+    CensusConcept(*ci.lhs, &f);
+    CensusConcept(*ci.rhs, &f);
+  }
+  if (!ris.empty()) f.role_inclusions = true;
+  if (!functional.empty()) {
+    f.global_functionality = true;
+    for (const Role& r : functional) {
+      if (r.inverse) f.inverse = true;
+    }
+  }
+  for (const RoleInclusion& ri : ris) {
+    if (ri.sub.inverse || ri.sup.inverse) f.inverse = true;
+  }
+  return f;
+}
+
+// --- Printing ------------------------------------------------------------------
+
+namespace {
+
+std::string RoleToString(const Role& r, const Symbols& sym) {
+  return sym.RelName(r.rel) + (r.inverse ? "-" : "");
+}
+
+void PrintConcept(const Concept& c, const Symbols& sym, std::ostringstream* out,
+                  bool parens) {
+  switch (c.kind()) {
+    case ConceptKind::kTop:
+      *out << "top";
+      return;
+    case ConceptKind::kBottom:
+      *out << "bot";
+      return;
+    case ConceptKind::kName:
+      *out << sym.RelName(c.name());
+      return;
+    case ConceptKind::kNot:
+      *out << "not ";
+      PrintConcept(*c.child(), sym, out, true);
+      return;
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      const char* op = c.kind() == ConceptKind::kAnd ? " and " : " or ";
+      if (parens) *out << "(";
+      for (size_t i = 0; i < c.children().size(); ++i) {
+        if (i) *out << op;
+        PrintConcept(*c.children()[i], sym, out, true);
+      }
+      if (parens) *out << ")";
+      return;
+    }
+    case ConceptKind::kExists:
+    case ConceptKind::kForall:
+      *out << (c.kind() == ConceptKind::kExists ? "exists " : "forall ")
+           << RoleToString(c.role(), sym) << ". ";
+      PrintConcept(*c.child(), sym, out, true);
+      return;
+    case ConceptKind::kAtLeast:
+    case ConceptKind::kAtMost:
+      *out << (c.kind() == ConceptKind::kAtLeast ? ">=" : "<=") << c.n() << " "
+           << RoleToString(c.role(), sym) << ". ";
+      PrintConcept(*c.child(), sym, out, true);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ConceptToString(const Concept& c, const Symbols& symbols) {
+  std::ostringstream out;
+  PrintConcept(c, symbols, &out, false);
+  return out.str();
+}
+
+std::string DlOntologyToString(const DlOntology& onto) {
+  std::ostringstream out;
+  for (const ConceptInclusion& ci : onto.cis) {
+    out << ConceptToString(*ci.lhs, *onto.symbols) << " sub "
+        << ConceptToString(*ci.rhs, *onto.symbols) << ";\n";
+  }
+  for (const RoleInclusion& ri : onto.ris) {
+    out << "role " << RoleToString(ri.sub, *onto.symbols) << " sub "
+        << RoleToString(ri.sup, *onto.symbols) << ";\n";
+  }
+  for (const Role& r : onto.functional) {
+    out << "func " << RoleToString(r, *onto.symbols) << ";\n";
+  }
+  return out.str();
+}
+
+// --- Parsing -------------------------------------------------------------------
+
+namespace {
+
+class DlParser {
+ public:
+  DlParser(const std::string& text, SymbolsPtr symbols)
+      : text_(text), symbols_(std::move(symbols)) {}
+
+  Result<DlOntology> Parse() {
+    DlOntology onto(symbols_);
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      Result<std::monostate> s = ParseStatement(&onto);
+      if (!s.ok()) return s.status();
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ';') {
+        ++pos_;
+        SkipSpace();
+      }
+    }
+    return onto;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool PeekWord(const std::string& w) {
+    SkipSpace();
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    size_t end = pos_ + w.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    return true;
+  }
+
+  bool AcceptWord(const std::string& w) {
+    if (!PeekWord(w)) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument(msg + " (at offset " +
+                                   std::to_string(pos_) + ")");
+  }
+
+  Result<std::string> ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Role> ReadRole() {
+    Result<std::string> name = ReadName();
+    if (!name.ok()) return name.status();
+    bool inverse = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      inverse = true;
+      ++pos_;
+    }
+    int64_t existing = symbols_->FindRel(*name);
+    uint32_t rel;
+    if (existing >= 0) {
+      rel = static_cast<uint32_t>(existing);
+      if (symbols_->RelArity(rel) != 2) return Err("role must be binary");
+    } else {
+      rel = symbols_->Rel(*name, 2);
+    }
+    return Role{rel, inverse};
+  }
+
+  Result<uint32_t> ReadNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    uint32_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<uint32_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected number");
+    return v;
+  }
+
+  Result<ConceptPtr> ParseConcept() { return ParseOr(); }
+
+  Result<ConceptPtr> ParseOr() {
+    Result<ConceptPtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<ConceptPtr> cs{std::move(*first)};
+    while (AcceptWord("or")) {
+      Result<ConceptPtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      cs.push_back(std::move(*next));
+    }
+    return Concept::Or(std::move(cs));
+  }
+
+  Result<ConceptPtr> ParseAnd() {
+    Result<ConceptPtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<ConceptPtr> cs{std::move(*first)};
+    while (AcceptWord("and")) {
+      Result<ConceptPtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      cs.push_back(std::move(*next));
+    }
+    return Concept::And(std::move(cs));
+  }
+
+  Result<ConceptPtr> ParseUnary() {
+    SkipSpace();
+    if (AcceptWord("not")) {
+      Result<ConceptPtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return Concept::Not(std::move(*inner));
+    }
+    if (AcceptWord("top")) return Concept::Top();
+    if (AcceptWord("bot")) return Concept::Bottom();
+    if (AcceptWord("exists") || AcceptWord("forall")) {
+      bool exists = text_.compare(pos_ - 6, 6, "exists") == 0;
+      Result<Role> role = ReadRole();
+      if (!role.ok()) return role.status();
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '.') {
+        return Err("expected '.' after role");
+      }
+      ++pos_;
+      Result<ConceptPtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return exists ? Concept::Exists(*role, std::move(*inner))
+                    : Concept::Forall(*role, std::move(*inner));
+    }
+    SkipSpace();
+    if (pos_ + 1 < text_.size() &&
+        (text_[pos_] == '>' || text_[pos_] == '<') && text_[pos_ + 1] == '=') {
+      bool at_least = text_[pos_] == '>';
+      pos_ += 2;
+      Result<uint32_t> n = ReadNumber();
+      if (!n.ok()) return n.status();
+      Result<Role> role = ReadRole();
+      if (!role.ok()) return role.status();
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '.') {
+        return Err("expected '.' after role");
+      }
+      ++pos_;
+      Result<ConceptPtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return at_least ? Concept::AtLeast(*n, *role, std::move(*inner))
+                      : Concept::AtMost(*n, *role, std::move(*inner));
+    }
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      Result<ConceptPtr> inner = ParseConcept();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') return Err("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    Result<std::string> name = ReadName();
+    if (!name.ok()) return name.status();
+    int64_t existing = symbols_->FindRel(*name);
+    uint32_t rel;
+    if (existing >= 0) {
+      rel = static_cast<uint32_t>(existing);
+      if (symbols_->RelArity(rel) != 1) {
+        return Err("concept name must be unary: " + *name);
+      }
+    } else {
+      rel = symbols_->Rel(*name, 1);
+    }
+    return Concept::Name(rel);
+  }
+
+  Result<std::monostate> ParseStatement(DlOntology* onto) {
+    if (AcceptWord("func")) {
+      Result<Role> role = ReadRole();
+      if (!role.ok()) return role.status();
+      onto->functional.push_back(*role);
+      return std::monostate{};
+    }
+    if (AcceptWord("role")) {
+      Result<Role> sub = ReadRole();
+      if (!sub.ok()) return sub.status();
+      if (!AcceptWord("sub")) return Err("expected 'sub' in role inclusion");
+      Result<Role> sup = ReadRole();
+      if (!sup.ok()) return sup.status();
+      onto->ris.push_back({*sub, *sup});
+      return std::monostate{};
+    }
+    Result<ConceptPtr> lhs = ParseConcept();
+    if (!lhs.ok()) return lhs.status();
+    if (!AcceptWord("sub")) return Err("expected 'sub'");
+    Result<ConceptPtr> rhs = ParseConcept();
+    if (!rhs.ok()) return rhs.status();
+    onto->cis.push_back({std::move(*lhs), std::move(*rhs)});
+    return std::monostate{};
+  }
+
+  const std::string& text_;
+  SymbolsPtr symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DlOntology> ParseDlOntology(const std::string& text,
+                                   SymbolsPtr symbols) {
+  DlParser parser(text, std::move(symbols));
+  return parser.Parse();
+}
+
+Result<DlOntology> ParseDlOntology(const std::string& text) {
+  return ParseDlOntology(text, MakeSymbols());
+}
+
+}  // namespace gfomq

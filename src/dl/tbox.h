@@ -1,0 +1,60 @@
+#ifndef GFOMQ_DL_TBOX_H_
+#define GFOMQ_DL_TBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dl/concept.h"
+
+namespace gfomq {
+
+/// A concept inclusion C ⊑ D.
+struct ConceptInclusion {
+  ConceptPtr lhs;
+  ConceptPtr rhs;
+};
+
+/// A role inclusion R ⊑ S (the 'H' constructor).
+struct RoleInclusion {
+  Role sub;
+  Role sup;
+};
+
+/// A DL ontology (TBox) in the ALCHIQ family with optional functionality.
+struct DlOntology {
+  SymbolsPtr symbols;
+  std::vector<ConceptInclusion> cis;
+  std::vector<RoleInclusion> ris;
+  std::vector<Role> functional;  // func(R) / func(R-) — the 'F' constructor
+
+  explicit DlOntology(SymbolsPtr syms = nullptr)
+      : symbols(syms ? std::move(syms) : MakeSymbols()) {}
+
+  /// Maximum concept depth over all inclusions.
+  int Depth() const;
+
+  /// Constructor census (which letters beyond ALC are used, and the depth).
+  DlFeatures Census() const;
+};
+
+/// Parses a TBox. Statements are `;`-separated:
+///
+///   A sub exists R. B;                 # concept inclusion
+///   exists R-. top sub <=1 S. top;     # inverse roles, number restrictions
+///   role R sub S;                      # role inclusion
+///   func R;   func R-;                 # (inverse) functionality
+///
+/// Concept syntax: top, bot, names, `not C`, `C and D`, `C or D`,
+/// `exists R. C`, `forall R. C`, `>=n R. C`, `<=n R. C`, parentheses.
+/// Roles: `R` or `R-`.
+Result<DlOntology> ParseDlOntology(const std::string& text, SymbolsPtr symbols);
+Result<DlOntology> ParseDlOntology(const std::string& text);
+
+/// Renders a concept / the TBox back in the surface syntax.
+std::string ConceptToString(const Concept& c, const Symbols& symbols);
+std::string DlOntologyToString(const DlOntology& onto);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_DL_TBOX_H_

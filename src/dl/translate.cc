@@ -1,0 +1,80 @@
+#include "dl/translate.h"
+
+namespace gfomq {
+
+namespace {
+
+FormulaPtr RoleAtom(const Role& r, uint32_t from, uint32_t to) {
+  if (r.inverse) return Formula::Atom(r.rel, {to, from});
+  return Formula::Atom(r.rel, {from, to});
+}
+
+}  // namespace
+
+FormulaPtr TranslateConcept(const Concept& c, uint32_t cur, uint32_t other,
+                            Symbols* symbols) {
+  switch (c.kind()) {
+    case ConceptKind::kTop:
+      return Formula::True();
+    case ConceptKind::kBottom:
+      return Formula::False();
+    case ConceptKind::kName:
+      return Formula::Atom(c.name(), {cur});
+    case ConceptKind::kNot:
+      return Formula::Not(TranslateConcept(*c.child(), cur, other, symbols));
+    case ConceptKind::kAnd:
+    case ConceptKind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(c.children().size());
+      for (const auto& ch : c.children()) {
+        parts.push_back(TranslateConcept(*ch, cur, other, symbols));
+      }
+      return c.kind() == ConceptKind::kAnd ? Formula::And(std::move(parts))
+                                           : Formula::Or(std::move(parts));
+    }
+    case ConceptKind::kExists:
+      return Formula::Exists(
+          {other}, RoleAtom(c.role(), cur, other),
+          TranslateConcept(*c.child(), other, cur, symbols));
+    case ConceptKind::kForall:
+      return Formula::Forall(
+          {other}, RoleAtom(c.role(), cur, other),
+          TranslateConcept(*c.child(), other, cur, symbols));
+    case ConceptKind::kAtLeast:
+      return Formula::CountQ(
+          true, c.n(), other, RoleAtom(c.role(), cur, other),
+          TranslateConcept(*c.child(), other, cur, symbols));
+    case ConceptKind::kAtMost:
+      return Formula::CountQ(
+          false, c.n(), other, RoleAtom(c.role(), cur, other),
+          TranslateConcept(*c.child(), other, cur, symbols));
+  }
+  return Formula::True();
+}
+
+Result<Ontology> TranslateToGuarded(const DlOntology& dl) {
+  Ontology onto(dl.symbols);
+  uint32_t x = dl.symbols->Var("x");
+  uint32_t y = dl.symbols->Var("y");
+  for (const ConceptInclusion& ci : dl.cis) {
+    FormulaPtr lhs = TranslateConcept(*ci.lhs, x, y, dl.symbols.get());
+    FormulaPtr rhs = TranslateConcept(*ci.rhs, x, y, dl.symbols.get());
+    onto.Add(Sentence::UniversalEq(
+        x, Formula::Or(Formula::Not(std::move(lhs)), std::move(rhs))));
+  }
+  for (const RoleInclusion& ri : dl.ris) {
+    // ∀x,y (sub(x,y) → sup(x,y)) with the sub-role atom as guard.
+    FormulaPtr guard = RoleAtom(ri.sub, x, y);
+    FormulaPtr body = RoleAtom(ri.sup, x, y);
+    onto.Add(Sentence::GuardedUniversal({x, y}, std::move(guard),
+                                        std::move(body)));
+  }
+  for (const Role& r : dl.functional) {
+    onto.Add(Sentence::Functionality(r.rel, r.inverse));
+  }
+  Status v = onto.Validate();
+  if (!v.ok()) return v;
+  return onto;
+}
+
+}  // namespace gfomq

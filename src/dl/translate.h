@@ -1,0 +1,25 @@
+#ifndef GFOMQ_DL_TRANSLATE_H_
+#define GFOMQ_DL_TRANSLATE_H_
+
+#include "common/status.h"
+#include "dl/tbox.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// Translates a DL concept into an openGF / openGC2 formula with free
+/// variable `cur`, using `other` as the alternating second variable
+/// (appendix A of the paper).
+FormulaPtr TranslateConcept(const Concept& c, uint32_t cur, uint32_t other,
+                            Symbols* symbols);
+
+/// Translates a TBox into a guarded ontology over the same symbol table:
+/// each C ⊑ D becomes the equality-guarded sentence ∀x (C*(x) → D*(x)),
+/// role inclusions become guarded universals, functionality axioms map to
+/// functionality sentences. Per Lemma 7: an ALCHI(F) ontology of depth d
+/// lands in uGF2−(d) (+f), and an ALCHIQ ontology of depth d in uGC2−(d).
+Result<Ontology> TranslateToGuarded(const DlOntology& dl);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_DL_TRANSLATE_H_

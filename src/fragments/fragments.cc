@@ -1,0 +1,255 @@
+#include "fragments/fragments.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gfomq {
+
+const char* FragmentName(FragmentId id) {
+  switch (id) {
+    case FragmentId::kUGF1: return "uGF(1)";
+    case FragmentId::kUGFm1Eq: return "uGF-(1,=)";
+    case FragmentId::kUGF2m2: return "uGF-2(2)";
+    case FragmentId::kUGC2m1Eq: return "uGC-2(1,=)";
+    case FragmentId::kALCHIF2: return "ALCHIF depth 2";
+    case FragmentId::kALCHIQ1: return "ALCHIQ depth 1";
+    case FragmentId::kUGF21Eq: return "uGF2(1,=)";
+    case FragmentId::kUGF22: return "uGF2(2)";
+    case FragmentId::kUGF21f: return "uGF2(1,f)";
+    case FragmentId::kALCFl2: return "ALCFl depth 2";
+    case FragmentId::kALC3: return "ALC depth 3";
+    case FragmentId::kUGF2m2f: return "uGF-2(2,f)";
+    case FragmentId::kALCIFl2: return "ALCIFl depth 2";
+    case FragmentId::kALCF3: return "ALCF depth 3";
+  }
+  return "?";
+}
+
+const char* StatusName(DichotomyStatus s) {
+  switch (s) {
+    case DichotomyStatus::kDichotomy:
+      return "DICHOTOMY (PTIME = Datalog!=-rewritable / coNP-hard)";
+    case DichotomyStatus::kCspHard:
+      return "CSP-HARD (dichotomy implies Feder-Vardi)";
+    case DichotomyStatus::kNoDichotomy:
+      return "NO DICHOTOMY (unless PTIME = NP)";
+    case DichotomyStatus::kOpen:
+      return "OPEN (outside the fragments of Figure 1)";
+  }
+  return "?";
+}
+
+DichotomyStatus FragmentStatus(FragmentId id) {
+  switch (id) {
+    case FragmentId::kUGF1:
+    case FragmentId::kUGFm1Eq:
+    case FragmentId::kUGF2m2:
+    case FragmentId::kUGC2m1Eq:
+    case FragmentId::kALCHIF2:
+    case FragmentId::kALCHIQ1:
+      return DichotomyStatus::kDichotomy;
+    case FragmentId::kUGF21Eq:
+    case FragmentId::kUGF22:
+    case FragmentId::kUGF21f:
+    case FragmentId::kALCFl2:
+    case FragmentId::kALC3:
+      return DichotomyStatus::kCspHard;
+    case FragmentId::kUGF2m2f:
+    case FragmentId::kALCIFl2:
+    case FragmentId::kALCF3:
+      return DichotomyStatus::kNoDichotomy;
+  }
+  return DichotomyStatus::kOpen;
+}
+
+namespace {
+
+void CountEqualityAndCounting(const Formula& f, bool* equality,
+                              bool* counting) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return;
+    case FormulaKind::kEq:
+      *equality = true;
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const auto& c : f.children()) {
+        CountEqualityAndCounting(*c, equality, counting);
+      }
+      return;
+    case FormulaKind::kCount:
+      *counting = true;
+      [[fallthrough]];
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      if (f.guard()->kind() == FormulaKind::kEq) *equality = true;
+      CountEqualityAndCounting(*f.body(), equality, counting);
+      return;
+  }
+}
+
+void MaxArity(const Formula& f, const Symbols& sym, int* arity) {
+  switch (f.kind()) {
+    case FormulaKind::kAtom:
+      *arity = std::max(*arity, sym.RelArity(f.rel()));
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const auto& c : f.children()) MaxArity(*c, sym, arity);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount:
+      MaxArity(*f.guard(), sym, arity);
+      MaxArity(*f.body(), sym, arity);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+FragmentProfile ProfileOntology(const Ontology& ontology) {
+  FragmentProfile p;
+  p.depth = ontology.Depth();
+  for (const Sentence& s : ontology.sentences) {
+    if (s.kind == Sentence::Kind::kFunctionality) {
+      p.functions = true;
+      p.max_arity = std::max(p.max_arity, 2);
+      continue;
+    }
+    if (!s.HasEqualityGuard()) {
+      p.eq_guards_only = false;
+      int ar = 0;
+      MaxArity(*s.guard, *ontology.symbols, &ar);
+      p.max_arity = std::max(p.max_arity, ar);
+    }
+    CountEqualityAndCounting(*s.body, &p.equality, &p.counting);
+    int ar = 0;
+    MaxArity(*s.body, *ontology.symbols, &ar);
+    p.max_arity = std::max(p.max_arity, ar);
+    std::set<uint32_t> vars(s.vars.begin(), s.vars.end());
+    for (uint32_t v : s.body->AllVars()) vars.insert(v);
+    p.max_vars = std::max(p.max_vars, static_cast<int>(vars.size()));
+  }
+  return p;
+}
+
+bool InFragment(const FragmentProfile& p, FragmentId id) {
+  const bool two_var = p.max_vars <= 2 && p.max_arity <= 2;
+  switch (id) {
+    case FragmentId::kUGF1:
+      return p.depth <= 1 && !p.counting && !p.functions && !p.equality;
+    case FragmentId::kUGFm1Eq:
+      return p.depth <= 1 && !p.counting && !p.functions && p.eq_guards_only;
+    case FragmentId::kUGF2m2:
+      return two_var && p.depth <= 2 && !p.counting && !p.functions &&
+             !p.equality && p.eq_guards_only;
+    case FragmentId::kUGC2m1Eq:
+      return two_var && p.depth <= 1 && !p.functions && p.eq_guards_only;
+    case FragmentId::kUGF21Eq:
+      return two_var && p.depth <= 1 && !p.counting && !p.functions;
+    case FragmentId::kUGF22:
+      return two_var && p.depth <= 2 && !p.counting && !p.functions &&
+             !p.equality;
+    case FragmentId::kUGF21f:
+      return two_var && p.depth <= 1 && !p.counting && !p.equality;
+    case FragmentId::kUGF2m2f:
+      return two_var && p.depth <= 2 && !p.counting && !p.equality &&
+             p.eq_guards_only;
+    // DL fragments are classified from the DL census, not from profiles.
+    case FragmentId::kALCHIF2:
+    case FragmentId::kALCHIQ1:
+    case FragmentId::kALCFl2:
+    case FragmentId::kALC3:
+    case FragmentId::kALCIFl2:
+    case FragmentId::kALCF3:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+DichotomyStatus BestVerdict(const std::vector<FragmentId>& matched) {
+  DichotomyStatus best = DichotomyStatus::kOpen;
+  auto rank = [](DichotomyStatus s) {
+    switch (s) {
+      case DichotomyStatus::kDichotomy: return 0;
+      case DichotomyStatus::kCspHard: return 1;
+      case DichotomyStatus::kNoDichotomy: return 2;
+      case DichotomyStatus::kOpen: return 3;
+    }
+    return 3;
+  };
+  for (FragmentId id : matched) {
+    DichotomyStatus s = FragmentStatus(id);
+    if (rank(s) < rank(best)) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string Classification::ToString() const {
+  std::ostringstream out;
+  out << StatusName(verdict) << " via {";
+  for (size_t i = 0; i < matched.size(); ++i) {
+    if (i) out << ", ";
+    out << FragmentName(matched[i]);
+  }
+  out << "}";
+  return out.str();
+}
+
+Classification ClassifyOntology(const Ontology& ontology) {
+  FragmentProfile p = ProfileOntology(ontology);
+  Classification c;
+  for (FragmentId id :
+       {FragmentId::kUGF1, FragmentId::kUGFm1Eq, FragmentId::kUGF2m2,
+        FragmentId::kUGC2m1Eq, FragmentId::kUGF21Eq, FragmentId::kUGF22,
+        FragmentId::kUGF21f, FragmentId::kUGF2m2f}) {
+    if (InFragment(p, id)) c.matched.push_back(id);
+  }
+  c.verdict = BestVerdict(c.matched);
+  return c;
+}
+
+Classification ClassifyDl(const DlFeatures& f) {
+  Classification c;
+  if (f.depth <= 1 && !f.local_functionality) {
+    // Any ALCHIQ ontology of depth 1 (subsumes ALC/ALCHI/ALCHIF depth 1).
+    c.matched.push_back(FragmentId::kALCHIQ1);
+  }
+  if (f.depth <= 2 && !f.qualified_numbers && !f.local_functionality) {
+    c.matched.push_back(FragmentId::kALCHIF2);
+  }
+  if (f.depth <= 2 && f.local_functionality && !f.inverse &&
+      !f.role_inclusions && !f.qualified_numbers && !f.global_functionality) {
+    c.matched.push_back(FragmentId::kALCFl2);
+  }
+  if (f.depth <= 3 && !f.inverse && !f.role_inclusions &&
+      !f.qualified_numbers && !f.local_functionality &&
+      !f.global_functionality) {
+    c.matched.push_back(FragmentId::kALC3);
+  }
+  if (f.depth <= 2 && f.local_functionality && !f.role_inclusions &&
+      !f.qualified_numbers && !f.global_functionality) {
+    c.matched.push_back(FragmentId::kALCIFl2);
+  }
+  if (f.depth <= 3 && !f.inverse && !f.role_inclusions &&
+      !f.qualified_numbers && !f.local_functionality) {
+    c.matched.push_back(FragmentId::kALCF3);
+  }
+  c.verdict = BestVerdict(c.matched);
+  return c;
+}
+
+}  // namespace gfomq

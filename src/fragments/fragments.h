@@ -1,0 +1,79 @@
+#ifndef GFOMQ_FRAGMENTS_FRAGMENTS_H_
+#define GFOMQ_FRAGMENTS_FRAGMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "dl/concept.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// The ontology languages of Figure 1 in the paper.
+enum class FragmentId {
+  // Dichotomy band (PTIME/coNP dichotomy; PTIME = Datalog≠-rewritable).
+  kUGF1,          // uGF(1)
+  kUGFm1Eq,       // uGF−(1,=)
+  kUGF2m2,        // uGF−2(2)
+  kUGC2m1Eq,      // uGC−2(1,=)
+  kALCHIF2,       // ALCHIF ontologies of depth ≤ 2
+  kALCHIQ1,       // ALCHIQ ontologies of depth ≤ 1
+  // CSP-hard band (a dichotomy would prove Feder–Vardi).
+  kUGF21Eq,       // uGF2(1,=)
+  kUGF22,         // uGF2(2)
+  kUGF21f,        // uGF2(1,f)
+  kALCFl2,        // ALCF-local of depth 2
+  kALC3,          // ALC of depth 3 (from [Lutz & Wolter 2012])
+  // No-dichotomy band (NP-intermediate OMQs exist unless PTIME = NP).
+  kUGF2m2f,       // uGF−2(2,f)
+  kALCIFl2,       // ALCIF-local of depth 2
+  kALCF3,         // ALCF of depth 3 (from [Lutz & Wolter 2012])
+};
+
+/// The three result bands of Figure 1 (plus "open" for everything beyond).
+enum class DichotomyStatus { kDichotomy, kCspHard, kNoDichotomy, kOpen };
+
+const char* FragmentName(FragmentId id);
+const char* StatusName(DichotomyStatus s);
+
+/// The band Figure 1 assigns to a fragment.
+DichotomyStatus FragmentStatus(FragmentId id);
+
+/// Syntactic measurements of a guarded ontology, sufficient to place it in
+/// the fragment lattice.
+struct FragmentProfile {
+  int depth = 0;
+  int max_arity = 0;
+  int max_vars = 0;            // distinct variables in any sentence
+  bool counting = false;       // guarded counting quantifiers (GC2)
+  bool functions = false;      // functionality axioms (f)
+  bool equality = false;       // '=' in non-guard positions
+  bool eq_guards_only = true;  // every sentence's outer guard is '='  (·−)
+};
+
+/// Measures a guarded ontology.
+FragmentProfile ProfileOntology(const Ontology& ontology);
+
+/// Does a profile fall within the given (guarded) fragment? DL fragments
+/// (kALC*, kALCHIQ1, kALCHIF2) always answer false here; use ClassifyDl.
+bool InFragment(const FragmentProfile& profile, FragmentId id);
+
+/// Classification result: all matched fragments and the strongest band.
+struct Classification {
+  std::vector<FragmentId> matched;
+  DichotomyStatus verdict = DichotomyStatus::kOpen;
+
+  std::string ToString() const;
+};
+
+/// Classifies a guarded ontology against the guarded-fragment boxes of
+/// Figure 1 (strongest verdict wins: dichotomy > CSP-hard > no-dichotomy).
+Classification ClassifyOntology(const Ontology& ontology);
+
+/// Classifies a DL ontology via its constructor census against the DL
+/// boxes of Figure 1.
+Classification ClassifyDl(const DlFeatures& features);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_FRAGMENTS_FRAGMENTS_H_

@@ -1,0 +1,165 @@
+#include "instance/eval.h"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace gfomq {
+
+namespace {
+
+// Enumerates guard matches extending env; calls fn for each. Returns the
+// number of *distinct value tuples for the quantified variables* accepted
+// by fn (fn returns true to count a match).
+int CountGuardMatches(const Formula& guard, const Instance& interp,
+                      std::map<uint32_t, ElemId>& env,
+                      const std::vector<uint32_t>& qvars,
+                      const std::function<bool()>& fn) {
+  std::set<std::vector<ElemId>> counted;
+  if (guard.kind() == FormulaKind::kEq) {
+    // Equality guard x = y: both must be the same element.
+    // (Only used for degenerate guards; quantified vars take every value.)
+    for (ElemId e = 0; e < interp.NumElements(); ++e) {
+      std::map<uint32_t, ElemId> saved = env;
+      bool ok = true;
+      for (uint32_t v : guard.args()) {
+        auto it = env.find(v);
+        if (it != env.end() && it->second != e) ok = false;
+        env[v] = e;
+      }
+      if (ok && fn()) {
+        std::vector<ElemId> key;
+        for (uint32_t q : qvars) key.push_back(env[q]);
+        counted.insert(key);
+      }
+      env = std::move(saved);
+    }
+    return static_cast<int>(counted.size());
+  }
+  for (const Fact& fact : interp.facts()) {
+    if (fact.rel != guard.rel()) continue;
+    std::map<uint32_t, ElemId> saved = env;
+    bool ok = true;
+    for (size_t i = 0; i < guard.args().size() && ok; ++i) {
+      uint32_t v = guard.args()[i];
+      auto it = env.find(v);
+      if (it != env.end() && it->second != fact.args[i]) {
+        // Quantified variables may be rebound (shadowing); free variables
+        // must agree.
+        bool quantified = false;
+        for (uint32_t q : qvars) {
+          if (q == v) quantified = true;
+        }
+        if (!quantified) {
+          ok = false;
+          break;
+        }
+      }
+      env[v] = fact.args[i];
+    }
+    // Consistency within the fact for repeated variables.
+    for (size_t i = 0; i < guard.args().size() && ok; ++i) {
+      if (env[guard.args()[i]] != fact.args[i]) ok = false;
+    }
+    if (ok && fn()) {
+      std::vector<ElemId> key;
+      for (uint32_t q : qvars) key.push_back(env[q]);
+      counted.insert(key);
+    }
+    env = std::move(saved);
+  }
+  return static_cast<int>(counted.size());
+}
+
+}  // namespace
+
+bool EvalFormula(const Formula& f, const Instance& interp,
+                 std::map<uint32_t, ElemId>& env) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      std::vector<ElemId> args;
+      for (uint32_t v : f.args()) args.push_back(env.at(v));
+      return interp.HasFact(f.rel(), args);
+    }
+    case FormulaKind::kEq:
+      return env.at(f.args()[0]) == env.at(f.args()[1]);
+    case FormulaKind::kNot:
+      return !EvalFormula(*f.child(), interp, env);
+    case FormulaKind::kAnd:
+      for (const auto& c : f.children()) {
+        if (!EvalFormula(*c, interp, env)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const auto& c : f.children()) {
+        if (EvalFormula(*c, interp, env)) return true;
+      }
+      return false;
+    case FormulaKind::kExists: {
+      int n = CountGuardMatches(*f.guard(), interp, env, f.qvars(), [&]() {
+        return EvalFormula(*f.body(), interp, env);
+      });
+      return n > 0;
+    }
+    case FormulaKind::kForall: {
+      bool all = true;
+      CountGuardMatches(*f.guard(), interp, env, f.qvars(), [&]() {
+        if (!EvalFormula(*f.body(), interp, env)) all = false;
+        return false;
+      });
+      return all;
+    }
+    case FormulaKind::kCount: {
+      int n = CountGuardMatches(*f.guard(), interp, env, f.qvars(), [&]() {
+        return EvalFormula(*f.body(), interp, env);
+      });
+      return f.count_at_least() ? n >= static_cast<int>(f.count())
+                                : n <= static_cast<int>(f.count());
+    }
+  }
+  return false;
+}
+
+bool EvalSentence(const Sentence& s, const Instance& interp) {
+  if (s.kind == Sentence::Kind::kFunctionality) {
+    for (const Fact& f1 : interp.FactsOf(s.func_rel)) {
+      for (const Fact& f2 : interp.FactsOf(s.func_rel)) {
+        ElemId k1 = s.inverse ? f1.args[1] : f1.args[0];
+        ElemId k2 = s.inverse ? f2.args[1] : f2.args[0];
+        ElemId v1 = s.inverse ? f1.args[0] : f1.args[1];
+        ElemId v2 = s.inverse ? f2.args[0] : f2.args[1];
+        if (k1 == k2 && v1 != v2) return false;
+      }
+    }
+    return true;
+  }
+  std::map<uint32_t, ElemId> env;
+  if (s.HasEqualityGuard()) {
+    for (ElemId e = 0; e < interp.NumElements(); ++e) {
+      env.clear();
+      env[s.vars[0]] = e;
+      if (!EvalFormula(*s.body, interp, env)) return false;
+    }
+    return true;
+  }
+  bool all = true;
+  env.clear();
+  CountGuardMatches(*s.guard, interp, env, s.vars, [&]() {
+    if (!EvalFormula(*s.body, interp, env)) all = false;
+    return false;
+  });
+  return all;
+}
+
+bool IsModelOf(const Ontology& ontology, const Instance& interp) {
+  for (const Sentence& s : ontology.sentences) {
+    if (!EvalSentence(s, interp)) return false;
+  }
+  return true;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,24 @@
+#ifndef GFOMQ_INSTANCE_EVAL_H_
+#define GFOMQ_INSTANCE_EVAL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "instance/instance.h"
+#include "logic/formula.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// Model checking: evaluates an openGF/openGC2 formula on a finite
+/// interpretation under a variable assignment (formula variable → element).
+bool EvalFormula(const Formula& f, const Instance& interp,
+                 std::map<uint32_t, ElemId>& env);
+
+/// Does the interpretation satisfy the sentence / the whole ontology?
+bool EvalSentence(const Sentence& s, const Instance& interp);
+bool IsModelOf(const Ontology& ontology, const Instance& interp);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_INSTANCE_EVAL_H_

@@ -1,0 +1,41 @@
+#ifndef GFOMQ_INSTANCE_GUARDED_TREE_H_
+#define GFOMQ_INSTANCE_GUARDED_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "instance/instance.h"
+
+namespace gfomq {
+
+/// A (connected) guarded tree decomposition: nodes carry bags of elements;
+/// node 0 is the root; every non-root node records its parent.
+struct TreeDecomposition {
+  struct Node {
+    std::vector<ElemId> bag;  // sorted
+    int parent = -1;
+  };
+  std::vector<Node> nodes;
+
+  /// Checks the defining properties against `inst`: bags are guarded, all
+  /// facts covered by some bag, and occurrences of every element form a
+  /// connected subtree. When `connected` is requested, additionally checks
+  /// that adjacent bags intersect.
+  bool Validate(const Instance& inst, bool connected) const;
+};
+
+/// Attempts to construct a guarded tree decomposition of `inst` using its
+/// maximal guarded sets as bags (GYO reduction). If `root_bag` is non-null
+/// it must be a guarded set; the decomposition is rooted at a node whose
+/// bag equals `root_bag` (the bag is added as an extra node if needed) and
+/// the decomposition must be connected (cg). Returns nullopt if `inst` is
+/// not (cg-)tree decomposable in the requested sense.
+std::optional<TreeDecomposition> BuildGuardedTreeDecomposition(
+    const Instance& inst, const std::vector<ElemId>* root_bag);
+
+/// True if `inst` admits a guarded tree decomposition at all.
+bool IsGuardedTreeDecomposable(const Instance& inst);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_INSTANCE_GUARDED_TREE_H_

@@ -1,0 +1,187 @@
+#include "instance/homomorphism.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gfomq {
+
+namespace {
+
+/// Backtracking matcher with a greedy most-bound-first atom order.
+class Matcher {
+ public:
+  Matcher(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+          const Instance& target, const std::vector<int64_t>& fixed,
+          const std::function<bool(const std::vector<int64_t>&)>& fn)
+      : atoms_(atoms), target_(target), fn_(fn), assign_(num_vars, -1) {
+    for (size_t v = 0; v < fixed.size() && v < assign_.size(); ++v) {
+      assign_[v] = fixed[v];
+    }
+    for (const PatternAtom& a : atoms_) {
+      facts_by_rel_[a.rel];  // touch
+    }
+    for (const Fact& f : target_.facts()) {
+      auto it = facts_by_rel_.find(f.rel);
+      if (it != facts_by_rel_.end()) it->second.push_back(&f);
+    }
+    used_.assign(atoms_.size(), false);
+  }
+
+  bool Run() { return Extend(0); }
+
+ private:
+  int PickNextAtom() const {
+    int best = -1;
+    int best_bound = -1;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      int bound = 0;
+      for (uint32_t v : atoms_[i].vars) {
+        if (assign_[v] >= 0) ++bound;
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  bool Extend(size_t matched) {
+    if (matched == atoms_.size()) return fn_(assign_);
+    int idx = PickNextAtom();
+    const PatternAtom& atom = atoms_[static_cast<size_t>(idx)];
+    used_[static_cast<size_t>(idx)] = true;
+    const auto& facts = facts_by_rel_[atom.rel];
+    for (const Fact* f : facts) {
+      if (f->args.size() != atom.vars.size()) continue;
+      // Try to unify.
+      std::vector<uint32_t> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.vars.size() && ok; ++i) {
+        uint32_t v = atom.vars[i];
+        ElemId e = f->args[i];
+        if (assign_[v] < 0) {
+          assign_[v] = static_cast<int64_t>(e);
+          newly_bound.push_back(v);
+        } else if (assign_[v] != static_cast<int64_t>(e)) {
+          ok = false;
+        }
+      }
+      if (ok && Extend(matched + 1)) return true;
+      for (uint32_t v : newly_bound) assign_[v] = -1;
+    }
+    used_[static_cast<size_t>(idx)] = false;
+    return false;
+  }
+
+  const std::vector<PatternAtom>& atoms_;
+  const Instance& target_;
+  const std::function<bool(const std::vector<int64_t>&)>& fn_;
+  std::vector<int64_t> assign_;
+  std::vector<bool> used_;
+  std::map<uint32_t, std::vector<const Fact*>> facts_by_rel_;
+};
+
+}  // namespace
+
+bool ForEachMatch(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+                  const Instance& target, const std::vector<int64_t>& fixed,
+                  const std::function<bool(const std::vector<int64_t>&)>& fn) {
+  Matcher m(atoms, num_vars, target, fixed, fn);
+  return m.Run();
+}
+
+std::optional<std::vector<int64_t>> MatchAtoms(
+    const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+    const Instance& target, const std::vector<int64_t>& fixed) {
+  std::optional<std::vector<int64_t>> out;
+  ForEachMatch(atoms, num_vars, target, fixed,
+               [&out](const std::vector<int64_t>& a) {
+                 out = a;
+                 return true;
+               });
+  return out;
+}
+
+std::optional<std::vector<ElemId>> FindHomomorphism(
+    const Instance& from, const Instance& to,
+    const std::vector<std::pair<ElemId, ElemId>>& fixed) {
+  std::vector<PatternAtom> atoms;
+  for (const Fact& f : from.facts()) {
+    atoms.push_back({f.rel, f.args});
+  }
+  std::vector<int64_t> pins(from.NumElements(), -1);
+  for (const auto& [src, dst] : fixed) pins[src] = static_cast<int64_t>(dst);
+  std::optional<std::vector<int64_t>> match =
+      MatchAtoms(atoms, static_cast<uint32_t>(from.NumElements()), to, pins);
+  if (!match) return std::nullopt;
+  std::vector<ElemId> out(from.NumElements());
+  for (size_t e = 0; e < out.size(); ++e) {
+    if ((*match)[e] >= 0) {
+      out[e] = static_cast<ElemId>((*match)[e]);
+    } else if (pins[e] >= 0) {
+      out[e] = static_cast<ElemId>(pins[e]);
+    } else {
+      // Isolated element: map to an arbitrary target element.
+      if (to.NumElements() == 0) return std::nullopt;
+      out[e] = 0;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<ElemId>> FindHomomorphismPreserving(
+    const Instance& from, const Instance& to,
+    const std::vector<ElemId>& preserved) {
+  std::vector<std::pair<ElemId, ElemId>> fixed;
+  fixed.reserve(preserved.size());
+  for (ElemId e : preserved) fixed.emplace_back(e, e);
+  return FindHomomorphism(from, to, fixed);
+}
+
+bool AreIsomorphic(const Instance& a, const Instance& b) {
+  if (a.NumElements() != b.NumElements() || a.NumFacts() != b.NumFacts()) {
+    return false;
+  }
+  // Search for a bijective homomorphism whose inverse is a homomorphism.
+  std::vector<PatternAtom> atoms;
+  for (const Fact& f : a.facts()) atoms.push_back({f.rel, f.args});
+  std::vector<int64_t> pins(a.NumElements(), -1);
+  bool found = ForEachMatch(
+      atoms, static_cast<uint32_t>(a.NumElements()), b, pins,
+      [&](const std::vector<int64_t>& assign) {
+        // Must be total & injective (isolated elements need care: assign
+        // them greedily to the unused targets).
+        std::vector<bool> used(b.NumElements(), false);
+        std::vector<ElemId> map(a.NumElements());
+        for (size_t e = 0; e < assign.size(); ++e) {
+          if (assign[e] >= 0) {
+            if (used[static_cast<size_t>(assign[e])]) return false;
+            used[static_cast<size_t>(assign[e])] = true;
+            map[e] = static_cast<ElemId>(assign[e]);
+          }
+        }
+        size_t next_free = 0;
+        for (size_t e = 0; e < assign.size(); ++e) {
+          if (assign[e] >= 0) continue;
+          while (next_free < used.size() && used[next_free]) ++next_free;
+          if (next_free >= used.size()) return false;
+          used[next_free] = true;
+          map[e] = static_cast<ElemId>(next_free);
+        }
+        // Check the inverse is a homomorphism: |facts| equal and image of
+        // every a-fact is a b-fact (guaranteed) so compare counts of mapped
+        // facts with b's facts.
+        std::set<Fact> mapped;
+        for (const Fact& f : a.facts()) {
+          Fact g = f;
+          for (ElemId& x : g.args) x = map[x];
+          mapped.insert(std::move(g));
+        }
+        return mapped == b.facts();
+      });
+  return found;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,51 @@
+#ifndef GFOMQ_INSTANCE_HOMOMORPHISM_H_
+#define GFOMQ_INSTANCE_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "instance/instance.h"
+
+namespace gfomq {
+
+/// An atom over pattern variables (0-based dense ids).
+struct PatternAtom {
+  uint32_t rel;
+  std::vector<uint32_t> vars;
+};
+
+/// Enumerates assignments of pattern variables to elements of `target` such
+/// that every pattern atom is a fact of `target`. `fixed[v] >= 0` pins
+/// variable v. Variables not occurring in any atom are left at -1 in the
+/// callback's assignment. Returns true if the callback ever returned true
+/// (enumeration stops at the first accepted match).
+bool ForEachMatch(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+                  const Instance& target, const std::vector<int64_t>& fixed,
+                  const std::function<bool(const std::vector<int64_t>&)>& fn);
+
+/// First match or nullopt.
+std::optional<std::vector<int64_t>> MatchAtoms(
+    const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+    const Instance& target, const std::vector<int64_t>& fixed);
+
+/// Homomorphism from `from` to `to` extending the pinned pairs; maps every
+/// element of `from`. Returns the mapping or nullopt.
+std::optional<std::vector<ElemId>> FindHomomorphism(
+    const Instance& from, const Instance& to,
+    const std::vector<std::pair<ElemId, ElemId>>& fixed);
+
+/// Homomorphism from `from` to `to` that preserves a set of elements
+/// (h(e) = e for e in `preserved`; ids must be shared between the two
+/// instances, as when `to` extends `from`).
+std::optional<std::vector<ElemId>> FindHomomorphismPreserving(
+    const Instance& from, const Instance& to,
+    const std::vector<ElemId>& preserved);
+
+/// Isomorphism test for small instances (exact, exponential worst case).
+bool AreIsomorphic(const Instance& a, const Instance& b);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_INSTANCE_HOMOMORPHISM_H_

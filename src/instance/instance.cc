@@ -1,0 +1,170 @@
+#include "instance/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace gfomq {
+
+ElemId Instance::AddConstant(const std::string& name) {
+  uint32_t cid = symbols_->Const(name);
+  for (ElemId e = 0; e < elem_const_.size(); ++e) {
+    if (elem_const_[e] == static_cast<int64_t>(cid)) return e;
+  }
+  elem_const_.push_back(static_cast<int64_t>(cid));
+  return static_cast<ElemId>(elem_const_.size() - 1);
+}
+
+ElemId Instance::AddNull() {
+  elem_const_.push_back(-1);
+  return static_cast<ElemId>(elem_const_.size() - 1);
+}
+
+std::string Instance::ElemName(ElemId e) const {
+  if (elem_const_[e] >= 0) {
+    return symbols_->ConstName(static_cast<uint32_t>(elem_const_[e]));
+  }
+  return "_n" + std::to_string(e);
+}
+
+bool Instance::AddFact(uint32_t rel, std::vector<ElemId> args) {
+  assert(static_cast<int>(args.size()) == symbols_->RelArity(rel));
+  for ([[maybe_unused]] ElemId e : args) assert(e < NumElements());
+  return facts_.insert(Fact{rel, std::move(args)}).second;
+}
+
+bool Instance::AddFact(const Fact& f) { return facts_.insert(f).second; }
+
+bool Instance::HasFact(uint32_t rel, const std::vector<ElemId>& args) const {
+  return facts_.count(Fact{rel, args}) > 0;
+}
+
+std::vector<Fact> Instance::FactsOf(uint32_t rel) const {
+  std::vector<Fact> out;
+  for (const Fact& f : facts_) {
+    if (f.rel == rel) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Fact> Instance::FactsContaining(ElemId e) const {
+  std::vector<Fact> out;
+  for (const Fact& f : facts_) {
+    if (std::find(f.args.begin(), f.args.end(), e) != f.args.end()) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> Instance::Signature() const {
+  std::vector<uint32_t> rels;
+  for (const Fact& f : facts_) rels.push_back(f.rel);
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  return rels;
+}
+
+std::vector<ElemId> Instance::Neighbors(ElemId e) const {
+  std::set<ElemId> out;
+  for (const Fact& f : facts_) {
+    if (std::find(f.args.begin(), f.args.end(), e) == f.args.end()) continue;
+    for (ElemId a : f.args) {
+      if (a != e) out.insert(a);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::vector<ElemId>> Instance::MaximalGuardedSets() const {
+  std::vector<std::set<ElemId>> candidates;
+  std::set<ElemId> covered;
+  for (const Fact& f : facts_) {
+    candidates.emplace_back(f.args.begin(), f.args.end());
+    covered.insert(f.args.begin(), f.args.end());
+  }
+  for (ElemId e = 0; e < NumElements(); ++e) {
+    if (!covered.count(e)) candidates.push_back({e});
+  }
+  // Keep sets not strictly contained in another.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<std::vector<ElemId>> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool maximal = true;
+    for (size_t j = 0; j < candidates.size() && maximal; ++j) {
+      if (i == j || candidates[j].size() <= candidates[i].size()) continue;
+      if (std::includes(candidates[j].begin(), candidates[j].end(),
+                        candidates[i].begin(), candidates[i].end())) {
+        maximal = false;
+      }
+    }
+    if (maximal) out.emplace_back(candidates[i].begin(), candidates[i].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Instance::IsGuardedSet(const std::vector<ElemId>& elems) const {
+  if (elems.size() <= 1) return true;
+  std::set<ElemId> want(elems.begin(), elems.end());
+  for (const Fact& f : facts_) {
+    std::set<ElemId> have(f.args.begin(), f.args.end());
+    if (std::includes(have.begin(), have.end(), want.begin(), want.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Instance Instance::InducedSub(const std::vector<ElemId>& elems) const {
+  Instance out(symbols_);
+  out.elem_const_ = elem_const_;
+  std::set<ElemId> keep(elems.begin(), elems.end());
+  for (const Fact& f : facts_) {
+    bool inside = true;
+    for (ElemId a : f.args) {
+      if (!keep.count(a)) inside = false;
+    }
+    if (inside) out.facts_.insert(f);
+  }
+  return out;
+}
+
+ElemId Instance::AppendDisjoint(const Instance& other) {
+  ElemId offset = static_cast<ElemId>(NumElements());
+  for (size_t i = 0; i < other.elem_const_.size(); ++i) {
+    if (other.elem_const_[i] < 0) {
+      AddNull();
+    } else {
+      // The paper's disjoint union assumes disjoint domains: constants of
+      // `other` become fresh constants here, renamed apart so that names
+      // uniquely identify elements.
+      std::string fresh = other.ElemName(static_cast<ElemId>(i)) + "~" +
+                          std::to_string(offset + i);
+      AddConstant(fresh);
+    }
+  }
+  for (const Fact& f : other.facts_) {
+    Fact g = f;
+    for (ElemId& a : g.args) a += offset;
+    facts_.insert(std::move(g));
+  }
+  return offset;
+}
+
+std::string Instance::ToString() const {
+  std::ostringstream out;
+  for (const Fact& f : facts_) {
+    out << symbols_->RelName(f.rel) << "(";
+    for (size_t i = 0; i < f.args.size(); ++i) {
+      if (i) out << ",";
+      out << ElemName(f.args[i]);
+    }
+    out << ") ";
+  }
+  return out.str();
+}
+
+}  // namespace gfomq

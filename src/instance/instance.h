@@ -1,0 +1,100 @@
+#ifndef GFOMQ_INSTANCE_INSTANCE_H_
+#define GFOMQ_INSTANCE_INSTANCE_H_
+
+#include <compare>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// Element of an instance/interpretation: a data constant or a labelled null.
+using ElemId = uint32_t;
+
+/// A ground fact R(e1,...,ek) over element ids.
+struct Fact {
+  uint32_t rel;
+  std::vector<ElemId> args;
+
+  auto operator<=>(const Fact&) const = default;
+};
+
+/// A database instance or interpretation (the paper's open-world setting):
+/// a finite set of facts over constants (named, shared via Symbols) and
+/// labelled nulls (anonymous, instance-local). Instances are value types;
+/// copying one yields an independent structure with the same element ids,
+/// which is how "interpretation A extends instance D" is modeled.
+class Instance {
+ public:
+  explicit Instance(SymbolsPtr symbols) : symbols_(std::move(symbols)) {}
+
+  /// Adds (or finds) the element for a named constant.
+  ElemId AddConstant(const std::string& name);
+
+  /// Adds a fresh labelled null.
+  ElemId AddNull();
+
+  size_t NumElements() const { return elem_const_.size(); }
+  bool IsNull(ElemId e) const { return elem_const_[e] < 0; }
+
+  /// Display name: the constant's name, or "_nK" for nulls.
+  std::string ElemName(ElemId e) const;
+
+  /// Adds a fact; returns true if it was new. Arity is checked by assert.
+  bool AddFact(uint32_t rel, std::vector<ElemId> args);
+  bool AddFact(const Fact& f);
+
+  bool HasFact(uint32_t rel, const std::vector<ElemId>& args) const;
+  bool HasFact(const Fact& f) const { return facts_.count(f) > 0; }
+
+  bool RemoveFact(const Fact& f) { return facts_.erase(f) > 0; }
+
+  const std::set<Fact>& facts() const { return facts_; }
+  size_t NumFacts() const { return facts_.size(); }
+
+  const SymbolsPtr& symbols() const { return symbols_; }
+
+  /// All facts of a given relation (scan; instances are small by design).
+  std::vector<Fact> FactsOf(uint32_t rel) const;
+
+  /// All facts containing element e.
+  std::vector<Fact> FactsContaining(ElemId e) const;
+
+  /// Relation symbols occurring in the instance (sig(D)), sorted.
+  std::vector<uint32_t> Signature() const;
+
+  /// Gaifman-graph neighbours of e (excluding e), sorted.
+  std::vector<ElemId> Neighbors(ElemId e) const;
+
+  /// Maximal guarded sets: maximal (under inclusion) among the argument
+  /// sets of facts and singletons of isolated elements.
+  std::vector<std::vector<ElemId>> MaximalGuardedSets() const;
+
+  /// True if the set is guarded: a singleton or a subset of some fact's
+  /// argument set.
+  bool IsGuardedSet(const std::vector<ElemId>& elems) const;
+
+  /// The subinstance induced by `elems` (facts entirely inside the set).
+  /// Element ids are preserved (the result has the same element table).
+  Instance InducedSub(const std::vector<ElemId>& elems) const;
+
+  /// Disjoint union: appends a renamed-apart copy of `other`; returns the
+  /// element-id offset applied to `other`'s elements.
+  ElemId AppendDisjoint(const Instance& other);
+
+  /// Human-readable listing of all facts.
+  std::string ToString() const;
+
+ private:
+  SymbolsPtr symbols_;
+  // elem_const_[e] = constant id in Symbols, or -1 for a null.
+  std::vector<int64_t> elem_const_;
+  std::set<Fact> facts_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_INSTANCE_INSTANCE_H_

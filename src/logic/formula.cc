@@ -1,0 +1,384 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+
+namespace gfomq {
+
+// Factories -----------------------------------------------------------------
+
+FormulaPtr Formula::True() {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kTrue;
+  return f;
+}
+
+FormulaPtr Formula::False() {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kFalse;
+  return f;
+}
+
+FormulaPtr Formula::Atom(uint32_t rel, std::vector<uint32_t> args) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kAtom;
+  f->rel_ = rel;
+  f->args_ = std::move(args);
+  return f;
+}
+
+FormulaPtr Formula::Eq(uint32_t x, uint32_t y) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kEq;
+  f->args_ = {x, y};
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr g) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kNot;
+  f->children_ = {std::move(g)};
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return True();
+  if (fs.size() == 1) return fs[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kAnd;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return False();
+  if (fs.size() == 1) return fs[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kOr;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  return And(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  return Or(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::Exists(std::vector<uint32_t> qvars, FormulaPtr guard,
+                           FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kExists;
+  f->qvars_ = std::move(qvars);
+  f->guard_ = std::move(guard);
+  f->children_ = {std::move(body)};
+  return f;
+}
+
+FormulaPtr Formula::Forall(std::vector<uint32_t> qvars, FormulaPtr guard,
+                           FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kForall;
+  f->qvars_ = std::move(qvars);
+  f->guard_ = std::move(guard);
+  f->children_ = {std::move(body)};
+  return f;
+}
+
+FormulaPtr Formula::CountQ(bool at_least, uint32_t n, uint32_t qvar,
+                           FormulaPtr guard, FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = FormulaKind::kCount;
+  f->count_at_least_ = at_least;
+  f->count_ = n;
+  f->qvars_ = {qvar};
+  f->guard_ = std::move(guard);
+  f->children_ = {std::move(body)};
+  return f;
+}
+
+// Variable collection --------------------------------------------------------
+
+void Formula::CollectVars(std::set<uint32_t>* free, std::set<uint32_t>* all,
+                          std::vector<uint32_t>& bound) const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+      for (uint32_t v : args_) {
+        if (all) all->insert(v);
+        if (free &&
+            std::find(bound.begin(), bound.end(), v) == bound.end()) {
+          free->insert(v);
+        }
+      }
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const auto& c : children_) c->CollectVars(free, all, bound);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      size_t mark = bound.size();
+      for (uint32_t v : qvars_) {
+        bound.push_back(v);
+        if (all) all->insert(v);
+      }
+      guard_->CollectVars(free, all, bound);
+      children_[0]->CollectVars(free, all, bound);
+      bound.resize(mark);
+      return;
+    }
+  }
+}
+
+std::vector<uint32_t> Formula::FreeVars() const {
+  std::set<uint32_t> free;
+  std::vector<uint32_t> bound;
+  CollectVars(&free, nullptr, bound);
+  return {free.begin(), free.end()};
+}
+
+std::vector<uint32_t> Formula::AllVars() const {
+  std::set<uint32_t> all;
+  std::vector<uint32_t> bound;
+  CollectVars(nullptr, &all, bound);
+  return {all.begin(), all.end()};
+}
+
+int Formula::Depth() const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+      return 0;
+    case FormulaKind::kNot:
+      return children_[0]->Depth();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      int d = 0;
+      for (const auto& c : children_) d = std::max(d, c->Depth());
+      return d;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount:
+      return 1 + children_[0]->Depth();
+  }
+  return 0;
+}
+
+bool Formula::Equals(const Formula& other) const {
+  if (kind_ != other.kind_) return false;
+  if (rel_ != other.rel_ || args_ != other.args_ || qvars_ != other.qvars_ ||
+      count_ != other.count_ || count_at_least_ != other.count_at_least_) {
+    return false;
+  }
+  if ((guard_ == nullptr) != (other.guard_ == nullptr)) return false;
+  if (guard_ && !guard_->Equals(*other.guard_)) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+// Validation -----------------------------------------------------------------
+
+namespace {
+
+Status ValidateRec(const Formula& f, const Symbols& symbols) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return Status::Ok();
+    case FormulaKind::kAtom: {
+      if (f.rel() >= symbols.NumRels()) {
+        return Status::InvalidArgument("unknown relation id in atom");
+      }
+      if (static_cast<int>(f.args().size()) != symbols.RelArity(f.rel())) {
+        return Status::InvalidArgument("arity mismatch for relation " +
+                                       symbols.RelName(f.rel()));
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kEq:
+      return Status::Ok();
+    case FormulaKind::kNot:
+      return ValidateRec(*f.child(), symbols);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      for (const auto& c : f.children()) {
+        Status s = ValidateRec(*c, symbols);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      const Formula& g = *f.guard();
+      if (g.kind() != FormulaKind::kAtom && g.kind() != FormulaKind::kEq) {
+        return Status::InvalidArgument("guard must be an atom or equality");
+      }
+      if (f.kind() == FormulaKind::kCount) {
+        if (g.kind() != FormulaKind::kAtom || g.args().size() != 2) {
+          return Status::InvalidArgument(
+              "counting guard must be a binary atom");
+        }
+        if (f.qvars().size() != 1) {
+          return Status::InvalidArgument(
+              "counting quantifier binds exactly one variable");
+        }
+      }
+      Status s = ValidateRec(g, symbols);
+      if (!s.ok()) return s;
+      // The guard must contain all variables that occur free in the body or
+      // are quantified here.
+      std::set<uint32_t> guard_vars(g.args().begin(), g.args().end());
+      for (uint32_t v : f.qvars()) {
+        if (!guard_vars.count(v)) {
+          return Status::InvalidArgument(
+              "guard misses quantified variable " + symbols.VarName(v));
+        }
+      }
+      for (uint32_t v : f.body()->FreeVars()) {
+        if (!guard_vars.count(v)) {
+          return Status::InvalidArgument("guard misses free variable " +
+                                         symbols.VarName(v));
+        }
+      }
+      return ValidateRec(*f.body(), symbols);
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace
+
+Status ValidateGuarded(const Formula& f, const Symbols& symbols) {
+  return ValidateRec(f, symbols);
+}
+
+// Substitution ---------------------------------------------------------------
+
+namespace {
+uint32_t MapVar(uint32_t v,
+                const std::vector<std::pair<uint32_t, uint32_t>>& map) {
+  for (const auto& [from, to] : map) {
+    if (from == v) return to;
+  }
+  return v;
+}
+}  // namespace
+
+FormulaPtr SubstituteVars(
+    const FormulaPtr& f,
+    const std::vector<std::pair<uint32_t, uint32_t>>& map) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom: {
+      std::vector<uint32_t> args;
+      args.reserve(f->args().size());
+      for (uint32_t v : f->args()) args.push_back(MapVar(v, map));
+      return Formula::Atom(f->rel(), std::move(args));
+    }
+    case FormulaKind::kEq:
+      return Formula::Eq(MapVar(f->args()[0], map), MapVar(f->args()[1], map));
+    case FormulaKind::kNot:
+      return Formula::Not(SubstituteVars(f->child(), map));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> cs;
+      cs.reserve(f->children().size());
+      for (const auto& c : f->children()) cs.push_back(SubstituteVars(c, map));
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(cs))
+                                            : Formula::Or(std::move(cs));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      // Drop mappings whose source is shadowed by a quantified variable.
+      std::vector<std::pair<uint32_t, uint32_t>> inner;
+      for (const auto& p : map) {
+        bool shadowed = false;
+        for (uint32_t q : f->qvars()) {
+          if (q == p.first) shadowed = true;
+        }
+        if (!shadowed) inner.push_back(p);
+      }
+      FormulaPtr guard = SubstituteVars(f->guard(), inner);
+      FormulaPtr body = SubstituteVars(f->body(), inner);
+      if (f->kind() == FormulaKind::kExists) {
+        return Formula::Exists(f->qvars(), std::move(guard), std::move(body));
+      }
+      if (f->kind() == FormulaKind::kForall) {
+        return Formula::Forall(f->qvars(), std::move(guard), std::move(body));
+      }
+      return Formula::CountQ(f->count_at_least(), f->count(), f->qvars()[0],
+                             std::move(guard), std::move(body));
+    }
+  }
+  return f;
+}
+
+// NNF ------------------------------------------------------------------------
+
+FormulaPtr ToNnf(const FormulaPtr& f, bool negate) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return negate ? Formula::False() : Formula::True();
+    case FormulaKind::kFalse:
+      return negate ? Formula::True() : Formula::False();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+      return negate ? Formula::Not(f) : f;
+    case FormulaKind::kNot:
+      return ToNnf(f->child(), !negate);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> cs;
+      cs.reserve(f->children().size());
+      for (const auto& c : f->children()) cs.push_back(ToNnf(c, negate));
+      bool is_and = (f->kind() == FormulaKind::kAnd) != negate;
+      return is_and ? Formula::And(std::move(cs)) : Formula::Or(std::move(cs));
+    }
+    case FormulaKind::kExists: {
+      FormulaPtr body = ToNnf(f->body(), negate);
+      if (!negate) return Formula::Exists(f->qvars(), f->guard(), body);
+      return Formula::Forall(f->qvars(), f->guard(), body);
+    }
+    case FormulaKind::kForall: {
+      FormulaPtr body = ToNnf(f->body(), negate);
+      if (!negate) return Formula::Forall(f->qvars(), f->guard(), body);
+      return Formula::Exists(f->qvars(), f->guard(), body);
+    }
+    case FormulaKind::kCount: {
+      FormulaPtr body = ToNnf(f->body(), false);
+      if (!negate) {
+        return Formula::CountQ(f->count_at_least(), f->count(), f->qvars()[0],
+                               f->guard(), body);
+      }
+      // ¬(∃≥n) = ∃≤n−1 ; ¬(∃≤n) = ∃≥n+1. For n = 0, ∃≥0 is ⊤ so its
+      // negation is ⊥.
+      if (f->count_at_least()) {
+        if (f->count() == 0) return Formula::False();
+        return Formula::CountQ(false, f->count() - 1, f->qvars()[0],
+                               f->guard(), body);
+      }
+      return Formula::CountQ(true, f->count() + 1, f->qvars()[0], f->guard(),
+                             body);
+    }
+  }
+  return f;
+}
+
+}  // namespace gfomq

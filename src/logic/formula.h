@@ -1,0 +1,128 @@
+#ifndef GFOMQ_LOGIC_FORMULA_H_
+#define GFOMQ_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// Node kinds of the guarded-fragment formula AST. The AST covers openGF
+/// and openGC2 (the paper's Section 2.1): boolean connectives over atoms and
+/// equalities, guarded universal/existential quantifiers, and guarded
+/// counting quantifiers (at-least / at-most n).
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,    // R(x1,...,xk)
+  kEq,      // x = y
+  kNot,
+  kAnd,
+  kOr,
+  kExists,  // exists y~ (guard & body), guard an atom or equality
+  kForall,  // forall y~ (guard -> body)
+  kCount,   // exists>=n / exists<=n z (guard & body); guard a binary atom
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable formula node. Construct via the factory functions below;
+/// instances are shared freely (value semantics via shared_ptr-to-const).
+class Formula {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  // kAtom accessors.
+  uint32_t rel() const { return rel_; }
+  const std::vector<uint32_t>& args() const { return args_; }
+
+  // kEq accessors: args()[0] = args()[1].
+
+  // kNot / kAnd / kOr accessors.
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  const FormulaPtr& child() const { return children_[0]; }
+
+  // Quantifier accessors (kExists/kForall/kCount).
+  const std::vector<uint32_t>& qvars() const { return qvars_; }
+  const FormulaPtr& guard() const { return guard_; }
+  const FormulaPtr& body() const { return children_[0]; }
+
+  // kCount accessors.
+  uint32_t count() const { return count_; }
+  bool count_at_least() const { return count_at_least_; }
+
+  /// Free variables, sorted.
+  std::vector<uint32_t> FreeVars() const;
+
+  /// All variables occurring (free or bound), sorted.
+  std::vector<uint32_t> AllVars() const;
+
+  /// Nesting depth of guarded quantifiers (counting quantifiers included),
+  /// the paper's notion of depth for openGF / openGC2 formulas.
+  int Depth() const;
+
+  /// Structural equality.
+  bool Equals(const Formula& other) const;
+
+  // --- Factory functions -------------------------------------------------
+
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(uint32_t rel, std::vector<uint32_t> args);
+  static FormulaPtr Eq(uint32_t x, uint32_t y);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(std::vector<FormulaPtr> fs);
+  static FormulaPtr Or(std::vector<FormulaPtr> fs);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  /// exists qvars (guard & body). guard must be kAtom or kEq.
+  static FormulaPtr Exists(std::vector<uint32_t> qvars, FormulaPtr guard,
+                           FormulaPtr body);
+  /// forall qvars (guard -> body). guard must be kAtom or kEq.
+  static FormulaPtr Forall(std::vector<uint32_t> qvars, FormulaPtr guard,
+                           FormulaPtr body);
+  /// exists>=n z (guard & body) when at_least, else exists<=n.
+  static FormulaPtr CountQ(bool at_least, uint32_t n, uint32_t qvar,
+                           FormulaPtr guard, FormulaPtr body);
+
+ private:
+  Formula() = default;
+  void CollectVars(std::set<uint32_t>* free, std::set<uint32_t>* all,
+                   std::vector<uint32_t>& bound) const;
+
+  FormulaKind kind_ = FormulaKind::kTrue;
+  uint32_t rel_ = 0;
+  std::vector<uint32_t> args_;
+  std::vector<FormulaPtr> children_;
+  FormulaPtr guard_;
+  std::vector<uint32_t> qvars_;
+  uint32_t count_ = 0;
+  bool count_at_least_ = true;
+};
+
+/// Validates that `f` is a well-formed openGF/openGC2 formula: every
+/// quantifier guard is an atom or equality containing all variables that
+/// are free in the body or quantified, arities match `symbols`, and
+/// counting guards are binary atoms over the quantified variable and the
+/// (single) free variable.
+Status ValidateGuarded(const Formula& f, const Symbols& symbols);
+
+/// Substitutes variables: any occurrence of a key of `map` (as a free
+/// variable) becomes the mapped variable. Quantified variables are not
+/// renamed; callers must avoid capture.
+FormulaPtr SubstituteVars(const FormulaPtr& f,
+                          const std::vector<std::pair<uint32_t, uint32_t>>& map);
+
+/// Negation normal form: pushes negation to atoms/equalities; quantifiers
+/// dualize (¬∃(α∧φ) → ∀(α→¬φ), ¬∀(α→φ) → ∃(α∧¬φ), ¬∃≥n → ∃≤n−1, etc.).
+FormulaPtr ToNnf(const FormulaPtr& f, bool negate = false);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_FORMULA_H_

@@ -1,0 +1,399 @@
+#include "logic/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "logic/printer.h"
+
+namespace gfomq {
+
+namespace {
+
+bool IsQuantifier(const Formula& f) {
+  return f.kind() == FormulaKind::kExists ||
+         f.kind() == FormulaKind::kForall || f.kind() == FormulaKind::kCount;
+}
+
+// --- Depth reduction ---------------------------------------------------------
+
+// Replaces innermost quantified units that occur strictly inside another
+// quantifier by fresh predicates. `enclosing_guard` is the guard of the
+// nearest enclosing quantifier (nullptr at body top level).
+FormulaPtr ReplaceNested(const FormulaPtr& f, const FormulaPtr& enclosing_guard,
+                         Symbols* symbols,
+                         std::vector<Sentence>* new_sentences,
+                         std::vector<uint32_t>* auxiliary_rels) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+      return f;
+    case FormulaKind::kNot:
+      return Formula::Not(ReplaceNested(f->child(), enclosing_guard, symbols,
+                                        new_sentences, auxiliary_rels));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> cs;
+      cs.reserve(f->children().size());
+      for (const auto& c : f->children()) {
+        cs.push_back(ReplaceNested(c, enclosing_guard, symbols, new_sentences,
+                                   auxiliary_rels));
+      }
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(cs))
+                                            : Formula::Or(std::move(cs));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      if (enclosing_guard != nullptr && f->body()->Depth() == 0) {
+        // Innermost nested quantified unit: name it.
+        std::vector<uint32_t> free = f->FreeVars();
+        uint32_t p = symbols->FreshRel("Def", static_cast<int>(free.size()));
+        auxiliary_rels->push_back(p);
+        FormulaPtr p_atom = Formula::Atom(p, free);
+        // Definitional sentences, guarded by the enclosing quantifier's
+        // guard (which covers all free variables of the unit):
+        //   ∀ vars(β') (β' → (¬P(z~) ∨ ψ))  and  ∀ vars(β') (β' → (P(z~) ∨ ¬ψ))
+        std::vector<uint32_t> gvars;
+        if (enclosing_guard->kind() == FormulaKind::kEq) {
+          gvars = {enclosing_guard->args()[0]};
+        } else {
+          std::set<uint32_t> s(enclosing_guard->args().begin(),
+                               enclosing_guard->args().end());
+          gvars.assign(s.begin(), s.end());
+        }
+        new_sentences->push_back(Sentence::GuardedUniversal(
+            gvars, enclosing_guard,
+            Formula::Or(Formula::Not(p_atom), f)));
+        new_sentences->push_back(Sentence::GuardedUniversal(
+            gvars, enclosing_guard,
+            Formula::Or(p_atom, ToNnf(f, /*negate=*/true))));
+        return p_atom;
+      }
+      // Recurse into the body with this quantifier's guard as context.
+      FormulaPtr body = ReplaceNested(f->body(), f->guard(), symbols,
+                                      new_sentences, auxiliary_rels);
+      if (f->kind() == FormulaKind::kExists) {
+        return Formula::Exists(f->qvars(), f->guard(), body);
+      }
+      if (f->kind() == FormulaKind::kForall) {
+        return Formula::Forall(f->qvars(), f->guard(), body);
+      }
+      return Formula::CountQ(f->count_at_least(), f->count(), f->qvars()[0],
+                             f->guard(), body);
+    }
+  }
+  return f;
+}
+
+// --- Clausification ----------------------------------------------------------
+
+// A "unit" is a literal (possibly negated atom/equality) or a positive
+// quantified subformula of depth 1.
+using UnitClause = std::vector<FormulaPtr>;  // disjunction of units
+using UnitCnf = std::vector<UnitClause>;     // conjunction of clauses
+
+// CNF over units for an NNF formula of depth <= 1.
+UnitCnf UnitsToCnf(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return {};
+    case FormulaKind::kFalse:
+      return {UnitClause{}};
+    case FormulaKind::kAnd: {
+      UnitCnf out;
+      for (const auto& c : f->children()) {
+        UnitCnf sub = UnitsToCnf(c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case FormulaKind::kOr: {
+      UnitCnf acc = {UnitClause{}};
+      for (const auto& c : f->children()) {
+        UnitCnf sub = UnitsToCnf(c);
+        UnitCnf next;
+        for (const auto& a : acc) {
+          for (const auto& b : sub) {
+            UnitClause merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    default:
+      return {UnitClause{f}};
+  }
+}
+
+// DNF over units (dual).
+UnitCnf UnitsToDnf(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return {UnitClause{}};
+    case FormulaKind::kFalse:
+      return {};
+    case FormulaKind::kOr: {
+      UnitCnf out;
+      for (const auto& c : f->children()) {
+        UnitCnf sub = UnitsToDnf(c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case FormulaKind::kAnd: {
+      UnitCnf acc = {UnitClause{}};
+      for (const auto& c : f->children()) {
+        UnitCnf sub = UnitsToDnf(c);
+        UnitCnf next;
+        for (const auto& a : acc) {
+          for (const auto& b : sub) {
+            UnitClause merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    default:
+      return {UnitClause{f}};
+  }
+}
+
+// Maps formula variables to rule-local ids, allocating on demand.
+class VarMap {
+ public:
+  explicit VarMap(uint32_t next_id = 0) : next_(next_id) {}
+
+  uint32_t Get(uint32_t formula_var) {
+    auto it = map_.find(formula_var);
+    if (it != map_.end()) return it->second;
+    uint32_t id = next_++;
+    map_.emplace(formula_var, id);
+    return id;
+  }
+
+  uint32_t next() const { return next_; }
+
+ private:
+  std::map<uint32_t, uint32_t> map_;
+  uint32_t next_;
+};
+
+Result<Lit> LiteralToLit(const FormulaPtr& f, VarMap* vars) {
+  bool positive = true;
+  FormulaPtr g = f;
+  if (g->kind() == FormulaKind::kNot) {
+    positive = false;
+    g = g->child();
+  }
+  if (g->kind() == FormulaKind::kAtom) {
+    std::vector<uint32_t> args;
+    args.reserve(g->args().size());
+    for (uint32_t v : g->args()) args.push_back(vars->Get(v));
+    return Lit::Atom(g->rel(), std::move(args), positive);
+  }
+  if (g->kind() == FormulaKind::kEq) {
+    return Lit::Eq(vars->Get(g->args()[0]), vars->Get(g->args()[1]), positive);
+  }
+  return Status::Internal("expected literal in clause");
+}
+
+// Converts a quantifier-free NNF formula to a list of Lit conjunctions (DNF)
+// or clauses (CNF) using the given variable map.
+Result<std::vector<std::vector<Lit>>> QfLits(const FormulaPtr& f, VarMap* vars,
+                                             bool dnf) {
+  UnitCnf shape = dnf ? UnitsToDnf(f) : UnitsToCnf(f);
+  std::vector<std::vector<Lit>> out;
+  for (const UnitClause& group : shape) {
+    std::vector<Lit> lits;
+    for (const FormulaPtr& u : group) {
+      if (IsQuantifier(*u)) {
+        return Status::Internal("quantifier inside quantifier-free matrix");
+      }
+      if (u->kind() == FormulaKind::kTrue || u->kind() == FormulaKind::kFalse) {
+        return Status::Internal("unexpected constant in matrix clause");
+      }
+      Result<Lit> l = LiteralToLit(u, vars);
+      if (!l.ok()) return l.status();
+      lits.push_back(std::move(*l));
+    }
+    out.push_back(std::move(lits));
+  }
+  return out;
+}
+
+Result<std::vector<HeadAlt>> QuantifiedUnitToAlts(const FormulaPtr& u,
+                                                  VarMap body_vars) {
+  // Allocate quantified variables after the body variables; the unit's qvars
+  // ids live in the same local id space as the body.
+  std::vector<HeadAlt> alts;
+  VarMap vars = body_vars;
+  std::vector<uint32_t> qvars;
+  for (uint32_t v : u->qvars()) qvars.push_back(vars.Get(v));
+  Result<Lit> guard = LiteralToLit(u->guard(), &vars);
+  if (!guard.ok()) return guard.status();
+  if (!guard->positive) {
+    return Status::InvalidArgument("quantifier guard must be positive");
+  }
+
+  if (u->kind() == FormulaKind::kExists) {
+    Result<std::vector<std::vector<Lit>>> dnf =
+        QfLits(ToNnf(u->body()), &vars, /*dnf=*/true);
+    if (!dnf.ok()) return dnf.status();
+    if (dnf->empty()) return alts;  // matrix is False: drop the disjunct
+    for (auto& conj : *dnf) {
+      HeadAlt alt;
+      ExistsUnit e;
+      e.qvars = qvars;
+      e.guard = *guard;
+      e.lits = std::move(conj);
+      alt.exists.push_back(std::move(e));
+      alts.push_back(std::move(alt));
+    }
+    return alts;
+  }
+  if (u->kind() == FormulaKind::kForall) {
+    Result<std::vector<std::vector<Lit>>> cnf =
+        QfLits(ToNnf(u->body()), &vars, /*dnf=*/false);
+    if (!cnf.ok()) return cnf.status();
+    HeadAlt alt;
+    for (auto& clause : *cnf) {
+      ForallUnit fu;
+      fu.qvars = qvars;
+      fu.guard = *guard;
+      fu.clause.lits = std::move(clause);
+      alt.foralls.push_back(std::move(fu));
+    }
+    alts.push_back(std::move(alt));
+    return alts;
+  }
+  // Counting.
+  Result<std::vector<std::vector<Lit>>> dnf =
+      QfLits(ToNnf(u->body()), &vars, /*dnf=*/true);
+  if (!dnf.ok()) return dnf.status();
+  if (dnf->size() > 1) {
+    return Status::Unsupported(
+        "counting quantifier with disjunctive matrix is not supported by "
+        "normalization");
+  }
+  HeadAlt alt;
+  CountUnit c;
+  c.at_least = u->count_at_least();
+  c.n = u->count();
+  c.qvar = qvars[0];
+  c.guard = *guard;
+  if (!dnf->empty()) c.lits = std::move((*dnf)[0]);
+  alt.counts.push_back(std::move(c));
+  alts.push_back(std::move(alt));
+  return alts;
+}
+
+Status ClausifySentence(const Sentence& s, const Symbols& symbols,
+                        std::vector<GuardedRule>* rules) {
+  FormulaPtr body = ToNnf(s.body);
+  UnitCnf cnf = UnitsToCnf(body);
+  for (const UnitClause& clause : cnf) {
+    GuardedRule rule;
+    rule.origin = SentenceToString(s, symbols);
+    VarMap vars;
+    for (uint32_t v : s.vars) vars.Get(v);
+    rule.eq_guard = s.HasEqualityGuard();
+    if (!rule.eq_guard) {
+      Result<Lit> g = LiteralToLit(s.guard, &vars);
+      if (!g.ok()) return g.status();
+      rule.guard = std::move(*g);
+    } else {
+      rule.guard = Lit::Eq(0, 0);
+    }
+    bool clause_trivial = false;
+    for (const FormulaPtr& u : clause) {
+      if (u->kind() == FormulaKind::kTrue) {
+        clause_trivial = true;
+        break;
+      }
+      if (u->kind() == FormulaKind::kFalse) continue;
+      if (IsQuantifier(*u)) {
+        Result<std::vector<HeadAlt>> alts = QuantifiedUnitToAlts(u, vars);
+        if (!alts.ok()) return alts.status();
+        for (auto& a : *alts) rule.head.push_back(std::move(a));
+        continue;
+      }
+      Result<Lit> l = LiteralToLit(u, &vars);
+      if (!l.ok()) return l.status();
+      // Every literal — positive or negative — becomes its own head
+      // alternative. (Negative literals must NOT move into the rule body:
+      // the disjunctive chase is complete for certain answers only when
+      // every model can "choose a disjunct", and a negative body literal
+      // breaks that covering argument.)
+      HeadAlt alt;
+      alt.lits.push_back(std::move(*l));
+      rule.head.push_back(std::move(alt));
+    }
+    if (clause_trivial) continue;
+    // Sentence variables were allocated first, so they occupy local ids
+    // 0..|vars|-1; quantified-unit variables live above that range.
+    rule.num_vars = static_cast<uint32_t>(s.vars.size());
+    rules->push_back(std::move(rule));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Ontology> ReduceDepth(const Ontology& ontology,
+                             std::vector<uint32_t>* auxiliary_rels) {
+  Ontology out(ontology.symbols);
+  std::vector<Sentence> work = ontology.sentences;
+  // Iterate until every sentence has depth <= 1. Each pass names innermost
+  // nested units; definitional sentences added by a pass have depth <= 1 and
+  // never need further reduction, but the rewritten sentence might.
+  size_t guard_iterations = 0;
+  while (!work.empty()) {
+    if (++guard_iterations > 10000) {
+      return Status::Internal("depth reduction failed to converge");
+    }
+    std::vector<Sentence> next;
+    for (Sentence& s : work) {
+      if (s.kind == Sentence::Kind::kFunctionality || s.Depth() <= 1) {
+        out.Add(std::move(s));
+        continue;
+      }
+      std::vector<Sentence> defs;
+      FormulaPtr body = ToNnf(s.body);
+      FormulaPtr reduced =
+          ReplaceNested(body, nullptr, ontology.symbols.get(), &defs,
+                        auxiliary_rels);
+      next.push_back(Sentence::GuardedUniversal(s.vars, s.guard, reduced));
+      for (Sentence& d : defs) next.push_back(std::move(d));
+    }
+    work = std::move(next);
+    // Move any now-finished sentences out on the next loop iteration.
+  }
+  return out;
+}
+
+Result<RuleSet> NormalizeOntology(const Ontology& ontology) {
+  RuleSet rs;
+  rs.symbols = ontology.symbols;
+  Result<Ontology> reduced = ReduceDepth(ontology, &rs.auxiliary_rels);
+  if (!reduced.ok()) return reduced.status();
+  for (const Sentence& s : reduced->sentences) {
+    if (s.kind == Sentence::Kind::kFunctionality) {
+      rs.functional.push_back({s.func_rel, s.inverse});
+      continue;
+    }
+    Status st = ClausifySentence(s, *ontology.symbols, &rs.rules);
+    if (!st.ok()) return st;
+  }
+  return rs;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,27 @@
+#ifndef GFOMQ_LOGIC_NORMALIZE_H_
+#define GFOMQ_LOGIC_NORMALIZE_H_
+
+#include "common/status.h"
+#include "logic/ontology.h"
+#include "logic/rules.h"
+
+namespace gfomq {
+
+/// Rewrites an ontology into a conservative extension of depth at most 1 by
+/// naming innermost nested guarded subformulas with fresh predicates (Scott
+/// normal form; the paper notes this is a polynomial transformation that
+/// reduces full GF / uGF to uGF(1)). Fresh predicates are recorded in
+/// `auxiliary_rels` of the subsequent normalization.
+Result<Ontology> ReduceDepth(const Ontology& ontology,
+                             std::vector<uint32_t>* auxiliary_rels);
+
+/// Converts an ontology (any depth) into the guarded disjunctive rule
+/// normal form consumed by the reasoning engines: first reduces depth to 1,
+/// then clausifies each sentence body. The result is a conservative
+/// extension: certain answers to queries over the original signature are
+/// preserved.
+Result<RuleSet> NormalizeOntology(const Ontology& ontology);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_NORMALIZE_H_

@@ -1,0 +1,106 @@
+#include "logic/ontology.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gfomq {
+
+int Ontology::Depth() const {
+  int d = 0;
+  for (const Sentence& s : sentences) d = std::max(d, s.Depth());
+  return d;
+}
+
+void CollectRelations(const Formula& f, std::vector<uint32_t>* rels) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEq:
+      return;
+    case FormulaKind::kAtom:
+      rels->push_back(f.rel());
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const auto& c : f.children()) CollectRelations(*c, rels);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount:
+      CollectRelations(*f.guard(), rels);
+      CollectRelations(*f.body(), rels);
+      return;
+  }
+}
+
+std::vector<uint32_t> Ontology::Signature() const {
+  std::vector<uint32_t> rels;
+  for (const Sentence& s : sentences) {
+    if (s.kind == Sentence::Kind::kFunctionality) {
+      rels.push_back(s.func_rel);
+    } else {
+      CollectRelations(*s.guard, &rels);
+      CollectRelations(*s.body, &rels);
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  return rels;
+}
+
+Ontology Ontology::Union(const Ontology& a, const Ontology& b) {
+  Ontology out(a.symbols);
+  out.sentences = a.sentences;
+  out.sentences.insert(out.sentences.end(), b.sentences.begin(),
+                       b.sentences.end());
+  return out;
+}
+
+Status Ontology::Validate() const {
+  for (const Sentence& s : sentences) {
+    if (s.kind == Sentence::Kind::kFunctionality) {
+      if (symbols->RelArity(s.func_rel) != 2) {
+        return Status::InvalidArgument(
+            "functionality axiom on non-binary relation " +
+            symbols->RelName(s.func_rel));
+      }
+      continue;
+    }
+    // Guard shape.
+    if (s.guard->kind() == FormulaKind::kEq) {
+      if (s.vars.size() != 1 || s.guard->args()[0] != s.vars[0] ||
+          s.guard->args()[1] != s.vars[0]) {
+        return Status::InvalidArgument(
+            "equality guard must be v = v over the single sentence variable");
+      }
+    } else if (s.guard->kind() == FormulaKind::kAtom) {
+      std::set<uint32_t> gv(s.guard->args().begin(), s.guard->args().end());
+      for (uint32_t v : s.vars) {
+        if (!gv.count(v)) {
+          return Status::InvalidArgument("sentence guard misses variable " +
+                                         symbols->VarName(v));
+        }
+      }
+    } else {
+      return Status::InvalidArgument("sentence guard must be atom or v = v");
+    }
+    // Body free variables must be among the sentence variables.
+    std::set<uint32_t> sv(s.vars.begin(), s.vars.end());
+    for (uint32_t v : s.body->FreeVars()) {
+      if (!sv.count(v)) {
+        return Status::InvalidArgument("sentence body has stray free variable " +
+                                       symbols->VarName(v));
+      }
+    }
+    Status st = ValidateGuarded(*s.body, *symbols);
+    if (!st.ok()) return st;
+    if (s.guard->kind() == FormulaKind::kAtom) {
+      Status sg = ValidateGuarded(*s.guard, *symbols);
+      if (!sg.ok()) return sg;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gfomq

@@ -1,0 +1,100 @@
+#ifndef GFOMQ_LOGIC_ONTOLOGY_H_
+#define GFOMQ_LOGIC_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/formula.h"
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// One ontology sentence. Two kinds:
+///  - GuardedUniversal: ∀y~ (guard → body) with guard an atom over y~ or an
+///    equality guard y = y (then y~ is a single variable). This is exactly
+///    the paper's uGF / uGC2 sentence shape; body is openGF / openGC2.
+///  - Functionality: the axiom ∀x y1 y2 (R(x,y1) ∧ R(x,y2) → y1 = y2)
+///    declaring binary relation R a partial function (the paper's "f").
+///    `inverse` declares the inverse direction functional instead.
+struct Sentence {
+  enum class Kind { kGuardedUniversal, kFunctionality };
+
+  Kind kind = Kind::kGuardedUniversal;
+
+  // kGuardedUniversal fields.
+  std::vector<uint32_t> vars;  // quantified variables y~
+  FormulaPtr guard;            // kAtom over vars, or kEq(v, v)
+  FormulaPtr body;             // openGF / openGC2 formula over vars
+
+  // kFunctionality fields.
+  uint32_t func_rel = 0;
+  bool inverse = false;
+
+  /// True if the guard of the outermost quantifier is an equality (the
+  /// paper's ·− restriction).
+  bool HasEqualityGuard() const {
+    return kind == Kind::kGuardedUniversal &&
+           guard->kind() == FormulaKind::kEq;
+  }
+
+  /// Depth of the sentence: quantifier depth of the body (the outermost
+  /// universal quantifier is not counted). Functionality axioms have depth 0.
+  int Depth() const {
+    return kind == Kind::kGuardedUniversal ? body->Depth() : 0;
+  }
+
+  static Sentence GuardedUniversal(std::vector<uint32_t> vars, FormulaPtr g,
+                                   FormulaPtr b) {
+    Sentence s;
+    s.kind = Kind::kGuardedUniversal;
+    s.vars = std::move(vars);
+    s.guard = std::move(g);
+    s.body = std::move(b);
+    return s;
+  }
+
+  /// Sugar for ∀x (x = x → body(x)).
+  static Sentence UniversalEq(uint32_t var, FormulaPtr b) {
+    return GuardedUniversal({var}, Formula::Eq(var, var), std::move(b));
+  }
+
+  static Sentence Functionality(uint32_t rel, bool inverse = false) {
+    Sentence s;
+    s.kind = Kind::kFunctionality;
+    s.func_rel = rel;
+    s.inverse = inverse;
+    return s;
+  }
+};
+
+/// A finite set of sentences sharing a symbol table.
+struct Ontology {
+  SymbolsPtr symbols;
+  std::vector<Sentence> sentences;
+
+  explicit Ontology(SymbolsPtr syms = nullptr)
+      : symbols(syms ? std::move(syms) : MakeSymbols()) {}
+
+  void Add(Sentence s) { sentences.push_back(std::move(s)); }
+
+  /// Maximum sentence depth.
+  int Depth() const;
+
+  /// Relation symbols occurring in the ontology (sig(O)), sorted.
+  std::vector<uint32_t> Signature() const;
+
+  /// Union of two ontologies over the same symbol table.
+  static Ontology Union(const Ontology& a, const Ontology& b);
+
+  /// Validates guardedness/arities of every sentence.
+  Status Validate() const;
+};
+
+/// Signature of a single formula: relation ids occurring in it, sorted.
+void CollectRelations(const Formula& f, std::vector<uint32_t>* rels);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_ONTOLOGY_H_

@@ -1,0 +1,428 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace gfomq {
+
+namespace {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemi,
+  kArrow,
+  kAmp,
+  kPipe,
+  kBang,
+  kEq,
+  kNeq,
+  kGe,
+  kLe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  uint32_t number = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                         text_[j] == '_' || text_[j] == '\'')) {
+          ++j;
+        }
+        out.push_back({Tok::kIdent, text_.substr(i, j - i), 0, start});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        uint32_t v = 0;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text_[j]))) {
+          v = v * 10 + static_cast<uint32_t>(text_[j] - '0');
+          ++j;
+        }
+        out.push_back({Tok::kNumber, text_.substr(i, j - i), v, start});
+        i = j;
+        continue;
+      }
+      auto two = [&](char a, char b) {
+        return c == a && i + 1 < n && text_[i + 1] == b;
+      };
+      if (two('-', '>')) {
+        out.push_back({Tok::kArrow, "->", 0, start});
+        i += 2;
+        continue;
+      }
+      if (two('!', '=')) {
+        out.push_back({Tok::kNeq, "!=", 0, start});
+        i += 2;
+        continue;
+      }
+      if (two('>', '=')) {
+        out.push_back({Tok::kGe, ">=", 0, start});
+        i += 2;
+        continue;
+      }
+      if (two('<', '=')) {
+        out.push_back({Tok::kLe, "<=", 0, start});
+        i += 2;
+        continue;
+      }
+      Tok k;
+      switch (c) {
+        case '(': k = Tok::kLParen; break;
+        case ')': k = Tok::kRParen; break;
+        case ',': k = Tok::kComma; break;
+        case '.': k = Tok::kDot; break;
+        case ';': k = Tok::kSemi; break;
+        case '&': k = Tok::kAmp; break;
+        case '|': k = Tok::kPipe; break;
+        case '!': k = Tok::kBang; break;
+        case '=': k = Tok::kEq; break;
+        default:
+          return Status::InvalidArgument("unexpected character '" +
+                                         std::string(1, c) + "' at offset " +
+                                         std::to_string(i));
+      }
+      out.push_back({k, std::string(1, c), 0, start});
+      ++i;
+    }
+    out.push_back({Tok::kEnd, "", 0, n});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolsPtr symbols)
+      : tokens_(std::move(tokens)), symbols_(std::move(symbols)) {}
+
+  Result<Ontology> ParseOntologyText() {
+    Ontology onto(symbols_);
+    while (Peek().kind != Tok::kEnd) {
+      Result<Sentence> s = ParseStatement();
+      if (!s.ok()) return s.status();
+      onto.Add(std::move(*s));
+      if (Peek().kind == Tok::kSemi) Advance();
+    }
+    Status v = onto.Validate();
+    if (!v.ok()) return v;
+    return onto;
+  }
+
+  Result<FormulaPtr> ParseSingleFormula() {
+    Result<FormulaPtr> f = ParseFormulaExpr();
+    if (!f.ok()) return f;
+    if (Peek().kind != Tok::kEnd) return Err("trailing input after formula");
+    return f;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(Tok k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (at offset " +
+                                   std::to_string(Peek().pos) + ")");
+  }
+  Status Expect(Tok k, const char* what) {
+    if (!Accept(k)) return Err(std::string("expected ") + what);
+    return Status::Ok();
+  }
+
+  Result<Sentence> ParseStatement() {
+    const Token& t = Peek();
+    if (t.kind == Tok::kIdent && (t.text == "func" || t.text == "invfunc")) {
+      bool inverse = t.text == "invfunc";
+      Advance();
+      if (Peek().kind != Tok::kIdent) return Err("expected relation name");
+      std::string name = Advance().text;
+      int64_t existing = symbols_->FindRel(name);
+      uint32_t rel;
+      if (existing >= 0) {
+        rel = static_cast<uint32_t>(existing);
+        if (symbols_->RelArity(rel) != 2) {
+          return Err("functionality declared on non-binary relation " + name);
+        }
+      } else {
+        rel = symbols_->Rel(name, 2);
+      }
+      return Sentence::Functionality(rel, inverse);
+    }
+    if (!(t.kind == Tok::kIdent && t.text == "forall")) {
+      return Err("expected 'forall', 'func' or 'invfunc'");
+    }
+    Advance();
+    std::vector<uint32_t> vars;
+    Status s = ParseVarList(&vars);
+    if (!s.ok()) return s;
+    if (Accept(Tok::kDot)) {
+      // Equality guard: forall v . formula
+      if (vars.size() != 1) {
+        return Err("equality-guarded sentence must bind exactly one variable");
+      }
+      Result<FormulaPtr> body = ParseFormulaExpr();
+      if (!body.ok()) return body.status();
+      return Sentence::UniversalEq(vars[0], std::move(*body));
+    }
+    Status lp = Expect(Tok::kLParen, "'(' after forall variables");
+    if (!lp.ok()) return lp;
+    Result<FormulaPtr> guard = ParseGuardAtom();
+    if (!guard.ok()) return guard.status();
+    Status ar = Expect(Tok::kArrow, "'->' after sentence guard");
+    if (!ar.ok()) return ar;
+    Result<FormulaPtr> body = ParseFormulaExpr();
+    if (!body.ok()) return body.status();
+    Status rp = Expect(Tok::kRParen, "')' closing sentence");
+    if (!rp.ok()) return rp;
+    return Sentence::GuardedUniversal(std::move(vars), std::move(*guard),
+                                      std::move(*body));
+  }
+
+  Status ParseVarList(std::vector<uint32_t>* vars) {
+    for (;;) {
+      if (Peek().kind != Tok::kIdent) {
+        return Err("expected variable name");
+      }
+      vars->push_back(symbols_->Var(Advance().text));
+      if (!Accept(Tok::kComma)) return Status::Ok();
+    }
+  }
+
+  /// An atom R(args) or an (in)equality between two variables.
+  Result<FormulaPtr> ParseGuardAtom() {
+    if (Peek().kind != Tok::kIdent) return Err("expected atom or equality");
+    std::string first = Advance().text;
+    if (Peek().kind == Tok::kLParen) return FinishAtom(first);
+    if (Accept(Tok::kEq)) {
+      if (Peek().kind != Tok::kIdent) return Err("expected variable after '='");
+      std::string second = Advance().text;
+      return Formula::Eq(symbols_->Var(first), symbols_->Var(second));
+    }
+    return Err("expected '(' or '=' in guard");
+  }
+
+  Result<FormulaPtr> FinishAtom(const std::string& rel_name) {
+    Status lp = Expect(Tok::kLParen, "'('");
+    if (!lp.ok()) return lp;
+    std::vector<uint32_t> args;
+    if (Peek().kind != Tok::kRParen) {
+      for (;;) {
+        if (Peek().kind != Tok::kIdent) return Err("expected variable");
+        args.push_back(symbols_->Var(Advance().text));
+        if (!Accept(Tok::kComma)) break;
+      }
+    }
+    Status rp = Expect(Tok::kRParen, "')'");
+    if (!rp.ok()) return rp;
+    int64_t existing = symbols_->FindRel(rel_name);
+    uint32_t rel;
+    if (existing >= 0) {
+      rel = static_cast<uint32_t>(existing);
+      if (symbols_->RelArity(rel) != static_cast<int>(args.size())) {
+        return Err("arity mismatch for relation " + rel_name);
+      }
+    } else {
+      rel = symbols_->Rel(rel_name, static_cast<int>(args.size()));
+    }
+    return Formula::Atom(rel, std::move(args));
+  }
+
+  // formula := or [ '->' formula ]     (sugar: a -> b  ==  !a | b)
+  Result<FormulaPtr> ParseFormulaExpr() {
+    Result<FormulaPtr> lhs = ParseOr();
+    if (!lhs.ok()) return lhs;
+    if (Accept(Tok::kArrow)) {
+      Result<FormulaPtr> rhs = ParseFormulaExpr();
+      if (!rhs.ok()) return rhs;
+      return Formula::Or(Formula::Not(std::move(*lhs)), std::move(*rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    Result<FormulaPtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<FormulaPtr> parts{std::move(*first)};
+    while (Accept(Tok::kPipe)) {
+      Result<FormulaPtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(*next));
+    }
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    Result<FormulaPtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<FormulaPtr> parts{std::move(*first)};
+    while (Accept(Tok::kAmp)) {
+      Result<FormulaPtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(*next));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (Accept(Tok::kBang)) {
+      Result<FormulaPtr> inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return Formula::Not(std::move(*inner));
+    }
+    if (Accept(Tok::kLParen)) {
+      Result<FormulaPtr> inner = ParseFormulaExpr();
+      if (!inner.ok()) return inner;
+      Status rp = Expect(Tok::kRParen, "')'");
+      if (!rp.ok()) return rp;
+      return inner;
+    }
+    const Token& t = Peek();
+    if (t.kind != Tok::kIdent) return Err("expected formula");
+    if (t.text == "true") {
+      Advance();
+      return Formula::True();
+    }
+    if (t.text == "false") {
+      Advance();
+      return Formula::False();
+    }
+    if (t.text == "exists" || t.text == "forall") {
+      return ParseQuantifier();
+    }
+    // Atom or (in)equality.
+    std::string first = Advance().text;
+    if (Peek().kind == Tok::kLParen) return FinishAtom(first);
+    if (Accept(Tok::kEq)) {
+      if (Peek().kind != Tok::kIdent) return Err("expected variable after '='");
+      return Formula::Eq(symbols_->Var(first), symbols_->Var(Advance().text));
+    }
+    if (Accept(Tok::kNeq)) {
+      if (Peek().kind != Tok::kIdent) {
+        return Err("expected variable after '!='");
+      }
+      return Formula::Not(
+          Formula::Eq(symbols_->Var(first), symbols_->Var(Advance().text)));
+    }
+    return Err("expected '(' or '='/'!=' after identifier " + first);
+  }
+
+  Result<FormulaPtr> ParseQuantifier() {
+    bool is_forall = Peek().text == "forall";
+    Advance();
+    bool counting = false;
+    bool at_least = true;
+    uint32_t n = 0;
+    if (!is_forall && (Peek().kind == Tok::kGe || Peek().kind == Tok::kLe)) {
+      counting = true;
+      at_least = Peek().kind == Tok::kGe;
+      Advance();
+      if (Peek().kind != Tok::kNumber) return Err("expected count");
+      n = Advance().number;
+    }
+    std::vector<uint32_t> qvars;
+    Status s = ParseVarList(&qvars);
+    if (!s.ok()) return s;
+    Status lp = Expect(Tok::kLParen, "'(' after quantifier variables");
+    if (!lp.ok()) return lp;
+    Result<FormulaPtr> guard = ParseGuardAtom();
+    if (!guard.ok()) return guard.status();
+    FormulaPtr body;
+    if (is_forall) {
+      Status ar = Expect(Tok::kArrow, "'->' after forall guard");
+      if (!ar.ok()) return ar;
+      Result<FormulaPtr> b = ParseFormulaExpr();
+      if (!b.ok()) return b.status();
+      body = std::move(*b);
+    } else if (Accept(Tok::kAmp)) {
+      Result<FormulaPtr> b = ParseFormulaExpr();
+      if (!b.ok()) return b.status();
+      body = std::move(*b);
+    } else {
+      body = Formula::True();
+    }
+    Status rp = Expect(Tok::kRParen, "')' closing quantifier");
+    if (!rp.ok()) return rp;
+    if (counting) {
+      if (qvars.size() != 1) {
+        return Err("counting quantifier binds exactly one variable");
+      }
+      return Formula::CountQ(at_least, n, qvars[0], std::move(*guard),
+                             std::move(body));
+    }
+    if (is_forall) {
+      return Formula::Forall(std::move(qvars), std::move(*guard),
+                             std::move(body));
+    }
+    return Formula::Exists(std::move(qvars), std::move(*guard),
+                           std::move(body));
+  }
+
+  std::vector<Token> tokens_;
+  SymbolsPtr symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Ontology> ParseOntology(const std::string& text, SymbolsPtr symbols) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> toks = lexer.Lex();
+  if (!toks.ok()) return toks.status();
+  Parser parser(std::move(*toks), std::move(symbols));
+  return parser.ParseOntologyText();
+}
+
+Result<Ontology> ParseOntology(const std::string& text) {
+  return ParseOntology(text, MakeSymbols());
+}
+
+Result<FormulaPtr> ParseFormula(const std::string& text, SymbolsPtr symbols) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> toks = lexer.Lex();
+  if (!toks.ok()) return toks.status();
+  Parser parser(std::move(*toks), std::move(symbols));
+  return parser.ParseSingleFormula();
+}
+
+}  // namespace gfomq

@@ -1,0 +1,32 @@
+#ifndef GFOMQ_LOGIC_PARSER_H_
+#define GFOMQ_LOGIC_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// Parses an ontology from text. Statements are `;`-separated:
+///
+///   forall x, y (R(x,y) -> A(x) | exists z (S(y,z) & B(z)));
+///   forall x . (A(x) -> exists>=2 y (P(x,y) & true));
+///   func F;      // F is a partial function
+///   invfunc F;   // the inverse of F is a partial function
+///
+/// Quantifier guards are written as the first conjunct (exists) or the
+/// antecedent (forall) and must be an atom or equality covering all
+/// variables of the subformula. `# ...` comments run to end of line.
+/// Relation arities are inferred from first use and checked afterwards.
+Result<Ontology> ParseOntology(const std::string& text, SymbolsPtr symbols);
+
+/// Convenience overload with a fresh symbol table.
+Result<Ontology> ParseOntology(const std::string& text);
+
+/// Parses a single openGF/openGC2 formula (no trailing `;`).
+Result<FormulaPtr> ParseFormula(const std::string& text, SymbolsPtr symbols);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_PARSER_H_

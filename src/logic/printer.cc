@@ -1,0 +1,104 @@
+#include "logic/printer.h"
+
+#include <sstream>
+
+namespace gfomq {
+
+namespace {
+
+void Print(const Formula& f, const Symbols& sym, std::ostringstream* out,
+           bool parens_for_binary) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      *out << "true";
+      return;
+    case FormulaKind::kFalse:
+      *out << "false";
+      return;
+    case FormulaKind::kAtom: {
+      *out << sym.RelName(f.rel()) << "(";
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        if (i) *out << ",";
+        *out << sym.VarName(f.args()[i]);
+      }
+      *out << ")";
+      return;
+    }
+    case FormulaKind::kEq:
+      *out << sym.VarName(f.args()[0]) << " = " << sym.VarName(f.args()[1]);
+      return;
+    case FormulaKind::kNot:
+      *out << "!";
+      Print(*f.child(), sym, out, true);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* op = f.kind() == FormulaKind::kAnd ? " & " : " | ";
+      if (parens_for_binary) *out << "(";
+      for (size_t i = 0; i < f.children().size(); ++i) {
+        if (i) *out << op;
+        Print(*f.children()[i], sym, out, true);
+      }
+      if (parens_for_binary) *out << ")";
+      return;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      if (f.kind() == FormulaKind::kCount) {
+        *out << "exists" << (f.count_at_least() ? ">=" : "<=") << f.count();
+      } else {
+        *out << (f.kind() == FormulaKind::kExists ? "exists" : "forall");
+      }
+      *out << " ";
+      for (size_t i = 0; i < f.qvars().size(); ++i) {
+        if (i) *out << ", ";
+        *out << sym.VarName(f.qvars()[i]);
+      }
+      *out << " (";
+      Print(*f.guard(), sym, out, false);
+      *out << (f.kind() == FormulaKind::kForall ? " -> " : " & ");
+      Print(*f.body(), sym, out, false);
+      *out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormulaToString(const Formula& f, const Symbols& symbols) {
+  std::ostringstream out;
+  Print(f, symbols, &out, false);
+  return out.str();
+}
+
+std::string SentenceToString(const Sentence& s, const Symbols& symbols) {
+  std::ostringstream out;
+  if (s.kind == Sentence::Kind::kFunctionality) {
+    out << (s.inverse ? "invfunc " : "func ") << symbols.RelName(s.func_rel);
+    return out.str();
+  }
+  out << "forall ";
+  for (size_t i = 0; i < s.vars.size(); ++i) {
+    if (i) out << ", ";
+    out << symbols.VarName(s.vars[i]);
+  }
+  if (s.HasEqualityGuard()) {
+    out << " . (" << FormulaToString(*s.body, symbols) << ")";
+  } else {
+    out << " (" << FormulaToString(*s.guard, symbols) << " -> "
+        << FormulaToString(*s.body, symbols) << ")";
+  }
+  return out.str();
+}
+
+std::string OntologyToString(const Ontology& o) {
+  std::ostringstream out;
+  for (const Sentence& s : o.sentences) {
+    out << SentenceToString(s, *o.symbols) << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace gfomq

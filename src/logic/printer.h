@@ -1,0 +1,25 @@
+#ifndef GFOMQ_LOGIC_PRINTER_H_
+#define GFOMQ_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/ontology.h"
+
+namespace gfomq {
+
+/// Renders a formula in the concrete syntax accepted by ParseOntology:
+/// atoms R(x,y), equalities x = y, connectives ! & | ->, quantifiers
+/// `exists y (G & phi)`, `forall y (G -> phi)`, `exists>=n y (G & phi)`.
+std::string FormulaToString(const Formula& f, const Symbols& symbols);
+
+/// Renders one sentence, e.g. `forall x, y (R(x,y) -> A(x))` or
+/// `forall x . (A(x) -> B(x))` (equality guard) or `func R`.
+std::string SentenceToString(const Sentence& s, const Symbols& symbols);
+
+/// Renders a whole ontology, one sentence per line, `;`-terminated.
+std::string OntologyToString(const Ontology& o);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_PRINTER_H_

@@ -1,0 +1,118 @@
+#ifndef GFOMQ_LOGIC_RULES_H_
+#define GFOMQ_LOGIC_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// A literal over rule-local variables: an atom R(args), an equality
+/// args[0] = args[1], or a negation of either.
+struct Lit {
+  bool positive = true;
+  bool is_eq = false;
+  uint32_t rel = 0;               // valid iff !is_eq
+  std::vector<uint32_t> args;     // rule-local variable ids
+
+  static Lit Atom(uint32_t rel, std::vector<uint32_t> args,
+                  bool positive = true) {
+    Lit l;
+    l.positive = positive;
+    l.is_eq = false;
+    l.rel = rel;
+    l.args = std::move(args);
+    return l;
+  }
+  static Lit Eq(uint32_t x, uint32_t y, bool positive = true) {
+    Lit l;
+    l.positive = positive;
+    l.is_eq = true;
+    l.args = {x, y};
+    return l;
+  }
+};
+
+/// A disjunction of literals (used as the matrix of universal head units).
+struct LitClause {
+  std::vector<Lit> lits;
+};
+
+/// ∃ y~ (guard ∧ lits): fresh elements y~ with the guard atom and the
+/// conjunction of literals. Literals may mention body variables and y~.
+struct ExistsUnit {
+  std::vector<uint32_t> qvars;
+  Lit guard;                      // positive atom covering qvars + free vars
+  std::vector<Lit> lits;
+};
+
+/// ∀ y~ (guard → clause): for every match of the guard extending the body
+/// match, the clause (a disjunction) must hold.
+struct ForallUnit {
+  std::vector<uint32_t> qvars;
+  Lit guard;
+  LitClause clause;
+};
+
+/// ∃≥n / ∃≤n y (guard ∧ lits): counting over a single fresh variable with a
+/// binary guard atom (two-variable counting fragment).
+struct CountUnit {
+  bool at_least = true;
+  uint32_t n = 0;
+  uint32_t qvar = 0;
+  Lit guard;
+  std::vector<Lit> lits;
+};
+
+/// One disjunct of a rule head: a conjunction of literals and quantified
+/// units. `is_false` marks the ⊥ alternative.
+struct HeadAlt {
+  bool is_false = false;
+  std::vector<Lit> lits;
+  std::vector<ExistsUnit> exists;
+  std::vector<ForallUnit> foralls;
+  std::vector<CountUnit> counts;
+
+  bool Trivial() const {
+    return !is_false && lits.empty() && exists.empty() && foralls.empty() &&
+           counts.empty();
+  }
+};
+
+/// A guarded disjunctive rule
+///   ∀x~ [ guard ∧ body → alt_1 ∨ ... ∨ alt_k ]
+/// over rule-local variables 0..num_vars-1. `eq_guard` marks the sentence
+/// shape ∀x (x = x → ...); then the guard matches every domain element.
+/// An empty head means the body is inconsistent (⊥).
+struct GuardedRule {
+  uint32_t num_vars = 0;
+  bool eq_guard = false;
+  Lit guard;                      // positive atom; ignored when eq_guard
+  std::vector<Lit> body;          // conjunction (may contain negatives)
+  std::vector<HeadAlt> head;      // disjunction
+  std::string origin;             // for diagnostics: source sentence text
+};
+
+/// Functionality constraint: R (or its inverse) is a partial function.
+struct FunctionalityConstraint {
+  uint32_t rel = 0;
+  bool inverse = false;
+};
+
+/// The normal form every reasoning engine consumes: depth-≤1 guarded
+/// disjunctive rules plus functionality constraints.
+struct RuleSet {
+  SymbolsPtr symbols;
+  std::vector<GuardedRule> rules;
+  std::vector<FunctionalityConstraint> functional;
+
+  /// Relations introduced by normalization (definitional predicates). They
+  /// are excluded from query signatures.
+  std::vector<uint32_t> auxiliary_rels;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_RULES_H_

@@ -1,0 +1,12 @@
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+uint32_t Symbols::FreshRel(const std::string& stem, int arity) {
+  for (;;) {
+    std::string candidate = stem + "#" + std::to_string(fresh_counter_++);
+    if (rels_.Find(candidate) < 0) return Rel(candidate, arity);
+  }
+}
+
+}  // namespace gfomq

@@ -1,0 +1,64 @@
+#ifndef GFOMQ_LOGIC_SYMBOLS_H_
+#define GFOMQ_LOGIC_SYMBOLS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace gfomq {
+
+/// Shared symbol table for a reasoning scenario: relation symbols (with
+/// arities), variable names and constant names. Ontologies, instances and
+/// queries that are used together must share one Symbols object so that
+/// their ids agree.
+class Symbols {
+ public:
+  /// Interns a relation symbol. Registering the same name with a different
+  /// arity is an error (returns the existing id; caller should validate via
+  /// RelArity when parsing untrusted input).
+  uint32_t Rel(const std::string& name, int arity) {
+    uint32_t id = rels_.Intern(name);
+    if (id >= arity_.size()) arity_.push_back(arity);
+    return id;
+  }
+
+  /// Returns the id of an already-registered relation or -1.
+  int64_t FindRel(const std::string& name) const { return rels_.Find(name); }
+
+  int RelArity(uint32_t rel) const { return arity_[rel]; }
+  const std::string& RelName(uint32_t rel) const { return rels_.Name(rel); }
+  size_t NumRels() const { return rels_.size(); }
+
+  uint32_t Var(const std::string& name) { return vars_.Intern(name); }
+  const std::string& VarName(uint32_t v) const { return vars_.Name(v); }
+  size_t NumVars() const { return vars_.size(); }
+
+  uint32_t Const(const std::string& name) { return consts_.Intern(name); }
+  int64_t FindConst(const std::string& name) const {
+    return consts_.Find(name);
+  }
+  const std::string& ConstName(uint32_t c) const { return consts_.Name(c); }
+  size_t NumConsts() const { return consts_.size(); }
+
+  /// Creates a fresh relation symbol whose name does not clash with any
+  /// existing one. Used by normalization and gadget builders.
+  uint32_t FreshRel(const std::string& stem, int arity);
+
+ private:
+  Interner rels_;
+  std::vector<int> arity_;
+  Interner vars_;
+  Interner consts_;
+  uint64_t fresh_counter_ = 0;
+};
+
+using SymbolsPtr = std::shared_ptr<Symbols>;
+
+inline SymbolsPtr MakeSymbols() { return std::make_shared<Symbols>(); }
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_SYMBOLS_H_

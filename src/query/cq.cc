@@ -1,0 +1,319 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "instance/guarded_tree.h"
+#include "instance/homomorphism.h"
+
+namespace gfomq {
+
+Status Cq::Validate() const {
+  std::set<uint32_t> in_atoms;
+  for (const CqAtom& a : atoms) {
+    if (a.rel >= symbols->NumRels()) {
+      return Status::InvalidArgument("unknown relation in query atom");
+    }
+    if (static_cast<int>(a.vars.size()) != symbols->RelArity(a.rel)) {
+      return Status::InvalidArgument("arity mismatch in query atom for " +
+                                     symbols->RelName(a.rel));
+    }
+    for (uint32_t v : a.vars) {
+      if (v >= num_vars) {
+        return Status::InvalidArgument("query variable id out of range");
+      }
+      in_atoms.insert(v);
+    }
+  }
+  for (uint32_t v : answer_vars) {
+    if (!in_atoms.count(v)) {
+      return Status::InvalidArgument(
+          "answer variable does not occur in any atom");
+    }
+  }
+  return Status::Ok();
+}
+
+Instance Cq::CanonicalDb() const {
+  Instance db(symbols);
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    (void)v;
+    db.AddNull();
+  }
+  for (const CqAtom& a : atoms) {
+    std::vector<ElemId> args(a.vars.begin(), a.vars.end());
+    db.AddFact(a.rel, std::move(args));
+  }
+  return db;
+}
+
+void Cq::Answers(
+    const Instance& interp,
+    const std::function<bool(const std::vector<ElemId>&)>& fn) const {
+  std::vector<PatternAtom> pattern;
+  pattern.reserve(atoms.size());
+  for (const CqAtom& a : atoms) pattern.push_back({a.rel, a.vars});
+  std::vector<int64_t> fixed(num_vars, -1);
+  std::set<std::vector<ElemId>> seen;
+  ForEachMatch(pattern, num_vars, interp, fixed,
+               [&](const std::vector<int64_t>& assign) {
+                 std::vector<ElemId> tuple;
+                 tuple.reserve(answer_vars.size());
+                 for (uint32_t v : answer_vars) {
+                   tuple.push_back(static_cast<ElemId>(assign[v]));
+                 }
+                 if (!seen.insert(tuple).second) return false;
+                 return fn(tuple);
+               });
+}
+
+std::set<std::vector<ElemId>> Cq::AllAnswers(const Instance& interp) const {
+  std::set<std::vector<ElemId>> out;
+  Answers(interp, [&out](const std::vector<ElemId>& t) {
+    out.insert(t);
+    return false;
+  });
+  return out;
+}
+
+bool Cq::HasAnswer(const Instance& interp,
+                   const std::vector<ElemId>& tuple) const {
+  std::vector<PatternAtom> pattern;
+  pattern.reserve(atoms.size());
+  for (const CqAtom& a : atoms) pattern.push_back({a.rel, a.vars});
+  std::vector<int64_t> fixed(num_vars, -1);
+  for (size_t i = 0; i < answer_vars.size(); ++i) {
+    uint32_t v = answer_vars[i];
+    if (fixed[v] >= 0 && fixed[v] != static_cast<int64_t>(tuple[i])) {
+      return false;  // repeated answer variable bound to different elements
+    }
+    fixed[v] = static_cast<int64_t>(tuple[i]);
+  }
+  return MatchAtoms(pattern, num_vars, interp, fixed).has_value();
+}
+
+bool Cq::IsRootedAcyclic() const {
+  if (IsBoolean()) return false;
+  Instance db = CanonicalDb();
+  std::set<uint32_t> root_set(answer_vars.begin(), answer_vars.end());
+  std::vector<ElemId> root_bag(root_set.begin(), root_set.end());
+  return BuildGuardedTreeDecomposition(db, &root_bag).has_value();
+}
+
+std::string Cq::ToString() const {
+  auto var_name = [this](uint32_t v) {
+    if (v < var_names.size() && !var_names[v].empty()) return var_names[v];
+    return "v" + std::to_string(v);
+  };
+  std::ostringstream out;
+  out << "q(";
+  for (size_t i = 0; i < answer_vars.size(); ++i) {
+    if (i) out << ",";
+    out << var_name(answer_vars[i]);
+  }
+  out << ") :- ";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i) out << ", ";
+    out << symbols->RelName(atoms[i].rel) << "(";
+    for (size_t j = 0; j < atoms[i].vars.size(); ++j) {
+      if (j) out << ",";
+      out << var_name(atoms[i].vars[j]);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+Status Ucq::Validate() const {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("UCQ must have at least one disjunct");
+  }
+  size_t arity = disjuncts[0].Arity();
+  for (const Cq& q : disjuncts) {
+    if (q.Arity() != arity) {
+      return Status::InvalidArgument("UCQ disjuncts have differing arities");
+    }
+    Status s = q.Validate();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+bool Ucq::HasAnswer(const Instance& interp,
+                    const std::vector<ElemId>& tuple) const {
+  for (const Cq& q : disjuncts) {
+    if (q.HasAnswer(interp, tuple)) return true;
+  }
+  return false;
+}
+
+std::set<std::vector<ElemId>> Ucq::AllAnswers(const Instance& interp) const {
+  std::set<std::vector<ElemId>> out;
+  for (const Cq& q : disjuncts) {
+    auto sub = q.AllAnswers(interp);
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::string Ucq::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i) out << " ; ";
+    out << disjuncts[i].ToString();
+  }
+  return out.str();
+}
+
+// --- Parsing -----------------------------------------------------------------
+
+namespace {
+
+void SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+}
+
+Result<std::string> ReadIdent(const std::string& s, size_t* i) {
+  SkipSpace(s, i);
+  size_t start = *i;
+  while (*i < s.size() && (std::isalnum(static_cast<unsigned char>(s[*i])) ||
+                           s[*i] == '_' || s[*i] == '\'')) {
+    ++*i;
+  }
+  if (*i == start) {
+    return Status::InvalidArgument("expected identifier at offset " +
+                                   std::to_string(start));
+  }
+  return s.substr(start, *i - start);
+}
+
+Status Consume(const std::string& s, size_t* i, char c) {
+  SkipSpace(s, i);
+  if (*i >= s.size() || s[*i] != c) {
+    return Status::InvalidArgument(std::string("expected '") + c +
+                                   "' at offset " + std::to_string(*i));
+  }
+  ++*i;
+  return Status::Ok();
+}
+
+bool Peek(const std::string& s, size_t i, char c) {
+  SkipSpace(s, &i);
+  return i < s.size() && s[i] == c;
+}
+
+}  // namespace
+
+Result<Cq> ParseCq(const std::string& text, SymbolsPtr symbols) {
+  Cq q;
+  q.symbols = symbols;
+  std::map<std::string, uint32_t> vars;
+  auto var_id = [&](const std::string& name) {
+    auto it = vars.find(name);
+    if (it != vars.end()) return it->second;
+    uint32_t id = q.num_vars++;
+    vars.emplace(name, id);
+    q.var_names.push_back(name);
+    return id;
+  };
+
+  size_t i = 0;
+  Result<std::string> head = ReadIdent(text, &i);
+  if (!head.ok()) return head.status();
+  Status s = Consume(text, &i, '(');
+  if (!s.ok()) return s;
+  if (!Peek(text, i, ')')) {
+    for (;;) {
+      Result<std::string> v = ReadIdent(text, &i);
+      if (!v.ok()) return v.status();
+      q.answer_vars.push_back(var_id(*v));
+      if (Peek(text, i, ',')) {
+        (void)Consume(text, &i, ',');
+        continue;
+      }
+      break;
+    }
+  }
+  s = Consume(text, &i, ')');
+  if (!s.ok()) return s;
+  s = Consume(text, &i, ':');
+  if (!s.ok()) return s;
+  s = Consume(text, &i, '-');
+  if (!s.ok()) return s;
+
+  for (;;) {
+    Result<std::string> rel = ReadIdent(text, &i);
+    if (!rel.ok()) return rel.status();
+    s = Consume(text, &i, '(');
+    if (!s.ok()) return s;
+    std::vector<uint32_t> args;
+    if (!Peek(text, i, ')')) {
+      for (;;) {
+        Result<std::string> v = ReadIdent(text, &i);
+        if (!v.ok()) return v.status();
+        args.push_back(var_id(*v));
+        if (Peek(text, i, ',')) {
+          (void)Consume(text, &i, ',');
+          continue;
+        }
+        break;
+      }
+    }
+    s = Consume(text, &i, ')');
+    if (!s.ok()) return s;
+    int64_t existing = symbols->FindRel(*rel);
+    uint32_t rid;
+    if (existing >= 0) {
+      rid = static_cast<uint32_t>(existing);
+      if (symbols->RelArity(rid) != static_cast<int>(args.size())) {
+        return Status::InvalidArgument("arity mismatch for " + *rel);
+      }
+    } else {
+      rid = symbols->Rel(*rel, static_cast<int>(args.size()));
+    }
+    q.atoms.push_back({rid, std::move(args)});
+    if (Peek(text, i, ',')) {
+      (void)Consume(text, &i, ',');
+      continue;
+    }
+    break;
+  }
+  SkipSpace(text, &i);
+  if (i != text.size()) {
+    return Status::InvalidArgument("trailing input after query");
+  }
+  Status v = q.Validate();
+  if (!v.ok()) return v;
+  return q;
+}
+
+Result<Ucq> ParseUcq(const std::string& text, SymbolsPtr symbols) {
+  Ucq u;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t sep = text.find(';', start);
+    std::string part = text.substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    // Skip empty segments (e.g. trailing ';').
+    bool blank = true;
+    for (char c : part) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) {
+      Result<Cq> q = ParseCq(part, symbols);
+      if (!q.ok()) return q.status();
+      u.disjuncts.push_back(std::move(*q));
+    }
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  Status v = u.Validate();
+  if (!v.ok()) return v;
+  return u;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,95 @@
+#ifndef GFOMQ_QUERY_CQ_H_
+#define GFOMQ_QUERY_CQ_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "instance/instance.h"
+#include "logic/symbols.h"
+
+namespace gfomq {
+
+/// An atom of a conjunctive query over query-local variable ids.
+struct CqAtom {
+  uint32_t rel;
+  std::vector<uint32_t> vars;
+
+  auto operator<=>(const CqAtom&) const = default;
+};
+
+/// A conjunctive query q(x~) ← φ with φ a conjunction of relational atoms.
+/// Variables are dense local ids 0..num_vars-1; answer variables must occur
+/// in at least one atom (checked by Validate).
+struct Cq {
+  SymbolsPtr symbols;
+  uint32_t num_vars = 0;
+  std::vector<uint32_t> answer_vars;
+  std::vector<CqAtom> atoms;
+  std::vector<std::string> var_names;  // for printing; may be empty
+
+  bool IsBoolean() const { return answer_vars.empty(); }
+  size_t Arity() const { return answer_vars.size(); }
+
+  Status Validate() const;
+
+  /// The canonical database D_q: one (null) element per variable, element
+  /// id i representing variable i, one fact per atom.
+  Instance CanonicalDb() const;
+
+  /// Enumerates answer tuples in `interp` (each reported once); stops early
+  /// if the callback returns true.
+  void Answers(const Instance& interp,
+               const std::function<bool(const std::vector<ElemId>&)>& fn) const;
+
+  /// All answers, sorted and deduplicated.
+  std::set<std::vector<ElemId>> AllAnswers(const Instance& interp) const;
+
+  /// Does `tuple` answer the query in `interp`? For Boolean queries pass {}.
+  bool HasAnswer(const Instance& interp,
+                 const std::vector<ElemId>& tuple) const;
+
+  /// True if this is a rooted acyclic query (rAQ): non-Boolean, and D_q has
+  /// a cg-tree decomposition whose root bag is exactly the answer variables.
+  bool IsRootedAcyclic() const;
+
+  std::string ToString() const;
+};
+
+/// A union of conjunctive queries; all disjuncts share answer arity.
+struct Ucq {
+  std::vector<Cq> disjuncts;
+
+  size_t Arity() const {
+    return disjuncts.empty() ? 0 : disjuncts[0].Arity();
+  }
+
+  Status Validate() const;
+
+  bool HasAnswer(const Instance& interp,
+                 const std::vector<ElemId>& tuple) const;
+
+  std::set<std::vector<ElemId>> AllAnswers(const Instance& interp) const;
+
+  std::string ToString() const;
+
+  static Ucq Single(Cq q) {
+    Ucq u;
+    u.disjuncts.push_back(std::move(q));
+    return u;
+  }
+};
+
+/// Parses a CQ written as `q(x,y) :- R(x,y), A(x)`; a Boolean query is
+/// `q() :- ...`. Relation arities are inferred/checked against `symbols`.
+Result<Cq> ParseCq(const std::string& text, SymbolsPtr symbols);
+
+/// Parses a UCQ: CQ disjuncts separated by `;`.
+Result<Ucq> ParseUcq(const std::string& text, SymbolsPtr symbols);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_QUERY_CQ_H_

@@ -1,0 +1,137 @@
+#include "reasoner/bouquet.h"
+
+#include <algorithm>
+
+namespace gfomq {
+
+namespace {
+
+struct SigSplit {
+  std::vector<uint32_t> unary;
+  std::vector<uint32_t> binary;
+};
+
+SigSplit Split(const std::vector<uint32_t>& signature, const Symbols& sym) {
+  SigSplit out;
+  for (uint32_t rel : signature) {
+    if (sym.RelArity(rel) == 1) out.unary.push_back(rel);
+    if (sym.RelArity(rel) == 2) out.binary.push_back(rel);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ForEachBouquet(SymbolsPtr symbols,
+                    const std::vector<uint32_t>& signature,
+                    const BouquetOptions& options,
+                    const std::function<bool(const Instance&)>& fn) {
+  SigSplit sig = Split(signature, *symbols);
+  const size_t u = sig.unary.size();
+  const size_t b = sig.binary.size();
+
+  // Child types: unary mask x non-empty edge mask (2 bits per binary rel:
+  // R(root,child), R(child,root)).
+  struct ChildType {
+    uint32_t unary_mask;
+    uint32_t edge_mask;  // 2b bits
+  };
+  std::vector<ChildType> child_types;
+  for (uint32_t um = 0; um < (1u << u); ++um) {
+    for (uint32_t em = 1; em < (1u << (2 * b)); ++em) {
+      child_types.push_back({um, em});
+    }
+  }
+
+  uint64_t emitted = 0;
+  // Enumerate by total child count (small bouquets first), root unary mask,
+  // root loop mask, and non-decreasing child type sequences.
+  for (uint32_t count = 0; count <= options.max_outdegree; ++count) {
+    // Without binary relations there are no connected children at all.
+    if (count > 0 && child_types.empty()) break;
+    std::vector<size_t> types(count, 0);
+    for (;;) {
+      // Root configurations.
+      uint32_t loop_limit = options.irreflexive ? 1 : (1u << b);
+      for (uint32_t root_um = 0; root_um < (1u << u); ++root_um) {
+        for (uint32_t loop_mask = 0; loop_mask < loop_limit; ++loop_mask) {
+          // Skip the completely empty bouquet (instances are non-empty, a
+          // bare element carries no facts worth probing).
+          if (count == 0 && root_um == 0 && loop_mask == 0) continue;
+          if (++emitted > options.max_bouquets) return false;
+          Instance inst(symbols);
+          ElemId root = inst.AddConstant("r");
+          for (size_t i = 0; i < u; ++i) {
+            if (root_um & (1u << i)) inst.AddFact(sig.unary[i], {root});
+          }
+          for (size_t i = 0; i < b; ++i) {
+            if (loop_mask & (1u << i)) inst.AddFact(sig.binary[i], {root, root});
+          }
+          for (uint32_t c = 0; c < count; ++c) {
+            const ChildType& t = child_types[types[c]];
+            ElemId child = inst.AddConstant("d" + std::to_string(c));
+            for (size_t i = 0; i < u; ++i) {
+              if (t.unary_mask & (1u << i)) {
+                inst.AddFact(sig.unary[i], {child});
+              }
+            }
+            for (size_t i = 0; i < b; ++i) {
+              if (t.edge_mask & (1u << (2 * i))) {
+                inst.AddFact(sig.binary[i], {root, child});
+              }
+              if (t.edge_mask & (1u << (2 * i + 1))) {
+                inst.AddFact(sig.binary[i], {child, root});
+              }
+            }
+          }
+          if (fn(inst)) return true;
+        }
+      }
+      // Next non-decreasing type sequence.
+      if (count == 0) break;
+      int64_t pos = static_cast<int64_t>(count) - 1;
+      while (pos >= 0 && types[static_cast<size_t>(pos)] + 1 >=
+                             child_types.size()) {
+        --pos;
+      }
+      if (pos < 0) break;
+      size_t next = types[static_cast<size_t>(pos)] + 1;
+      for (size_t i = static_cast<size_t>(pos); i < count; ++i) {
+        types[i] = next;
+      }
+    }
+  }
+  return true;
+}
+
+MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
+                                   SymbolsPtr symbols,
+                                   const std::vector<uint32_t>& signature,
+                                   const BouquetOptions& options) {
+  MetaDecision out;
+  bool all_conclusive = true;
+  bool exhausted = ForEachBouquet(
+      symbols, signature, options, [&](const Instance& bouquet) {
+        ++out.bouquets_checked;
+        bool conclusive = true;
+        std::optional<DisjunctionViolation> violation =
+            FindDisjunctionViolation(solver, bouquet, signature, &conclusive,
+                                     options.probe);
+        if (violation) {
+          out.violation = std::move(violation);
+          return true;  // coNP-hardness witnessed; stop
+        }
+        if (!conclusive) all_conclusive = false;
+        return false;
+      });
+  if (out.violation) {
+    out.ptime = Certainty::kNo;
+  } else if (exhausted && all_conclusive) {
+    out.ptime = Certainty::kYes;
+  } else {
+    out.ptime = Certainty::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace gfomq

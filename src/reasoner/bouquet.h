@@ -1,0 +1,54 @@
+#ifndef GFOMQ_REASONER_BOUQUET_H_
+#define GFOMQ_REASONER_BOUQUET_H_
+
+#include <functional>
+#include <optional>
+
+#include "reasoner/materializability.h"
+
+namespace gfomq {
+
+/// Options for the bouquet-based meta decision procedure (Theorem 13 /
+/// Lemma 5: for uGC2−(1,=) and ALCHIQ-depth-1 ontologies, materializability
+/// — equivalently PTIME query evaluation, equivalently Datalog≠-
+/// rewritability — is already decided by bouquets of outdegree ≤ |O|).
+struct BouquetOptions {
+  uint32_t max_outdegree = 3;
+  bool irreflexive = false;      // ALCHIQ case: irreflexive bouquets suffice
+  uint64_t max_bouquets = 200000;
+  ProbeOptions probe;
+};
+
+/// Enumerates bouquets over a signature of unary/binary relations: a root
+/// element with up to max_outdegree children, unary decorations on every
+/// element, binary facts between the root and each child (both directions),
+/// and — unless irreflexive — loops on the root. Children are generated up
+/// to permutation. The callback returns true to stop. Returns false if the
+/// bouquet budget was exhausted.
+bool ForEachBouquet(SymbolsPtr symbols,
+                    const std::vector<uint32_t>& signature,
+                    const BouquetOptions& options,
+                    const std::function<bool(const Instance&)>& fn);
+
+/// Verdict of the meta decision procedure.
+struct MetaDecision {
+  /// kYes: PTIME query evaluation (materializable on all enumerated
+  /// bouquets); kNo: coNP-hard (violation found); kUnknown: budget.
+  Certainty ptime = Certainty::kUnknown;
+  std::optional<DisjunctionViolation> violation;
+  uint64_t bouquets_checked = 0;
+};
+
+/// Decides PTIME query evaluation for ontologies in the bouquet-decidable
+/// fragments by searching all bouquets for a disjunction-property
+/// violation. Sound in general (a violation always implies coNP-hardness
+/// by Theorem 3); complete for uGC2−(1,=) / ALCHIQ depth 1 by Lemma 5 when
+/// max_outdegree ≥ |O| and the enumeration is not truncated.
+MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
+                                   SymbolsPtr symbols,
+                                   const std::vector<uint32_t>& signature,
+                                   const BouquetOptions& options = {});
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_BOUQUET_H_

@@ -1,0 +1,99 @@
+#include "reasoner/certain.h"
+
+namespace gfomq {
+
+Result<CertainAnswerSolver> CertainAnswerSolver::Create(
+    const Ontology& ontology, CertainOptions options) {
+  Result<RuleSet> rules = NormalizeOntology(ontology);
+  if (!rules.ok()) return rules.status();
+  return CertainAnswerSolver(std::move(*rules), options);
+}
+
+Certainty CertainAnswerSolver::IsConsistent(const Instance& input) {
+  // Finding a model is what the ground solver is best at (GF has the
+  // finite-model property); try small finite models first.
+  if (options_.ground_extra_nulls > 0) {
+    GroundSolver ground(rules_);
+    Certainty g = ground.CheckConsistency(input, options_.ground_extra_nulls);
+    if (g == Certainty::kYes) return Certainty::kYes;
+  }
+  // Only the tableau can prove inconsistency (all branches close).
+  Tableau tableau(rules_, options_.tableau);
+  return tableau.IsConsistent(input);
+}
+
+Certainty CertainAnswerSolver::IsCertain(const Instance& input,
+                                         const Ucq& query,
+                                         const std::vector<ElemId>& tuple) {
+  Tableau tableau(rules_, options_.tableau);
+  Certainty counter = tableau.FindModelWhere(
+      input,
+      [&](const Instance& model) { return !query.HasAnswer(model, tuple); },
+      /*reject_antimonotone=*/true);
+  if (counter == Certainty::kYes) return Certainty::kNo;
+  if (counter == Certainty::kNo) return Certainty::kYes;
+  // Tableau hit its budget: try a bounded finite countermodel search, which
+  // can still refute entailment soundly.
+  if (options_.ground_extra_nulls > 0) {
+    GroundSolver ground(rules_);
+    Certainty refuted = ground.RefuteEntailment(input, query, tuple,
+                                                options_.ground_extra_nulls);
+    if (refuted == Certainty::kYes) return Certainty::kNo;
+  }
+  return Certainty::kUnknown;
+}
+
+std::set<std::vector<ElemId>> CertainAnswerSolver::CertainAnswers(
+    const Instance& input, const Ucq& query,
+    std::vector<std::vector<ElemId>>* unknown) {
+  std::set<std::vector<ElemId>> out;
+  size_t arity = query.Arity();
+  // Enumerate all tuples over dom(input).
+  std::vector<ElemId> tuple(arity, 0);
+  const uint32_t n = static_cast<uint32_t>(input.NumElements());
+  if (n == 0) return out;
+  for (;;) {
+    Certainty c = IsCertain(input, query, tuple);
+    if (c == Certainty::kYes) {
+      out.insert(tuple);
+    } else if (c == Certainty::kUnknown && unknown != nullptr) {
+      unknown->push_back(tuple);
+    }
+    // Next tuple (also terminates the arity-0 case after one round).
+    size_t i = 0;
+    for (; i < arity; ++i) {
+      if (++tuple[i] < n) break;
+      tuple[i] = 0;
+    }
+    if (i == arity) break;
+  }
+  return out;
+}
+
+Certainty CertainAnswerSolver::HasDisjunctionViolation(
+    const Instance& input,
+    const std::vector<std::pair<Ucq, std::vector<ElemId>>>& disjuncts) {
+  // (1) The disjunction must be certain: no model falsifies all disjuncts.
+  Tableau tableau(rules_, options_.tableau);
+  Certainty all_fail = tableau.FindModelWhere(
+      input,
+      [&](const Instance& m) {
+        for (const auto& [q, t] : disjuncts) {
+          if (q.HasAnswer(m, t)) return false;
+        }
+        return true;
+      },
+      /*reject_antimonotone=*/true);
+  if (all_fail == Certainty::kYes) return Certainty::kNo;  // not even certain
+  if (all_fail == Certainty::kUnknown) return Certainty::kUnknown;
+  // (2) No single disjunct may be certain.
+  bool any_unknown = false;
+  for (const auto& [q, t] : disjuncts) {
+    Certainty c = IsCertain(input, q, t);
+    if (c == Certainty::kYes) return Certainty::kNo;
+    if (c == Certainty::kUnknown) any_unknown = true;
+  }
+  return any_unknown ? Certainty::kUnknown : Certainty::kYes;
+}
+
+}  // namespace gfomq

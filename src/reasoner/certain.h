@@ -1,0 +1,71 @@
+#ifndef GFOMQ_REASONER_CERTAIN_H_
+#define GFOMQ_REASONER_CERTAIN_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/normalize.h"
+#include "logic/ontology.h"
+#include "query/cq.h"
+#include "reasoner/ground.h"
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+
+/// Options for the certain-answer front end.
+struct CertainOptions {
+  TableauBudget tableau;
+  /// Extra nulls for the ground countermodel fallback (0 disables it).
+  uint32_t ground_extra_nulls = 3;
+};
+
+/// Front end for OMQ semantics: consistency and certain answers of UCQs
+/// w.r.t. an ontology. Combines the disjunctive guarded tableau (complete
+/// when it terminates) with the finite-countermodel ground solver (sound
+/// refutations), per the engine design in DESIGN.md.
+class CertainAnswerSolver {
+ public:
+  /// Normalizes the ontology; fails if it uses unsupported features.
+  static Result<CertainAnswerSolver> Create(const Ontology& ontology,
+                                            CertainOptions options = {});
+
+  explicit CertainAnswerSolver(RuleSet rules, CertainOptions options = {})
+      : rules_(std::move(rules)), options_(options) {}
+
+  /// Is the instance consistent w.r.t. the ontology?
+  Certainty IsConsistent(const Instance& input);
+
+  /// Is `tuple` a certain answer to `query` on `input`? (kYes also when the
+  /// instance is inconsistent, as every tuple is then certain.)
+  Certainty IsCertain(const Instance& input, const Ucq& query,
+                      const std::vector<ElemId>& tuple);
+
+  Certainty IsCertain(const Instance& input, const Cq& query,
+                      const std::vector<ElemId>& tuple) {
+    return IsCertain(input, Ucq::Single(query), tuple);
+  }
+
+  /// All certain answers among tuples over dom(input). Tuples mapping to
+  /// kUnknown are reported in `unknown` when non-null.
+  std::set<std::vector<ElemId>> CertainAnswers(
+      const Instance& input, const Ucq& query,
+      std::vector<std::vector<ElemId>>* unknown = nullptr);
+
+  /// Is the disjunction q1(t1) ∨ ... ∨ qk(tk) certain while no single
+  /// disjunct is? Such a witness refutes materializability (Theorem 17 /
+  /// Definition 2 in the paper).
+  Certainty HasDisjunctionViolation(
+      const Instance& input,
+      const std::vector<std::pair<Ucq, std::vector<ElemId>>>& disjuncts);
+
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  RuleSet rules_;
+  CertainOptions options_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_CERTAIN_H_

@@ -1,0 +1,52 @@
+#ifndef GFOMQ_REASONER_GROUND_H_
+#define GFOMQ_REASONER_GROUND_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "instance/instance.h"
+#include "logic/rules.h"
+#include "query/cq.h"
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+
+/// Grounds "rules ∧ D (∧ ¬q(a~))" over a finite domain — the elements of D
+/// plus a number of fresh nulls — into CNF and solves with the embedded SAT
+/// solver. A satisfying assignment is a finite model, i.e. a countermodel
+/// when ¬q was asserted. Since GF ∧ ¬UCQ sits inside the guarded negation
+/// fragment, which has the finite-model property, iterating the domain size
+/// makes countermodel search complete in the limit.
+class GroundSolver {
+ public:
+  explicit GroundSolver(const RuleSet& rules) : rules_(rules) {}
+
+  /// Searches for a model of `input` and the rules over the domain
+  /// dom(input) + extra_nulls, optionally avoiding q(a~). Returns the model,
+  /// nullopt if provably none at this size (or kUnknown via `certainty`).
+  std::optional<Instance> FindModelAtSize(
+      const Instance& input, uint32_t extra_nulls, const Ucq* avoid_query,
+      const std::vector<ElemId>* avoid_tuple, Certainty* certainty,
+      uint64_t max_conflicts = 0);
+
+  /// Iterative-deepening countermodel search: tries extra nulls
+  /// 0..max_extra_nulls. kYes = countermodel found (non-entailment is
+  /// certain); kNo is never returned (absence at bounded size is not a
+  /// proof); kUnknown otherwise.
+  Certainty RefuteEntailment(const Instance& input, const Ucq& query,
+                             const std::vector<ElemId>& tuple,
+                             uint32_t max_extra_nulls,
+                             std::optional<Instance>* countermodel = nullptr);
+
+  /// Consistency at bounded size: kYes with a model, else kUnknown.
+  Certainty CheckConsistency(const Instance& input, uint32_t max_extra_nulls,
+                             std::optional<Instance>* model = nullptr);
+
+ private:
+  const RuleSet& rules_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_GROUND_H_

@@ -1,0 +1,132 @@
+#include <map>
+#include "reasoner/materializability.h"
+
+#include <sstream>
+
+namespace gfomq {
+
+std::string DisjunctionViolation::ToString() const {
+  std::ostringstream out;
+  out << "on instance { " << instance.ToString() << "}: certain disjunction ";
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i) out << " OR ";
+    out << disjuncts[i].first.ToString() << " @ (";
+    for (size_t j = 0; j < disjuncts[i].second.size(); ++j) {
+      if (j) out << ",";
+      out << instance.ElemName(disjuncts[i].second[j]);
+    }
+    out << ")";
+  }
+  out << ", no disjunct certain";
+  return out.str();
+}
+
+namespace {
+
+// Builds the atomic CQ q(x~) :- R(x~) matching `tuple`'s equality pattern.
+Cq AtomicQuery(SymbolsPtr sym, uint32_t rel, const std::vector<ElemId>& tuple,
+               bool boolean) {
+  Cq q;
+  q.symbols = sym;
+  std::vector<uint32_t> vars;
+  if (boolean) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      vars.push_back(q.num_vars++);
+    }
+  } else {
+    std::map<ElemId, uint32_t> var_of;
+    for (ElemId e : tuple) {
+      auto it = var_of.find(e);
+      if (it == var_of.end()) it = var_of.emplace(e, q.num_vars++).first;
+      vars.push_back(it->second);
+    }
+    q.answer_vars = vars;
+  }
+  q.atoms.push_back({rel, vars});
+  return q;
+}
+
+}  // namespace
+
+std::optional<DisjunctionViolation> FindDisjunctionViolation(
+    CertainAnswerSolver& solver, const Instance& instance,
+    const std::vector<uint32_t>& signature, bool* conclusive,
+    ProbeOptions options) {
+  *conclusive = true;
+  if (solver.IsConsistent(instance) != Certainty::kYes) {
+    // Inconsistent (everything certain, no violation possible) or unknown.
+    if (solver.IsConsistent(instance) == Certainty::kUnknown) {
+      *conclusive = false;
+    }
+    return std::nullopt;
+  }
+  SymbolsPtr sym = instance.symbols();
+
+  // Candidate pool: atomic queries that are not yet facts and individually
+  // non-certain.
+  std::vector<std::pair<Ucq, std::vector<ElemId>>> candidates;
+  bool any_unknown = false;
+  auto try_candidate = [&](uint32_t rel, const std::vector<ElemId>& tuple,
+                           bool boolean) {
+    if (!boolean && instance.HasFact(rel, tuple)) return;
+    Cq q = AtomicQuery(sym, rel, tuple, boolean);
+    std::vector<ElemId> answer = boolean ? std::vector<ElemId>{} : tuple;
+    Certainty c = solver.IsCertain(instance, q, answer);
+    if (c == Certainty::kNo) {
+      candidates.emplace_back(Ucq::Single(std::move(q)), answer);
+    } else if (c == Certainty::kUnknown) {
+      any_unknown = true;
+    }
+  };
+
+  for (uint32_t rel : signature) {
+    int arity = sym->RelArity(rel);
+    if (arity == 1) {
+      for (ElemId e = 0; e < instance.NumElements(); ++e) {
+        try_candidate(rel, {e}, false);
+      }
+    } else if (arity == 2) {
+      if (options.binary_pair_candidates) {
+        for (ElemId a = 0; a < instance.NumElements(); ++a) {
+          for (ElemId b = 0; b < instance.NumElements(); ++b) {
+            try_candidate(rel, {a, b}, false);
+          }
+        }
+      }
+      if (options.boolean_binary_candidates) {
+        try_candidate(rel, {0, 0}, true);
+      }
+    }
+  }
+
+  if (candidates.size() < 2) {
+    *conclusive = !any_unknown;
+    return std::nullopt;
+  }
+  // If the full disjunction of the non-certain candidates is not certain,
+  // no subset can witness a violation.
+  Certainty full = solver.HasDisjunctionViolation(instance, candidates);
+  if (full == Certainty::kNo) {
+    *conclusive = !any_unknown;
+    return std::nullopt;
+  }
+  if (full == Certainty::kUnknown) {
+    *conclusive = false;
+    return std::nullopt;
+  }
+  // Violation exists: minimize greedily (keep the disjunction certain).
+  std::vector<std::pair<Ucq, std::vector<ElemId>>> minimal = candidates;
+  for (size_t i = 0; i < minimal.size() && minimal.size() > 2;) {
+    std::vector<std::pair<Ucq, std::vector<ElemId>>> without = minimal;
+    without.erase(without.begin() + static_cast<int64_t>(i));
+    if (solver.HasDisjunctionViolation(instance, without) == Certainty::kYes) {
+      minimal = std::move(without);
+    } else {
+      ++i;
+    }
+  }
+  DisjunctionViolation out{instance, std::move(minimal)};
+  return out;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,640 @@
+#include "reasoner/tableau.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gfomq {
+
+namespace {
+
+// Extends `env` so it can hold variable ids up to `v`.
+void EnsureEnv(std::vector<int64_t>* env, uint32_t v) {
+  if (env->size() <= v) env->resize(v + 1, -1);
+}
+
+uint32_t MaxVarIn(const Lit& lit) {
+  uint32_t m = 0;
+  for (uint32_t v : lit.args) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace
+
+// --- Small predicates ---------------------------------------------------------
+
+bool Tableau::LitHolds(const Lit& lit, const std::vector<ElemId>& env,
+                       const Instance& inst) const {
+  if (lit.is_eq) {
+    bool eq = env[lit.args[0]] == env[lit.args[1]];
+    return lit.positive ? eq : !eq;
+  }
+  std::vector<ElemId> args;
+  args.reserve(lit.args.size());
+  for (uint32_t v : lit.args) args.push_back(env[v]);
+  bool present = inst.HasFact(lit.rel, args);
+  return lit.positive ? present : !present;
+}
+
+bool Tableau::Diseq(const Branch& branch, ElemId a, ElemId b) const {
+  if (a == b) return false;
+  // Distinct constants are always unequal (standard names).
+  if (!branch.inst.IsNull(a) && !branch.inst.IsNull(b)) return true;
+  for (const auto& [x, y] : branch.diseq) {
+    if ((x == a && y == b) || (x == b && y == a)) return true;
+  }
+  return false;
+}
+
+bool Tableau::PinnedAlready(const Branch& branch, const GuardedRule* rule,
+                            size_t alt_index, size_t unit_index, bool is_count,
+                            const std::vector<ElemId>& binding) const {
+  for (const Pinned& p : branch.pinned) {
+    if (p.rule == rule && p.alt_index == alt_index &&
+        p.unit_index == unit_index && p.is_count == is_count &&
+        p.binding == binding) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Enumerates extensions of `env` (a partial assignment) that match `guard`
+// against a fact, binding exactly the unassigned guard variables.
+static void ForEachGuardMatch(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<void(const std::vector<int64_t>&)>& fn) {
+  for (const Fact& f : inst.facts()) {
+    if (f.rel != guard.rel) continue;
+    std::vector<int64_t> ext = env;
+    bool ok = true;
+    for (size_t i = 0; i < guard.args.size() && ok; ++i) {
+      uint32_t v = guard.args[i];
+      if (ext.size() <= v) ext.resize(v + 1, -1);
+      if (ext[v] < 0) {
+        ext[v] = static_cast<int64_t>(f.args[i]);
+      } else if (ext[v] != static_cast<int64_t>(f.args[i])) {
+        ok = false;
+      }
+    }
+    if (ok) fn(ext);
+  }
+}
+
+std::vector<ElemId> Tableau::CountWitnesses(const CountUnit& unit,
+                                            const std::vector<ElemId>& binding,
+                                            const Branch& branch) const {
+  std::vector<ElemId> out;
+  std::vector<int64_t> env(binding.begin(), binding.end());
+  EnsureEnv(&env, unit.qvar);
+  for (const Lit& l : unit.lits) EnsureEnv(&env, MaxVarIn(l));
+  EnsureEnv(&env, MaxVarIn(unit.guard));
+  env[unit.qvar] = -1;
+  std::set<ElemId> seen;
+  ForEachGuardMatch(unit.guard, branch.inst, env,
+                    [&](const std::vector<int64_t>& ext) {
+                      if (ext[unit.qvar] < 0) return;
+                      ElemId y = static_cast<ElemId>(ext[unit.qvar]);
+                      if (seen.count(y)) return;
+                      std::vector<ElemId> full(ext.size(), 0);
+                      for (size_t i = 0; i < ext.size(); ++i) {
+                        full[i] = ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
+                      }
+                      for (const Lit& l : unit.lits) {
+                        if (!LitHolds(l, full, branch.inst)) return;
+                      }
+                      seen.insert(y);
+                      out.push_back(y);
+                    });
+  return out;
+}
+
+bool Tableau::ForallUnitSatisfiedAt(const ForallUnit& unit,
+                                    const std::vector<ElemId>& binding,
+                                    const std::vector<ElemId>& match,
+                                    const Branch& branch) const {
+  (void)binding;
+  for (const Lit& l : unit.clause.lits) {
+    if (LitHolds(l, match, branch.inst)) return true;
+  }
+  return false;
+}
+
+bool Tableau::AltSatisfied(const HeadAlt& alt,
+                           const std::vector<ElemId>& binding,
+                           const Branch& branch) const {
+  if (alt.is_false) return false;
+  std::vector<ElemId> env = binding;
+  for (const Lit& l : alt.lits) {
+    if (!LitHolds(l, env, branch.inst)) return false;
+  }
+  for (const ExistsUnit& e : alt.exists) {
+    std::vector<int64_t> partial(binding.begin(), binding.end());
+    EnsureEnv(&partial, MaxVarIn(e.guard));
+    for (const Lit& l : e.lits) EnsureEnv(&partial, MaxVarIn(l));
+    for (uint32_t q : e.qvars) {
+      EnsureEnv(&partial, q);
+      partial[q] = -1;
+    }
+    bool found = false;
+    ForEachGuardMatch(e.guard, branch.inst, partial,
+                      [&](const std::vector<int64_t>& ext) {
+                        if (found) return;
+                        std::vector<ElemId> full(ext.size(), 0);
+                        for (size_t i = 0; i < ext.size(); ++i) {
+                          if (ext[i] < 0) return;  // unbound var in lits
+                          full[i] = static_cast<ElemId>(ext[i]);
+                        }
+                        for (const Lit& l : e.lits) {
+                          if (!LitHolds(l, full, branch.inst)) return;
+                        }
+                        found = true;
+                      });
+    if (!found) return false;
+  }
+  // Universal and at-most units count as satisfied only when committed
+  // (pinned); the pin is then enforced by its own obligations.
+  // To locate them we need the rule/alt indices, which AltSatisfied does
+  // not know — callers pass them via the pinned check below.
+  // Here we conservatively require that such units are pinned; the caller
+  // performs that check (see RuleInstanceSatisfied).
+  return true;
+}
+
+// --- Obligation discovery ------------------------------------------------------
+
+std::optional<Tableau::Obligation> Tableau::FindObligation(
+    const Branch& branch) const {
+  // 1. Functionality merges (deterministic).
+  for (const FunctionalityConstraint& fc : rules_.functional) {
+    std::vector<Fact> rfacts = branch.inst.FactsOf(fc.rel);
+    for (size_t i = 0; i < rfacts.size(); ++i) {
+      for (size_t j = i + 1; j < rfacts.size(); ++j) {
+        ElemId key_i = fc.inverse ? rfacts[i].args[1] : rfacts[i].args[0];
+        ElemId key_j = fc.inverse ? rfacts[j].args[1] : rfacts[j].args[0];
+        ElemId val_i = fc.inverse ? rfacts[i].args[0] : rfacts[i].args[1];
+        ElemId val_j = fc.inverse ? rfacts[j].args[0] : rfacts[j].args[1];
+        if (key_i == key_j && val_i != val_j) {
+          Obligation ob;
+          ob.kind = Obligation::Kind::kMergeFunc;
+          ob.merge_a = val_i;
+          ob.merge_b = val_j;
+          return ob;
+        }
+      }
+    }
+  }
+  // 2. Pinned universal units with an unsatisfied match.
+  for (const Pinned& p : branch.pinned) {
+    if (p.is_count) continue;
+    const ForallUnit& unit = p.rule->head[p.alt_index].foralls[p.unit_index];
+    std::vector<int64_t> env(p.binding.begin(), p.binding.end());
+    EnsureEnv(&env, MaxVarIn(unit.guard));
+    for (const Lit& l : unit.clause.lits) EnsureEnv(&env, MaxVarIn(l));
+    for (uint32_t q : unit.qvars) {
+      EnsureEnv(&env, q);
+      env[q] = -1;
+    }
+    std::optional<Obligation> found;
+    ForEachGuardMatch(unit.guard, branch.inst, env,
+                      [&](const std::vector<int64_t>& ext) {
+                        if (found) return;
+                        std::vector<ElemId> full(ext.size(), 0);
+                        for (size_t i = 0; i < ext.size(); ++i) {
+                          full[i] =
+                              ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
+                        }
+                        if (!ForallUnitSatisfiedAt(unit, p.binding, full,
+                                                   branch)) {
+                          Obligation ob;
+                          ob.kind = Obligation::Kind::kPinForall;
+                          ob.pin = &p;
+                          ob.match = full;
+                          found = ob;
+                        }
+                      });
+    if (found) return found;
+  }
+  // 3. Pinned at-most units with an overflow.
+  for (const Pinned& p : branch.pinned) {
+    if (!p.is_count) continue;
+    const CountUnit& unit = p.rule->head[p.alt_index].counts[p.unit_index];
+    std::vector<ElemId> witnesses = CountWitnesses(unit, p.binding, branch);
+    if (witnesses.size() > unit.n) {
+      Obligation ob;
+      ob.kind = Obligation::Kind::kPinAtMost;
+      ob.pin = &p;
+      ob.witnesses = std::move(witnesses);
+      return ob;
+    }
+  }
+  // 4. Unsatisfied rule instances. Fail-first ordering: among all pending
+  // rule instances, pick the one whose binding involves the oldest
+  // elements (smallest maximum element id). This surfaces contradictions
+  // among the input constants before the search wanders off expanding
+  // obligations of freshly created nulls — essential on ontologies whose
+  // chase is infinite (e.g. the CSP encodings of Theorem 8).
+  std::optional<Obligation> best;
+  ElemId best_key = 0;
+  auto consider = [&](Obligation ob) {
+    ElemId key = 0;
+    for (ElemId e : ob.binding) key = std::max(key, e);
+    if (!best || key < best_key) {
+      best_key = key;
+      best = std::move(ob);
+    }
+  };
+  for (const GuardedRule& rule : rules_.rules) {
+    auto instance_satisfied = [&](const std::vector<ElemId>& binding) {
+      // A rule instance with a failing body literal is vacuously satisfied.
+      for (const Lit& l : rule.body) {
+        if (!LitHolds(l, binding, branch.inst)) return true;
+      }
+      for (size_t ai = 0; ai < rule.head.size(); ++ai) {
+        const HeadAlt& alt = rule.head[ai];
+        if (!AltSatisfied(alt, binding, branch)) continue;
+        bool pins_ok = true;
+        for (size_t ui = 0; ui < alt.foralls.size() && pins_ok; ++ui) {
+          if (!PinnedAlready(branch, &rule, ai, ui, false, binding)) {
+            pins_ok = false;
+          }
+        }
+        for (size_t ui = 0; ui < alt.counts.size() && pins_ok; ++ui) {
+          if (alt.counts[ui].at_least) {
+            // At-least satisfaction was not checked by AltSatisfied; do it
+            // here: enough pairwise-distinct witnesses.
+            if (CountWitnesses(alt.counts[ui], binding, branch).size() <
+                alt.counts[ui].n) {
+              pins_ok = false;
+            }
+          } else if (!PinnedAlready(branch, &rule, ai, ui, true, binding)) {
+            pins_ok = false;
+          }
+        }
+        if (pins_ok) return true;
+      }
+      return false;
+    };
+
+    if (rule.eq_guard) {
+      for (ElemId e = 0; e < branch.inst.NumElements(); ++e) {
+        if (e < branch.dead.size() && branch.dead[e]) continue;
+        if (best && e >= best_key) break;  // can't improve
+        std::vector<ElemId> binding(rule.num_vars, e);
+        if (!instance_satisfied(binding)) {
+          Obligation ob;
+          ob.kind = Obligation::Kind::kRule;
+          ob.rule = &rule;
+          ob.binding = binding;
+          consider(std::move(ob));
+          break;  // later elements of this rule can't beat this binding
+        }
+      }
+    } else {
+      std::vector<int64_t> env(rule.num_vars, -1);
+      ForEachGuardMatch(rule.guard, branch.inst, env,
+                        [&](const std::vector<int64_t>& ext) {
+                          std::vector<ElemId> binding(rule.num_vars, 0);
+                          ElemId key = 0;
+                          for (uint32_t v = 0; v < rule.num_vars; ++v) {
+                            if (ext[v] < 0) return;  // guard must bind all
+                            binding[v] = static_cast<ElemId>(ext[v]);
+                            key = std::max(key, binding[v]);
+                          }
+                          if (best && key >= best_key) return;
+                          if (!instance_satisfied(binding)) {
+                            Obligation ob;
+                            ob.kind = Obligation::Kind::kRule;
+                            ob.rule = &rule;
+                            ob.binding = binding;
+                            consider(std::move(ob));
+                          }
+                        });
+    }
+  }
+  return best;
+}
+
+// --- Branch mutation -----------------------------------------------------------
+
+bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b) {
+  if (a == b) return true;
+  if (Diseq(*branch, a, b)) return false;
+  // Keep the constant, or the smaller id.
+  ElemId keep = a, drop = b;
+  if (branch->inst.IsNull(keep) && !branch->inst.IsNull(drop)) {
+    std::swap(keep, drop);
+  } else if (branch->inst.IsNull(keep) == branch->inst.IsNull(drop) &&
+             drop < keep) {
+    std::swap(keep, drop);
+  }
+  // Rewrite facts.
+  std::vector<Fact> to_fix;
+  for (const Fact& f : branch->inst.facts()) {
+    if (std::find(f.args.begin(), f.args.end(), drop) != f.args.end()) {
+      to_fix.push_back(f);
+    }
+  }
+  for (const Fact& f : to_fix) {
+    branch->inst.RemoveFact(f);
+    Fact g = f;
+    for (ElemId& x : g.args) {
+      if (x == drop) x = keep;
+    }
+    branch->inst.AddFact(g);
+  }
+  // Rewrite pins, disequalities and forbidden facts.
+  for (Pinned& p : branch->pinned) {
+    for (ElemId& x : p.binding) {
+      if (x == drop) x = keep;
+    }
+  }
+  for (auto& [x, y] : branch->diseq) {
+    if (x == drop) x = keep;
+    if (y == drop) y = keep;
+    if (x == y) return false;  // committed disequality violated
+  }
+  std::set<Fact> new_forbidden;
+  for (const Fact& f : branch->forbidden) {
+    Fact g = f;
+    for (ElemId& x : g.args) {
+      if (x == drop) x = keep;
+    }
+    if (branch->inst.HasFact(g)) return false;  // commitment violated
+    new_forbidden.insert(std::move(g));
+  }
+  branch->forbidden = std::move(new_forbidden);
+  if (branch->dead.size() <= drop) branch->dead.resize(drop + 1, false);
+  branch->dead[drop] = true;
+  return true;
+}
+
+bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
+                        std::vector<ElemId>* env) {
+  // First positive atoms, then equalities (merges), then checks.
+  for (const Lit& l : lits) {
+    if (!l.is_eq && l.positive) {
+      std::vector<ElemId> args;
+      args.reserve(l.args.size());
+      for (uint32_t v : l.args) args.push_back((*env)[v]);
+      Fact f{l.rel, std::move(args)};
+      if (branch->forbidden.count(f)) return false;
+      branch->inst.AddFact(f);
+    }
+  }
+  for (const Lit& l : lits) {
+    if (l.is_eq && l.positive) {
+      ElemId a = (*env)[l.args[0]];
+      ElemId b = (*env)[l.args[1]];
+      if (a == b) continue;
+      if (!MergeElements(branch, a, b)) return false;
+      // Update env entries that referenced the dropped element.
+      ElemId keep = branch->dead.size() > a && branch->dead[a] ? b : a;
+      ElemId drop = keep == a ? b : a;
+      for (ElemId& x : *env) {
+        if (x == drop) x = keep;
+      }
+    }
+  }
+  for (const Lit& l : lits) {
+    if (l.is_eq && !l.positive) {
+      ElemId a = (*env)[l.args[0]];
+      ElemId b = (*env)[l.args[1]];
+      if (a == b) return false;
+      if (!Diseq(*branch, a, b)) branch->diseq.emplace_back(a, b);
+    } else if (!l.is_eq && !l.positive) {
+      std::vector<ElemId> args;
+      args.reserve(l.args.size());
+      for (uint32_t v : l.args) args.push_back((*env)[v]);
+      Fact f{l.rel, std::move(args)};
+      if (branch->inst.HasFact(f)) return false;
+      branch->forbidden.insert(std::move(f));  // committed negative fact
+    }
+  }
+  return true;
+}
+
+// --- Expansion -----------------------------------------------------------------
+
+std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
+                                             const Obligation& ob) {
+  std::vector<Branch> out;
+  switch (ob.kind) {
+    case Obligation::Kind::kMergeFunc: {
+      Branch next = branch;
+      if (MergeElements(&next, ob.merge_a, ob.merge_b)) {
+        out.push_back(std::move(next));
+      }
+      return out;
+    }
+    case Obligation::Kind::kPinForall: {
+      const ForallUnit& unit =
+          ob.pin->rule->head[ob.pin->alt_index].foralls[ob.pin->unit_index];
+      for (const Lit& l : unit.clause.lits) {
+        Branch next = branch;
+        std::vector<ElemId> env = ob.match;
+        if (ApplyLits(&next, {l}, &env)) out.push_back(std::move(next));
+      }
+      return out;
+    }
+    case Obligation::Kind::kPinAtMost: {
+      for (size_t i = 0; i < ob.witnesses.size(); ++i) {
+        for (size_t j = i + 1; j < ob.witnesses.size(); ++j) {
+          Branch next = branch;
+          if (MergeElements(&next, ob.witnesses[i], ob.witnesses[j])) {
+            out.push_back(std::move(next));
+          }
+        }
+      }
+      return out;
+    }
+    case Obligation::Kind::kRule: {
+      const GuardedRule& rule = *ob.rule;
+      for (size_t ai = 0; ai < rule.head.size(); ++ai) {
+        const HeadAlt& alt = rule.head[ai];
+        if (alt.is_false) continue;
+        Branch next = branch;
+        std::vector<ElemId> env = ob.binding;
+        bool alive = ApplyLits(&next, alt.lits, &env);
+        // Existential units: fresh witnesses.
+        for (size_t ei = 0; ei < alt.exists.size() && alive; ++ei) {
+          const ExistsUnit& e = alt.exists[ei];
+          if (next.fresh_nulls + e.qvars.size() > budget_.max_fresh_nulls) {
+            alive = false;
+            stats_.budget_hit = true;
+            break;
+          }
+          uint32_t max_var = MaxVarIn(e.guard);
+          for (const Lit& l : e.lits) max_var = std::max(max_var, MaxVarIn(l));
+          if (env.size() <= max_var) env.resize(max_var + 1, 0);
+          for (uint32_t q : e.qvars) {
+            env[q] = next.inst.AddNull();
+            ++next.fresh_nulls;
+          }
+          std::vector<Lit> to_apply;
+          to_apply.push_back(e.guard);
+          for (const Lit& l : e.lits) to_apply.push_back(l);
+          alive = ApplyLits(&next, to_apply, &env);
+        }
+        // Universal and counting units.
+        for (size_t ui = 0; ui < alt.foralls.size() && alive; ++ui) {
+          Pinned p;
+          p.rule = &rule;
+          p.alt_index = ai;
+          p.unit_index = ui;
+          p.is_count = false;
+          p.binding.assign(env.begin(), env.begin() + rule.num_vars);
+          next.pinned.push_back(std::move(p));
+        }
+        for (size_t ui = 0; ui < alt.counts.size() && alive; ++ui) {
+          const CountUnit& c = alt.counts[ui];
+          std::vector<ElemId> binding(env.begin(),
+                                      env.begin() + rule.num_vars);
+          if (c.at_least) {
+            std::vector<ElemId> have = CountWitnesses(c, binding, next);
+            while (alive && have.size() < c.n) {
+              if (next.fresh_nulls + 1 > budget_.max_fresh_nulls) {
+                alive = false;
+                stats_.budget_hit = true;
+                break;
+              }
+              uint32_t max_var = std::max(MaxVarIn(c.guard), c.qvar);
+              for (const Lit& l : c.lits) {
+                max_var = std::max(max_var, MaxVarIn(l));
+              }
+              std::vector<ElemId> wenv = binding;
+              if (wenv.size() <= max_var) wenv.resize(max_var + 1, 0);
+              ElemId fresh = next.inst.AddNull();
+              ++next.fresh_nulls;
+              wenv[c.qvar] = fresh;
+              std::vector<Lit> to_apply;
+              to_apply.push_back(c.guard);
+              for (const Lit& l : c.lits) to_apply.push_back(l);
+              alive = ApplyLits(&next, to_apply, &wenv);
+              if (!alive) break;
+              // Commit pairwise disequality with previous witnesses.
+              for (ElemId w : have) {
+                if (!Diseq(next, fresh, w)) next.diseq.emplace_back(fresh, w);
+              }
+              have.push_back(fresh);
+            }
+          } else {
+            Pinned p;
+            p.rule = &rule;
+            p.alt_index = ai;
+            p.unit_index = ui;
+            p.is_count = true;
+            p.binding = binding;
+            next.pinned.push_back(std::move(p));
+          }
+        }
+        if (alive) out.push_back(std::move(next));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+// --- Search --------------------------------------------------------------------
+
+bool Tableau::Explore(Branch branch,
+                      const std::function<bool(const Instance&)>& fn,
+                      bool* stop) {
+  for (;;) {
+    if (*stop) return true;
+    if (prune_ != nullptr && (*prune_)(branch.inst)) {
+      // This branch can never become a rejecting model; abandon it.
+      ++stats_.branches_saturated;
+      return true;
+    }
+    if (stats_.steps++ > budget_.max_steps ||
+        stats_.branches_closed + stats_.branches_saturated >
+            budget_.max_branches) {
+      stats_.budget_hit = true;
+      return false;
+    }
+    std::optional<Obligation> ob = FindObligation(branch);
+    if (!ob) {
+      ++stats_.branches_saturated;
+      // Compact: drop merged-away elements before reporting.
+      Instance model(branch.inst.symbols());
+      std::vector<int64_t> remap(branch.inst.NumElements(), -1);
+      for (ElemId e = 0; e < branch.inst.NumElements(); ++e) {
+        if (e < branch.dead.size() && branch.dead[e]) continue;
+        remap[e] = branch.inst.IsNull(e)
+                       ? static_cast<int64_t>(model.AddNull())
+                       : static_cast<int64_t>(
+                             model.AddConstant(branch.inst.ElemName(e)));
+      }
+      for (const Fact& f : branch.inst.facts()) {
+        Fact g = f;
+        for (ElemId& x : g.args) x = static_cast<ElemId>(remap[x]);
+        model.AddFact(g);
+      }
+      last_model_ = model;
+      if (fn(model)) {
+        *stop = true;
+      }
+      return true;
+    }
+    std::vector<Branch> successors = Expand(branch, *ob);
+    if (successors.empty()) {
+      ++stats_.branches_closed;
+      return true;
+    }
+    if (successors.size() == 1) {
+      branch = std::move(successors[0]);
+      continue;
+    }
+    bool complete = true;
+    for (Branch& next : successors) {
+      if (*stop) break;
+      if (!Explore(std::move(next), fn, stop)) complete = false;
+    }
+    return complete;
+  }
+}
+
+bool Tableau::ForEachModel(const Instance& input,
+                           const std::function<bool(const Instance&)>& fn) {
+  stats_ = TableauStats{};
+  Branch root{input, {}, {}, {}, {}, 0};
+  bool stop = false;
+  bool complete = Explore(std::move(root), fn, &stop);
+  if (stats_.budget_hit) complete = false;
+  return complete;
+}
+
+Certainty Tableau::IsConsistent(const Instance& input) {
+  bool found = false;
+  bool complete = ForEachModel(input, [&found](const Instance&) {
+    found = true;
+    return true;
+  });
+  if (found) return Certainty::kYes;
+  return complete ? Certainty::kNo : Certainty::kUnknown;
+}
+
+Certainty Tableau::FindModelWhere(
+    const Instance& input, const std::function<bool(const Instance&)>& reject,
+    bool reject_antimonotone) {
+  std::function<bool(const Instance&)> prune;
+  if (reject_antimonotone) {
+    prune = [&reject](const Instance& inst) { return !reject(inst); };
+    prune_ = &prune;
+  }
+  bool found = false;
+  bool complete = ForEachModel(input, [&](const Instance& model) {
+    if (reject(model)) {
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  prune_ = nullptr;
+  if (found) return Certainty::kYes;
+  return complete ? Certainty::kNo : Certainty::kUnknown;
+}
+
+}  // namespace gfomq

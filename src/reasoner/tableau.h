@@ -1,0 +1,148 @@
+#ifndef GFOMQ_REASONER_TABLEAU_H_
+#define GFOMQ_REASONER_TABLEAU_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "instance/instance.h"
+#include "logic/rules.h"
+
+namespace gfomq {
+
+/// Three-valued outcome of a reasoning question.
+enum class Certainty { kYes, kNo, kUnknown };
+
+/// Resource budget for the disjunctive guarded tableau. The tableau is a
+/// complete procedure whenever it terminates within budget; hitting a limit
+/// yields kUnknown, never a wrong answer.
+struct TableauBudget {
+  uint32_t max_fresh_nulls = 80;     // per branch
+  uint64_t max_steps = 50000;        // rule firings across the search
+  uint64_t max_branches = 20000;     // saturated/closed branches explored
+};
+
+/// Statistics of a tableau run.
+struct TableauStats {
+  uint64_t steps = 0;
+  uint64_t branches_closed = 0;
+  uint64_t branches_saturated = 0;
+  bool budget_hit = false;
+};
+
+/// Disjunctive guarded tableau over the rule normal form. It explores the
+/// tree of "chase branches": every saturated branch is a finite model of
+/// the input instance and the ontology, and every model of both embeds a
+/// branch homomorphically (preserving the input's constants). Consequently:
+///  - consistency  = some branch saturates,
+///  - O,D |= q(a~) = every saturated branch satisfies q(a~)   (UCQ q).
+class Tableau {
+ public:
+  Tableau(const RuleSet& rules, TableauBudget budget = {})
+      : rules_(rules), budget_(budget) {}
+
+  /// Enumerates saturated branches (models). The callback returns true to
+  /// stop the search early. Returns false if the budget was hit (some part
+  /// of the branch space was not explored).
+  bool ForEachModel(const Instance& input,
+                    const std::function<bool(const Instance&)>& fn);
+
+  /// Is `input` consistent with the ontology?
+  Certainty IsConsistent(const Instance& input);
+
+  /// Tries to find a model of `input` where `reject` returns true (e.g. a
+  /// countermodel to a query). kYes = found (model available via
+  /// last_model()), kNo = definitively none, kUnknown = budget.
+  ///
+  /// When `reject_antimonotone` is set, the caller guarantees that once
+  /// `reject` is false on a branch structure it stays false on every
+  /// extension (true for reject = "does not satisfy a UCQ", since UCQ
+  /// answers are preserved by adding facts and by merging elements). The
+  /// tableau then prunes such branches without saturating them, which makes
+  /// entailment checks terminate even when the chase is infinite.
+  Certainty FindModelWhere(const Instance& input,
+                           const std::function<bool(const Instance&)>& reject,
+                           bool reject_antimonotone = false);
+
+  const std::optional<Instance>& last_model() const { return last_model_; }
+  const TableauStats& stats() const { return stats_; }
+
+ private:
+  struct Pinned {
+    // A chosen universal/at-most head unit with its outer-variable binding.
+    const GuardedRule* rule;
+    size_t alt_index;
+    size_t unit_index;
+    bool is_count;  // true: counts[unit_index] (at-most); false: foralls
+    std::vector<ElemId> binding;  // values of rule-local vars 0..num_vars-1
+  };
+
+  struct Branch {
+    Instance inst;
+    std::vector<Pinned> pinned;
+    std::vector<std::pair<ElemId, ElemId>> diseq;  // committed disequalities
+    std::set<Fact> forbidden;  // committed negative facts
+    std::vector<bool> dead;  // elements merged away (ignored everywhere)
+    uint32_t fresh_nulls = 0;
+  };
+
+  // One pending obligation found in a branch.
+  struct Obligation {
+    enum class Kind {
+      kRule,        // unsatisfied rule instance: branch over alternatives
+      kMergeFunc,   // functionality violation: forced merge
+      kPinForall,   // pinned forall with an unsatisfied guard match
+      kPinAtMost,   // pinned at-most with too many witnesses
+    };
+    Kind kind;
+    const GuardedRule* rule = nullptr;
+    std::vector<ElemId> binding;           // rule vars or unit binding
+    const Pinned* pin = nullptr;
+    std::vector<ElemId> match;             // guard-match extension (foralls)
+    ElemId merge_a = 0, merge_b = 0;       // functionality merge
+    std::vector<ElemId> witnesses;         // at-most overflow witnesses
+  };
+
+  bool Explore(Branch branch, const std::function<bool(const Instance&)>& fn,
+               bool* stop);
+
+  // Set during FindModelWhere with an antimonotone reject: branches on
+  // which this returns true can never become rejecting models and are
+  // abandoned early (counted as satisfied).
+  const std::function<bool(const Instance&)>* prune_ = nullptr;
+  std::optional<Obligation> FindObligation(const Branch& branch) const;
+
+  bool LitHolds(const Lit& lit, const std::vector<ElemId>& env,
+                const Instance& inst) const;
+  bool AltSatisfied(const HeadAlt& alt, const std::vector<ElemId>& binding,
+                    const Branch& branch) const;
+  bool ForallUnitSatisfiedAt(const ForallUnit& unit,
+                             const std::vector<ElemId>& binding,
+                             const std::vector<ElemId>& match,
+                             const Branch& branch) const;
+  std::vector<ElemId> CountWitnesses(const CountUnit& unit,
+                                     const std::vector<ElemId>& binding,
+                                     const Branch& branch) const;
+  bool PinnedAlready(const Branch& branch, const GuardedRule* rule,
+                     size_t alt_index, size_t unit_index, bool is_count,
+                     const std::vector<ElemId>& binding) const;
+
+  // Branch mutation helpers; return false if the branch closes.
+  bool ApplyLits(Branch* branch, const std::vector<Lit>& lits,
+                 std::vector<ElemId>* env);
+  bool MergeElements(Branch* branch, ElemId a, ElemId b);
+  bool Diseq(const Branch& branch, ElemId a, ElemId b) const;
+
+  // Expansion: all successor branches of firing `ob` on `branch`.
+  std::vector<Branch> Expand(const Branch& branch, const Obligation& ob);
+
+  const RuleSet& rules_;
+  TableauBudget budget_;
+  TableauStats stats_;
+  std::optional<Instance> last_model_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_TABLEAU_H_

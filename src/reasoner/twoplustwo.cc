@@ -1,0 +1,167 @@
+#include "reasoner/twoplustwo.h"
+
+#include <map>
+
+namespace gfomq {
+
+namespace {
+
+bool LitValue(uint32_t slot, uint64_t mask) {
+  if (slot == kConstFalse) return false;
+  if (slot == kConstTrue) return true;
+  return (mask >> slot) & 1;
+}
+
+}  // namespace
+
+bool SolveTwoPlusTwo(const TwoPlusTwoFormula& formula) {
+  if (formula.num_vars > 24) return false;  // out of scope for brute force
+  for (uint64_t mask = 0; mask < (1ull << formula.num_vars); ++mask) {
+    bool all = true;
+    for (const TwoPlusTwoClause& c : formula.clauses) {
+      bool sat = LitValue(c.p1, mask) || LitValue(c.p2, mask) ||
+                 !LitValue(c.n1, mask) || !LitValue(c.n2, mask);
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<HardnessReduction> BuildTwoPlusTwoReduction(
+    const DisjunctionViolation& violation,
+    const TwoPlusTwoFormula& formula) {
+  if (violation.disjuncts.size() < 2) {
+    return Status::InvalidArgument("violation needs at least two disjuncts");
+  }
+  for (const auto& [q, tuple] : violation.disjuncts) {
+    if (q.disjuncts.size() != 1) {
+      return Status::Unsupported("each violation disjunct must be one CQ");
+    }
+    if (tuple.empty()) {
+      return Status::Unsupported(
+          "Boolean violation disjuncts are not supported (no anchor)");
+    }
+  }
+  SymbolsPtr sym = violation.instance.symbols();
+  HardnessReduction out{Instance(sym), {}};
+  const size_t num_disjuncts = violation.disjuncts.size();
+
+  // One disjoint copy of the witness instance per propositional variable.
+  std::vector<ElemId> offsets;
+  for (uint32_t v = 0; v < formula.num_vars; ++v) {
+    offsets.push_back(out.instance.AppendDisjoint(violation.instance));
+  }
+  // Pinned copies realize the truth constants: gluing the canonical
+  // database of a disjunct onto its answer tuple makes that disjunct hold
+  // in every model of the copy.
+  auto pinned_copy = [&](size_t disjunct_index) {
+    ElemId offset = out.instance.AppendDisjoint(violation.instance);
+    const Cq& shape = violation.disjuncts[disjunct_index].first.disjuncts[0];
+    const std::vector<ElemId>& tuple = violation.disjuncts[disjunct_index].second;
+    std::vector<ElemId> var_elem(shape.num_vars, 0);
+    std::vector<bool> assigned(shape.num_vars, false);
+    for (size_t i = 0; i < shape.answer_vars.size(); ++i) {
+      var_elem[shape.answer_vars[i]] = offset + tuple[i];
+      assigned[shape.answer_vars[i]] = true;
+    }
+    for (uint32_t v = 0; v < shape.num_vars; ++v) {
+      if (!assigned[v]) var_elem[v] = out.instance.AddNull();
+    }
+    for (const CqAtom& a : shape.atoms) {
+      std::vector<ElemId> args;
+      for (uint32_t v : a.vars) args.push_back(var_elem[v]);
+      out.instance.AddFact(a.rel, std::move(args));
+    }
+    return offset;
+  };
+  // "false" anchor: the first rest-disjunct (index 1) certainly holds, so
+  // the "variable is false" indicator always fires there. "true" anchor:
+  // disjunct 0 certainly holds.
+  ElemId false_offset = pinned_copy(1);
+  ElemId true_offset = pinned_copy(0);
+
+  // Fresh gadget relations: Cl (clause marker) and per (clause position j,
+  // violation disjunct i) a connector of arity 1 + |tuple_i|. Positions
+  // 0,1 (positive slots p1,p2) detect "variable false" via a rest disjunct
+  // (i >= 1); positions 2,3 (negated slots n1,n2) detect "variable true"
+  // via disjunct 0.
+  uint32_t cl_rel = sym->FreshRel("Cl", 1);
+  std::map<std::pair<int, size_t>, uint32_t> lit_rel;
+  for (int j = 0; j < 4; ++j) {
+    for (size_t i = 0; i < num_disjuncts; ++i) {
+      bool usable = (j < 2) ? (i >= 1) : (i == 0);
+      if (!usable) continue;
+      lit_rel[{j, i}] = sym->FreshRel(
+          "Lit" + std::to_string(j) + "_" + std::to_string(i),
+          1 + static_cast<int>(violation.disjuncts[i].second.size()));
+    }
+  }
+
+  // Clause gadgets.
+  for (const TwoPlusTwoClause& c : formula.clauses) {
+    ElemId clause_elem = out.instance.AddNull();
+    out.instance.AddFact(cl_rel, {clause_elem});
+    uint32_t slot_var[4] = {c.p1, c.p2, c.n1, c.n2};
+    for (int j = 0; j < 4; ++j) {
+      uint32_t v = slot_var[j];
+      int64_t offset = -1;
+      if (j < 2) {
+        // Positive slot: "literal false" indicator.
+        if (v == kConstTrue) continue;  // clause can never be violated here
+        offset = v == kConstFalse ? static_cast<int64_t>(false_offset)
+                                  : static_cast<int64_t>(offsets[v]);
+      } else {
+        // Negated slot: "underlying variable true" indicator.
+        if (v == kConstFalse) continue;  // ¬FALSE is true: never violated
+        offset = v == kConstTrue ? static_cast<int64_t>(true_offset)
+                                 : static_cast<int64_t>(offsets[v]);
+      }
+      for (size_t i = 0; i < num_disjuncts; ++i) {
+        auto it = lit_rel.find({j, i});
+        if (it == lit_rel.end()) continue;
+        std::vector<ElemId> args{clause_elem};
+        for (ElemId t : violation.disjuncts[i].second) {
+          args.push_back(static_cast<ElemId>(offset) + t);
+        }
+        out.instance.AddFact(it->second, args);
+      }
+    }
+  }
+
+  // q~: one CQ per combination of rest-disjunct choices for positions 0
+  // and 1 (positions 2 and 3 always use disjunct 0).
+  for (size_t ia = 1; ia < num_disjuncts; ++ia) {
+    for (size_t ib = 1; ib < num_disjuncts; ++ib) {
+      Cq q;
+      q.symbols = sym;
+      uint32_t z = q.num_vars++;
+      q.atoms.push_back({cl_rel, {z}});
+      size_t choice[4] = {ia, ib, 0, 0};
+      for (int j = 0; j < 4; ++j) {
+        const Cq& shape = violation.disjuncts[choice[j]].first.disjuncts[0];
+        std::vector<uint32_t> remap(shape.num_vars);
+        for (uint32_t v = 0; v < shape.num_vars; ++v) {
+          remap[v] = q.num_vars++;
+        }
+        std::vector<uint32_t> lit_args{z};
+        for (uint32_t av : shape.answer_vars) lit_args.push_back(remap[av]);
+        q.atoms.push_back({lit_rel.at({j, choice[j]}), lit_args});
+        for (const CqAtom& a : shape.atoms) {
+          std::vector<uint32_t> vars;
+          for (uint32_t v : a.vars) vars.push_back(remap[v]);
+          q.atoms.push_back({a.rel, vars});
+        }
+      }
+      Status s = q.Validate();
+      if (!s.ok()) return s;
+      out.query.disjuncts.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace gfomq

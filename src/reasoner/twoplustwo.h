@@ -1,0 +1,52 @@
+#ifndef GFOMQ_REASONER_TWOPLUSTWO_H_
+#define GFOMQ_REASONER_TWOPLUSTWO_H_
+
+#include "common/status.h"
+#include "reasoner/materializability.h"
+
+namespace gfomq {
+
+/// Truth-constant sentinels usable in clause slots (the paper's 2+2-SAT
+/// admits truth constants; without them every formula is satisfied by the
+/// all-true assignment).
+inline constexpr uint32_t kConstFalse = 0xFFFFFFFFu;
+inline constexpr uint32_t kConstTrue = 0xFFFFFFFEu;
+
+/// A 2+2 clause (p1 ∨ p2 ∨ ¬n1 ∨ ¬n2) over propositional variables and
+/// truth constants.
+struct TwoPlusTwoClause {
+  uint32_t p1, p2, n1, n2;
+};
+
+/// A 2+2-SAT formula (Schaerf's fragment used in Theorem 3's reduction).
+struct TwoPlusTwoFormula {
+  uint32_t num_vars = 0;
+  std::vector<TwoPlusTwoClause> clauses;
+};
+
+/// Brute-force satisfiability (formulas in tests/benches are small).
+bool SolveTwoPlusTwo(const TwoPlusTwoFormula& formula);
+
+/// The Theorem 3 reduction: from a disjunction-property violation of an
+/// ontology O (certain disjunction q1 ∨ ... ∨ qn on an instance D, no
+/// disjunct certain, the witness minimal), build for a 2+2-SAT formula φ
+/// an instance D_φ and a Boolean UCQ q~ over fresh relations such that
+///   φ is satisfiable  iff  O, D_φ ⊭ q~.
+/// One disjoint copy of D per propositional variable encodes its truth
+/// value ("true" = q1 holds there); clause gadgets over fresh relations
+/// let q~ detect a violated clause. This realizes coNP-hardness of query
+/// evaluation w.r.t. every non-materializable uGF ontology.
+struct HardnessReduction {
+  Instance instance;  // D_φ
+  Ucq query;          // q~ (Boolean)
+};
+
+/// Requirements on the violation: every disjunct is a single non-Boolean
+/// connected CQ (the rAQ-shaped witnesses produced by
+/// FindDisjunctionViolation satisfy this), and it is minimal.
+Result<HardnessReduction> BuildTwoPlusTwoReduction(
+    const DisjunctionViolation& violation, const TwoPlusTwoFormula& formula);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_TWOPLUSTWO_H_

@@ -1,0 +1,344 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gfomq {
+
+// --- Cnf ---------------------------------------------------------------------
+
+void Cnf::AddClause(std::vector<SatLit> lits) {
+  // Deduplicate and drop tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](SatLit a, SatLit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // x and !x: tautology
+  }
+  clauses_.push_back(std::move(lits));
+}
+
+void Cnf::AtMost(const std::vector<SatLit>& lits, uint32_t k) {
+  const uint32_t n = static_cast<uint32_t>(lits.size());
+  if (n <= k) return;
+  if (k == 0) {
+    for (SatLit l : lits) AddUnit(l.Flip());
+    return;
+  }
+  // Sequential counter: s[i][j] = "at least j+1 of lits[0..i] are true".
+  std::vector<std::vector<uint32_t>> s(n, std::vector<uint32_t>(k));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < k; ++j) s[i][j] = NewVar();
+  }
+  // lits[i] -> s[i][0]
+  for (uint32_t i = 0; i < n; ++i) {
+    AddBinary(lits[i].Flip(), SatLit::Pos(s[i][0]));
+  }
+  for (uint32_t i = 1; i < n; ++i) {
+    for (uint32_t j = 0; j < k; ++j) {
+      // s[i-1][j] -> s[i][j]
+      AddBinary(SatLit::Neg(s[i - 1][j]), SatLit::Pos(s[i][j]));
+      if (j + 1 < k) {
+        // lits[i] & s[i-1][j] -> s[i][j+1]
+        AddClause({lits[i].Flip(), SatLit::Neg(s[i - 1][j]),
+                   SatLit::Pos(s[i][j + 1])});
+      }
+    }
+    // lits[i] & s[i-1][k-1] -> conflict
+    AddClause({lits[i].Flip(), SatLit::Neg(s[i - 1][k - 1])});
+  }
+}
+
+void Cnf::AtLeast(const std::vector<SatLit>& lits, uint32_t k) {
+  if (k == 0) return;
+  if (k == 1) {
+    AddClause(lits);
+    return;
+  }
+  // At least k of lits  ==  at most n-k of the negations.
+  std::vector<SatLit> negs;
+  negs.reserve(lits.size());
+  for (SatLit l : lits) negs.push_back(l.Flip());
+  if (lits.size() < k) {
+    AddClause({});  // unsatisfiable
+    return;
+  }
+  AtMost(negs, static_cast<uint32_t>(lits.size()) - k);
+}
+
+// --- SatSolver ---------------------------------------------------------------
+
+SatSolver::SatSolver(const Cnf& cnf)
+    : clauses_(cnf.clauses()), num_vars_(cnf.num_vars()) {
+  value_.assign(num_vars_, kUndef);
+  level_.assign(num_vars_, 0);
+  reason_.assign(num_vars_, -1);
+  activity_.assign(num_vars_, 0.0);
+  saved_phase_.assign(num_vars_, false);
+  heap_pos_.assign(num_vars_, -1);
+  heap_.reserve(num_vars_);
+  for (uint32_t v = 0; v < num_vars_; ++v) HeapInsert(v);
+  watches_.assign(num_vars_ * 2, {});
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    auto& c = clauses_[ci];
+    if (c.empty()) {
+      contradiction_ = true;
+      continue;
+    }
+    if (c.size() == 1) continue;  // enqueued in Solve
+    watches_[c[0].code].push_back(static_cast<uint32_t>(ci));
+    watches_[c[1].code].push_back(static_cast<uint32_t>(ci));
+  }
+}
+
+bool SatSolver::Enqueue(SatLit l, int reason) {
+  int8_t want = l.negated() ? kFalse : kTrue;
+  if (value_[l.var()] != kUndef) return value_[l.var()] == want;
+  value_[l.var()] = want;
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+  return true;
+}
+
+int SatSolver::Propagate() {
+  while (prop_head_ < trail_.size()) {
+    SatLit p = trail_[prop_head_++];
+    // Clauses watching ~p need attention.
+    SatLit not_p = p.Flip();
+    std::vector<uint32_t>& watch_list = watches_[not_p.code];
+    std::vector<uint32_t> keep;
+    keep.reserve(watch_list.size());
+    for (size_t wi = 0; wi < watch_list.size(); ++wi) {
+      uint32_t ci = watch_list[wi];
+      auto& c = clauses_[ci];
+      // Ensure c[1] is the false literal.
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      // If first watch is true, clause satisfied.
+      auto lit_value = [this](SatLit l) -> int8_t {
+        int8_t v = value_[l.var()];
+        if (v == kUndef) return kUndef;
+        return (v == kTrue) != l.negated() ? kTrue : kFalse;
+      };
+      if (lit_value(c[0]) == kTrue) {
+        keep.push_back(ci);
+        continue;
+      }
+      // Find a new watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].code].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      keep.push_back(ci);
+      if (!Enqueue(c[0], static_cast<int>(ci))) {
+        // Conflict: restore remaining watches and report.
+        for (size_t rest = wi + 1; rest < watch_list.size(); ++rest) {
+          keep.push_back(watch_list[rest]);
+        }
+        watch_list = std::move(keep);
+        return static_cast<int>(ci);
+      }
+    }
+    watch_list = std::move(keep);
+  }
+  return -1;
+}
+
+void SatSolver::HeapSiftUp(size_t i) {
+  uint32_t v = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int64_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int64_t>(i);
+}
+
+void SatSolver::HeapSiftDown(size_t i) {
+  uint32_t v = heap_[i];
+  for (;;) {
+    size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    size_t best = left;
+    if (left + 1 < heap_.size() &&
+        activity_[heap_[left + 1]] > activity_[heap_[left]]) {
+      best = left + 1;
+    }
+    if (activity_[heap_[best]] <= activity_[v]) break;
+    heap_[i] = heap_[best];
+    heap_pos_[heap_[i]] = static_cast<int64_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int64_t>(i);
+}
+
+void SatSolver::HeapInsert(uint32_t v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_.push_back(v);
+  heap_pos_[v] = static_cast<int64_t>(heap_.size() - 1);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void SatSolver::BumpVar(uint32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Heap order is preserved under uniform rescaling.
+  }
+  if (heap_pos_[v] >= 0) HeapSiftUp(static_cast<size_t>(heap_pos_[v]));
+}
+
+void SatSolver::DecayActivities() { var_inc_ *= 1.0 / 0.95; }
+
+void SatSolver::Analyze(int conflict, std::vector<SatLit>* learnt,
+                        int* back_level) {
+  learnt->clear();
+  learnt->push_back({0});  // placeholder for the asserting literal
+  std::vector<bool> seen(num_vars_, false);
+  int counter = 0;
+  SatLit p{UINT32_MAX};
+  int index = static_cast<int>(trail_.size()) - 1;
+  int cur_level = static_cast<int>(trail_lim_.size());
+  int clause = conflict;
+
+  do {
+    const auto& c = clauses_[static_cast<size_t>(clause)];
+    size_t start = (p.code == UINT32_MAX) ? 0 : 1;
+    for (size_t i = start; i < c.size(); ++i) {
+      SatLit q = c[i];
+      if (seen[q.var()] || level_[q.var()] == 0) continue;
+      seen[q.var()] = true;
+      BumpVar(q.var());
+      if (level_[q.var()] >= cur_level) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Find next literal to expand.
+    while (!seen[trail_[static_cast<size_t>(index)].var()]) --index;
+    p = trail_[static_cast<size_t>(index)];
+    --index;
+    seen[p.var()] = false;
+    --counter;
+    clause = reason_[p.var()];
+  } while (counter > 0);
+  (*learnt)[0] = p.Flip();
+
+  *back_level = 0;
+  if (learnt->size() > 1) {
+    // Second-highest level among learnt literals.
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt->size(); ++i) {
+      if (level_[(*learnt)[i].var()] > level_[(*learnt)[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *back_level = level_[(*learnt)[1].var()];
+  }
+}
+
+void SatSolver::Backtrack(int level) {
+  while (static_cast<int>(trail_lim_.size()) > level) {
+    size_t lim = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (trail_.size() > lim) {
+      SatLit l = trail_.back();
+      trail_.pop_back();
+      saved_phase_[l.var()] = value_[l.var()] == kTrue;
+      value_[l.var()] = kUndef;
+      reason_[l.var()] = -1;
+      HeapInsert(l.var());
+    }
+  }
+  prop_head_ = trail_.size();
+}
+
+int SatSolver::PickBranchVar() {
+  while (!heap_.empty()) {
+    uint32_t v = heap_[0];
+    // Pop.
+    heap_pos_[v] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_pos_[heap_[0]] = 0;
+      HeapSiftDown(0);
+    }
+    if (value_[v] == kUndef) return static_cast<int>(v);
+  }
+  return -1;
+}
+
+SatResult SatSolver::Solve(uint64_t max_conflicts) {
+  if (contradiction_) return SatResult::kUnsat;
+  // Enqueue unit clauses.
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (clauses_[ci].size() == 1) {
+      if (!Enqueue(clauses_[ci][0], static_cast<int>(ci))) {
+        return SatResult::kUnsat;
+      }
+    }
+  }
+  uint64_t restart_limit = 100;
+  uint64_t conflicts_at_restart = 0;
+  for (;;) {
+    int conflict = Propagate();
+    if (conflict >= 0) {
+      ++conflicts_;
+      if (max_conflicts != 0 && conflicts_ > max_conflicts) {
+        return SatResult::kUnknown;
+      }
+      if (trail_lim_.empty()) return SatResult::kUnsat;
+      std::vector<SatLit> learnt;
+      int back_level = 0;
+      Analyze(conflict, &learnt, &back_level);
+      Backtrack(back_level);
+      if (learnt.size() == 1) {
+        Backtrack(0);
+        if (!Enqueue(learnt[0], -1)) return SatResult::kUnsat;
+      } else {
+        clauses_.push_back(learnt);
+        uint32_t ci = static_cast<uint32_t>(clauses_.size() - 1);
+        watches_[learnt[0].code].push_back(ci);
+        watches_[learnt[1].code].push_back(ci);
+        if (!Enqueue(learnt[0], static_cast<int>(ci))) {
+          return SatResult::kUnsat;
+        }
+      }
+      DecayActivities();
+      continue;
+    }
+    // Geometric restarts keep the search out of barren subtrees.
+    if (conflicts_ - conflicts_at_restart >= restart_limit) {
+      conflicts_at_restart = conflicts_;
+      restart_limit += restart_limit / 2;
+      Backtrack(0);
+    }
+    // No conflict: decide (phase saving).
+    int v = PickBranchVar();
+    if (v < 0) {
+      model_.assign(num_vars_, false);
+      for (uint32_t i = 0; i < num_vars_; ++i) model_[i] = value_[i] == kTrue;
+      return SatResult::kSat;
+    }
+    trail_lim_.push_back(trail_.size());
+    uint32_t var = static_cast<uint32_t>(v);
+    Enqueue(saved_phase_[var] ? SatLit::Pos(var) : SatLit::Neg(var), -1);
+  }
+}
+
+}  // namespace gfomq

@@ -1,0 +1,106 @@
+#ifndef GFOMQ_SAT_SOLVER_H_
+#define GFOMQ_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gfomq {
+
+/// A SAT literal: variable id with sign. Encoded as 2*var + (negated ? 1 : 0).
+struct SatLit {
+  uint32_t code;
+
+  static SatLit Pos(uint32_t var) { return {var * 2}; }
+  static SatLit Neg(uint32_t var) { return {var * 2 + 1}; }
+  uint32_t var() const { return code >> 1; }
+  bool negated() const { return code & 1; }
+  SatLit Flip() const { return {code ^ 1}; }
+  bool operator==(const SatLit& o) const { return code == o.code; }
+};
+
+/// CNF formula builder.
+class Cnf {
+ public:
+  uint32_t NewVar() { return num_vars_++; }
+  uint32_t num_vars() const { return num_vars_; }
+
+  void AddClause(std::vector<SatLit> lits);
+  void AddUnit(SatLit l) { AddClause({l}); }
+  void AddBinary(SatLit a, SatLit b) { AddClause({a, b}); }
+
+  /// Adds clauses enforcing "at most k of `lits` are true" (sequential
+  /// counter encoding; introduces auxiliary variables).
+  void AtMost(const std::vector<SatLit>& lits, uint32_t k);
+
+  /// Adds clauses enforcing "at least k of `lits` are true".
+  void AtLeast(const std::vector<SatLit>& lits, uint32_t k);
+
+  const std::vector<std::vector<SatLit>>& clauses() const { return clauses_; }
+  size_t NumClauses() const { return clauses_.size(); }
+
+ private:
+  uint32_t num_vars_ = 0;
+  std::vector<std::vector<SatLit>> clauses_;
+};
+
+/// Result of a solve call.
+enum class SatResult { kSat, kUnsat, kUnknown /* budget exhausted */ };
+
+/// A DPLL/CDCL-lite SAT solver: unit propagation with watched literals,
+/// conflict-driven clause learning (1-UIP), activity-based branching and
+/// restarts. Self-contained; no third-party dependencies.
+class SatSolver {
+ public:
+  explicit SatSolver(const Cnf& cnf);
+
+  /// Solves with an optional conflict budget (0 = unlimited).
+  SatResult Solve(uint64_t max_conflicts = 0);
+
+  /// Model access after kSat.
+  bool Value(uint32_t var) const { return model_[var]; }
+  const std::vector<bool>& model() const { return model_; }
+
+  uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  enum : int8_t { kUndef = -1, kFalse = 0, kTrue = 1 };
+
+  bool Enqueue(SatLit l, int reason);
+  int Propagate();  // returns conflicting clause index or -1
+  void Analyze(int conflict, std::vector<SatLit>* learnt, int* back_level);
+  void Backtrack(int level);
+  int PickBranchVar();
+  void BumpVar(uint32_t v);
+  void DecayActivities();
+
+  // Activity-ordered max-heap of unassigned variables (MiniSat-style).
+  void HeapInsert(uint32_t v);
+  void HeapSiftUp(size_t i);
+  void HeapSiftDown(size_t i);
+  std::vector<uint32_t> heap_;
+  std::vector<int64_t> heap_pos_;  // var -> index in heap_, -1 if absent
+
+  std::vector<std::vector<SatLit>> clauses_;
+  std::vector<std::vector<uint32_t>> watches_;  // per literal code
+  uint32_t num_vars_;
+
+  std::vector<int8_t> value_;     // per var
+  std::vector<int> level_;        // per var
+  std::vector<int> reason_;       // per var: clause index or -1
+  std::vector<SatLit> trail_;
+  std::vector<size_t> trail_lim_;
+  size_t prop_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<bool> saved_phase_;  // phase saving for decisions
+
+  std::vector<bool> model_;
+  uint64_t conflicts_ = 0;
+  bool contradiction_ = false;  // empty clause present
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_SAT_SOLVER_H_

@@ -1,0 +1,98 @@
+#ifndef GFOMQ_TM_TILING_H_
+#define GFOMQ_TM_TILING_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/ontology.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+
+/// A finite rectangle tiling problem (Section 7): tile types with an
+/// initial tile (lower left), a final tile (upper right), and horizontal /
+/// vertical matching relations.
+struct TilingProblem {
+  int num_tiles = 0;
+  int initial = 0;
+  int final = 0;
+  std::set<std::pair<int, int>> horizontal;  // (left, right) allowed
+  std::set<std::pair<int, int>> vertical;    // (below, above) allowed
+};
+
+/// Bounded search: does the problem admit a tiling of some n × m rectangle
+/// with n ≤ max_width, m ≤ max_height? (The unbounded problem is
+/// undecidable — the very fact Theorem 10 exploits.)
+std::optional<std::vector<std::vector<int>>> SolveRectangleTiling(
+    const TilingProblem& problem, int max_width, int max_height);
+
+/// Builds the n × m grid instance over binary relations X (right) and Y
+/// (up); if `tiling` is non-null, each position also gets its tile's unary
+/// relation T<i>.
+Instance BuildGridInstance(SymbolsPtr symbols, int n, int m,
+                           const std::vector<std::vector<int>>* tiling);
+
+/// Is the grid cell at element d closed in D (the paper's cell(d)): are
+/// there d1, d2, d3 with X(d,d1), Y(d1,d3), Y(d,d2), X(d2,d3)?
+bool CellClosedAt(const Instance& inst, ElemId d);
+
+/// The marker-based cell ontology O_cell of Lemma 11 (here in its guarded
+/// uGC2 rendering): functional X/Y (both directions), marker relations
+/// whose (≤1 ·)-formulas implement the "second-order variables" R1/R2, and
+/// propagation axioms deriving the marker (≤1 P) exactly at elements whose
+/// cell closes. Every marker relation Q also satisfies ∀x ∃y Q(x,y), which
+/// hides the marker from (in)equality-free queries.
+struct CellOntology {
+  Ontology ontology;
+  uint32_t x_rel = 0;
+  uint32_t y_rel = 0;
+  uint32_t p_marker = 0;             // P: "cell closed here"
+  std::vector<uint32_t> marker_rels;  // all marker relations (incl. P)
+};
+
+/// `include_cycle_axioms` controls groups (4)/(5) — the C/CC word
+/// machinery that defends against adversarial odd cycles (Figure 3). The
+/// reduced ontology (without them) exhibits the same cell-marking behaviour
+/// on functional grids and is considerably cheaper to reason about.
+CellOntology BuildCellOntology(SymbolsPtr symbols,
+                               bool include_cycle_axioms = true);
+
+/// The grid ontology O_P of Theorem 10 (Figure 4): extends O_cell with
+/// tile relations and marker propagation that verifies a properly tiled
+/// rectangle from the top-right corner (final tile) down to the bottom-left
+/// (initial tile), where the marker (≤1 A) is derived. If P admits a
+/// tiling, instances representing it make O_P non-materializable (the B1/B2
+/// disjunction fires); if P admits none, query evaluation stays tractable.
+struct GridOntology {
+  CellOntology cell;
+  std::vector<uint32_t> tile_rels;  // unary T<i>
+  uint32_t f_marker = 0;            // F: "grid verified from here up-right"
+  uint32_t a_marker = 0;            // A: "lower-left corner of a tiled grid"
+  uint32_t u_marker = 0;            // U: top border
+  uint32_t r_marker = 0;            // R: right border
+  uint32_t b1 = 0, b2 = 0;          // the hardness disjunction heads
+};
+
+GridOntology BuildGridOntology(SymbolsPtr symbols,
+                               const TilingProblem& problem,
+                               bool include_cycle_axioms = false);
+
+/// Result of a marker-entailment check: is (≤1 Q)(d) certain?
+enum class MarkerStatus {
+  kEntailedProved,       // tableau closed all (≥2)-successor models
+  kRefuted,              // a model with two distinct Q-successors exists
+  kNoCountermodelUpTo,   // bounded search found none (evidence, not proof)
+};
+
+/// Checks whether the marker (≤1 Q)(d) is entailed by O on D: a
+/// countermodel is a model of D plus two fresh distinct Q-successors of d.
+MarkerStatus CheckMarker(CertainAnswerSolver& solver, const Instance& input,
+                         uint32_t marker_rel, ElemId d,
+                         uint32_t ground_extra = 2);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_TM_TILING_H_

@@ -1,0 +1,125 @@
+#include "tm/turing.h"
+
+#include <functional>
+
+namespace gfomq {
+
+std::vector<std::string> Ntm::Successors(const std::string& config) const {
+  std::vector<std::string> out;
+  size_t head = std::string::npos;
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (IsState(config[i])) {
+      head = i;
+      break;
+    }
+  }
+  if (head == std::string::npos) return out;
+  char state = config[head];
+  if (state == accept_state) return out;  // accepting states halt
+  // The symbol under the head is the one right of the state marker.
+  if (head + 1 >= config.size()) return out;
+  char read = config[head + 1];
+  for (const NtmTransition& t : transitions) {
+    if (t.state != state || t.read != read) continue;
+    std::string next = config;
+    // vq a w  ->  write b: v q' applied depending on direction.
+    next[head + 1] = t.write;
+    // Remove the state marker and reinsert.
+    std::string without = next.substr(0, head) + next.substr(head + 1);
+    size_t cell = head;  // index of the written cell in `without`
+    size_t new_cell;
+    if (t.dir > 0) {
+      new_cell = cell + 1;
+      if (new_cell > without.size()) continue;  // fell off the padded tape
+    } else {
+      if (cell == 0) continue;  // fell off the left end
+      new_cell = cell - 1;
+    }
+    std::string succ =
+        without.substr(0, new_cell) + std::string(1, t.next_state) +
+        without.substr(new_cell);
+    if (succ.size() != config.size()) continue;
+    out.push_back(std::move(succ));
+  }
+  return out;
+}
+
+bool Ntm::Accepting(const std::string& config) const {
+  return config.find(accept_state) != std::string::npos;
+}
+
+std::string Ntm::InitialConfig(const std::string& input, size_t length) const {
+  std::string tape = input;
+  while (tape.size() + 1 < length) tape.push_back('_');
+  return std::string(1, start_state) + tape;
+}
+
+bool MatchesPartial(const std::string& config, const std::string& partial) {
+  if (config.size() != partial.size()) return false;
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (partial[i] != '?' && partial[i] != config[i]) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::string>> SolveRunFitting(
+    const Ntm& machine, const PartialRun& partial, uint64_t max_nodes) {
+  if (partial.rows.empty()) return std::nullopt;
+  const size_t len = partial.rows[0].size();
+  for (const std::string& row : partial.rows) {
+    if (row.size() != len) return std::nullopt;
+  }
+  uint64_t nodes = 0;
+
+  // Enumerate completions of row 0: a position for the (single) state
+  // character and tape symbols for the remaining wildcards.
+  std::vector<std::string> run(partial.rows.size());
+  std::function<bool(size_t)> extend = [&](size_t row) -> bool {
+    if (max_nodes != 0 && ++nodes > max_nodes) return false;
+    if (row == partial.rows.size()) {
+      return machine.Accepting(run[row - 1]);
+    }
+    for (const std::string& succ : machine.Successors(run[row - 1])) {
+      if (!MatchesPartial(succ, partial.rows[row])) continue;
+      run[row] = succ;
+      if (extend(row + 1)) return true;
+    }
+    return false;
+  };
+
+  // Completion of the first row.
+  std::function<bool(std::string&, size_t, bool)> complete =
+      [&](std::string& row, size_t i, bool has_state) -> bool {
+    if (i == row.size()) {
+      if (!has_state) return false;
+      run[0] = row;
+      if (partial.rows.size() == 1) return machine.Accepting(row);
+      return extend(1);
+    }
+    char fixed = partial.rows[0][i];
+    if (fixed != '?') {
+      bool is_state = machine.IsState(fixed);
+      if (is_state && has_state) return false;
+      row[i] = fixed;
+      return complete(row, i + 1, has_state || is_state);
+    }
+    // Wildcard: try tape symbols, and each state if none placed yet.
+    for (char c : machine.tape_symbols) {
+      row[i] = c;
+      if (complete(row, i + 1, has_state)) return true;
+    }
+    if (!has_state) {
+      for (char q : machine.states) {
+        row[i] = q;
+        if (complete(row, i + 1, true)) return true;
+      }
+    }
+    return false;
+  };
+
+  std::string row0(len, '_');
+  if (complete(row0, 0, false)) return run;
+  return std::nullopt;
+}
+
+}  // namespace gfomq

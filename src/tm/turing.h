@@ -1,0 +1,65 @@
+#ifndef GFOMQ_TM_TURING_H_
+#define GFOMQ_TM_TURING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gfomq {
+
+/// A nondeterministic Turing machine with a one-sided infinite tape
+/// (Section 7 of the paper). States and tape symbols are single characters;
+/// a configuration is a string vqw (state q at the head position, reading
+/// the first symbol of w). The blank symbol is '_'.
+struct NtmTransition {
+  char state;
+  char read;
+  char next_state;
+  char write;
+  int dir;  // +1 right, -1 left
+};
+
+struct Ntm {
+  std::string states;        // state characters (disjoint from tape symbols)
+  std::string tape_symbols;  // includes '_'
+  char start_state;
+  char accept_state;
+  std::vector<NtmTransition> transitions;
+
+  bool IsState(char c) const {
+    return states.find(c) != std::string::npos;
+  }
+
+  /// All successor configurations of `config` (strings vqw of fixed length:
+  /// the run representation pads configurations to a common length, so
+  /// moves past the right end fail rather than grow the tape).
+  std::vector<std::string> Successors(const std::string& config) const;
+
+  /// Is the configuration accepting?
+  bool Accepting(const std::string& config) const;
+
+  /// The initial configuration for input `w` padded to `length` tape cells.
+  std::string InitialConfig(const std::string& input, size_t length) const;
+};
+
+/// A partial run: configurations of equal length over states ∪ tape symbols
+/// ∪ '?' (wildcard). Definition 7/8 of the paper.
+struct PartialRun {
+  std::vector<std::string> rows;
+};
+
+/// Does `config` match the partial configuration `partial` (equal length,
+/// agreement on all non-wildcards)?
+bool MatchesPartial(const std::string& config, const std::string& partial);
+
+/// The run fitting problem RF(M): is there an accepting run of M matching
+/// the partial run? Backtracking search, exponential in the worst case
+/// (the problem is NP-complete for some M; Theorem 12 shows machines for
+/// which it is NP-intermediate). Returns the matching run if found.
+std::optional<std::vector<std::string>> SolveRunFitting(
+    const Ntm& machine, const PartialRun& partial, uint64_t max_nodes = 0);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_TM_TURING_H_

@@ -1,0 +1,146 @@
+#include "unravel/unravel.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gfomq {
+
+namespace {
+
+using GuardedSet = std::vector<ElemId>;  // sorted original element ids
+
+std::vector<ElemId> Intersect(const GuardedSet& a, const GuardedSet& b) {
+  std::vector<ElemId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Unravelling Unravel(const Instance& input, UnravelKind kind, int max_depth) {
+  Unravelling out{Instance(input.symbols()), {}, {}, false};
+  std::vector<GuardedSet> guarded = input.MaximalGuardedSets();
+
+  // A tree node: the sequence tail, its predecessor set, and the map from
+  // original elements of tail(t) to their copies in the unravelling.
+  struct Node {
+    size_t set_index;
+    int prev_index;  // index into `guarded`, or -1 for roots
+    std::map<ElemId, ElemId> copy;  // original -> unravelling element
+    int depth;
+  };
+
+  auto copy_bag_facts = [&](const GuardedSet& g,
+                            const std::map<ElemId, ElemId>& copy) {
+    Instance induced = input.InducedSub(g);
+    for (const Fact& f : induced.facts()) {
+      Fact mapped = f;
+      for (ElemId& x : mapped.args) x = copy.at(x);
+      out.instance.AddFact(mapped);
+    }
+  };
+  // Copies live in the constant domain (the paper assumes all copies are
+  // in ∆_D): distinct copies are distinct elements in every model.
+  auto new_copy = [&](ElemId original) {
+    ElemId c = out.instance.AddConstant(
+        "u" + std::to_string(out.origin.size()) + "_" +
+        input.ElemName(original));
+    out.origin.push_back(original);
+    return c;
+  };
+
+  std::vector<Node> frontier;
+  for (size_t gi = 0; gi < guarded.size(); ++gi) {
+    Node root;
+    root.set_index = gi;
+    root.prev_index = -1;
+    root.depth = 1;
+    std::vector<ElemId> copies;
+    for (ElemId d : guarded[gi]) {
+      ElemId c = new_copy(d);
+      root.copy[d] = c;
+      copies.push_back(c);
+    }
+    copy_bag_facts(guarded[gi], root.copy);
+    out.root_bags.emplace_back(guarded[gi], copies);
+    frontier.push_back(std::move(root));
+  }
+
+  while (!frontier.empty()) {
+    std::vector<Node> next_frontier;
+    for (const Node& node : frontier) {
+      const GuardedSet& cur = guarded[node.set_index];
+      for (size_t gi = 0; gi < guarded.size(); ++gi) {
+        const GuardedSet& cand = guarded[gi];
+        if (cand == cur) continue;                         // (a)
+        std::vector<ElemId> overlap = Intersect(cur, cand);
+        if (overlap.empty()) continue;                     // (b)
+        if (kind == UnravelKind::kUGF) {
+          if (node.prev_index == static_cast<int>(gi)) continue;  // (c)
+        } else {
+          if (node.prev_index >= 0) {
+            const GuardedSet& prev =
+                guarded[static_cast<size_t>(node.prev_index)];
+            if (Intersect(cur, prev) == overlap) continue;  // (c')
+          }
+        }
+        if (node.depth + 1 > max_depth) {
+          out.truncated = true;
+          continue;
+        }
+        Node child;
+        child.set_index = gi;
+        child.prev_index = static_cast<int>(node.set_index);
+        child.depth = node.depth + 1;
+        for (ElemId d : cand) {
+          auto it = node.copy.find(d);
+          if (it != node.copy.end() &&
+              std::binary_search(overlap.begin(), overlap.end(), d)) {
+            child.copy[d] = it->second;  // shared with the parent bag
+          } else {
+            child.copy[d] = new_copy(d);
+          }
+        }
+        copy_bag_facts(cand, child.copy);
+        next_frontier.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return out;
+}
+
+ToleranceCheck CheckUnravellingTolerance(CertainAnswerSolver& solver,
+                                         const Instance& input, const Cq& query,
+                                         const std::vector<ElemId>& tuple,
+                                         UnravelKind kind, int max_depth) {
+  ToleranceCheck out;
+  out.on_original = solver.IsCertain(input, query, tuple);
+
+  Unravelling u = Unravel(input, kind, max_depth);
+  out.truncated = u.truncated;
+  // Locate the copy of the tuple: find a root bag whose original set
+  // contains all tuple elements.
+  for (const auto& [orig, copies] : u.root_bags) {
+    bool contains = true;
+    for (ElemId t : tuple) {
+      if (!std::binary_search(orig.begin(), orig.end(), t)) contains = false;
+    }
+    if (!contains) continue;
+    std::vector<ElemId> mapped;
+    for (ElemId t : tuple) {
+      size_t pos = static_cast<size_t>(
+          std::lower_bound(orig.begin(), orig.end(), t) - orig.begin());
+      mapped.push_back(copies[pos]);
+    }
+    out.on_unravelling = solver.IsCertain(u.instance, query, mapped);
+    return out;
+  }
+  // Tuple not jointly guarded: Definition 3 does not apply.
+  out.on_unravelling = Certainty::kUnknown;
+  return out;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,56 @@
+#ifndef GFOMQ_UNRAVEL_UNRAVEL_H_
+#define GFOMQ_UNRAVEL_UNRAVEL_H_
+
+#include <vector>
+
+#include "instance/instance.h"
+#include "query/cq.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+
+/// Which unravelling to build (Section 4 of the paper): the uGF-unravelling
+/// uses condition (c) G_{i-1} ≠ G_{i+1}; the uGC2-unravelling strengthens
+/// it to (c') G_i ∩ G_{i-1} ≠ G_i ∩ G_{i+1}, which preserves successor
+/// counts and is the right notion for counting/functionality fragments.
+enum class UnravelKind { kUGF, kUGC2 };
+
+/// A (depth-bounded prefix of the) unravelling D^u of an instance.
+struct Unravelling {
+  Instance instance;
+
+  /// origin[e] = the element of D that e is a copy of (the map e ↦ e↑).
+  std::vector<ElemId> origin;
+
+  /// For every maximal guarded set G of D (sorted original ids), the copy
+  /// of G in the root bag of its tree.
+  std::vector<std::pair<std::vector<ElemId>, std::vector<ElemId>>> root_bags;
+
+  /// True if the depth bound cut off further expansion (the full
+  /// unravelling is infinite whenever D has a cycle or a branching bag).
+  bool truncated = false;
+};
+
+/// Builds the unravelling up to sequences of at most `max_depth` guarded
+/// sets per tree branch.
+Unravelling Unravel(const Instance& input, UnravelKind kind, int max_depth);
+
+/// One data point of an unravelling-tolerance experiment (Definition 3):
+/// the certain answer of q(a~) on D versus on the depth-bounded D^u (at the
+/// copy of a~ in its root bag). Entailment on a truncated D^u implies
+/// entailment on the full D^u (certain answers are monotone under instance
+/// extension); non-entailment at a finite depth is only an indication.
+struct ToleranceCheck {
+  Certainty on_original = Certainty::kUnknown;
+  Certainty on_unravelling = Certainty::kUnknown;
+  bool truncated = false;
+};
+
+ToleranceCheck CheckUnravellingTolerance(CertainAnswerSolver& solver,
+                                         const Instance& input, const Cq& query,
+                                         const std::vector<ElemId>& tuple,
+                                         UnravelKind kind, int max_depth);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_UNRAVEL_UNRAVEL_H_

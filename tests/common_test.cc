@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "logic/symbols.h"
+
+namespace gfomq {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: bad arity");
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+  Result<int> e = Status::InvalidArgument("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(InternerTest, StableDenseIds) {
+  Interner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Name(1), "b");
+  EXPECT_EQ(in.Find("c"), -1);
+  EXPECT_EQ(in.Find("b"), 1);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(RngTest, DeterministicAndRangeRespecting) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(1).Next(), c.Next());
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Below(7);
+    EXPECT_LT(v, 7u);
+    int64_t w = r.Range(-3, 3);
+    EXPECT_GE(w, -3);
+    EXPECT_LE(w, 3);
+  }
+  EXPECT_FALSE(Rng(4).Chance(0.0));
+  EXPECT_TRUE(Rng(4).Chance(1.0));
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  Rng r(99);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.Chance(0.25)) ++hits;
+  }
+  EXPECT_GT(hits, trials / 4 - 300);
+  EXPECT_LT(hits, trials / 4 + 300);
+}
+
+TEST(SymbolsTest, FreshRelAvoidsCollisions) {
+  Symbols sym;
+  sym.Rel("Def#0", 1);
+  uint32_t fresh = sym.FreshRel("Def", 1);
+  EXPECT_NE(sym.RelName(fresh), "Def#0");
+  uint32_t fresh2 = sym.FreshRel("Def", 2);
+  EXPECT_NE(fresh, fresh2);
+  EXPECT_EQ(sym.RelArity(fresh2), 2);
+}
+
+TEST(SymbolsTest, SeparateNamespaces) {
+  Symbols sym;
+  uint32_t r = sym.Rel("same", 2);
+  uint32_t v = sym.Var("same");
+  uint32_t c = sym.Const("same");
+  EXPECT_EQ(sym.RelName(r), "same");
+  EXPECT_EQ(sym.VarName(v), "same");
+  EXPECT_EQ(sym.ConstName(c), "same");
+  EXPECT_EQ(sym.NumRels(), 1u);
+  EXPECT_EQ(sym.NumVars(), 1u);
+  EXPECT_EQ(sym.NumConsts(), 1u);
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,203 @@
+#include "csp/csp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fragments/fragments.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+namespace {
+
+// Symmetric-edge template with k elements, all non-loop edges (k-clique):
+// CSP(K_k) = k-colorability.
+Instance Clique(SymbolsPtr sym, int k) {
+  Instance t(sym);
+  uint32_t E = sym->Rel("E", 2);
+  std::vector<ElemId> es;
+  for (int i = 0; i < k; ++i) {
+    es.push_back(t.AddConstant("k" + std::to_string(i)));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i != j) {
+        t.AddFact(E, {es[static_cast<size_t>(i)], es[static_cast<size_t>(j)]});
+      }
+    }
+  }
+  return t;
+}
+
+Instance SymmetricCycle(SymbolsPtr sym, int n, const std::string& prefix) {
+  Instance d(sym);
+  uint32_t E = sym->Rel("E", 2);
+  std::vector<ElemId> es;
+  for (int i = 0; i < n; ++i) {
+    es.push_back(d.AddConstant(prefix + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    ElemId u = es[static_cast<size_t>(i)];
+    ElemId v = es[static_cast<size_t>((i + 1) % n)];
+    d.AddFact(E, {u, v});
+    d.AddFact(E, {v, u});
+  }
+  return d;
+}
+
+TEST(CspTest, SolveCspTwoColoring) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  EXPECT_TRUE(SolveCsp(SymmetricCycle(sym, 4, "a"), k2));
+  EXPECT_FALSE(SolveCsp(SymmetricCycle(sym, 5, "b"), k2));
+}
+
+TEST(CspTest, SolveCspThreeColoring) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k3 = Clique(sym, 3);
+  EXPECT_TRUE(SolveCsp(SymmetricCycle(sym, 5, "a"), k3));
+  EXPECT_FALSE(SolveCsp(Clique(sym, 4), k3));
+}
+
+TEST(CspTest, PrecoloringIsAdded) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  std::map<ElemId, uint32_t> pre;
+  Instance k2p = AddPrecoloring(k2, &pre);
+  ASSERT_EQ(pre.size(), 2u);
+  for (const auto& [a, pa] : pre) {
+    EXPECT_TRUE(k2p.HasFact(pa, {a}));
+  }
+}
+
+class CspEncodingTest
+    : public ::testing::TestWithParam<CspEncodingVariant> {};
+
+TEST_P(CspEncodingTest, ConsistencyMatchesTwoColorability) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  auto enc = EncodeTemplate(k2, GetParam());
+  ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+  auto solver = CertainAnswerSolver::Create(enc->ontology);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+
+  Instance even = enc->EncodeInput(SymmetricCycle(sym, 4, "e"));
+  EXPECT_EQ(solver->IsConsistent(even), Certainty::kYes);
+
+  Instance odd = enc->EncodeInput(SymmetricCycle(sym, 3, "o"));
+  EXPECT_EQ(solver->IsConsistent(odd), Certainty::kNo);
+}
+
+TEST_P(CspEncodingTest, PrecoloringForcesColors) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  auto enc = EncodeTemplate(k2, GetParam());
+  ASSERT_TRUE(enc.ok());
+  auto solver = CertainAnswerSolver::Create(enc->ontology);
+  ASSERT_TRUE(solver.ok());
+  // A single edge with both endpoints precoloured the same colour: no hom.
+  Instance d(sym);
+  uint32_t E = static_cast<uint32_t>(sym->FindRel("E"));
+  ElemId u = d.AddConstant("u");
+  ElemId v = d.AddConstant("v");
+  d.AddFact(E, {u, v});
+  d.AddFact(E, {v, u});
+  uint32_t p0 = enc->precolor_rels.at(0);
+  d.AddFact(p0, {u});
+  d.AddFact(p0, {v});
+  EXPECT_FALSE(SolveCsp(d, enc->templ));
+  EXPECT_EQ(solver->IsConsistent(enc->EncodeInput(d)), Certainty::kNo);
+  // Different colours: fine.
+  Instance d2(sym);
+  ElemId u2 = d2.AddConstant("u2");
+  ElemId v2 = d2.AddConstant("v2");
+  d2.AddFact(E, {u2, v2});
+  d2.AddFact(E, {v2, u2});
+  d2.AddFact(p0, {u2});
+  d2.AddFact(enc->precolor_rels.at(1), {v2});
+  EXPECT_TRUE(SolveCsp(d2, enc->templ));
+  EXPECT_EQ(solver->IsConsistent(enc->EncodeInput(d2)), Certainty::kYes);
+}
+
+TEST_P(CspEncodingTest, BothReductionDirectionsAgreeOnRandomInputs) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  auto enc = EncodeTemplate(k2, GetParam());
+  ASSERT_TRUE(enc.ok());
+  auto solver = CertainAnswerSolver::Create(enc->ontology);
+  ASSERT_TRUE(solver.ok());
+  uint32_t E = static_cast<uint32_t>(sym->FindRel("E"));
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < 4; ++i) {
+      es.push_back(d.AddConstant("r" + std::to_string(trial) + "_" +
+                                 std::to_string(i)));
+    }
+    for (size_t i = 0; i < es.size(); ++i) {
+      for (size_t j = i + 1; j < es.size(); ++j) {
+        if (rng.Chance(0.5)) {
+          d.AddFact(E, {es[i], es[j]});
+          d.AddFact(E, {es[j], es[i]});
+        }
+      }
+    }
+    bool hom = SolveCsp(d, enc->templ);
+    Instance encoded = enc->EncodeInput(d);
+    Certainty consistent = solver->IsConsistent(encoded);
+    EXPECT_EQ(consistent, hom ? Certainty::kYes : Certainty::kNo)
+        << "trial " << trial;
+    // Round-trip: the decoded CSP input of the encoded instance is
+    // equi-solvable with the original.
+    Instance decoded = enc->DecodeToCspInput(encoded);
+    EXPECT_EQ(SolveCsp(decoded, enc->templ), hom) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, CspEncodingTest,
+    ::testing::Values(CspEncodingVariant::kEquality,
+                      CspEncodingVariant::kFunction,
+                      CspEncodingVariant::kLocalFunctionality),
+    [](const ::testing::TestParamInfo<CspEncodingVariant>& info) {
+      switch (info.param) {
+        case CspEncodingVariant::kEquality: return "Equality";
+        case CspEncodingVariant::kFunction: return "Function";
+        case CspEncodingVariant::kLocalFunctionality: return "LocalFunc";
+      }
+      return "Unknown";
+    });
+
+TEST(CspTest, EqualityEncodingLandsInCspHardFragment) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  auto enc = EncodeTemplate(k2, CspEncodingVariant::kEquality);
+  ASSERT_TRUE(enc.ok());
+  auto c = ClassifyOntology(enc->ontology);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kCspHard);
+}
+
+TEST(CspTest, FunctionEncodingLandsInCspHardFragment) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k2 = Clique(sym, 2);
+  auto enc = EncodeTemplate(k2, CspEncodingVariant::kFunction);
+  ASSERT_TRUE(enc.ok());
+  auto c = ClassifyOntology(enc->ontology);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kCspHard);
+}
+
+TEST(CspTest, EncodingsNeverLandInDichotomyBand) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance k3 = Clique(sym, 3);
+  for (CspEncodingVariant v :
+       {CspEncodingVariant::kEquality, CspEncodingVariant::kFunction,
+        CspEncodingVariant::kLocalFunctionality}) {
+    auto enc = EncodeTemplate(k3, v);
+    ASSERT_TRUE(enc.ok());
+    auto c = ClassifyOntology(enc->ontology);
+    EXPECT_NE(c.verdict, DichotomyStatus::kDichotomy);
+  }
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/engine.h"
+#include "datalog/rewriter.h"
+#include "logic/parser.h"
+
+namespace gfomq {
+namespace {
+
+TEST(DatalogTest, ParseAndValidate) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "B(x) :- A(x);"
+      "goal(x) :- R(x,y), B(y), x != y;",
+      sym);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog->rules.size(), 2u);
+  EXPECT_FALSE(prog->IsPlainDatalog());
+  EXPECT_GE(prog->goal_rel, 0);
+}
+
+TEST(DatalogTest, RejectsUnboundHeadVariable) {
+  SymbolsPtr sym = MakeSymbols();
+  EXPECT_FALSE(ParseDatalog("B(x) :- A(y);", sym).ok());
+}
+
+TEST(DatalogTest, TransitiveClosure) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "T(x,y) :- R(x,y);"
+      "T(x,z) :- T(x,y), R(y,z);",
+      sym);
+  ASSERT_TRUE(prog.ok());
+  Instance d(sym);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  uint32_t T = static_cast<uint32_t>(sym->FindRel("T"));
+  std::vector<ElemId> es;
+  for (int i = 0; i < 6; ++i) {
+    es.push_back(d.AddConstant("e" + std::to_string(i)));
+  }
+  for (int i = 0; i + 1 < 6; ++i) {
+    d.AddFact(R, {es[static_cast<size_t>(i)], es[static_cast<size_t>(i + 1)]});
+  }
+  DatalogEngine engine(*prog);
+  Instance out = engine.Evaluate(d);
+  EXPECT_TRUE(out.HasFact(T, {es[0], es[5]}));
+  EXPECT_FALSE(out.HasFact(T, {es[5], es[0]}));
+  // 15 pairs in the closure of a 6-chain.
+  int count = 0;
+  for (const Fact& f : out.facts()) {
+    if (f.rel == T) ++count;
+  }
+  EXPECT_EQ(count, 15);
+}
+
+TEST(DatalogTest, InequalityFiltersMatches) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog("goal(x) :- R(x,y), x != y;", sym);
+  ASSERT_TRUE(prog.ok());
+  Instance d(sym);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(R, {a, a});
+  d.AddFact(R, {b, a});
+  DatalogEngine engine(*prog);
+  auto goals = engine.GoalTuples(d);
+  ASSERT_EQ(goals.size(), 1u);
+  EXPECT_EQ(*goals.begin(), std::vector<ElemId>{b});
+}
+
+TEST(DatalogTest, SemiNaiveMatchesNaiveOnRandomGraphs) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "T(x,y) :- R(x,y);"
+      "T(x,z) :- T(x,y), T(y,z);",
+      sym);
+  ASSERT_TRUE(prog.ok());
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  uint32_t T = static_cast<uint32_t>(sym->FindRel("T"));
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < 7; ++i) {
+      es.push_back(d.AddConstant("x" + std::to_string(trial) + "_" +
+                                 std::to_string(i)));
+    }
+    for (ElemId u : es) {
+      for (ElemId v : es) {
+        if (rng.Chance(0.2)) d.AddFact(R, {u, v});
+      }
+    }
+    DatalogEngine engine(*prog);
+    Instance out = engine.Evaluate(d);
+    // Reference: Floyd–Warshall reachability over the R edges.
+    size_t n = d.NumElements();
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (const Fact& f : d.facts()) {
+      if (f.rel == R) reach[f.args[0]][f.args[1]] = true;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          if (reach[i][k] && reach[k][j]) reach[i][j] = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(out.HasFact(T, {static_cast<ElemId>(i),
+                                  static_cast<ElemId>(j)}),
+                  reach[i][j])
+            << "trial " << trial << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(DatalogTest, RewriterHornSubsumptionChain) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x . (B(x) -> C(x));", sym);
+  ASSERT_TRUE(onto.ok());
+  auto q = ParseCq("q(x) :- C(x)", sym);
+  ASSERT_TRUE(q.ok());
+  auto rewrite = RewriteToDatalog(*onto, Ucq::Single(*q));
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("C")), {b});
+  DatalogEngine engine(rewrite->program);
+  auto goals = engine.GoalTuples(d);
+  EXPECT_EQ(goals.size(), 2u);
+  EXPECT_TRUE(goals.count({a}));
+  EXPECT_TRUE(goals.count({b}));
+}
+
+TEST(DatalogTest, RewriterExistentialQueryHook) {
+  // A ⊑ ∃R.B with q() :- R(x,y), B(y): the match lives in the anonymous
+  // part, captured by a configuration goal rule.
+  SymbolsPtr sym = MakeSymbols();
+  auto onto =
+      ParseOntology("forall x . (A(x) -> exists y (R(x,y) & B(y)));", sym);
+  ASSERT_TRUE(onto.ok());
+  auto q = ParseCq("q() :- R(x,y), B(y)", sym);
+  ASSERT_TRUE(q.ok());
+  auto rewrite = RewriteToDatalog(*onto, Ucq::Single(*q));
+  ASSERT_TRUE(rewrite.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  DatalogEngine engine(rewrite->program);
+  EXPECT_EQ(engine.GoalTuples(d).size(), 1u);
+  // And a negative control: no A fact, no goal.
+  Instance d2(sym);
+  ElemId c = d2.AddConstant("c");
+  d2.AddFact(static_cast<uint32_t>(sym->FindRel("B")), {c});
+  EXPECT_TRUE(engine.GoalTuples(d2).empty());
+}
+
+TEST(DatalogTest, RewriterInconsistencyMakesEverythingCertain) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology("forall x . (A(x) & B(x) -> false);", sym);
+  ASSERT_TRUE(onto.ok());
+  auto q = ParseCq("q(x) :- Z(x)", sym);
+  ASSERT_TRUE(q.ok());
+  auto rewrite = RewriteToDatalog(*onto, Ucq::Single(*q));
+  ASSERT_TRUE(rewrite.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("B")), {a});
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("Z")), {b});
+  DatalogEngine engine(rewrite->program);
+  auto goals = engine.GoalTuples(d);
+  // Inconsistent: every element is an answer.
+  EXPECT_EQ(goals.size(), d.NumElements());
+}
+
+TEST(DatalogTest, RewriterSoundnessOnRandomHornInstances) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x));"
+      "forall x, y (R(x,y) -> (B(x) -> B(y)));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  auto rewrite = RewriteToDatalog(*onto, Ucq::Single(*q));
+  ASSERT_TRUE(rewrite.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  uint32_t A = static_cast<uint32_t>(sym->FindRel("A"));
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < 5; ++i) {
+      es.push_back(d.AddConstant("t" + std::to_string(trial) + "_" +
+                                 std::to_string(i)));
+    }
+    for (ElemId e : es) {
+      if (rng.Chance(0.3)) d.AddFact(A, {e});
+    }
+    for (ElemId u : es) {
+      for (ElemId v : es) {
+        if (rng.Chance(0.25)) d.AddFact(R, {u, v});
+      }
+    }
+    DatalogEngine engine(rewrite->program);
+    auto goals = engine.GoalTuples(d);
+    auto certain = solver->CertainAnswers(d, Ucq::Single(*q));
+    EXPECT_EQ(goals, certain) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "dl/tbox.h"
+#include "dl/translate.h"
+#include "logic/printer.h"
+#include "query/cq.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+namespace {
+
+TEST(DlTest, ParseSimpleInclusion) {
+  auto onto = ParseDlOntology("A sub exists R. B;");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  ASSERT_EQ(onto->cis.size(), 1u);
+  EXPECT_EQ(onto->Depth(), 1);
+  DlFeatures f = onto->Census();
+  EXPECT_EQ(f.FamilyName(), "ALC");
+}
+
+TEST(DlTest, ParseFullAlchiq) {
+  auto onto = ParseDlOntology(
+      "A sub >=2 R. B;"
+      "exists R-. top sub <=3 S. top;"
+      "role R sub S;"
+      "func F;");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  DlFeatures f = onto->Census();
+  EXPECT_TRUE(f.inverse);
+  EXPECT_TRUE(f.role_inclusions);
+  EXPECT_TRUE(f.qualified_numbers);
+  EXPECT_TRUE(f.global_functionality);
+  EXPECT_EQ(f.FamilyName(), "ALCHIQ");
+  EXPECT_EQ(onto->Depth(), 1);
+}
+
+TEST(DlTest, LocalFunctionalityIsRecognized) {
+  auto onto = ParseDlOntology("A sub <=1 R. top;");
+  ASSERT_TRUE(onto.ok());
+  DlFeatures f = onto->Census();
+  EXPECT_TRUE(f.local_functionality);
+  EXPECT_FALSE(f.qualified_numbers);
+  EXPECT_EQ(f.FamilyName(), "ALCFl");
+}
+
+TEST(DlTest, DepthCounting) {
+  auto onto = ParseDlOntology("exists S. A sub forall R. exists S. B;");
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto->Depth(), 2);  // Example 3 of the paper
+}
+
+TEST(DlTest, PrintParseRoundTrip) {
+  std::string text =
+      "A sub exists R. (B and not C);"
+      "exists R-. top sub <=1 S. top;"
+      "role R sub S;"
+      "func F-;";
+  auto onto = ParseDlOntology(text);
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  std::string printed = DlOntologyToString(*onto);
+  auto reparsed = ParseDlOntology(printed, onto->symbols);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << printed;
+  EXPECT_EQ(DlOntologyToString(*reparsed), printed);
+}
+
+TEST(DlTest, TranslationIsGuardedAndDepthPreserving) {
+  auto onto = ParseDlOntology("exists S. A sub forall R. exists S. B;");
+  ASSERT_TRUE(onto.ok());
+  auto guarded = TranslateToGuarded(*onto);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_TRUE(guarded->Validate().ok());
+  EXPECT_EQ(guarded->Depth(), 2);
+  EXPECT_TRUE(guarded->sentences[0].HasEqualityGuard());
+}
+
+TEST(DlTest, TranslationOfRoleInclusionIsRoleGuarded) {
+  auto onto = ParseDlOntology("role R sub S;");
+  ASSERT_TRUE(onto.ok());
+  auto guarded = TranslateToGuarded(*onto);
+  ASSERT_TRUE(guarded.ok());
+  ASSERT_EQ(guarded->sentences.size(), 1u);
+  EXPECT_FALSE(guarded->sentences[0].HasEqualityGuard());
+  EXPECT_EQ(guarded->Depth(), 0);
+}
+
+TEST(DlTest, TranslatedOntologyReasonsCorrectly) {
+  // A ⊑ ∃R.B, B ⊑ C; D = {A(a)}: certain that a has an R-successor in C.
+  SymbolsPtr sym = MakeSymbols();
+  auto dl = ParseDlOntology("A sub exists R. B; B sub C;", sym);
+  ASSERT_TRUE(dl.ok());
+  auto guarded = TranslateToGuarded(*dl);
+  ASSERT_TRUE(guarded.ok());
+  auto solver = CertainAnswerSolver::Create(*guarded);
+  ASSERT_TRUE(solver.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q = ParseCq("q(x) :- R(x,y), C(y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver->IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(DlTest, InverseRolesReasonCorrectly) {
+  // A ⊑ ∃R-.B means a has an R-predecessor in B.
+  SymbolsPtr sym = MakeSymbols();
+  auto dl = ParseDlOntology("A sub exists R-. B;", sym);
+  ASSERT_TRUE(dl.ok());
+  auto guarded = TranslateToGuarded(*dl);
+  ASSERT_TRUE(guarded.ok());
+  auto solver = CertainAnswerSolver::Create(*guarded);
+  ASSERT_TRUE(solver.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q = ParseCq("q(x) :- R(y,x), B(y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver->IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(DlTest, QualifiedNumberRestriction) {
+  // A ⊑ ≥2 R.B and ≤1 R.top is inconsistent with A(a).
+  SymbolsPtr sym = MakeSymbols();
+  auto dl = ParseDlOntology("A sub >=2 R. B; A sub <=1 R. top;", sym);
+  ASSERT_TRUE(dl.ok());
+  auto guarded = TranslateToGuarded(*dl);
+  ASSERT_TRUE(guarded.ok());
+  auto solver = CertainAnswerSolver::Create(*guarded);
+  ASSERT_TRUE(solver.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  EXPECT_EQ(solver->IsConsistent(d), Certainty::kNo);
+}
+
+TEST(DlTest, RoleInclusionPropagates) {
+  SymbolsPtr sym = MakeSymbols();
+  auto dl = ParseDlOntology("role R sub S; A sub exists R. B;", sym);
+  ASSERT_TRUE(dl.ok());
+  auto guarded = TranslateToGuarded(*dl);
+  ASSERT_TRUE(guarded.ok());
+  auto solver = CertainAnswerSolver::Create(*guarded);
+  ASSERT_TRUE(solver.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q = ParseCq("q(x) :- S(x,y), B(y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver->IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(DlTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseDlOntology("A sub").ok());
+  EXPECT_FALSE(ParseDlOntology("sub A B").ok());
+  EXPECT_FALSE(ParseDlOntology("A sub exists R B").ok());
+  EXPECT_FALSE(ParseDlOntology("role R S").ok());
+}
+
+}  // namespace
+}  // namespace gfomq

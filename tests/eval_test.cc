@@ -1,0 +1,127 @@
+#include "instance/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace gfomq {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t B = sym->Rel("B", 1);
+  uint32_t R = sym->Rel("R", 2);
+  uint32_t x = sym->Var("x");
+  uint32_t y = sym->Var("y");
+
+  Instance MakeEdge() {
+    Instance d(sym);
+    ElemId a = d.AddConstant("a");
+    ElemId b = d.AddConstant("b");
+    d.AddFact(R, {a, b});
+    d.AddFact(A, {a});
+    d.AddFact(B, {b});
+    return d;
+  }
+};
+
+TEST_F(EvalTest, AtomsAndBooleans) {
+  Instance d = MakeEdge();
+  std::map<uint32_t, ElemId> env{{x, 0}};
+  EXPECT_TRUE(EvalFormula(*Formula::Atom(A, {x}), d, env));
+  EXPECT_FALSE(EvalFormula(*Formula::Atom(B, {x}), d, env));
+  EXPECT_TRUE(EvalFormula(*Formula::Not(Formula::Atom(B, {x})), d, env));
+  EXPECT_TRUE(EvalFormula(
+      *Formula::Or(Formula::Atom(A, {x}), Formula::Atom(B, {x})), d, env));
+  EXPECT_FALSE(EvalFormula(
+      *Formula::And(Formula::Atom(A, {x}), Formula::Atom(B, {x})), d, env));
+}
+
+TEST_F(EvalTest, GuardedQuantifiers) {
+  Instance d = MakeEdge();
+  std::map<uint32_t, ElemId> env{{x, 0}};
+  FormulaPtr ex = Formula::Exists({y}, Formula::Atom(R, {x, y}),
+                                  Formula::Atom(B, {y}));
+  EXPECT_TRUE(EvalFormula(*ex, d, env));
+  FormulaPtr fa = Formula::Forall({y}, Formula::Atom(R, {x, y}),
+                                  Formula::Atom(A, {y}));
+  EXPECT_FALSE(EvalFormula(*fa, d, env));
+  // Vacuous universal at the sink element.
+  std::map<uint32_t, ElemId> env_b{{x, 1}};
+  EXPECT_TRUE(EvalFormula(*fa, d, env_b));
+}
+
+TEST_F(EvalTest, CountingQuantifiers) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  for (int i = 0; i < 3; ++i) {
+    d.AddFact(R, {a, d.AddConstant("w" + std::to_string(i))});
+  }
+  std::map<uint32_t, ElemId> env{{x, a}};
+  EXPECT_TRUE(EvalFormula(
+      *Formula::CountQ(true, 3, y, Formula::Atom(R, {x, y}), Formula::True()),
+      d, env));
+  EXPECT_FALSE(EvalFormula(
+      *Formula::CountQ(true, 4, y, Formula::Atom(R, {x, y}), Formula::True()),
+      d, env));
+  EXPECT_TRUE(EvalFormula(
+      *Formula::CountQ(false, 3, y, Formula::Atom(R, {x, y}),
+                       Formula::True()),
+      d, env));
+  EXPECT_FALSE(EvalFormula(
+      *Formula::CountQ(false, 2, y, Formula::Atom(R, {x, y}),
+                       Formula::True()),
+      d, env));
+}
+
+TEST_F(EvalTest, CountingWithMatrix) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId w0 = d.AddConstant("w0");
+  ElemId w1 = d.AddConstant("w1");
+  d.AddFact(R, {a, w0});
+  d.AddFact(R, {a, w1});
+  d.AddFact(B, {w1});
+  std::map<uint32_t, ElemId> env{{x, a}};
+  // Exactly one R-successor in B.
+  EXPECT_TRUE(EvalFormula(
+      *Formula::CountQ(true, 1, y, Formula::Atom(R, {x, y}),
+                       Formula::Atom(B, {y})),
+      d, env));
+  EXPECT_FALSE(EvalFormula(
+      *Formula::CountQ(true, 2, y, Formula::Atom(R, {x, y}),
+                       Formula::Atom(B, {y})),
+      d, env));
+}
+
+TEST_F(EvalTest, SentenceEvaluationMirrorsModels) {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> exists y (R(x,y) & B(y)));"
+      "forall x, y (R(x,y) -> (A(x) -> B(y)));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  Instance good = MakeEdge();
+  EXPECT_TRUE(IsModelOf(*onto, good));
+  Instance bad(sym);
+  ElemId a = bad.AddConstant("a");
+  bad.AddFact(A, {a});  // A(a) but no R-successor in B
+  EXPECT_FALSE(IsModelOf(*onto, bad));
+}
+
+TEST_F(EvalTest, RepeatedGuardVariables) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(R, {a, a});
+  std::map<uint32_t, ElemId> env{{x, a}};
+  // ∃y (R(y,y) ∧ ...) must only match the loop.
+  FormulaPtr loops = Formula::Exists({y}, Formula::Atom(R, {y, y}),
+                                     Formula::True());
+  EXPECT_TRUE(EvalFormula(*loops, d, env));
+  Instance no_loop = MakeEdge();
+  EXPECT_FALSE(EvalFormula(*loops, no_loop, env));
+}
+
+}  // namespace
+}  // namespace gfomq

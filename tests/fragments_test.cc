@@ -1,0 +1,158 @@
+#include "fragments/fragments.h"
+
+#include <gtest/gtest.h>
+
+#include "dl/tbox.h"
+#include "logic/parser.h"
+
+namespace gfomq {
+namespace {
+
+FragmentProfile Profile(const std::string& text) {
+  auto onto = ParseOntology(text);
+  EXPECT_TRUE(onto.ok()) << onto.status().ToString();
+  return ProfileOntology(*onto);
+}
+
+TEST(FragmentsTest, Example2IsUGF1) {
+  // ∀xy(R(x,y) → (A(x) ∨ ∃z S(y,z))) is in uGF(1) (Example 2).
+  FragmentProfile p = Profile(
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));");
+  EXPECT_EQ(p.depth, 1);
+  EXPECT_FALSE(p.eq_guards_only);
+  EXPECT_TRUE(InFragment(p, FragmentId::kUGF1));
+  EXPECT_FALSE(InFragment(p, FragmentId::kUGFm1Eq));  // guard is not '='
+  auto c = ClassifyOntology(*ParseOntology(
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));"));
+  EXPECT_EQ(c.verdict, DichotomyStatus::kDichotomy);
+}
+
+TEST(FragmentsTest, EqualityGuardedDepth1WithEquality) {
+  FragmentProfile p = Profile(
+      "forall x . (A(x) -> exists y (R(x,y) & !(x = y)));");
+  EXPECT_TRUE(p.eq_guards_only);
+  EXPECT_TRUE(p.equality);
+  EXPECT_TRUE(InFragment(p, FragmentId::kUGFm1Eq));
+  EXPECT_FALSE(InFragment(p, FragmentId::kUGF1));  // uses equality
+}
+
+TEST(FragmentsTest, TwoVariableDepth2) {
+  FragmentProfile p = Profile(
+      "forall x . (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x))));");
+  EXPECT_EQ(p.depth, 2);
+  EXPECT_LE(p.max_vars, 2);
+  EXPECT_TRUE(InFragment(p, FragmentId::kUGF2m2));
+  EXPECT_FALSE(InFragment(p, FragmentId::kUGC2m1Eq));  // depth 2
+}
+
+TEST(FragmentsTest, CountingLandsInUGC2) {
+  FragmentProfile p = Profile(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)));");
+  EXPECT_TRUE(p.counting);
+  EXPECT_TRUE(InFragment(p, FragmentId::kUGC2m1Eq));
+  EXPECT_FALSE(InFragment(p, FragmentId::kUGF1));
+  auto c = ClassifyOntology(*ParseOntology(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)));"));
+  EXPECT_EQ(c.verdict, DichotomyStatus::kDichotomy);
+}
+
+TEST(FragmentsTest, FunctionsWithDepth2AreNoDichotomy) {
+  auto onto = ParseOntology(
+      "func F;"
+      "forall x . (A(x) -> exists y (R(x,y) & exists x (F(y,x))));");
+  ASSERT_TRUE(onto.ok());
+  auto c = ClassifyOntology(*onto);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kNoDichotomy);
+}
+
+TEST(FragmentsTest, FunctionsWithDepth1AreCspHard) {
+  // uGF2(1,f) is CSP-hard; with non-equality outer guards the dichotomy
+  // fragments do not apply.
+  auto onto = ParseOntology(
+      "func F;"
+      "forall x, y (R(x,y) -> exists x (F(y,x)));");
+  ASSERT_TRUE(onto.ok());
+  auto c = ClassifyOntology(*onto);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kCspHard);
+}
+
+TEST(FragmentsTest, NonEqGuardTwoVarEqualityDepth1IsCspHard) {
+  // uGF2(1,=) with a real guard: CSP-hard band (Theorem 8).
+  auto onto = ParseOntology(
+      "forall x, y (G(x,y) -> exists y (R(x,y) & !(x = y)));");
+  ASSERT_TRUE(onto.ok());
+  auto c = ClassifyOntology(*onto);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kCspHard);
+}
+
+TEST(FragmentsTest, HighArityGuardDepth1StaysDichotomy) {
+  // uGF(1) allows arbitrary arity.
+  auto onto = ParseOntology(
+      "forall x, y, z (G(x,y,z) -> exists w (Q(x,y,w)));");
+  ASSERT_TRUE(onto.ok());
+  auto c = ClassifyOntology(*onto);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kDichotomy);
+}
+
+TEST(FragmentsTest, DepthThreeGuardedIsOpen) {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> exists y (R(x,y) & exists x (S(y,x) & "
+      "exists y (T(x,y)))));");
+  ASSERT_TRUE(onto.ok());
+  auto c = ClassifyOntology(*onto);
+  EXPECT_EQ(c.verdict, DichotomyStatus::kOpen);
+}
+
+TEST(FragmentsTest, FragmentStatusMatchesFigure1Bands) {
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF1), DichotomyStatus::kDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGFm1Eq),
+            DichotomyStatus::kDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF2m2), DichotomyStatus::kDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGC2m1Eq),
+            DichotomyStatus::kDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kALCHIF2),
+            DichotomyStatus::kDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF21Eq), DichotomyStatus::kCspHard);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF22), DichotomyStatus::kCspHard);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF21f), DichotomyStatus::kCspHard);
+  EXPECT_EQ(FragmentStatus(FragmentId::kALCFl2), DichotomyStatus::kCspHard);
+  EXPECT_EQ(FragmentStatus(FragmentId::kUGF2m2f),
+            DichotomyStatus::kNoDichotomy);
+  EXPECT_EQ(FragmentStatus(FragmentId::kALCIFl2),
+            DichotomyStatus::kNoDichotomy);
+}
+
+TEST(FragmentsTest, DlClassification) {
+  // ALCHIQ depth 1: dichotomy.
+  auto o1 = ParseDlOntology("A sub >=2 R-. B; role R sub S;");
+  ASSERT_TRUE(o1.ok());
+  EXPECT_EQ(ClassifyDl(o1->Census()).verdict, DichotomyStatus::kDichotomy);
+
+  // ALCHIF depth 2: dichotomy.
+  auto o2 = ParseDlOntology("A sub exists R. exists S. B; func F;");
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(ClassifyDl(o2->Census()).verdict, DichotomyStatus::kDichotomy);
+
+  // ALCFl depth 2 (local functionality, no inverse): CSP-hard.
+  auto o3 = ParseDlOntology("A sub exists R. <=1 S. top;");
+  ASSERT_TRUE(o3.ok());
+  EXPECT_EQ(ClassifyDl(o3->Census()).verdict, DichotomyStatus::kCspHard);
+
+  // ALCIFl depth 2: no dichotomy.
+  auto o4 = ParseDlOntology("A sub exists R-. <=1 S. top;");
+  ASSERT_TRUE(o4.ok());
+  EXPECT_EQ(ClassifyDl(o4->Census()).verdict, DichotomyStatus::kNoDichotomy);
+
+  // ALC depth 3: CSP-hard.
+  auto o5 = ParseDlOntology("A sub exists R. exists R. exists R. B;");
+  ASSERT_TRUE(o5.ok());
+  EXPECT_EQ(ClassifyDl(o5->Census()).verdict, DichotomyStatus::kCspHard);
+
+  // ALCHIQ depth 2: open.
+  auto o6 = ParseDlOntology("A sub exists R. >=2 S. B;");
+  ASSERT_TRUE(o6.ok());
+  EXPECT_EQ(ClassifyDl(o6->Census()).verdict, DichotomyStatus::kOpen);
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,104 @@
+#include "instance/guarded_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace gfomq {
+namespace {
+
+class GuardedTreeTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t R = sym->Rel("R", 2);
+  uint32_t Q3 = sym->Rel("Q", 3);
+};
+
+TEST_F(GuardedTreeTest, PathIsDecomposable) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  EXPECT_TRUE(IsGuardedTreeDecomposable(d));
+  std::vector<ElemId> root{a, b};
+  auto td = BuildGuardedTreeDecomposition(d, &root);
+  ASSERT_TRUE(td.has_value());
+  EXPECT_TRUE(td->Validate(d, /*connected=*/true));
+  EXPECT_EQ(td->nodes[0].bag, root);
+}
+
+TEST_F(GuardedTreeTest, TriangleWithoutGuardIsNotDecomposable) {
+  // Example 4 of the paper: R(x,y), R(y,z), R(z,x) is not guarded tree
+  // decomposable...
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  d.AddFact(R, {c, a});
+  EXPECT_FALSE(IsGuardedTreeDecomposable(d));
+  // ... but adding the guard Q(x,y,z) makes it decomposable.
+  d.AddFact(Q3, {a, b, c});
+  EXPECT_TRUE(IsGuardedTreeDecomposable(d));
+  std::vector<ElemId> root{a};
+  auto td = BuildGuardedTreeDecomposition(d, &root);
+  ASSERT_TRUE(td.has_value());
+  EXPECT_TRUE(td->Validate(d, /*connected=*/true));
+}
+
+TEST_F(GuardedTreeTest, SingletonRootOfTree) {
+  // Star: R(a,b), R(a,c) rooted at {a}.
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {a, c});
+  std::vector<ElemId> root{a};
+  auto td = BuildGuardedTreeDecomposition(d, &root);
+  ASSERT_TRUE(td.has_value());
+  EXPECT_TRUE(td->Validate(d, /*connected=*/true));
+  ASSERT_EQ(td->nodes[0].bag, root);
+}
+
+TEST_F(GuardedTreeTest, DisconnectedRootedDecompositionFails) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  ElemId e = d.AddConstant("e");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {c, e});  // separate component
+  std::vector<ElemId> root{a, b};
+  EXPECT_FALSE(BuildGuardedTreeDecomposition(d, &root).has_value());
+  // Unrooted (forest) decomposability still holds.
+  EXPECT_TRUE(IsGuardedTreeDecomposable(d));
+}
+
+TEST_F(GuardedTreeTest, LongCycleIsNotDecomposable) {
+  Instance d(sym);
+  std::vector<ElemId> es;
+  for (int i = 0; i < 6; ++i) {
+    es.push_back(d.AddConstant("v" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    d.AddFact(R, {es[static_cast<size_t>(i)],
+                  es[static_cast<size_t>((i + 1) % 6)]});
+  }
+  EXPECT_FALSE(IsGuardedTreeDecomposable(d));
+}
+
+TEST_F(GuardedTreeTest, UnguardedRootBagIsRejected) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  std::vector<ElemId> root{a, c};  // not guarded
+  EXPECT_FALSE(BuildGuardedTreeDecomposition(d, &root).has_value());
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,129 @@
+#include "instance/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+namespace gfomq {
+namespace {
+
+class HomTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t R = sym->Rel("R", 2);
+
+  // A directed path a1 -> a2 -> ... -> an.
+  Instance Path(int n) {
+    Instance d(sym);
+    ElemId prev = d.AddConstant("p0");
+    for (int i = 1; i < n; ++i) {
+      ElemId cur = d.AddConstant("p" + std::to_string(i));
+      d.AddFact(R, {prev, cur});
+      prev = cur;
+    }
+    return d;
+  }
+
+  // A directed cycle of length n.
+  Instance Cycle(int n) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("c" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      d.AddFact(R, {es[static_cast<size_t>(i)],
+                    es[static_cast<size_t>((i + 1) % n)]});
+    }
+    return d;
+  }
+};
+
+TEST_F(HomTest, PathMapsIntoCycle) {
+  Instance path = Path(5);
+  Instance cycle = Cycle(3);
+  EXPECT_TRUE(FindHomomorphism(path, cycle, {}).has_value());
+}
+
+TEST_F(HomTest, CycleDoesNotMapIntoShorterPath) {
+  Instance cycle = Cycle(3);
+  Instance path = Path(10);
+  EXPECT_FALSE(FindHomomorphism(cycle, path, {}).has_value());
+}
+
+TEST_F(HomTest, OddCycleDoesNotMapIntoEdge) {
+  // Classic 2-coloring: C3 -> K2 has no homomorphism (directed variant:
+  // symmetric edge).
+  Instance k2(sym);
+  ElemId u = k2.AddConstant("u");
+  ElemId v = k2.AddConstant("v");
+  k2.AddFact(R, {u, v});
+  k2.AddFact(R, {v, u});
+  EXPECT_FALSE(FindHomomorphism(Cycle(3), k2, {}).has_value());
+  EXPECT_TRUE(FindHomomorphism(Cycle(4), k2, {}).has_value());
+}
+
+TEST_F(HomTest, FixedPinsAreRespected) {
+  Instance path = Path(2);  // p0 -> p1
+  Instance cycle = Cycle(2);
+  // Pin p0 to c1: then p1 must be c0.
+  auto h = FindHomomorphism(path, cycle, {{0, 1}});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ((*h)[0], 1u);
+  EXPECT_EQ((*h)[1], 0u);
+}
+
+TEST_F(HomTest, PreservingHomomorphismIntoExtension) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(A, {a});
+  Instance ext = d;
+  ElemId n = ext.AddNull();
+  ext.AddFact(R, {a, n});
+  auto h = FindHomomorphismPreserving(d, ext, {a});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ((*h)[a], a);
+}
+
+TEST_F(HomTest, IsolatedElementsMapAnywhere) {
+  Instance d(sym);
+  d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(A, {b});
+  Instance target(sym);
+  ElemId t = target.AddConstant("t");
+  target.AddFact(A, {t});
+  EXPECT_TRUE(FindHomomorphism(d, target, {}).has_value());
+}
+
+TEST_F(HomTest, MatchAtomsEnumeratesAllMatches) {
+  Instance cycle = Cycle(3);
+  std::vector<PatternAtom> pattern{{R, {0, 1}}};
+  int count = 0;
+  ForEachMatch(pattern, 2, cycle, {-1, -1},
+               [&count](const std::vector<int64_t>&) {
+                 ++count;
+                 return false;
+               });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(HomTest, IsomorphismDistinguishesOrientation) {
+  EXPECT_TRUE(AreIsomorphic(Cycle(3), Cycle(3)));
+  EXPECT_FALSE(AreIsomorphic(Cycle(3), Cycle(4)));
+  EXPECT_FALSE(AreIsomorphic(Cycle(3), Path(3)));
+}
+
+TEST_F(HomTest, IsomorphismHandlesIsolatedElements) {
+  Instance a(sym);
+  a.AddConstant("x");
+  ElemId ay = a.AddConstant("y");
+  a.AddFact(A, {ay});
+  Instance b(sym);
+  ElemId bx = b.AddConstant("u");
+  b.AddFact(A, {bx});
+  b.AddConstant("v");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+}  // namespace
+}  // namespace gfomq

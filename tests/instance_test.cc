@@ -1,0 +1,114 @@
+#include "instance/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace gfomq {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t R = sym->Rel("R", 2);
+  uint32_t Q3 = sym->Rel("Q", 3);
+};
+
+TEST_F(InstanceTest, ConstantsAreDeduplicated) {
+  Instance d(sym);
+  ElemId a1 = d.AddConstant("a");
+  ElemId a2 = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(d.NumElements(), 2u);
+  EXPECT_FALSE(d.IsNull(a1));
+  EXPECT_EQ(d.ElemName(a1), "a");
+}
+
+TEST_F(InstanceTest, NullsAreFresh) {
+  Instance d(sym);
+  ElemId n1 = d.AddNull();
+  ElemId n2 = d.AddNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(d.IsNull(n1));
+}
+
+TEST_F(InstanceTest, FactsDeduplicate) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  EXPECT_TRUE(d.AddFact(R, {a, b}));
+  EXPECT_FALSE(d.AddFact(R, {a, b}));
+  EXPECT_TRUE(d.HasFact(R, {a, b}));
+  EXPECT_FALSE(d.HasFact(R, {b, a}));
+  EXPECT_EQ(d.NumFacts(), 1u);
+}
+
+TEST_F(InstanceTest, NeighborsFollowGaifmanGraph) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(A, {c});
+  EXPECT_EQ(d.Neighbors(a), std::vector<ElemId>{b});
+  EXPECT_TRUE(d.Neighbors(c).empty());
+}
+
+TEST_F(InstanceTest, MaximalGuardedSets) {
+  // Q(a,b,c) makes {a,b,c} guarded; R(a,b) is subsumed; isolated d is a
+  // singleton guarded set.
+  Instance inst(sym);
+  ElemId a = inst.AddConstant("a");
+  ElemId b = inst.AddConstant("b");
+  ElemId c = inst.AddConstant("c");
+  ElemId e = inst.AddConstant("d");
+  inst.AddFact(Q3, {a, b, c});
+  inst.AddFact(R, {a, b});
+  inst.AddFact(A, {e});
+  auto sets = inst.MaximalGuardedSets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<ElemId>{a, b, c}));
+  EXPECT_EQ(sets[1], (std::vector<ElemId>{e}));
+  EXPECT_TRUE(inst.IsGuardedSet({a, b}));
+  EXPECT_TRUE(inst.IsGuardedSet({a, c}));
+  EXPECT_FALSE(inst.IsGuardedSet({a, e}));
+}
+
+TEST_F(InstanceTest, InducedSubKeepsInsideFacts) {
+  Instance inst(sym);
+  ElemId a = inst.AddConstant("a");
+  ElemId b = inst.AddConstant("b");
+  ElemId c = inst.AddConstant("c");
+  inst.AddFact(R, {a, b});
+  inst.AddFact(R, {b, c});
+  Instance sub = inst.InducedSub({a, b});
+  EXPECT_TRUE(sub.HasFact(R, {a, b}));
+  EXPECT_FALSE(sub.HasFact(R, {b, c}));
+}
+
+TEST_F(InstanceTest, AppendDisjointOffsetsElements) {
+  Instance d1(sym);
+  ElemId a = d1.AddConstant("a");
+  d1.AddFact(A, {a});
+  Instance d2(sym);
+  ElemId b = d2.AddConstant("b");
+  d2.AddFact(A, {b});
+  ElemId offset = d1.AppendDisjoint(d2);
+  EXPECT_EQ(offset, 1u);
+  EXPECT_EQ(d1.NumElements(), 2u);
+  EXPECT_EQ(d1.NumFacts(), 2u);
+  EXPECT_TRUE(d1.HasFact(A, {offset + b}));
+}
+
+TEST_F(InstanceTest, SignatureListsUsedRelations) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(A, {a});
+  auto sig = d.Signature();
+  ASSERT_EQ(sig.size(), 1u);
+  EXPECT_EQ(sig[0], A);
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,146 @@
+#include "logic/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/printer.h"
+#include "logic/symbols.h"
+
+namespace gfomq {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t R = sym->Rel("R", 2);
+  uint32_t S = sym->Rel("S", 2);
+  uint32_t x = sym->Var("x");
+  uint32_t y = sym->Var("y");
+  uint32_t z = sym->Var("z");
+};
+
+TEST_F(FormulaTest, DepthOfQuantifierFree) {
+  FormulaPtr f = Formula::And(Formula::Atom(A, {x}),
+                              Formula::Not(Formula::Atom(R, {x, y})));
+  EXPECT_EQ(f->Depth(), 0);
+}
+
+TEST_F(FormulaTest, DepthCountsNesting) {
+  // A(x) | exists z (S(y,z) & exists w(...)) would be depth 2; build depth 1.
+  FormulaPtr inner = Formula::Exists({z}, Formula::Atom(S, {y, z}),
+                                     Formula::True());
+  FormulaPtr f = Formula::Or(Formula::Atom(A, {x}), inner);
+  EXPECT_EQ(f->Depth(), 1);
+
+  FormulaPtr nested =
+      Formula::Exists({y}, Formula::Atom(R, {x, y}), inner);
+  EXPECT_EQ(nested->Depth(), 2);
+}
+
+TEST_F(FormulaTest, CountingQuantifierContributesDepth) {
+  FormulaPtr c =
+      Formula::CountQ(true, 5, y, Formula::Atom(R, {x, y}), Formula::True());
+  EXPECT_EQ(c->Depth(), 1);
+}
+
+TEST_F(FormulaTest, FreeVarsRespectBinding) {
+  FormulaPtr f = Formula::Exists({z}, Formula::Atom(S, {y, z}),
+                                 Formula::Atom(A, {z}));
+  std::vector<uint32_t> free = f->FreeVars();
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0], y);
+  std::vector<uint32_t> all = f->AllVars();
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(FormulaTest, ValidateAcceptsProperGuards) {
+  // Example 2 of the paper: forall x,y (R(x,y) -> A(x) | exists z S(y,z)).
+  FormulaPtr body = Formula::Or(
+      Formula::Atom(A, {x}),
+      Formula::Exists({z}, Formula::Atom(S, {y, z}), Formula::True()));
+  EXPECT_TRUE(ValidateGuarded(*body, *sym).ok());
+  EXPECT_EQ(body->Depth(), 1);
+}
+
+TEST_F(FormulaTest, ValidateRejectsUnguardedBodyVariable) {
+  // exists z (S(y,z) & A(x)): x free in body but not in the guard.
+  FormulaPtr f = Formula::Exists({z}, Formula::Atom(S, {y, z}),
+                                 Formula::Atom(A, {x}));
+  EXPECT_FALSE(ValidateGuarded(*f, *sym).ok());
+}
+
+TEST_F(FormulaTest, ValidateRejectsArityMismatch) {
+  FormulaPtr f = Formula::Atom(R, {x});
+  EXPECT_FALSE(ValidateGuarded(*f, *sym).ok());
+}
+
+TEST_F(FormulaTest, NnfPushesNegationThroughQuantifiers) {
+  // !(exists y (R(x,y) & A(y)))  ==>  forall y (R(x,y) -> !A(y))
+  FormulaPtr f = Formula::Not(Formula::Exists(
+      {y}, Formula::Atom(R, {x, y}), Formula::Atom(A, {y})));
+  FormulaPtr nnf = ToNnf(f);
+  ASSERT_EQ(nnf->kind(), FormulaKind::kForall);
+  EXPECT_EQ(nnf->body()->kind(), FormulaKind::kNot);
+  EXPECT_EQ(nnf->body()->child()->kind(), FormulaKind::kAtom);
+}
+
+TEST_F(FormulaTest, NnfDualizesCounting) {
+  FormulaPtr f = Formula::Not(
+      Formula::CountQ(true, 3, y, Formula::Atom(R, {x, y}), Formula::True()));
+  FormulaPtr nnf = ToNnf(f);
+  ASSERT_EQ(nnf->kind(), FormulaKind::kCount);
+  EXPECT_FALSE(nnf->count_at_least());
+  EXPECT_EQ(nnf->count(), 2u);
+
+  FormulaPtr g = Formula::Not(
+      Formula::CountQ(false, 3, y, Formula::Atom(R, {x, y}), Formula::True()));
+  FormulaPtr gn = ToNnf(g);
+  ASSERT_EQ(gn->kind(), FormulaKind::kCount);
+  EXPECT_TRUE(gn->count_at_least());
+  EXPECT_EQ(gn->count(), 4u);
+}
+
+TEST_F(FormulaTest, NnfNegatedAtLeastZeroIsFalse) {
+  FormulaPtr f = Formula::Not(
+      Formula::CountQ(true, 0, y, Formula::Atom(R, {x, y}), Formula::True()));
+  EXPECT_EQ(ToNnf(f)->kind(), FormulaKind::kFalse);
+}
+
+TEST_F(FormulaTest, SubstituteRenamesFreeOnly) {
+  FormulaPtr f = Formula::Exists({z}, Formula::Atom(S, {y, z}),
+                                 Formula::Atom(A, {z}));
+  FormulaPtr g = SubstituteVars(f, {{y, x}, {z, x}});
+  // y -> x applies; z is bound so stays.
+  EXPECT_EQ(g->guard()->args()[0], x);
+  EXPECT_EQ(g->guard()->args()[1], z);
+  EXPECT_EQ(g->body()->args()[0], z);
+}
+
+TEST_F(FormulaTest, EqualsIsStructural) {
+  FormulaPtr f1 = Formula::And(Formula::Atom(A, {x}), Formula::Atom(A, {y}));
+  FormulaPtr f2 = Formula::And(Formula::Atom(A, {x}), Formula::Atom(A, {y}));
+  FormulaPtr f3 = Formula::And(Formula::Atom(A, {y}), Formula::Atom(A, {x}));
+  EXPECT_TRUE(f1->Equals(*f2));
+  EXPECT_FALSE(f1->Equals(*f3));
+}
+
+TEST_F(FormulaTest, AndOrFlattenTrivialCases) {
+  EXPECT_EQ(Formula::And(std::vector<FormulaPtr>{})->kind(),
+            FormulaKind::kTrue);
+  EXPECT_EQ(Formula::Or(std::vector<FormulaPtr>{})->kind(),
+            FormulaKind::kFalse);
+  FormulaPtr a = Formula::Atom(A, {x});
+  EXPECT_EQ(Formula::And(std::vector<FormulaPtr>{a}).get(), a.get());
+}
+
+TEST_F(FormulaTest, PrinterRoundTripShape) {
+  FormulaPtr body = Formula::Or(
+      Formula::Atom(A, {x}),
+      Formula::Exists({z}, Formula::Atom(S, {y, z}), Formula::True()));
+  std::string text = FormulaToString(*body, *sym);
+  EXPECT_NE(text.find("A(x)"), std::string::npos);
+  EXPECT_NE(text.find("exists z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfomq

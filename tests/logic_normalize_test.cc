@@ -1,0 +1,167 @@
+#include "logic/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace gfomq {
+namespace {
+
+TEST(NormalizeTest, Depth1SentencePassesThrough) {
+  auto onto = ParseOntology(
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rules.size(), 1u);
+  const GuardedRule& r = rs->rules[0];
+  EXPECT_FALSE(r.eq_guard);
+  EXPECT_EQ(r.num_vars, 2u);
+  // Head: A(x) alternative + exists alternative.
+  EXPECT_EQ(r.head.size(), 2u);
+}
+
+TEST(NormalizeTest, NegatedAtomsBecomeAlternatives) {
+  auto onto = ParseOntology("forall x . (A(x) -> B(x));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rules.size(), 1u);
+  const GuardedRule& r = rs->rules[0];
+  EXPECT_TRUE(r.eq_guard);
+  EXPECT_TRUE(r.body.empty());
+  // Two alternatives: ¬A(x) and B(x).
+  ASSERT_EQ(r.head.size(), 2u);
+  int negatives = 0;
+  for (const HeadAlt& alt : r.head) {
+    ASSERT_EQ(alt.lits.size(), 1u);
+    if (!alt.lits[0].positive) ++negatives;
+  }
+  EXPECT_EQ(negatives, 1);
+}
+
+TEST(NormalizeTest, ConjunctiveHeadSplitsIntoRules) {
+  // A -> B & C becomes two clauses.
+  auto onto = ParseOntology("forall x . (A(x) -> B(x) & C(x));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rules.size(), 2u);
+}
+
+TEST(NormalizeTest, DisjunctiveMatrixOfExistsSplitsIntoAlternatives) {
+  auto onto =
+      ParseOntology("forall x . (A(x) -> exists y (R(x,y) & (B(y) | C(y))));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rules.size(), 1u);
+  // Alternatives: ¬A(x), plus one exists-alternative per DNF disjunct.
+  ASSERT_EQ(rs->rules[0].head.size(), 3u);
+  int exists_alts = 0;
+  for (const HeadAlt& alt : rs->rules[0].head) {
+    if (alt.exists.size() == 1) ++exists_alts;
+  }
+  EXPECT_EQ(exists_alts, 2);
+}
+
+TEST(NormalizeTest, DepthTwoIsReducedToDepthOne) {
+  // ∀x (A(x) → ∃y (R(x,y) ∧ ∃z (S(y,z) ∧ B(z))))
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> exists y (R(x,y) & exists z (S(y,z) & B(z))));");
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto->Depth(), 2);
+  std::vector<uint32_t> aux;
+  auto reduced = ReduceDepth(*onto, &aux);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_LE(reduced->Depth(), 1);
+  EXPECT_FALSE(aux.empty());
+  EXPECT_TRUE(reduced->Validate().ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_GE(rs->rules.size(), 3u);  // rewritten sentence + two definitional
+}
+
+TEST(NormalizeTest, DepthThreeReduces) {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> exists y (R(x,y) & exists z (S(y,z) & "
+      "exists w (T(z,w) & B(w)))));");
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto->Depth(), 3);
+  std::vector<uint32_t> aux;
+  auto reduced = ReduceDepth(*onto, &aux);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced->Depth(), 1);
+  EXPECT_TRUE(reduced->Validate().ok());
+}
+
+TEST(NormalizeTest, FunctionalityIsPreserved) {
+  auto onto = ParseOntology("func F; forall x . (A(x) -> exists y (F(x,y)));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->functional.size(), 1u);
+  EXPECT_EQ(rs->functional[0].inverse, false);
+}
+
+TEST(NormalizeTest, CountingUnitsSurvive) {
+  auto onto = ParseOntology(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rules.size(), 1u);
+  // Alternatives: ¬Hand(x) and the counting unit.
+  ASSERT_EQ(rs->rules[0].head.size(), 2u);
+  int count_alts = 0;
+  for (const HeadAlt& alt : rs->rules[0].head) {
+    if (alt.counts.size() == 1) {
+      ++count_alts;
+      EXPECT_EQ(alt.counts[0].n, 5u);
+      EXPECT_TRUE(alt.counts[0].at_least);
+    }
+  }
+  EXPECT_EQ(count_alts, 1);
+}
+
+TEST(NormalizeTest, UniversalUnitBecomesForallAlternative) {
+  // OMat-style: A(x) -> forall y (R(x,y) -> B(y))
+  auto onto =
+      ParseOntology("forall x . (A(x) -> forall y (R(x,y) -> B(y)));");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rules.size(), 1u);
+  // Alternatives: ¬A(x) and the universal unit.
+  ASSERT_EQ(rs->rules[0].head.size(), 2u);
+  int forall_alts = 0;
+  for (const HeadAlt& alt : rs->rules[0].head) {
+    if (alt.foralls.size() == 1) ++forall_alts;
+  }
+  EXPECT_EQ(forall_alts, 1);
+}
+
+TEST(NormalizeTest, DisjointnessGivesNegativeAlternatives) {
+  auto onto = ParseOntology("forall x . (A(x) & B(x) -> false);");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rules.size(), 1u);
+  // Head: ¬A(x) ∨ ¬B(x); nothing in the body.
+  ASSERT_EQ(rs->rules[0].head.size(), 2u);
+  for (const HeadAlt& alt : rs->rules[0].head) {
+    ASSERT_EQ(alt.lits.size(), 1u);
+    EXPECT_FALSE(alt.lits[0].positive);
+  }
+}
+
+TEST(NormalizeTest, TautologicalSentenceProducesNoRules) {
+  auto onto = ParseOntology("forall x . (A(x) -> A(x) | true);");
+  ASSERT_TRUE(onto.ok());
+  auto rs = NormalizeOntology(*onto);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rules.empty());
+}
+
+}  // namespace
+}  // namespace gfomq

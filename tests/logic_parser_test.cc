@@ -1,0 +1,123 @@
+#include "logic/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/printer.h"
+
+namespace gfomq {
+namespace {
+
+TEST(ParserTest, ParsesExample2FromPaper) {
+  // ∀xy(R(x, y) → (A(x) ∨ ∃z S(y, z))) is in uGF(1).
+  auto onto = ParseOntology(
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  ASSERT_EQ(onto->sentences.size(), 1u);
+  const Sentence& s = onto->sentences[0];
+  EXPECT_EQ(s.Depth(), 1);
+  EXPECT_FALSE(s.HasEqualityGuard());
+  EXPECT_EQ(s.vars.size(), 2u);
+}
+
+TEST(ParserTest, ParsesEqualityGuardedSentence) {
+  auto onto = ParseOntology("forall x . (A(x) -> B(x));");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  const Sentence& s = onto->sentences[0];
+  EXPECT_TRUE(s.HasEqualityGuard());
+  EXPECT_EQ(s.Depth(), 0);
+}
+
+TEST(ParserTest, ParsesFunctionality) {
+  auto onto = ParseOntology("func F; invfunc G;");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  ASSERT_EQ(onto->sentences.size(), 2u);
+  EXPECT_EQ(onto->sentences[0].kind, Sentence::Kind::kFunctionality);
+  EXPECT_FALSE(onto->sentences[0].inverse);
+  EXPECT_TRUE(onto->sentences[1].inverse);
+}
+
+TEST(ParserTest, ParsesCountingQuantifiers) {
+  // O1 from the paper: Hand(x) -> exactly 5 fingers, written with >= and <=.
+  auto onto = ParseOntology(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)) & "
+      "exists<=5 y (hasFinger(x,y)));");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->sentences[0].Depth(), 1);
+}
+
+TEST(ParserTest, ParsesInnerForallAndEqualities) {
+  auto onto = ParseOntology(
+      "forall x, y (R(x,y) -> forall z (S(y,z) -> !(z = y)) & x != y);");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+}
+
+TEST(ParserTest, RejectsUnguardedSentence) {
+  // Guard misses variable y.
+  auto onto = ParseOntology("forall x, y (A(x) -> B(y));");
+  EXPECT_FALSE(onto.ok());
+}
+
+TEST(ParserTest, RejectsArityMismatch) {
+  auto onto = ParseOntology("forall x . (A(x) -> exists y (A(x,y)));");
+  EXPECT_FALSE(onto.ok());
+}
+
+TEST(ParserTest, RejectsStrayFreeVariable) {
+  auto onto = ParseOntology("forall x . (A(x) -> B(y));");
+  EXPECT_FALSE(onto.ok());
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseOntology("forall x (").ok());
+  EXPECT_FALSE(ParseOntology("hello world").ok());
+  EXPECT_FALSE(ParseOntology("forall x . (A(x) -> @)").ok());
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  auto onto = ParseOntology(
+      "# a comment\n"
+      "forall x . (A(x) -> B(x));  # trailing\n");
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->sentences.size(), 1u);
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  std::string text =
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z) & B(z)));\n"
+      "forall x . (A(x) -> exists>=2 y (R(x,y)));\n"
+      "func F;\n";
+  auto onto = ParseOntology(text);
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  std::string printed = OntologyToString(*onto);
+  auto reparsed = ParseOntology(printed, onto->symbols);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\nprinted was:\n"
+                             << printed;
+  ASSERT_EQ(reparsed->sentences.size(), onto->sentences.size());
+  for (size_t i = 0; i < onto->sentences.size(); ++i) {
+    EXPECT_EQ(SentenceToString(onto->sentences[i], *onto->symbols),
+              SentenceToString(reparsed->sentences[i], *onto->symbols));
+  }
+}
+
+TEST(ParserTest, ImplicationIsSugarForNegationDisjunction) {
+  auto f = ParseOntology("forall x . (A(x) -> B(x));");
+  ASSERT_TRUE(f.ok());
+  const FormulaPtr& body = f->sentences[0].body;
+  ASSERT_EQ(body->kind(), FormulaKind::kOr);
+  EXPECT_EQ(body->children()[0]->kind(), FormulaKind::kNot);
+}
+
+TEST(ParserTest, SharedSymbolsAccumulate) {
+  SymbolsPtr sym = MakeSymbols();
+  auto o1 = ParseOntology("forall x . (A(x) -> B(x));", sym);
+  ASSERT_TRUE(o1.ok());
+  auto o2 = ParseOntology("forall x . (B(x) -> C(x));", sym);
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(sym->FindRel("A"), 0);
+  EXPECT_EQ(sym->FindRel("B"), 1);
+  EXPECT_GE(sym->FindRel("C"), 2);
+}
+
+}  // namespace
+}  // namespace gfomq

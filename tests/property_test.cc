@@ -1,0 +1,165 @@
+// Property-based suites over the paper's semantic invariants:
+//  - Theorem 1 (substance): uGF ontologies are invariant under disjoint
+//    unions — consistency and certain answers localize to components.
+//  - Monotonicity: certain answers never shrink when facts are added.
+//  - Theorem 2/4 flavour: CQ evaluation agrees with its singleton-UCQ
+//    evaluation, and UCQ certainty is implied by any disjunct's certainty.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "logic/parser.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+namespace {
+
+struct OntologyCase {
+  const char* name;
+  const char* text;
+};
+
+const OntologyCase kCases[] = {
+    {"horn_subsumption",
+     "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));"},
+    {"existential",
+     "forall x . (A(x) -> exists y (R(x,y) & B(y)));"},
+    {"disjunctive",
+     "forall x . (A(x) -> B(x) | C(x));"},
+    {"guarded_universal",
+     "forall x . (A(x) -> forall y (R(x,y) -> B(y)));"},
+    {"counting",
+     "forall x . (A(x) -> exists>=2 y (R(x,y)));"},
+    {"disjointness",
+     "forall x . (B(x) & C(x) -> false);"},
+};
+
+class UgfPropertyTest : public ::testing::TestWithParam<OntologyCase> {
+ protected:
+  void SetUp() override {
+    sym = MakeSymbols();
+    auto parsed = ParseOntology(GetParam().text, sym);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    onto.emplace(std::move(*parsed));
+    auto s = CertainAnswerSolver::Create(*onto);
+    ASSERT_TRUE(s.ok());
+    solver.emplace(std::move(*s));
+  }
+
+  Instance RandomInstance(Rng& rng, int salt) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    int n = 2 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("p" + std::to_string(salt) + "_" +
+                                 std::to_string(i)));
+    }
+    for (const char* u : {"A", "B", "C"}) {
+      uint32_t rel = sym->Rel(u, 1);
+      for (ElemId e : es) {
+        if (rng.Chance(0.35)) d.AddFact(rel, {e});
+      }
+    }
+    uint32_t r = sym->Rel("R", 2);
+    for (ElemId u : es) {
+      for (ElemId v : es) {
+        if (rng.Chance(0.25)) d.AddFact(r, {u, v});
+      }
+    }
+    if (d.NumFacts() == 0) d.AddFact(sym->Rel("A", 1), {es[0]});
+    return d;
+  }
+
+  SymbolsPtr sym;
+  std::optional<Ontology> onto;
+  std::optional<CertainAnswerSolver> solver;
+};
+
+TEST_P(UgfPropertyTest, DisjointUnionInvariance) {
+  // For uGF ontologies: D1 ⊎ D2 is consistent iff both components are, and
+  // a tuple over D1's elements is certain on the union iff it is on D1.
+  Rng rng(17);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance d1 = RandomInstance(rng, trial * 2);
+    Instance d2 = RandomInstance(rng, trial * 2 + 1);
+    Certainty c1 = solver->IsConsistent(d1);
+    Certainty c2 = solver->IsConsistent(d2);
+    Instance both = d1;
+    both.AppendDisjoint(d2);
+    Certainty cu = solver->IsConsistent(both);
+    if (c1 != Certainty::kUnknown && c2 != Certainty::kUnknown &&
+        cu != Certainty::kUnknown) {
+      EXPECT_EQ(cu == Certainty::kYes,
+                c1 == Certainty::kYes && c2 == Certainty::kYes)
+          << GetParam().name << " trial " << trial;
+    }
+    if (c1 == Certainty::kYes && c2 == Certainty::kYes) {
+      auto q = ParseCq("q(x) :- B(x)", sym);
+      ASSERT_TRUE(q.ok());
+      for (ElemId e = 0; e < d1.NumElements(); ++e) {
+        Certainty on_d1 = solver->IsCertain(d1, *q, {e});
+        Certainty on_union = solver->IsCertain(both, *q, {e});
+        if (on_d1 != Certainty::kUnknown &&
+            on_union != Certainty::kUnknown) {
+          EXPECT_EQ(on_d1, on_union)
+              << GetParam().name << " trial " << trial << " elem " << e;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(UgfPropertyTest, CertainAnswersAreMonotoneUnderFactAddition) {
+  Rng rng(29);
+  for (int trial = 0; trial < 4; ++trial) {
+    Instance d = RandomInstance(rng, 100 + trial);
+    if (solver->IsConsistent(d) != Certainty::kYes) continue;
+    auto q = ParseCq("q(x) :- B(x)", sym);
+    ASSERT_TRUE(q.ok());
+    auto before = solver->CertainAnswers(d, Ucq::Single(*q));
+    // Add one random fact.
+    Instance bigger = d;
+    uint32_t a_rel = sym->Rel("A", 1);
+    bigger.AddFact(a_rel, {static_cast<ElemId>(rng.Below(d.NumElements()))});
+    auto after = solver->CertainAnswers(bigger, Ucq::Single(*q));
+    for (const auto& tuple : before) {
+      EXPECT_TRUE(after.count(tuple))
+          << GetParam().name << " trial " << trial
+          << ": certain answer lost after adding a fact";
+    }
+  }
+}
+
+TEST_P(UgfPropertyTest, CqAgreesWithSingletonUcq) {
+  Rng rng(43);
+  Instance d = RandomInstance(rng, 7);
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  for (ElemId e = 0; e < d.NumElements(); ++e) {
+    EXPECT_EQ(solver->IsCertain(d, *q, {e}),
+              solver->IsCertain(d, Ucq::Single(*q), {e}));
+  }
+}
+
+TEST_P(UgfPropertyTest, DisjunctCertaintyImpliesUcqCertainty) {
+  Rng rng(59);
+  Instance d = RandomInstance(rng, 13);
+  auto u = ParseUcq("q(x) :- B(x) ; q(x) :- C(x)", sym);
+  ASSERT_TRUE(u.ok());
+  auto qb = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(qb.ok());
+  for (ElemId e = 0; e < d.NumElements(); ++e) {
+    if (solver->IsCertain(d, *qb, {e}) == Certainty::kYes) {
+      EXPECT_EQ(solver->IsCertain(d, *u, {e}), Certainty::kYes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOntologies, UgfPropertyTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<OntologyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,120 @@
+#include "query/cq.h"
+
+#include <gtest/gtest.h>
+
+namespace gfomq {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t R = sym->Rel("R", 2);
+  uint32_t Q3 = sym->Rel("Q", 3);
+};
+
+TEST_F(QueryTest, ParseAndPrint) {
+  auto q = ParseCq("q(x) :- R(x,y), A(y)", sym);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->Arity(), 1u);
+  EXPECT_EQ(q->atoms.size(), 2u);
+  EXPECT_EQ(q->ToString(), "q(x) :- R(x,y), A(y)");
+}
+
+TEST_F(QueryTest, BooleanQuery) {
+  auto q = ParseCq("q() :- A(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsBoolean());
+}
+
+TEST_F(QueryTest, RejectsAnswerVarNotInAtoms) {
+  EXPECT_FALSE(ParseCq("q(z) :- A(x)", sym).ok());
+}
+
+TEST_F(QueryTest, EvaluationFindsAnswers) {
+  auto q = ParseCq("q(x) :- R(x,y), A(y)", sym);
+  ASSERT_TRUE(q.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  d.AddFact(A, {c});
+  auto answers = q->AllAnswers(d);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(*answers.begin(), std::vector<ElemId>{b});
+  EXPECT_TRUE(q->HasAnswer(d, {b}));
+  EXPECT_FALSE(q->HasAnswer(d, {a}));
+}
+
+TEST_F(QueryTest, RepeatedAnswerVariable) {
+  auto q = ParseCq("q(x,x) :- A(x)", sym);
+  ASSERT_TRUE(q.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(A, {a});
+  EXPECT_TRUE(q->HasAnswer(d, {a, a}));
+  EXPECT_FALSE(q->HasAnswer(d, {a, b}));
+}
+
+TEST_F(QueryTest, CanonicalDbMirrorsAtoms) {
+  auto q = ParseCq("q(x) :- R(x,y), R(y,x)", sym);
+  ASSERT_TRUE(q.ok());
+  Instance db = q->CanonicalDb();
+  EXPECT_EQ(db.NumElements(), 2u);
+  EXPECT_EQ(db.NumFacts(), 2u);
+}
+
+TEST_F(QueryTest, Example4RootedAcyclicity) {
+  // q(x) <- R(x,y), R(y,z), R(z,x) is not an rAQ; adding Q(x,y,z) makes it
+  // one (Example 4 in the paper).
+  auto q1 = ParseCq("q(x) :- R(x,y), R(y,z), R(z,x)", sym);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(q1->IsRootedAcyclic());
+  auto q2 = ParseCq("q(x) :- R(x,y), R(y,z), R(z,x), Q(x,y,z)", sym);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->IsRootedAcyclic());
+}
+
+TEST_F(QueryTest, BooleanQueriesAreNotRootedAcyclic) {
+  auto q = ParseCq("q() :- A(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsRootedAcyclic());
+}
+
+TEST_F(QueryTest, PathQueryRootedAtEndpoint) {
+  auto q = ParseCq("q(x) :- R(x,y), R(y,z)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsRootedAcyclic());
+}
+
+TEST_F(QueryTest, TwoAnswerVariablesMustBeGuarded) {
+  // Answers {x,z} of a path x-y-z are not co-guarded: not an rAQ.
+  auto q = ParseCq("q(x,z) :- R(x,y), R(y,z)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsRootedAcyclic());
+  auto q2 = ParseCq("q(x,y) :- R(x,y), R(y,z)", sym);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->IsRootedAcyclic());
+}
+
+TEST_F(QueryTest, UcqParsingAndEvaluation) {
+  auto u = ParseUcq("q(x) :- A(x) ; q(x) :- R(x,y)", sym);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->disjuncts.size(), 2u);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(R, {a, b});
+  EXPECT_TRUE(u->HasAnswer(d, {a}));
+  EXPECT_FALSE(u->HasAnswer(d, {b}));
+}
+
+TEST_F(QueryTest, UcqArityMismatchRejected) {
+  EXPECT_FALSE(ParseUcq("q(x) :- A(x) ; q(x,y) :- R(x,y)", sym).ok());
+}
+
+}  // namespace
+}  // namespace gfomq

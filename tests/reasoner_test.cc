@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+namespace {
+
+// Helper: build a solver from ontology text over shared symbols.
+CertainAnswerSolver MakeSolver(const std::string& onto_text, SymbolsPtr sym,
+                               CertainOptions opts = {}) {
+  auto onto = ParseOntology(onto_text, sym);
+  EXPECT_TRUE(onto.ok()) << onto.status().ToString();
+  auto solver = CertainAnswerSolver::Create(*onto, opts);
+  EXPECT_TRUE(solver.ok()) << solver.status().ToString();
+  return std::move(*solver);
+}
+
+TEST(ReasonerTest, AtomicSubsumption) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (A(x) -> B(x));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  EXPECT_EQ(solver.IsConsistent(d), Certainty::kYes);
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+  auto qc = ParseCq("q(x) :- C(x)", sym);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(solver.IsCertain(d, *qc, {a}), Certainty::kNo);
+}
+
+TEST(ReasonerTest, ChainOfSubsumptions) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x . (A(x) -> B(x)); forall x . (B(x) -> C(x));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q = ParseCq("q(x) :- C(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, DisjunctionGivesNoAtomicCertainty) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (A(x) -> B1(x) | B2(x));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q1 = ParseCq("q(x) :- B1(x)", sym);
+  auto q2 = ParseCq("q(x) :- B2(x)", sym);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q1, {a}), Certainty::kNo);
+  EXPECT_EQ(solver.IsCertain(d, *q2, {a}), Certainty::kNo);
+  // But the union is certain.
+  auto u = ParseUcq("q(x) :- B1(x) ; q(x) :- B2(x)", sym);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(solver.IsCertain(d, *u, {a}), Certainty::kYes);
+  // And this is exactly a disjunction-property violation (Theorem 17).
+  EXPECT_EQ(solver.HasDisjunctionViolation(
+                d, {{Ucq::Single(*q1), {a}}, {Ucq::Single(*q2), {a}}}),
+            Certainty::kYes);
+}
+
+TEST(ReasonerTest, ExistentialWitnesses) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver =
+      MakeSolver("forall x . (A(x) -> exists y (R(x,y) & B(y)));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  auto q = ParseCq("q(x) :- R(x,y), B(y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+  auto qc = ParseCq("q(x) :- R(x,y), C(y)", sym);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(solver.IsCertain(d, *qc, {a}), Certainty::kNo);
+  // Boolean query.
+  auto qb = ParseCq("q() :- B(y)", sym);
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(solver.IsCertain(d, *qb, {}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, InconsistencyByDisjointness) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (A(x) & B(x) -> false);", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("B")), {a});
+  EXPECT_EQ(solver.IsConsistent(d), Certainty::kNo);
+  // Everything is certain on an inconsistent instance.
+  auto q = ParseCq("q(x) :- Z(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, FunctionalityMergesNullsAndClosesOnConstants) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("func F;", sym);
+  uint32_t F = static_cast<uint32_t>(sym->FindRel("F"));
+  {
+    // Two constant successors: inconsistent (standard names).
+    Instance d(sym);
+    ElemId a = d.AddConstant("a");
+    ElemId b = d.AddConstant("b");
+    ElemId c = d.AddConstant("c");
+    d.AddFact(F, {a, b});
+    d.AddFact(F, {a, c});
+    EXPECT_EQ(solver.IsConsistent(d), Certainty::kNo);
+  }
+  {
+    Instance d(sym);
+    ElemId a = d.AddConstant("a");
+    ElemId b = d.AddConstant("b");
+    d.AddFact(F, {a, b});
+    EXPECT_EQ(solver.IsConsistent(d), Certainty::kYes);
+  }
+}
+
+TEST(ReasonerTest, FunctionalityMergePropagatesFacts) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "func F; forall x . (A(x) -> exists y (F(x,y) & B(y)));", sym);
+  uint32_t F = static_cast<uint32_t>(sym->FindRel("F"));
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  d.AddFact(F, {a, b});
+  // The existential witness must merge with b, so B(b) is certain.
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {b}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, CountingConflictIsInconsistent) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x . (A(x) -> exists>=2 y (R(x,y)));"
+      "forall x . (A(x) -> exists<=1 y (R(x,y)));",
+      sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  EXPECT_EQ(solver.IsConsistent(d), Certainty::kNo);
+}
+
+TEST(ReasonerTest, AtLeastCreatesDistinctWitnesses) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (A(x) -> exists>=3 y (R(x,y)));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("A")), {a});
+  EXPECT_EQ(solver.IsConsistent(d), Certainty::kYes);
+  auto q = ParseCq("q(x) :- R(x,y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, HandThumbExampleFromIntroduction) {
+  // O1 ∪ O2 from the paper's introduction: a hand has exactly five fingers
+  // and some finger is a thumb. On a hand with five named fingers, "some
+  // f_i is a thumb" is certain as a disjunction while no single Thumb(f_i)
+  // is — the disjunction-property violation that makes O1 ∪ O2 coNP-hard.
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)) & "
+      "exists<=5 y (hasFinger(x,y)));"
+      "forall x . (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y)));",
+      sym);
+  uint32_t hand = static_cast<uint32_t>(sym->FindRel("Hand"));
+  uint32_t has_finger = static_cast<uint32_t>(sym->FindRel("hasFinger"));
+  Instance d(sym);
+  ElemId h = d.AddConstant("h");
+  d.AddFact(hand, {h});
+  std::vector<ElemId> fingers;
+  for (int i = 0; i < 5; ++i) {
+    ElemId f = d.AddConstant("f" + std::to_string(i));
+    fingers.push_back(f);
+    d.AddFact(has_finger, {h, f});
+  }
+  EXPECT_EQ(solver.IsConsistent(d), Certainty::kYes);
+  // Some finger is a thumb: certain.
+  auto qt = ParseCq("q(x) :- hasFinger(x,y), Thumb(y)", sym);
+  ASSERT_TRUE(qt.ok());
+  EXPECT_EQ(solver.IsCertain(d, *qt, {h}), Certainty::kYes);
+  // No specific finger is certainly the thumb.
+  auto qf = ParseCq("q(y) :- Thumb(y)", sym);
+  ASSERT_TRUE(qf.ok());
+  std::vector<std::pair<Ucq, std::vector<ElemId>>> disjuncts;
+  for (ElemId f : fingers) {
+    EXPECT_EQ(solver.IsCertain(d, *qf, {f}), Certainty::kNo);
+    disjuncts.push_back({Ucq::Single(*qf), {f}});
+  }
+  // The disjunction over the five fingers is certain: violation witnessed.
+  EXPECT_EQ(solver.HasDisjunctionViolation(d, disjuncts), Certainty::kYes);
+}
+
+TEST(ReasonerTest, HandWithO1OnlyIsMaterializableHere) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x . (Hand(x) -> exists>=5 y (hasFinger(x,y)) & "
+      "exists<=5 y (hasFinger(x,y)));",
+      sym);
+  Instance d(sym);
+  ElemId h = d.AddConstant("h");
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("Hand")), {h});
+  auto q = ParseCq("q(x) :- hasFinger(x,y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {h}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, ForallPropagationAlongEdges) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x, y (R(x,y) -> (E(x) -> E(y)));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  d.AddFact(static_cast<uint32_t>(sym->FindRel("E")), {a});
+  auto q = ParseCq("q(x) :- E(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {c}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, Example6OddCycleEntailsE) {
+  // Example 6 of the paper: on an odd R-cycle (no A facts), E is entailed
+  // at every element; on an even cycle it is not.
+  SymbolsPtr sym = MakeSymbols();
+  const std::string onto_text =
+      "forall x . (A(x) -> (exists y (R(x,y) & A(y)) -> E(x)));"
+      "forall x . (!A(x) -> (exists y (R(x,y) & !A(y)) -> E(x)));"
+      "forall x, y (R(x,y) -> (E(x) -> E(y)) & (E(y) -> E(x)));";
+  auto solver = MakeSolver(onto_text, sym);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  auto make_cycle = [&](int n) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("c" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      d.AddFact(R, {es[static_cast<size_t>(i)],
+                    es[static_cast<size_t>((i + 1) % n)]});
+    }
+    return d;
+  };
+  auto q = ParseCq("q(x) :- E(x)", sym);
+  ASSERT_TRUE(q.ok());
+  Instance odd = make_cycle(3);
+  EXPECT_EQ(solver.IsCertain(odd, *q, {0}), Certainty::kYes);
+  Instance even = make_cycle(4);
+  EXPECT_EQ(solver.IsCertain(even, *q, {0}), Certainty::kNo);
+}
+
+TEST(ReasonerTest, InfiniteChaseStillDecidesEntailedQuery) {
+  // ∀x ∃y (S(x,y) ∧ A(y)) has no finite chase fixpoint, but monotone
+  // pruning lets entailed queries terminate.
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (exists y (S(x,y) & A(y)));", sym);
+  Instance d(sym);
+  ElemId c = d.AddConstant("c");
+  d.AddFact(sym->Rel("C", 1), {c});
+  auto q = ParseCq("q(x) :- S(x,y), A(y)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {c}), Certainty::kYes);
+  // A non-entailed query is refuted by the ground solver's finite model.
+  auto qb = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(solver.IsCertain(d, *qb, {c}), Certainty::kNo);
+}
+
+TEST(ReasonerTest, CertainAnswersEnumeration) {
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (A(x) -> B(x));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  uint32_t A = static_cast<uint32_t>(sym->FindRel("A"));
+  uint32_t B = static_cast<uint32_t>(sym->FindRel("B"));
+  d.AddFact(A, {a});
+  d.AddFact(B, {b});
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  auto answers = solver.CertainAnswers(d, Ucq::Single(*q));
+  EXPECT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers.count({a}));
+  EXPECT_TRUE(answers.count({b}));
+}
+
+TEST(ReasonerTest, EqualityInExistentialMatrix) {
+  // ∀x ∃y (R(x,y) ∧ x = y) forces a reflexive R edge.
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver("forall x . (exists y (R(x,y) & x = y));", sym);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(sym->Rel("C", 1), {a});
+  auto q = ParseCq("q(x) :- R(x,x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, GroundSolverFindsEvenCycleColoring) {
+  // 2-coloring ontology: consistent on even cycles, inconsistent on odd.
+  SymbolsPtr sym = MakeSymbols();
+  auto solver = MakeSolver(
+      "forall x . (C1(x) | C2(x));"
+      "forall x, y (R(x,y) -> !(C1(x) & C1(y)) & !(C2(x) & C2(y)));",
+      sym);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  auto make_cycle = [&](int n) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("c" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      d.AddFact(R, {es[static_cast<size_t>(i)],
+                    es[static_cast<size_t>((i + 1) % n)]});
+    }
+    return d;
+  };
+  Instance even = make_cycle(4);
+  EXPECT_EQ(solver.IsConsistent(even), Certainty::kYes);
+  Instance odd = make_cycle(5);
+  EXPECT_EQ(solver.IsConsistent(odd), Certainty::kNo);
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,182 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gfomq {
+namespace {
+
+TEST(SatTest, TrivialSat) {
+  Cnf cnf;
+  uint32_t x = cnf.NewVar();
+  cnf.AddUnit(SatLit::Pos(x));
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_TRUE(solver.Value(x));
+}
+
+TEST(SatTest, TrivialUnsat) {
+  Cnf cnf;
+  uint32_t x = cnf.NewVar();
+  cnf.AddUnit(SatLit::Pos(x));
+  cnf.AddUnit(SatLit::Neg(x));
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.AddClause({});
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, TautologyIsDropped) {
+  Cnf cnf;
+  uint32_t x = cnf.NewVar();
+  cnf.AddClause({SatLit::Pos(x), SatLit::Neg(x)});
+  EXPECT_EQ(cnf.NumClauses(), 0u);
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance exercising learning.
+  const int pigeons = 4;
+  const int holes = 3;
+  Cnf cnf;
+  std::vector<std::vector<uint32_t>> v(pigeons, std::vector<uint32_t>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) v[p][h] = cnf.NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(SatLit::Pos(v[p][h]));
+    cnf.AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddBinary(SatLit::Neg(v[p1][h]), SatLit::Neg(v[p2][h]));
+      }
+    }
+  }
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, GraphColoringSatAndModelValid) {
+  // C5 is 3-colorable but not 2-colorable.
+  const int n = 5;
+  for (int colors : {2, 3}) {
+    Cnf cnf;
+    std::vector<std::vector<uint32_t>> v(n);
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < colors; ++c) v[i].push_back(cnf.NewVar());
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<SatLit> clause;
+      for (int c = 0; c < colors; ++c) clause.push_back(SatLit::Pos(v[i][c]));
+      cnf.AddClause(clause);
+      for (int c = 0; c < colors; ++c) {
+        int j = (i + 1) % n;
+        cnf.AddBinary(SatLit::Neg(v[i][c]), SatLit::Neg(v[j][c]));
+      }
+    }
+    SatSolver solver(cnf);
+    if (colors == 2) {
+      EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+    } else {
+      ASSERT_EQ(solver.Solve(), SatResult::kSat);
+      for (int i = 0; i < n; ++i) {
+        int j = (i + 1) % n;
+        for (int c = 0; c < colors; ++c) {
+          EXPECT_FALSE(solver.Value(v[i][c]) && solver.Value(v[j][c]));
+        }
+      }
+    }
+  }
+}
+
+TEST(SatTest, AtMostEncodingCounts) {
+  // Force exactly f of 4 literals true under AtMost(k): SAT iff f <= k.
+  for (uint32_t k = 0; k <= 3; ++k) {
+    for (uint32_t f = 0; f <= 4; ++f) {
+      Cnf cnf;
+      std::vector<SatLit> lits;
+      for (int i = 0; i < 4; ++i) lits.push_back(SatLit::Pos(cnf.NewVar()));
+      cnf.AtMost(lits, k);
+      for (uint32_t i = 0; i < 4; ++i) {
+        cnf.AddUnit(i < f ? lits[i] : lits[i].Flip());
+      }
+      SatSolver solver(cnf);
+      EXPECT_EQ(solver.Solve(), f <= k ? SatResult::kSat : SatResult::kUnsat)
+          << "k=" << k << " f=" << f;
+    }
+  }
+}
+
+TEST(SatTest, AtLeastEncodingCounts) {
+  Cnf cnf;
+  std::vector<SatLit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(SatLit::Pos(cnf.NewVar()));
+  cnf.AtLeast(lits, 3);
+  // Force two false: at most 2 true -> UNSAT.
+  cnf.AddUnit(lits[0].Flip());
+  cnf.AddUnit(lits[1].Flip());
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, AtLeastMoreThanSizeIsUnsat) {
+  Cnf cnf;
+  std::vector<SatLit> lits;
+  for (int i = 0; i < 2; ++i) lits.push_back(SatLit::Pos(cnf.NewVar()));
+  cnf.AtLeast(lits, 3);
+  SatSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatTest, RandomInstancesAgreeWithBruteForce) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t nvars = 6;
+    Cnf cnf;
+    for (uint32_t i = 0; i < nvars; ++i) cnf.NewVar();
+    int nclauses = 3 + static_cast<int>(rng.Below(15));
+    std::vector<std::vector<SatLit>> clauses;
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<SatLit> clause;
+      int len = 1 + static_cast<int>(rng.Below(3));
+      for (int l = 0; l < len; ++l) {
+        uint32_t v = static_cast<uint32_t>(rng.Below(nvars));
+        clause.push_back(rng.Chance(0.5) ? SatLit::Pos(v) : SatLit::Neg(v));
+      }
+      clauses.push_back(clause);
+      cnf.AddClause(clause);
+    }
+    // Brute force.
+    bool brute_sat = false;
+    for (uint32_t mask = 0; mask < (1u << nvars) && !brute_sat; ++mask) {
+      bool all = true;
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (SatLit l : clause) {
+          bool val = (mask >> l.var()) & 1;
+          if (val != l.negated()) any = true;
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) brute_sat = true;
+    }
+    SatSolver solver(cnf);
+    SatResult result = solver.Solve();
+    EXPECT_EQ(result, brute_sat ? SatResult::kSat : SatResult::kUnsat)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "instance/eval.h"
+#include "tm/tiling.h"
+#include "tm/turing.h"
+
+namespace gfomq {
+namespace {
+
+// A tiny NTM that flips a single bit and accepts: states q (start),
+// a (accept); on 0 write 1 move right to a; on 1 write 0 move right to a.
+Ntm FlipMachine() {
+  Ntm m;
+  m.states = "qa";
+  m.tape_symbols = "01_";
+  m.start_state = 'q';
+  m.accept_state = 'a';
+  m.transitions.push_back({'q', '0', 'a', '1', +1});
+  m.transitions.push_back({'q', '1', 'a', '0', +1});
+  return m;
+}
+
+// A nondeterministic "guess a bit" machine: on blank, write 0 or 1 and
+// accept only after writing 1.
+Ntm GuessMachine() {
+  Ntm m;
+  m.states = "qpa";
+  m.tape_symbols = "01_";
+  m.start_state = 'q';
+  m.accept_state = 'a';
+  m.transitions.push_back({'q', '_', 'p', '0', +1});  // guess 0: stuck in p
+  m.transitions.push_back({'q', '_', 'a', '1', +1});  // guess 1: accept
+  return m;
+}
+
+TEST(TuringTest, SuccessorsFollowTransitions) {
+  Ntm m = FlipMachine();
+  std::string config = m.InitialConfig("01", 4);
+  EXPECT_EQ(config, "q01_");
+  auto succs = m.Successors(config);
+  ASSERT_EQ(succs.size(), 1u);
+  EXPECT_EQ(succs[0], "1a1_");
+  EXPECT_TRUE(m.Accepting(succs[0]));
+}
+
+TEST(TuringTest, LeftMoveOffTapeFails) {
+  Ntm m;
+  m.states = "qa";
+  m.tape_symbols = "0_";
+  m.start_state = 'q';
+  m.accept_state = 'a';
+  m.transitions.push_back({'q', '0', 'a', '0', -1});
+  EXPECT_TRUE(m.Successors("q0_").empty());  // head at cell 0, can't go left
+  auto succs = m.Successors("0q0");
+  ASSERT_EQ(succs.size(), 1u);
+  EXPECT_EQ(succs[0], "a00");
+}
+
+TEST(TuringTest, RunFittingFullyWildcard) {
+  Ntm m = FlipMachine();
+  PartialRun partial;
+  partial.rows = {"????", "????"};
+  auto run = SolveRunFitting(m, partial);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(m.Accepting(run->back()));
+  // Every consecutive pair is a legal step.
+  for (size_t i = 0; i + 1 < run->size(); ++i) {
+    auto succs = m.Successors((*run)[i]);
+    EXPECT_NE(std::find(succs.begin(), succs.end(), (*run)[i + 1]),
+              succs.end());
+  }
+}
+
+TEST(TuringTest, RunFittingRespectsConstraints) {
+  Ntm m = GuessMachine();
+  {
+    PartialRun partial;
+    partial.rows = {"q__", "?a?"};  // must guess 1
+    auto run = SolveRunFitting(m, partial);
+    ASSERT_TRUE(run.has_value());
+    EXPECT_EQ((*run)[1], "1a_");
+  }
+  {
+    PartialRun partial;
+    partial.rows = {"q__", "0??"};  // wrote 0: cannot accept
+    auto run = SolveRunFitting(m, partial);
+    EXPECT_FALSE(run.has_value());
+  }
+}
+
+TEST(TuringTest, RunFittingLengthMismatchRejected) {
+  Ntm m = FlipMachine();
+  PartialRun partial;
+  partial.rows = {"???", "????"};
+  EXPECT_FALSE(SolveRunFitting(m, partial).has_value());
+}
+
+TEST(TilingTest, SolverFindsTrivialTiling) {
+  // Two tiles: initial (also final? no — distinct) 0 -> 1 horizontally.
+  TilingProblem p;
+  p.num_tiles = 2;
+  p.initial = 0;
+  p.final = 1;
+  p.horizontal = {{0, 1}};
+  p.vertical = {};
+  auto grid = SolveRectangleTiling(p, 3, 3);
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_EQ(grid->size(), 2u);        // 2 wide
+  EXPECT_EQ((*grid)[0].size(), 1u);   // 1 high
+  EXPECT_EQ((*grid)[0][0], 0);
+  EXPECT_EQ((*grid)[1][0], 1);
+}
+
+TEST(TilingTest, UnsolvableProblemReported) {
+  TilingProblem p;
+  p.num_tiles = 2;
+  p.initial = 0;
+  p.final = 1;
+  p.horizontal = {};  // no adjacency allowed at all
+  p.vertical = {};
+  EXPECT_FALSE(SolveRectangleTiling(p, 3, 3).has_value());
+}
+
+TEST(TilingTest, GridInstanceShape) {
+  SymbolsPtr sym = MakeSymbols();
+  Instance g = BuildGridInstance(sym, 3, 2, nullptr);
+  EXPECT_EQ(g.NumElements(), 6u);
+  // X edges: 2 per row x 2 rows = 4; Y edges: 3 columns x 1 = 3.
+  EXPECT_EQ(g.NumFacts(), 7u);
+  EXPECT_TRUE(CellClosedAt(g, 0));
+  // Top-right corner has no outgoing edges: no closed cell.
+  EXPECT_FALSE(CellClosedAt(g, 5));
+}
+
+TEST(TilingTest, CellOntologyBuildsAndValidates) {
+  SymbolsPtr sym = MakeSymbols();
+  CellOntology cell = BuildCellOntology(sym);
+  EXPECT_TRUE(cell.ontology.Validate().ok());
+  EXPECT_GT(cell.ontology.sentences.size(), 20u);
+  EXPECT_GT(cell.marker_rels.size(), 10u);
+}
+
+TEST(TilingTest, CellMarkerRefutedOnOpenCell) {
+  // An instance with X(d,d1), Y(d,d2), Y(d1,d3), X(d2,d4) and d3 != d4:
+  // the cell does not close, so (≤1 P)(d) must be refutable (Figure 2).
+  SymbolsPtr sym = MakeSymbols();
+  CellOntology cell = BuildCellOntology(sym, /*include_cycle_axioms=*/false);
+  auto solver = CertainAnswerSolver::Create(cell.ontology);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  Instance d(sym);
+  ElemId e = d.AddConstant("d");
+  ElemId d1 = d.AddConstant("d1");
+  ElemId d2 = d.AddConstant("d2");
+  ElemId d3 = d.AddConstant("d3");
+  ElemId d4 = d.AddConstant("d4");
+  d.AddFact(cell.x_rel, {e, d1});
+  d.AddFact(cell.y_rel, {e, d2});
+  d.AddFact(cell.y_rel, {d1, d3});
+  d.AddFact(cell.x_rel, {d2, d4});
+  EXPECT_FALSE(CellClosedAt(d, e));
+  MarkerStatus status = CheckMarker(*solver, d, cell.p_marker, e, /*ground_extra=*/1);
+  EXPECT_EQ(status, MarkerStatus::kRefuted);
+}
+
+TEST(TilingTest, CellMarkerHoldsOnClosedCell) {
+  // On a closed 2x2 cell the marker (≤1 P) at the lower-left corner is
+  // entailed: no countermodel with two P-successors should exist.
+  SymbolsPtr sym = MakeSymbols();
+  CellOntology cell = BuildCellOntology(sym, /*include_cycle_axioms=*/false);
+  auto solver = CertainAnswerSolver::Create(cell.ontology);
+  ASSERT_TRUE(solver.ok());
+  Instance g = BuildGridInstance(sym, 2, 2, nullptr);
+  ASSERT_TRUE(CellClosedAt(g, 0));
+  MarkerStatus status = CheckMarker(*solver, g, cell.p_marker, 0, /*ground_extra=*/1);
+  EXPECT_NE(status, MarkerStatus::kRefuted);
+}
+
+
+TEST(TilingTest, GridOntologyBuildsAndNormalizes) {
+  SymbolsPtr sym = MakeSymbols();
+  TilingProblem p;
+  p.num_tiles = 2;
+  p.initial = 0;
+  p.final = 1;
+  p.horizontal = {{0, 1}};
+  p.vertical = {};
+  GridOntology grid = BuildGridOntology(sym, p);
+  EXPECT_TRUE(grid.cell.ontology.Validate().ok());
+  EXPECT_GT(grid.cell.ontology.sentences.size(), 40u);
+  // The full pipeline must accept it (normalization included).
+  auto solver = CertainAnswerSolver::Create(grid.cell.ontology);
+  EXPECT_TRUE(solver.ok()) << solver.status().ToString();
+}
+
+TEST(TilingTest, GridOntologyMarkersOnTiledRow) {
+  // A correctly tiled 2x1 row [T0 T1] of the trivial problem: the F marker
+  // must not be refutable at the top-right corner (it is derived there by
+  // the final-tile axiom), and on a mistiled row [T0 T0] it must be
+  // refutable.
+  SymbolsPtr sym = MakeSymbols();
+  TilingProblem p;
+  p.num_tiles = 2;
+  p.initial = 0;
+  p.final = 1;
+  p.horizontal = {{0, 1}};
+  p.vertical = {};
+  GridOntology grid = BuildGridOntology(sym, p);
+  auto solver = CertainAnswerSolver::Create(grid.cell.ontology);
+  ASSERT_TRUE(solver.ok());
+
+  std::vector<std::vector<int>> good{{0}, {1}};
+  Instance good_row = BuildGridInstance(sym, 2, 1, &good);
+  // Element 1 is the right cell (g1_0) carrying the final tile.
+  MarkerStatus at_final =
+      CheckMarker(*solver, good_row, grid.f_marker, 1, /*ground_extra=*/1);
+  EXPECT_NE(at_final, MarkerStatus::kRefuted);
+
+  std::vector<std::vector<int>> bad{{0}, {0}};
+  Instance bad_row = BuildGridInstance(sym, 2, 1, &bad);
+  MarkerStatus at_bad =
+      CheckMarker(*solver, bad_row, grid.f_marker, 1, /*ground_extra=*/1);
+  EXPECT_EQ(at_bad, MarkerStatus::kRefuted);
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -1,0 +1,167 @@
+#include "unravel/unravel.h"
+
+#include <gtest/gtest.h>
+
+#include "instance/guarded_tree.h"
+#include "logic/parser.h"
+
+namespace gfomq {
+namespace {
+
+class UnravelTest : public ::testing::Test {
+ protected:
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t R = sym->Rel("R", 2);
+
+  Instance Cycle(int n) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("c" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      d.AddFact(R, {es[static_cast<size_t>(i)],
+                    es[static_cast<size_t>((i + 1) % n)]});
+    }
+    return d;
+  }
+
+  // Star with root a and n leaves (Example 5 (2) of the paper).
+  Instance Star(int n) {
+    Instance d(sym);
+    ElemId a = d.AddConstant("a");
+    for (int i = 0; i < n; ++i) {
+      ElemId b = d.AddConstant("b" + std::to_string(i));
+      d.AddFact(R, {a, b});
+    }
+    return d;
+  }
+};
+
+TEST_F(UnravelTest, CycleUnravelsToChains) {
+  // Example 5 (1): the triangle's uGF-unravelling consists of three
+  // isomorphic chains; it is guarded-tree decomposable while the original
+  // cycle is not.
+  Instance d = Cycle(3);
+  EXPECT_FALSE(IsGuardedTreeDecomposable(d));
+  Unravelling u = Unravel(d, UnravelKind::kUGF, 4);
+  EXPECT_TRUE(u.truncated);  // the chains are infinite
+  EXPECT_TRUE(IsGuardedTreeDecomposable(u.instance));
+  EXPECT_EQ(u.root_bags.size(), 3u);
+  // Each tree is a chain extending in both directions from its root bag:
+  // at depth 4 that is 2 root elements plus 2 arms of 3 fresh elements,
+  // and 1 + 2*3 facts.
+  EXPECT_EQ(u.instance.NumElements(), 24u);
+  EXPECT_EQ(u.instance.NumFacts(), 21u);
+  // Chains: every element has Gaifman degree at most 2.
+  for (ElemId e = 0; e < u.instance.NumElements(); ++e) {
+    EXPECT_LE(u.instance.Neighbors(e).size(), 2u);
+  }
+  // The origin map is a homomorphism onto D.
+  for (const Fact& f : u.instance.facts()) {
+    Fact mapped = f;
+    for (ElemId& x : mapped.args) x = u.origin[x];
+    EXPECT_TRUE(d.HasFact(mapped));
+  }
+}
+
+TEST_F(UnravelTest, UGFStarUnravellingGrowsUnboundedOutdegree) {
+  // Example 5 (2): the uGF-unravelling of a depth-1 star keeps alternating
+  // between its guarded sets, creating ever more leaves under each copy of
+  // the root.
+  Instance d = Star(3);
+  Unravelling ugf = Unravel(d, UnravelKind::kUGF, 4);
+  EXPECT_TRUE(ugf.truncated);
+  // The uGC2-unravelling is finite: condition (c') forbids continuing
+  // through the same intersection {a}, so each tree is a root bag plus one
+  // layer of sibling bags.
+  Unravelling ugc = Unravel(d, UnravelKind::kUGC2, 10);
+  EXPECT_FALSE(ugc.truncated);
+  EXPECT_LT(ugc.instance.NumFacts(), ugf.instance.NumFacts());
+  // 3 trees x (root fact + 2 sibling facts).
+  EXPECT_EQ(ugc.instance.NumFacts(), 9u);
+}
+
+TEST_F(UnravelTest, UGC2PreservesSuccessorCountsUGFDoesNot) {
+  // Section 4 of the paper: with O = {∀x(∃≥4y R(x,y) → A(x))} and D the
+  // star with 3 leaves, O,D ⊭ A(a), but in the uGF-unravelling the copies
+  // of a accumulate unboundedly many successors, so O,D^u ⊨ A(a'). The
+  // uGC2-unravelling preserves successor counts and stays at "no".
+  Instance d = Star(3);
+  auto onto = ParseOntology(
+      "forall x . (exists>=4 y (R(x,y)) -> A(x));", sym);
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  auto q = ParseCq("q(x) :- A(x)", sym);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(solver->IsCertain(d, *q, {0}), Certainty::kNo);
+
+  ToleranceCheck ugf = CheckUnravellingTolerance(*solver, d, *q, {0},
+                                                 UnravelKind::kUGF, 6);
+  EXPECT_EQ(ugf.on_original, Certainty::kNo);
+  EXPECT_EQ(ugf.on_unravelling, Certainty::kYes);  // uGF is inappropriate
+
+  ToleranceCheck ugc = CheckUnravellingTolerance(*solver, d, *q, {0},
+                                                 UnravelKind::kUGC2, 6);
+  EXPECT_EQ(ugc.on_unravelling, Certainty::kNo);  // uGC2 preserves counts
+  EXPECT_FALSE(ugc.truncated);
+}
+
+TEST_F(UnravelTest, ToleranceExample6OddCycle) {
+  // Example 6: E(c0) is certain on the odd cycle but not on its (bounded)
+  // unravelling — O is not unravelling tolerant.
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> (exists y (R(x,y) & A(y)) -> E(x)));"
+      "forall x . (!A(x) -> (exists y (R(x,y) & !A(y)) -> E(x)));"
+      "forall x, y (R(x,y) -> (E(x) -> E(y)) & (E(y) -> E(x)));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  auto q = ParseCq("q(x) :- E(x)", sym);
+  ASSERT_TRUE(q.ok());
+  Instance odd = Cycle(3);
+  ToleranceCheck check = CheckUnravellingTolerance(*solver, odd, *q, {0},
+                                                   UnravelKind::kUGF, 4);
+  EXPECT_EQ(check.on_original, Certainty::kYes);
+  EXPECT_EQ(check.on_unravelling, Certainty::kNo);
+}
+
+TEST_F(UnravelTest, ToleranceHornPropagationIsTolerant) {
+  // A Horn propagation ontology is unravelling tolerant: answers agree.
+  auto onto = ParseOntology(
+      "forall x, y (R(x,y) -> (B(x) -> B(y)));", sym);
+  ASSERT_TRUE(onto.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  d.AddFact(sym->Rel("B", 1), {a});
+  auto q = ParseCq("q(x) :- B(x)", sym);
+  ASSERT_TRUE(q.ok());
+  // {b, c} is a maximal guarded set; check tolerance at c.
+  ToleranceCheck check = CheckUnravellingTolerance(*solver, d, *q, {c},
+                                                   UnravelKind::kUGF, 6);
+  EXPECT_EQ(check.on_original, Certainty::kYes);
+  EXPECT_EQ(check.on_unravelling, Certainty::kYes);
+}
+
+TEST_F(UnravelTest, UnravellingOfTreeIsIsomorphicallyStable) {
+  // A path unravels to copies of itself (up to splitting per root bag).
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(R, {a, b});
+  Unravelling u = Unravel(d, UnravelKind::kUGF, 10);
+  EXPECT_FALSE(u.truncated);
+  EXPECT_EQ(u.instance.NumFacts(), 1u);
+  EXPECT_EQ(u.root_bags.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gfomq
