@@ -8,11 +8,31 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "instance/instance.h"
 #include "logic/symbols.h"
 
 namespace gfomq::bench {
+
+/// Worker threads requested via --threads=N (0 = one per hardware thread).
+/// Benches that support parallel runs read this; default is sequential.
+inline uint32_t g_threads = 1;
+
+/// Strips a --threads=N argument (if present) into g_threads, before the
+/// remaining argv is handed to google-benchmark.
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 inline Instance SymmetricCycle(SymbolsPtr sym, int n,
                                const std::string& prefix = "v") {
@@ -51,6 +71,7 @@ inline Instance DirectedCycle(SymbolsPtr sym, uint32_t rel, int n,
 
 #define GFOMQ_BENCH_MAIN(print_table)                       \
   int main(int argc, char** argv) {                         \
+    ::gfomq::bench::ParseThreadsFlag(&argc, argv);          \
     print_table();                                          \
     ::benchmark::Initialize(&argc, argv);                   \
     ::benchmark::RunSpecifiedBenchmarks();                  \

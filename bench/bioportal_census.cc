@@ -14,9 +14,10 @@ using namespace gfomq;
 namespace {
 
 void PrintTable() {
-  std::printf("E2 / BioPortal census reproduction\n");
+  std::printf("E2 / BioPortal census reproduction (--threads=%u)\n",
+              bench::g_threads);
   auto corpus = GenerateCorpus(2017, 411);
-  CorpusReport report = AnalyzeCorpus(corpus);
+  CorpusReport report = AnalyzeCorpus(corpus, bench::g_threads);
   std::printf("%-34s %-8s %-8s\n", "metric", "paper", "measured");
   std::printf("%-34s %-8d %-8d\n", "corpus size", 411, report.total);
   std::printf("%-34s %-8d %-8d\n", "ALCHIF-filtered depth <= 2", 405,
@@ -42,6 +43,17 @@ void BM_AnalyzeCorpus(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzeCorpus)->Arg(50)->Arg(200)->Arg(411);
+
+// Census thread scaling: one shard of ontologies per worker, merged in
+// shard order so the report is identical for every worker count.
+void BM_AnalyzeCorpusParallel(benchmark::State& state) {
+  auto corpus = GenerateCorpus(2017, 411);
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeCorpus(corpus, threads));
+  }
+}
+BENCHMARK(BM_AnalyzeCorpusParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -44,10 +44,22 @@ std::vector<Row> Rows() {
   };
 }
 
+// The deterministic part of a verdict, serialized: parallel runs must
+// reproduce the sequential answer byte for byte.
+std::string VerdictKey(const MetaDecision& md) {
+  std::string key = std::to_string(static_cast<int>(md.ptime)) + "/" +
+                    std::to_string(md.bouquets_checked) + "/" +
+                    (md.budget_exhausted ? "X" : "-") + "/";
+  if (md.violation) key += md.violation->ToString();
+  return key;
+}
+
 void PrintTable() {
-  std::printf("E8 / Theorem 13 — deciding PTIME query evaluation\n");
-  std::printf("%-16s %-32s %-28s %s\n", "ontology", "paper claim",
-              "bouquet decision", "bouquets");
+  uint32_t threads = bench::g_threads;
+  std::printf("E8 / Theorem 13 — deciding PTIME query evaluation"
+              " (--threads=%u)\n", threads);
+  std::printf("%-16s %-32s %-28s %-9s %s\n", "ontology", "paper claim",
+              "bouquet decision", "bouquets", "determinism");
   for (const Row& row : Rows()) {
     auto onto = ParseOntology(row.text);
     if (!onto.ok()) {
@@ -58,13 +70,22 @@ void PrintTable() {
     auto solver = CertainAnswerSolver::Create(*onto);
     BouquetOptions opts;
     opts.max_outdegree = row.outdegree;
+    opts.num_threads = threads;
     MetaDecision md = DecidePtimeByBouquets(*solver, onto->symbols,
                                             onto->Signature(), opts);
+    // Byte-identical-output check: the requested thread count must yield
+    // exactly the sequential verdict (ptime, witness, bouquets_checked).
+    opts.num_threads = 1;
+    MetaDecision seq = DecidePtimeByBouquets(*solver, onto->symbols,
+                                             onto->Signature(), opts);
+    const char* determinism =
+        VerdictKey(md) == VerdictKey(seq) ? "ok" : "MISMATCH";
     const char* verdict = md.ptime == Certainty::kYes ? "PTIME"
                           : md.ptime == Certainty::kNo ? "coNP-hard"
                                                        : "undetermined";
-    std::printf("%-16s %-32s %-28s %llu\n", row.name, row.paper, verdict,
-                static_cast<unsigned long long>(md.bouquets_checked));
+    std::printf("%-16s %-32s %-28s %-9llu %s\n", row.name, row.paper, verdict,
+                static_cast<unsigned long long>(md.bouquets_checked),
+                determinism);
   }
   std::printf("\n");
 }
@@ -92,6 +113,23 @@ void BM_ViolationDetection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ViolationDetection);
+
+// Thread-scaling curve for the parallel meta decision: the arg is the
+// worker count. On a PTIME ontology the whole bouquet space is probed, so
+// this is the embarrassingly-parallel regime the sharded search targets.
+void BM_ParallelMetaDecision(benchmark::State& state) {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));");
+  auto solver = CertainAnswerSolver::Create(*onto);
+  BouquetOptions opts;
+  opts.max_outdegree = 2;
+  opts.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecidePtimeByBouquets(
+        *solver, onto->symbols, onto->Signature(), opts));
+  }
+}
+BENCHMARK(BM_ParallelMetaDecision)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI driver: builds the three preset configurations and runs their test
+# suites. The release preset runs everything; the asan preset re-runs
+# everything under AddressSanitizer+UBSan; the tsan preset runs the
+# concurrency suites (thread_pool_test, meta_parallel_test) under
+# ThreadSanitizer to certify the work-stealing pool and the parallel
+# bouquet meta decision.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in release asan tsan; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "ci.sh: all presets green"

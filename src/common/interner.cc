@@ -3,6 +3,7 @@
 namespace gfomq {
 
 uint32_t Interner::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(names_.size());
@@ -12,8 +13,19 @@ uint32_t Interner::Intern(const std::string& name) {
 }
 
 int64_t Interner::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = ids_.find(name);
   return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+const std::string& Interner::Name(uint32_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return names_[id];
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return names_.size();
 }
 
 }  // namespace gfomq

@@ -2,15 +2,23 @@
 #define GFOMQ_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 namespace gfomq {
 
 /// Maps strings to dense integer ids and back. Ids are stable for the
 /// lifetime of the interner and start at 0. Used for relation symbols,
 /// constants and variables so that hot paths compare integers.
+///
+/// Thread-safe: concurrent Intern/Find/Name calls are allowed. This
+/// matters for the parallel bouquet search, where every worker builds
+/// instances (interning constant names) and the tableau interns fresh
+/// witness-constant names against the same shared Symbols table. Names
+/// are stored in a deque so the reference returned by Name() stays valid
+/// while other threads intern.
 class Interner {
  public:
   /// Returns the id for `name`, creating a fresh one on first sight.
@@ -20,13 +28,14 @@ class Interner {
   int64_t Find(const std::string& name) const;
 
   /// Returns the string for an id previously returned by Intern.
-  const std::string& Name(uint32_t id) const { return names_[id]; }
+  const std::string& Name(uint32_t id) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, uint32_t> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;  // deque: stable references under growth
 };
 
 }  // namespace gfomq

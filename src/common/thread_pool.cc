@@ -1,0 +1,264 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace gfomq {
+
+namespace {
+
+// Identity of the current thread within a pool, for nested ParallelFor
+// (helping instead of blocking) and for pushing to the local deque.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local uint32_t tls_index = 0;
+
+}  // namespace
+
+uint32_t ThreadPool::EffectiveThreads(uint32_t requested) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : static_cast<uint32_t>(hw);
+  }
+  return requested;
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  uint32_t n = EffectiveThreads(num_threads);
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    wake_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Push(std::function<void()> fn) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t target;
+  if (tls_pool == this) {
+    target = tls_index;  // worker-local push: no cross-thread contention
+  } else {
+    target = static_cast<uint32_t>(
+        next_victim_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->mu);
+    workers_[target]->deque.push_back(std::move(fn));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  Push([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(status_mu_);
+      if (status_.ok()) {
+        status_ = Status::Internal(std::string("task threw: ") + e.what());
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(status_mu_);
+      if (status_.ok()) status_ = Status::Internal("task threw");
+    }
+  });
+}
+
+bool ThreadPool::RunOne(uint32_t self) {
+  std::function<void()> fn;
+  if (self != kExternal) {
+    Worker& me = *workers_[self];
+    std::lock_guard<std::mutex> lk(me.mu);
+    if (!me.deque.empty()) {
+      fn = std::move(me.deque.back());
+      me.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (!fn) {
+    // Steal the oldest task of some victim, scanning round-robin from a
+    // rotating start so contention spreads across the pool.
+    const size_t n = workers_.size();
+    size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
+    for (size_t k = 0; k < n && !fn; ++k) {
+      size_t victim = (start + k) % n;
+      if (victim == self) continue;
+      Worker& v = *workers_[victim];
+      std::lock_guard<std::mutex> lk(v.mu);
+      if (!v.deque.empty()) {
+        fn = std::move(v.deque.front());
+        v.deque.pop_front();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        if (self != kExternal) {
+          workers_[self]->steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  if (!fn) return false;
+  RunTask(fn, self);
+  return true;
+}
+
+void ThreadPool::RunTask(std::function<void()>& fn, uint32_t self) {
+  // Count before running: a ParallelFor chunk notifies the blocked caller
+  // from inside fn(), and the caller may read Stats() immediately after.
+  if (self != kExternal) {
+    workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Task wrappers (Submit / ParallelFor chunks) catch their own
+  // exceptions; this is a backstop for raw Push users inside the library.
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(status_mu_);
+    if (status_.ok()) status_ = Status::Internal("task threw");
+  }
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerMain(uint32_t index) {
+  tls_pool = this;
+  tls_index = index;
+  for (;;) {
+    if (RunOne(index)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) <= 0) {
+      return;
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(uint64_t n,
+                               const std::function<void(uint64_t)>& fn,
+                               CancellationToken* token, uint64_t chunk) {
+  if (n == 0) return Status::Ok();
+  struct ForState {
+    std::atomic<uint64_t> pending{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::mutex err_mu;
+    Status error;
+  };
+  if (chunk == 0) {
+    uint64_t target_chunks = static_cast<uint64_t>(workers_.size()) * 8;
+    chunk = std::max<uint64_t>(1, (n + target_chunks - 1) / target_chunks);
+  }
+  uint64_t num_chunks = (n + chunk - 1) / chunk;
+  auto state = std::make_shared<ForState>();
+  state->pending.store(num_chunks, std::memory_order_relaxed);
+
+  auto run_chunk = [state, token, &fn](uint64_t begin, uint64_t end) {
+    if (!state->abort.load(std::memory_order_relaxed) &&
+        !(token != nullptr && token->cancelled())) {
+      try {
+        for (uint64_t i = begin; i < end; ++i) {
+          if (state->abort.load(std::memory_order_relaxed)) break;
+          if (token != nullptr && token->cancelled()) break;
+          fn(i);
+        }
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lk(state->err_mu);
+          if (state->error.ok()) {
+            state->error =
+                Status::Internal(std::string("ParallelFor task threw: ") +
+                                 e.what());
+          }
+        }
+        state->abort.store(true, std::memory_order_relaxed);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(state->err_mu);
+          if (state->error.ok()) {
+            state->error = Status::Internal("ParallelFor task threw");
+          }
+        }
+        state->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->cv.notify_all();
+    }
+  };
+
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    uint64_t begin = c * chunk;
+    uint64_t end = std::min(n, begin + chunk);
+    Push([run_chunk, begin, end] { run_chunk(begin, end); });
+  }
+
+  if (tls_pool == this) {
+    // Nested call from a worker: help instead of blocking, so that all
+    // workers being busy with outer chunks can never deadlock the inner
+    // loop — the calling worker drains it itself.
+    while (state->pending.load(std::memory_order_acquire) > 0) {
+      if (!RunOne(tls_index)) std::this_thread::yield();
+    }
+  } else {
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->cv.wait(lk, [&] {
+      return state->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::lock_guard<std::mutex> lk(state->err_mu);
+  return state->error;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  idle_cv_.wait(lk, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status ThreadPool::status() const {
+  std::lock_guard<std::mutex> lk(status_mu_);
+  return status_;
+}
+
+std::vector<WorkerStats> ThreadPool::Stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.push_back({w->executed.load(std::memory_order_relaxed),
+                   w->steals.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+uint64_t ThreadPool::TotalSteals() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) {
+    total += w->steals.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace gfomq

@@ -1,0 +1,144 @@
+#ifndef GFOMQ_COMMON_THREAD_POOL_H_
+#define GFOMQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gfomq {
+
+/// Cooperative cancellation flag shared between a task producer and the
+/// tasks it spawned. Tasks poll `cancelled()` at natural checkpoints (per
+/// chunk, per item) and exit early; `Cancel()` is a relaxed store — the
+/// token carries no data, only a "stop when convenient" signal, so no
+/// ordering beyond the flag itself is required.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-worker activity counters, aggregated with relaxed atomics (they are
+/// diagnostics, not synchronization).
+struct WorkerStats {
+  uint64_t tasks_executed = 0;
+  uint64_t steals = 0;
+};
+
+/// A fixed-size work-stealing thread pool.
+///
+///  - Each worker owns a deque: it pushes/pops at the back (LIFO, cache
+///    friendly) and victims are robbed at the front (FIFO, steals the
+///    oldest — typically largest — piece of work).
+///  - `ParallelFor` splits an index range into chunks, schedules them
+///    across the workers, and blocks until all chunks finished. A worker
+///    thread that calls `ParallelFor` (nested parallelism) does not block:
+///    it executes chunks itself, draining its own deque and stealing, so
+///    nesting cannot deadlock.
+///  - Exceptions thrown by tasks never escape a worker: `ParallelFor`
+///    reports the first one as a `Status` (kInternal) and `Submit`ted
+///    tasks fail the pool's sticky `status()`.
+///  - The destructor drains remaining submitted tasks and joins all
+///    workers.
+///
+/// The pool itself is thread-safe; a `ParallelFor` call may race with
+/// other `ParallelFor` or `Submit` calls on the same pool.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Resolves a user-facing thread-count option: 0 → hardware concurrency,
+  /// otherwise the request itself (minimum 1).
+  static uint32_t EffectiveThreads(uint32_t requested);
+
+  /// Enqueues one fire-and-forget task. Exceptions are captured into the
+  /// pool's sticky status.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [0, n), chunked across the workers, and
+  /// waits for completion. `chunk == 0` picks a chunk size that yields
+  /// ~8 chunks per worker. If `token` is non-null, chunks not yet started
+  /// when the token fires are skipped and running chunks stop between
+  /// items; cancellation is not an error. Returns the first exception
+  /// converted to Status::Internal, Ok otherwise.
+  Status ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn,
+                     CancellationToken* token = nullptr, uint64_t chunk = 0);
+
+  /// Convenience wrapper: fn(item) over a vector, by reference.
+  template <typename T, typename F>
+  Status ParallelForEach(std::vector<T>& items, F&& fn,
+                         CancellationToken* token = nullptr) {
+    return ParallelFor(
+        items.size(), [&](uint64_t i) { fn(items[i]); }, token);
+  }
+
+  /// Blocks until every task submitted so far has run.
+  void Wait();
+
+  /// First error captured from a `Submit`ted task (sticky).
+  Status status() const;
+
+  /// Snapshot of the per-worker counters.
+  std::vector<WorkerStats> Stats() const;
+  uint64_t TotalSteals() const;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    mutable std::mutex mu;
+    std::atomic<uint64_t> executed{0};
+    std::atomic<uint64_t> steals{0};
+  };
+
+  void WorkerMain(uint32_t index);
+  void Push(std::function<void()> fn);
+  /// Runs one task as worker `self` (own deque first, then steal);
+  /// `self == kExternal` steals only. Returns false if no task was found.
+  bool RunOne(uint32_t self);
+  void RunTask(std::function<void()>& fn, uint32_t self);
+
+  static constexpr uint32_t kExternal = UINT32_MAX;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Wakeup protocol: queued_ counts tasks in all deques; workers sleep on
+  // wake_cv_ when they find nothing to run or steal.
+  std::atomic<int64_t> queued_{0};
+  std::atomic<int64_t> in_flight_{0};  // queued + currently running
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_victim_{0};  // round-robin submission target
+  mutable std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;  // signaled when in_flight_ hits 0
+
+  mutable std::mutex status_mu_;
+  Status status_;  // first Submit-task failure
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_COMMON_THREAD_POOL_H_

@@ -18,11 +18,15 @@ OmqVerdict OmqEngine::Classify() {
   verdict.syntactic = ClassifyOntology(ontology_);
   if (options_.decide_ptime &&
       verdict.syntactic.verdict == DichotomyStatus::kDichotomy) {
+    BouquetOptions bouquet = options_.bouquet;
+    if (options_.num_threads != 1) bouquet.num_threads = options_.num_threads;
     MetaDecision md = DecidePtimeByBouquets(
-        solver_, ontology_.symbols, ontology_.Signature(), options_.bouquet);
+        solver_, ontology_.symbols, ontology_.Signature(), bouquet);
     verdict.ptime = md.ptime;
     verdict.violation = std::move(md.violation);
     verdict.bouquets_checked = md.bouquets_checked;
+    verdict.budget_exhausted = md.budget_exhausted;
+    verdict.meta_stats = std::move(md.stats);
   }
   return verdict;
 }
@@ -43,7 +47,8 @@ std::string OmqVerdict::Summary(const Symbols& symbols) const {
       }
       break;
     case Certainty::kUnknown:
-      out << "meta decision: not determined\n";
+      out << "meta decision: not determined"
+          << (budget_exhausted ? " (bouquet budget exhausted)" : "") << "\n";
       break;
   }
   if (bouquets_checked > 0) {

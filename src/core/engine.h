@@ -24,6 +24,11 @@ struct OmqVerdict {
   Certainty ptime = Certainty::kUnknown;
   std::optional<DisjunctionViolation> violation;
   uint64_t bouquets_checked = 0;
+  /// True iff the bouquet enumeration was truncated by max_bouquets
+  /// (distinct from "searched everything, found nothing").
+  bool budget_exhausted = false;
+  /// Parallel-search diagnostics (wall time, per-worker probe counts).
+  MetaSearchStats meta_stats;
 
   std::string Summary(const Symbols& symbols) const;
 };
@@ -35,6 +40,10 @@ struct EngineOptions {
   /// Run the (expensive) meta decision when the syntactic verdict is a
   /// dichotomy fragment.
   bool decide_ptime = true;
+  /// Worker threads for the meta decision (1 = sequential, 0 = hardware
+  /// concurrency). Overrides bouquet.num_threads when != 1; the verdict
+  /// is bit-identical for every value.
+  uint32_t num_threads = 1;
   RewriterOptions rewriter;
 };
 

@@ -3,6 +3,8 @@
 #include <functional>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace gfomq {
 
 namespace {
@@ -165,33 +167,67 @@ ConceptPtr StripToAlchif(const ConceptPtr& c) {
   return Concept::Top();
 }
 
+// Census of one ontology, accumulated into `report` (total excluded).
+void CensusOne(const DlOntology& onto, CorpusReport* report) {
+  DlFeatures f = onto.Census();
+  ++report->by_family[f.FamilyName() + " depth " + std::to_string(f.depth)];
+  // (a) ALCHIF filter, then depth ≤ 2?
+  DlOntology stripped(onto.symbols);
+  for (const ConceptInclusion& ci : onto.cis) {
+    stripped.cis.push_back({StripToAlchif(ci.lhs), StripToAlchif(ci.rhs)});
+  }
+  stripped.ris = onto.ris;
+  stripped.functional = onto.functional;
+  if (stripped.Depth() <= 2) ++report->alchif_depth_le2;
+  // (b) full ALCHIQ, depth ≤ 1?
+  if (onto.Depth() <= 1) ++report->alchiq_depth_le1;
+  // Verdict.
+  switch (ClassifyDl(f).verdict) {
+    case DichotomyStatus::kDichotomy: ++report->dichotomy; break;
+    case DichotomyStatus::kCspHard: ++report->csp_hard; break;
+    case DichotomyStatus::kNoDichotomy: ++report->no_dichotomy; break;
+    case DichotomyStatus::kOpen: ++report->open; break;
+  }
+}
+
+void MergeReports(CorpusReport* into, const CorpusReport& from) {
+  into->alchif_depth_le2 += from.alchif_depth_le2;
+  into->alchiq_depth_le1 += from.alchiq_depth_le1;
+  into->dichotomy += from.dichotomy;
+  into->csp_hard += from.csp_hard;
+  into->no_dichotomy += from.no_dichotomy;
+  into->open += from.open;
+  for (const auto& [family, count] : from.by_family) {
+    into->by_family[family] += count;
+  }
+}
+
 }  // namespace
 
-CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus) {
+CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus,
+                           uint32_t num_threads) {
   CorpusReport report;
   report.total = static_cast<int>(corpus.size());
-  for (const DlOntology& onto : corpus) {
-    DlFeatures f = onto.Census();
-    ++report.by_family[f.FamilyName() + " depth " + std::to_string(f.depth)];
-    // (a) ALCHIF filter, then depth ≤ 2?
-    DlOntology stripped(onto.symbols);
-    for (const ConceptInclusion& ci : onto.cis) {
-      stripped.cis.push_back(
-          {StripToAlchif(ci.lhs), StripToAlchif(ci.rhs)});
-    }
-    stripped.ris = onto.ris;
-    stripped.functional = onto.functional;
-    if (stripped.Depth() <= 2) ++report.alchif_depth_le2;
-    // (b) full ALCHIQ, depth ≤ 1?
-    if (onto.Depth() <= 1) ++report.alchiq_depth_le1;
-    // Verdict.
-    switch (ClassifyDl(f).verdict) {
-      case DichotomyStatus::kDichotomy: ++report.dichotomy; break;
-      case DichotomyStatus::kCspHard: ++report.csp_hard; break;
-      case DichotomyStatus::kNoDichotomy: ++report.no_dichotomy; break;
-      case DichotomyStatus::kOpen: ++report.open; break;
-    }
+  uint32_t threads = ThreadPool::EffectiveThreads(num_threads);
+  if (threads == 1 || corpus.size() < 2) {
+    for (const DlOntology& onto : corpus) CensusOne(onto, &report);
+    return report;
   }
+  // Sharded fan-out: worker w censuses ontologies i ≡ w (mod threads) into
+  // a private partial report; partials are merged in shard order. Every
+  // field is a commutative count, so the merged report is identical to the
+  // sequential one for any thread count.
+  std::vector<CorpusReport> partial(threads);
+  ThreadPool pool(threads);
+  pool.ParallelFor(
+      threads,
+      [&](uint64_t w) {
+        for (size_t i = w; i < corpus.size(); i += threads) {
+          CensusOne(corpus[i], &partial[w]);
+        }
+      },
+      /*token=*/nullptr, /*chunk=*/1);
+  for (const CorpusReport& p : partial) MergeReports(&report, p);
   return report;
 }
 

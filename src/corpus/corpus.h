@@ -56,7 +56,12 @@ struct CorpusReport {
   std::string ToString() const;
 };
 
-CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus);
+/// Runs the census. With num_threads != 1 the per-ontology loop fans out
+/// over a work-stealing pool (1 = sequential, 0 = hardware concurrency);
+/// partial reports are merged in shard order, so the result is identical
+/// for every thread count.
+CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus,
+                           uint32_t num_threads = 1);
 
 }  // namespace gfomq
 

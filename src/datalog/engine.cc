@@ -1,10 +1,13 @@
 #include "datalog/engine.h"
 
+#include <chrono>
+
 #include "instance/homomorphism.h"
 
 namespace gfomq {
 
 Instance DatalogEngine::Evaluate(const Instance& input) {
+  auto t0 = std::chrono::steady_clock::now();
   stats_ = DatalogStats{};
   Instance db = input;
   // Semi-naive: in each round, require at least one body atom to match a
@@ -60,6 +63,10 @@ Instance DatalogEngine::Evaluate(const Instance& input) {
     }
     delta = std::move(next_delta);
   }
+  stats_.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   return db;
 }
 

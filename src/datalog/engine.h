@@ -12,6 +12,7 @@ namespace gfomq {
 struct DatalogStats {
   uint64_t iterations = 0;
   uint64_t derived_facts = 0;
+  uint64_t wall_micros = 0;
 };
 
 /// Semi-naive bottom-up evaluation of Datalog(≠) programs.

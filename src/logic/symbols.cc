@@ -3,9 +3,14 @@
 namespace gfomq {
 
 uint32_t Symbols::FreshRel(const std::string& stem, int arity) {
+  std::lock_guard<std::mutex> lk(rel_mu_);
   for (;;) {
     std::string candidate = stem + "#" + std::to_string(fresh_counter_++);
-    if (rels_.Find(candidate) < 0) return Rel(candidate, arity);
+    if (rels_.Find(candidate) < 0) {
+      uint32_t id = rels_.Intern(candidate);
+      if (id >= arity_.size()) arity_.push_back(arity);
+      return id;
+    }
   }
 }
 

@@ -2,7 +2,9 @@
 #define GFOMQ_LOGIC_SYMBOLS_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,12 +16,22 @@ namespace gfomq {
 /// arities), variable names and constant names. Ontologies, instances and
 /// queries that are used together must share one Symbols object so that
 /// their ids agree.
+///
+/// Thread-safety contract (see DESIGN.md §Threading): constant and
+/// variable interning is fully thread-safe — the parallel bouquet search
+/// interns constant names (bouquet elements, tableau witness constants)
+/// from many workers concurrently. Relation *registration* (Rel/FreshRel)
+/// is atomic against itself but must be quiesced before parallel
+/// reasoning starts, because RelArity/NumRels are lock-free hot-path
+/// reads. All relations are registered during parsing/normalization,
+/// which is single-threaded by construction.
 class Symbols {
  public:
   /// Interns a relation symbol. Registering the same name with a different
   /// arity is an error (returns the existing id; caller should validate via
   /// RelArity when parsing untrusted input).
   uint32_t Rel(const std::string& name, int arity) {
+    std::lock_guard<std::mutex> lk(rel_mu_);
     uint32_t id = rels_.Intern(name);
     if (id >= arity_.size()) arity_.push_back(arity);
     return id;
@@ -48,8 +60,9 @@ class Symbols {
   uint32_t FreshRel(const std::string& stem, int arity);
 
  private:
+  mutable std::mutex rel_mu_;  // makes Rel/FreshRel compound ops atomic
   Interner rels_;
-  std::vector<int> arity_;
+  std::deque<int> arity_;  // deque: stable under growth, like the interner
   Interner vars_;
   Interner consts_;
   uint64_t fresh_counter_ = 0;

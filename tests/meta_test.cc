@@ -79,12 +79,12 @@ TEST(BouquetTest, EnumerationIsDeduplicatedAndBounded) {
   BouquetOptions opts;
   opts.max_outdegree = 1;
   int count = 0;
-  bool complete = ForEachBouquet(sym, signature, opts,
-                                 [&count](const Instance&) {
-                                   ++count;
-                                   return false;
-                                 });
-  EXPECT_TRUE(complete);
+  BouquetScan scan = ForEachBouquet(sym, signature, opts,
+                                    [&count](const Instance&) {
+                                      ++count;
+                                      return false;
+                                    });
+  EXPECT_EQ(scan, BouquetScan::kComplete);
   // Outdegree 0: root masks (2 unary x 2 loop) - empty = 3.
   // Outdegree 1: 4 root configs x 6 child types (2 unary x 3 edges) = 24.
   EXPECT_EQ(count, 27);
@@ -105,6 +105,72 @@ TEST(BouquetTest, IrreflexiveSkipsLoops) {
     return false;
   });
   EXPECT_EQ(loops, 0);
+}
+
+TEST(BouquetTest, ScanOutcomesAreDistinguished) {
+  // The three enumeration outcomes — complete, stopped by the callback,
+  // budget-truncated — are distinct results; callers used to conflate
+  // "budget exhausted" with "searched everything, found nothing".
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t A = sym->Rel("A", 1);
+  uint32_t R = sym->Rel("R", 2);
+  std::vector<uint32_t> signature{A, R};
+  BouquetOptions opts;
+  opts.max_outdegree = 2;
+
+  int total = 0;
+  EXPECT_EQ(ForEachBouquet(sym, signature, opts,
+                           [&](const Instance&) {
+                             ++total;
+                             return false;
+                           }),
+            BouquetScan::kComplete);
+  ASSERT_GT(total, 5);
+
+  opts.max_bouquets = 5;
+  int truncated = 0;
+  EXPECT_EQ(ForEachBouquet(sym, signature, opts,
+                           [&](const Instance&) {
+                             ++truncated;
+                             return false;
+                           }),
+            BouquetScan::kBudgetExhausted);
+  EXPECT_EQ(truncated, 5);
+
+  opts.max_bouquets = 200000;
+  int stopped_after = 0;
+  EXPECT_EQ(ForEachBouquet(sym, signature, opts,
+                           [&](const Instance&) {
+                             return ++stopped_after == 3;
+                           }),
+            BouquetScan::kStopped);
+  EXPECT_EQ(stopped_after, 3);
+}
+
+TEST(BouquetTest, MetaDecisionReportsBudgetExhaustionExplicitly) {
+  // Same Horn ontology, two budgets: the truncated run must come back
+  // kUnknown + budget_exhausted (NOT a silent kYes), the full run kYes.
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  BouquetOptions opts;
+  opts.max_outdegree = 2;
+  opts.max_bouquets = 4;
+  MetaDecision truncated =
+      DecidePtimeByBouquets(*solver, sym, onto->Signature(), opts);
+  EXPECT_EQ(truncated.ptime, Certainty::kUnknown);
+  EXPECT_TRUE(truncated.budget_exhausted);
+  EXPECT_EQ(truncated.bouquets_checked, 4u);
+
+  opts.max_bouquets = 200000;
+  MetaDecision full =
+      DecidePtimeByBouquets(*solver, sym, onto->Signature(), opts);
+  EXPECT_EQ(full.ptime, Certainty::kYes);
+  EXPECT_FALSE(full.budget_exhausted);
 }
 
 TEST(BouquetTest, MetaDecisionHornIsPtime) {

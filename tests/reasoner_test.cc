@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/parser.h"
+#include "reasoner/bouquet.h"
 #include "reasoner/certain.h"
 
 namespace gfomq {
@@ -305,6 +306,44 @@ TEST(ReasonerTest, EqualityInExistentialMatrix) {
   auto q = ParseCq("q(x) :- R(x,x)", sym);
   ASSERT_TRUE(q.ok());
   EXPECT_EQ(solver.IsCertain(d, *q, {a}), Certainty::kYes);
+}
+
+TEST(ReasonerTest, ParallelMetaSearchCancelsSoonAfterEarlyViolation) {
+  // Cancellation regression: the covering disjunction A → B1 ∨ B2 is
+  // violated by the very first bouquet carrying an A-fact, which the
+  // canonical enumeration order emits within the first handful of
+  // indices. The tautological R/S axioms only inflate the signature so
+  // the full bouquet space is enormous — a search that fails to cancel
+  // would grind through ~max_bouquets tableau probes.
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B1(x) | B2(x));"
+      "forall x, y (R(x,y) -> R(x,y));"
+      "forall x, y (S(x,y) -> S(x,y));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+  BouquetOptions opts;
+  opts.max_outdegree = 3;
+  opts.max_bouquets = 200000;
+  uint64_t sequential_checked = 0;
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    opts.num_threads = threads;
+    MetaDecision md =
+        DecidePtimeByBouquets(*solver, sym, onto->Signature(), opts);
+    EXPECT_EQ(md.ptime, Certainty::kNo) << "threads=" << threads;
+    ASSERT_TRUE(md.violation.has_value());
+    // The deterministic accounting is the sequential prefix up to the hit.
+    if (threads == 1) sequential_checked = md.bouquets_checked;
+    EXPECT_EQ(md.bouquets_checked, sequential_checked)
+        << "threads=" << threads;
+    EXPECT_LE(md.bouquets_checked, 16u);
+    // Cancellation must stop the racing workers almost immediately: the
+    // total work actually performed stays within a whisker of the hit
+    // index, nowhere near the 200000-bouquet budget.
+    EXPECT_LT(md.stats.bouquets_probed, 200u) << "threads=" << threads;
+  }
 }
 
 TEST(ReasonerTest, GroundSolverFindsEvenCycleColoring) {
