@@ -10,11 +10,63 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "instance/instance.h"
 #include "logic/symbols.h"
 
 namespace gfomq::bench {
+
+/// Minimal JSON object builder for the perf-trajectory files
+/// (BENCH_*.json). Keys are emitted in insertion order so the files diff
+/// cleanly across runs; ci.sh checks the key schema.
+class JsonObj {
+ public:
+  JsonObj& Int(const std::string& key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObj& Num(const std::string& key, double v) {
+    std::ostringstream s;
+    s << v;
+    return Raw(key, s.str());
+  }
+  JsonObj& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + v + "\"");
+  }
+  JsonObj& Raw(const std::string& key, const std::string& json) {
+    fields_.push_back("\"" + key + "\": " + json);
+    return *this;
+  }
+  std::string Done() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += fields_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+inline std::string JsonArr(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (i) out += ",\n    ";
+    out += elems[i];
+  }
+  return out + "]";
+}
+
+inline void WriteJsonFile(const std::string& path, const std::string& json) {
+  std::ofstream f(path);
+  f << json << "\n";
+  std::fprintf(stdout, "wrote %s\n", path.c_str());
+}
 
 /// Worker threads requested via --threads=N (0 = one per hardware thread).
 /// Benches that support parallel runs read this; default is sequential.

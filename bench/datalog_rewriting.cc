@@ -4,6 +4,7 @@
 // show rewriting construction cost versus ontology size and Datalog
 // evaluation versus the chase-based baseline.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -13,6 +14,7 @@
 #include "logic/parser.h"
 
 using namespace gfomq;
+using gfomq::bench::JsonObj;
 
 namespace {
 
@@ -84,6 +86,140 @@ void PrintTable() {
               "Datalog!=-rewritable)\n\n");
 }
 
+// --- Scaling families: indexed engine vs retained naive reference ---------
+//
+// Each family saturates a transitive-closure-style program on instances of
+// growing size with both evaluation modes, checks bit-identical fixpoints,
+// and records before/after wall times plus the indexed engine's counters in
+// BENCH_datalog.json (the perf-trajectory file ci.sh schema-checks).
+
+uint64_t TimeEvaluate(DatalogEngine& engine, const Instance& d,
+                      Instance* out) {
+  auto t0 = std::chrono::steady_clock::now();
+  *out = engine.Evaluate(d);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+struct FamilyPoint {
+  std::string family;
+  int n;
+  Instance input;
+};
+
+void WriteScalingJson() {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "T(x,y) :- R(x,y);"
+      "T(x,z) :- T(x,y), R(y,z);",
+      sym);
+  if (!prog.ok()) {
+    std::printf("scaling: parse failed: %s\n", prog.status().ToString().c_str());
+    return;
+  }
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+
+  std::vector<FamilyPoint> points;
+  // Chain family: R-path of n nodes; the closure holds n(n-1)/2 T facts and
+  // saturates in ~n rounds — the worst case for the unindexed delta loop.
+  for (int n : {16, 32, 64, 96}) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("ch" + std::to_string(n) + "_" +
+                                 std::to_string(i)));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      d.AddFact(R, {es[static_cast<size_t>(i)], es[static_cast<size_t>(i + 1)]});
+    }
+    points.push_back({"chain_tc", n, std::move(d)});
+  }
+  // Sparse random digraph family (seeded): ~3 out-edges per node.
+  for (int n : {16, 32, 64}) {
+    Rng rng(static_cast<uint64_t>(n) * 13 + 1);
+    Instance d(sym);
+    std::vector<ElemId> es;
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("rg" + std::to_string(n) + "_" +
+                                 std::to_string(i)));
+    }
+    for (ElemId u : es) {
+      for (ElemId v : es) {
+        if (u != v && rng.Chance(3.0 / n)) d.AddFact(R, {u, v});
+      }
+    }
+    points.push_back({"random_tc", n, std::move(d)});
+  }
+
+  std::printf("scaling families — naive (pre-index) vs indexed engine\n");
+  std::printf("%-10s %-5s %-8s %-13s %-15s %-9s %s\n", "family", "n", "facts",
+              "naive_micros", "indexed_micros", "speedup", "identical");
+  std::vector<std::string> rows;
+  double largest_speedup = 0;
+  std::string largest_family;
+  int largest_n = 0;
+  for (const FamilyPoint& p : points) {
+    DatalogEngine naive(*prog, DatalogEvalMode::kNaive);
+    DatalogEngine indexed(*prog, DatalogEvalMode::kIndexed);
+    Instance out_naive(sym), out_indexed(sym);
+    // Warm once with the indexed engine (page/alloc warmup), then time one
+    // full saturation per mode; instances are deterministic, so a single
+    // rep is stable enough for a trajectory file.
+    (void)TimeEvaluate(indexed, p.input, &out_indexed);
+    uint64_t indexed_us = TimeEvaluate(indexed, p.input, &out_indexed);
+    uint64_t naive_us = TimeEvaluate(naive, p.input, &out_naive);
+    bool agree = out_naive.facts() == out_indexed.facts();
+    double speedup =
+        static_cast<double>(naive_us) / static_cast<double>(indexed_us ? indexed_us : 1);
+    const DatalogStats& st = indexed.stats();
+    std::printf("%-10s %-5d %-8zu %-13llu %-15llu %-9.1f %s\n",
+                p.family.c_str(), p.n, p.input.NumFacts(),
+                static_cast<unsigned long long>(naive_us),
+                static_cast<unsigned long long>(indexed_us), speedup,
+                agree ? "yes" : "NO");
+    rows.push_back(JsonObj()
+                       .Str("family", p.family)
+                       .Int("n", static_cast<uint64_t>(p.n))
+                       .Int("facts", p.input.NumFacts())
+                       .Int("naive_micros", naive_us)
+                       .Int("indexed_micros", indexed_us)
+                       .Num("speedup", speedup)
+                       .Int("agree", agree ? 1 : 0)
+                       .Int("iterations", st.iterations)
+                       .Int("derived_facts", st.derived_facts)
+                       .Int("rule_attempts", st.rule_attempts)
+                       .Int("index_lookups", st.match.index_lookups)
+                       .Int("relation_scans", st.match.relation_scans)
+                       .Int("candidates", st.match.candidates)
+                       .Done());
+    bool is_largest = p.n > largest_n || (p.n == largest_n && speedup > largest_speedup);
+    if (is_largest) {
+      largest_n = p.n;
+      largest_speedup = speedup;
+      largest_family = p.family;
+    }
+  }
+  std::string json = "{\n  \"bench\": \"datalog_rewriting\",\n"
+                     "  \"generated_by\": \"bench/datalog_rewriting.cc\",\n"
+                     "  \"families\": " + bench::JsonArr(rows) + ",\n" +
+                     "  \"largest\": " +
+                     JsonObj()
+                         .Str("family", largest_family)
+                         .Int("n", static_cast<uint64_t>(largest_n))
+                         .Num("speedup", largest_speedup)
+                         .Done() +
+                     "\n}";
+  bench::WriteJsonFile("BENCH_datalog.json", json);
+  std::printf("\n");
+}
+
+void PrintTableAndScaling() {
+  PrintTable();
+  WriteScalingJson();
+}
+
 void BM_RewriteConstruction(benchmark::State& state) {
   SymbolsPtr sym = MakeSymbols();
   Ontology onto = ChainOntology(sym, static_cast<int>(state.range(0)));
@@ -125,4 +261,4 @@ BENCHMARK(BM_ChaseBaseline)->RangeMultiplier(2)->Range(4, 16);
 
 }  // namespace
 
-GFOMQ_BENCH_MAIN(PrintTable)
+GFOMQ_BENCH_MAIN(PrintTableAndScaling)

@@ -10,6 +10,7 @@
 #include "reasoner/bouquet.h"
 
 using namespace gfomq;
+using gfomq::bench::JsonObj;
 
 namespace {
 
@@ -90,6 +91,54 @@ void PrintTable() {
   std::printf("\n");
 }
 
+// Scaling family for the perf-trajectory file: a PTIME ontology (whole
+// bouquet space probed) across out-degree bounds, sequential vs parallel
+// wall time. Every probe bottoms out in the indexed Instance lookups, so
+// this curve tracks the index layer's effect on the meta decision.
+void WriteScalingJson() {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));");
+  if (!onto.ok()) return;
+  auto solver = CertainAnswerSolver::Create(*onto);
+  std::printf("bouquet scaling — sequential vs parallel (threads=0: all)\n");
+  std::printf("%-10s %-10s %-14s %-14s %s\n", "outdegree", "bouquets",
+              "seq_micros", "par_micros", "determinism");
+  std::vector<std::string> rows;
+  for (uint32_t outdeg : {1u, 2u, 3u}) {
+    BouquetOptions opts;
+    opts.max_outdegree = outdeg;
+    opts.num_threads = 1;
+    MetaDecision seq = DecidePtimeByBouquets(*solver, onto->symbols,
+                                             onto->Signature(), opts);
+    opts.num_threads = 0;  // one worker per hardware thread
+    MetaDecision par = DecidePtimeByBouquets(*solver, onto->symbols,
+                                             onto->Signature(), opts);
+    bool same = VerdictKey(seq) == VerdictKey(par);
+    std::printf("%-10u %-10llu %-14llu %-14llu %s\n", outdeg,
+                static_cast<unsigned long long>(seq.bouquets_checked),
+                static_cast<unsigned long long>(seq.stats.wall_micros),
+                static_cast<unsigned long long>(par.stats.wall_micros),
+                same ? "ok" : "MISMATCH");
+    rows.push_back(JsonObj()
+                       .Int("outdegree", outdeg)
+                       .Int("bouquets", seq.bouquets_checked)
+                       .Int("seq_micros", seq.stats.wall_micros)
+                       .Int("par_micros", par.stats.wall_micros)
+                       .Int("deterministic", same ? 1 : 0)
+                       .Done());
+  }
+  bench::WriteJsonFile(
+      "BENCH_meta.json",
+      "{\n  \"bench\": \"meta_decision\",\n  \"points\": " +
+          bench::JsonArr(rows) + "\n}");
+  std::printf("\n");
+}
+
+void PrintTableAndScaling() {
+  PrintTable();
+  WriteScalingJson();
+}
+
 void BM_BouquetSearchOutdegree(benchmark::State& state) {
   auto onto = ParseOntology("forall x . (A(x) -> B(x));");
   auto solver = CertainAnswerSolver::Create(*onto);
@@ -133,4 +182,4 @@ BENCHMARK(BM_ParallelMetaDecision)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-GFOMQ_BENCH_MAIN(PrintTable)
+GFOMQ_BENCH_MAIN(PrintTableAndScaling)

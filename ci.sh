@@ -4,7 +4,12 @@
 # everything under AddressSanitizer+UBSan; the tsan preset runs the
 # concurrency suites (thread_pool_test, meta_parallel_test) under
 # ThreadSanitizer to certify the work-stealing pool and the parallel
-# bouquet meta decision.
+# bouquet meta decision. Two extra gates cover the index layer: the
+# differential suite (indexed matcher/engine vs the naive reference) is
+# re-run explicitly under asan, and the perf-trajectory file
+# BENCH_datalog.json is regenerated and schema-checked against
+# bench/BENCH_datalog.expected_keys so trajectory tooling never sees a
+# silently drifted format.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,5 +23,22 @@ for preset in release asan tsan; do
   echo "=== [$preset] test ==="
   ctest --preset "$preset" -j "$JOBS"
 done
+
+echo "=== [asan] differential suite (indexed vs naive reference) ==="
+ctest --preset asan -j "$JOBS" \
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive'
+
+echo "=== perf trajectory: BENCH_datalog.json schema ==="
+(cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
+keys_tmp="$(mktemp)"
+grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_datalog.json \
+  | tr -d '":' | sort -u > "$keys_tmp"
+if ! diff -u bench/BENCH_datalog.expected_keys "$keys_tmp"; then
+  echo "BENCH_datalog.json key schema drifted;" \
+       "update bench/BENCH_datalog.expected_keys" >&2
+  rm -f "$keys_tmp"
+  exit 1
+fi
+rm -f "$keys_tmp"
 
 echo "ci.sh: all presets green"

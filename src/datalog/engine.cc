@@ -2,28 +2,140 @@
 
 #include <chrono>
 
-#include "instance/homomorphism.h"
-
 namespace gfomq {
 
+namespace {
+
+/// True if the two instances describe the same database (shared symbol
+/// table, same element table size, identical fact set). Element names are
+/// irrelevant to evaluation, which is defined over element ids.
+bool SameDatabase(const Instance& a, const Instance& b) {
+  return a.symbols() == b.symbols() && a.NumElements() == b.NumElements() &&
+         a.facts() == b.facts();
+}
+
+}  // namespace
+
+DatalogEngine::DatalogEngine(const DatalogProgram& program,
+                             DatalogEvalMode mode)
+    : program_(program), mode_(mode) {
+  for (size_t r = 0; r < program_.rules.size(); ++r) {
+    const DatalogRule& rule = program_.rules[r];
+    for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+      dispatch_[rule.body[pivot].rel].emplace_back(r, pivot);
+    }
+  }
+}
+
 Instance DatalogEngine::Evaluate(const Instance& input) {
+  Instance db = mode_ == DatalogEvalMode::kIndexed ? EvaluateIndexed(input)
+                                                   : EvaluateNaive(input);
+  ++evaluations_;
+  cached_input_ = input;
+  cached_output_ = db;
+  return db;
+}
+
+Instance DatalogEngine::EvaluateIndexed(const Instance& input) {
   auto t0 = std::chrono::steady_clock::now();
   stats_ = DatalogStats{};
+  stats_.per_rule_firings.assign(program_.rules.size(), 0);
   Instance db = input;
   // Semi-naive: in each round, require at least one body atom to match a
-  // fact derived in the previous round.
+  // fact derived in the previous round. The delta is kept grouped by
+  // relation so a round only visits rules reachable through dispatch_.
+  std::map<uint32_t, std::vector<Fact>> delta;
+  for (const Fact& f : input.facts()) delta[f.rel].push_back(f);
+  while (!delta.empty()) {
+    ++stats_.iterations;
+    std::vector<bool> rule_fired(program_.rules.size(), false);
+    std::set<Fact> next_delta;
+    for (const auto& [rel, dfacts] : delta) {
+      stats_.delta_facts += dfacts.size();
+      auto dit = dispatch_.find(rel);
+      if (dit == dispatch_.end()) continue;
+      for (const auto& [ri, pivot] : dit->second) {
+        const DatalogRule& rule = program_.rules[ri];
+        rule_fired[ri] = true;
+        std::vector<PatternAtom> rest;
+        rest.reserve(rule.body.size() - 1);
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (i != pivot) rest.push_back({rule.body[i].rel, rule.body[i].vars});
+        }
+        // Match the pivot atom against delta facts only; the rest of the
+        // body runs through the indexed matcher over the full instance.
+        for (const Fact& df : dfacts) {
+          ++stats_.rule_attempts;
+          std::vector<int64_t> fixed(rule.num_vars, -1);
+          bool ok = true;
+          for (size_t i = 0; i < df.args.size() && ok; ++i) {
+            uint32_t v = rule.body[pivot].vars[i];
+            if (fixed[v] >= 0 && fixed[v] != static_cast<int64_t>(df.args[i])) {
+              ok = false;
+            }
+            fixed[v] = static_cast<int64_t>(df.args[i]);
+          }
+          if (!ok) continue;
+          ForEachMatch(
+              rest, rule.num_vars, db, fixed,
+              [&](const std::vector<int64_t>& assign) {
+                for (const auto& [x, y] : rule.neq) {
+                  if (assign[x] == assign[y]) return false;
+                }
+                std::vector<ElemId> args;
+                args.reserve(rule.head.vars.size());
+                for (uint32_t v : rule.head.vars) {
+                  args.push_back(static_cast<ElemId>(assign[v]));
+                }
+                ++stats_.per_rule_firings[ri];
+                Fact f{rule.head.rel, std::move(args)};
+                if (!db.HasFact(f) && !next_delta.count(f)) {
+                  next_delta.insert(std::move(f));
+                }
+                return false;
+              },
+              &stats_.match);
+        }
+      }
+    }
+    for (bool fired : rule_fired) {
+      fired ? ++stats_.rules_dispatched : ++stats_.rules_skipped;
+    }
+    delta.clear();
+    for (const Fact& f : next_delta) {
+      db.AddFact(f);
+      ++stats_.derived_facts;
+      delta[f.rel].push_back(f);
+    }
+  }
+  stats_.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return db;
+}
+
+Instance DatalogEngine::EvaluateNaive(const Instance& input) {
+  // The pre-index evaluation loop, kept verbatim as the differential
+  // reference: every rule × every pivot × every delta fact per round, with
+  // the scan-based matcher.
+  auto t0 = std::chrono::steady_clock::now();
+  stats_ = DatalogStats{};
+  stats_.per_rule_firings.assign(program_.rules.size(), 0);
+  Instance db = input;
   std::set<Fact> delta(input.facts().begin(), input.facts().end());
   while (!delta.empty()) {
     ++stats_.iterations;
     std::set<Fact> next_delta;
-    for (const DatalogRule& rule : program_.rules) {
+    for (size_t ri = 0; ri < program_.rules.size(); ++ri) {
+      const DatalogRule& rule = program_.rules[ri];
       std::vector<PatternAtom> pattern;
       pattern.reserve(rule.body.size());
       for (const DatalogAtom& a : rule.body) pattern.push_back({a.rel, a.vars});
       for (size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
-        // Match the pivot atom against delta facts only.
         for (const Fact& df : delta) {
           if (df.rel != rule.body[pivot].rel) continue;
+          ++stats_.rule_attempts;
           std::vector<int64_t> fixed(rule.num_vars, -1);
           bool ok = true;
           for (size_t i = 0; i < df.args.size() && ok; ++i) {
@@ -38,25 +150,27 @@ Instance DatalogEngine::Evaluate(const Instance& input) {
           for (size_t i = 0; i < pattern.size(); ++i) {
             if (i != pivot) rest.push_back(pattern[i]);
           }
-          ForEachMatch(rest, rule.num_vars, db, fixed,
-                       [&](const std::vector<int64_t>& assign) {
-                         for (const auto& [x, y] : rule.neq) {
-                           if (assign[x] == assign[y]) return false;
-                         }
-                         std::vector<ElemId> args;
-                         args.reserve(rule.head.vars.size());
-                         for (uint32_t v : rule.head.vars) {
-                           args.push_back(static_cast<ElemId>(assign[v]));
-                         }
-                         Fact f{rule.head.rel, std::move(args)};
-                         if (!db.HasFact(f) && !next_delta.count(f)) {
-                           next_delta.insert(std::move(f));
-                         }
-                         return false;
-                       });
+          ForEachMatchNaive(rest, rule.num_vars, db, fixed,
+                            [&](const std::vector<int64_t>& assign) {
+                              for (const auto& [x, y] : rule.neq) {
+                                if (assign[x] == assign[y]) return false;
+                              }
+                              std::vector<ElemId> args;
+                              args.reserve(rule.head.vars.size());
+                              for (uint32_t v : rule.head.vars) {
+                                args.push_back(static_cast<ElemId>(assign[v]));
+                              }
+                              ++stats_.per_rule_firings[ri];
+                              Fact f{rule.head.rel, std::move(args)};
+                              if (!db.HasFact(f) && !next_delta.count(f)) {
+                                next_delta.insert(std::move(f));
+                              }
+                              return false;
+                            });
         }
       }
     }
+    stats_.delta_facts += delta.size();
     for (const Fact& f : next_delta) {
       db.AddFact(f);
       ++stats_.derived_facts;
@@ -73,11 +187,15 @@ Instance DatalogEngine::Evaluate(const Instance& input) {
 std::set<std::vector<ElemId>> DatalogEngine::GoalTuples(const Instance& input) {
   std::set<std::vector<ElemId>> out;
   if (program_.goal_rel < 0) return out;
-  Instance db = Evaluate(input);
-  for (const Fact& f : db.facts()) {
-    if (f.rel == static_cast<uint32_t>(program_.goal_rel)) {
-      out.insert(f.args);
-    }
+  if (!cached_input_ || !SameDatabase(*cached_input_, input)) {
+    Evaluate(input);
+  } else {
+    ++goal_cache_hits_;
+  }
+  const Instance& db = *cached_output_;
+  for (const Fact* f :
+       db.FactsOfPtr(static_cast<uint32_t>(program_.goal_rel))) {
+    out.insert(f->args);
   }
   return out;
 }

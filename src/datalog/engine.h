@@ -1,36 +1,76 @@
 #ifndef GFOMQ_DATALOG_ENGINE_H_
 #define GFOMQ_DATALOG_ENGINE_H_
 
+#include <map>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "datalog/program.h"
+#include "instance/homomorphism.h"
 #include "instance/instance.h"
 
 namespace gfomq {
 
-/// Statistics of one bottom-up evaluation.
+/// Statistics of one bottom-up evaluation (reset at the start of each
+/// saturation; a GoalTuples cache hit leaves them untouched).
 struct DatalogStats {
-  uint64_t iterations = 0;
-  uint64_t derived_facts = 0;
+  uint64_t iterations = 0;        // semi-naive rounds
+  uint64_t derived_facts = 0;     // facts added beyond the input
   uint64_t wall_micros = 0;
+  uint64_t delta_facts = 0;       // pivot delta facts processed
+  uint64_t rule_attempts = 0;     // (rule, pivot, delta-fact) probes
+  uint64_t rules_dispatched = 0;  // rule×round combinations actually fired
+  uint64_t rules_skipped = 0;     // rule×round combinations pruned because
+                                  // no body relation occurred in the delta
+  MatchStats match;               // aggregated matcher counters
+  std::vector<uint64_t> per_rule_firings;  // head tuples produced, per rule
 };
 
-/// Semi-naive bottom-up evaluation of Datalog(≠) programs.
+/// Which evaluation strategy to run; kNaive is the pre-index reference
+/// (full-scan matcher, every rule tried against every delta fact) retained
+/// for differential tests and before/after benches.
+enum class DatalogEvalMode { kIndexed, kNaive };
+
+/// Semi-naive bottom-up evaluation of Datalog(≠) programs. The indexed
+/// mode dispatches each round only to rules whose body mentions a relation
+/// present in the delta (body-relation -> (rule, pivot) map built once per
+/// engine) and matches the non-pivot body against the instance indexes.
+/// Engines are not thread-safe; use one per thread.
 class DatalogEngine {
  public:
-  explicit DatalogEngine(const DatalogProgram& program) : program_(program) {}
+  explicit DatalogEngine(const DatalogProgram& program,
+                         DatalogEvalMode mode = DatalogEvalMode::kIndexed);
 
   /// Computes the fixpoint: the input plus all derived facts.
   Instance Evaluate(const Instance& input);
 
   /// Tuples of the goal relation in the fixpoint (empty set if no goal).
+  /// The last fixpoint is cached: a repeated call on an equal input (same
+  /// symbols, elements and fact set) reuses it instead of re-saturating.
   std::set<std::vector<ElemId>> GoalTuples(const Instance& input);
 
   const DatalogStats& stats() const { return stats_; }
 
+  /// Number of saturations actually run / GoalTuples calls answered from
+  /// the cache. Observability hooks for the caching contract.
+  uint64_t evaluations() const { return evaluations_; }
+  uint64_t goal_cache_hits() const { return goal_cache_hits_; }
+
  private:
+  Instance EvaluateIndexed(const Instance& input);
+  Instance EvaluateNaive(const Instance& input);
+
   const DatalogProgram& program_;
+  DatalogEvalMode mode_;
+  // Body-relation -> (rule index, pivot position) dispatch map.
+  std::map<uint32_t, std::vector<std::pair<size_t, size_t>>> dispatch_;
   DatalogStats stats_;
+  uint64_t evaluations_ = 0;
+  uint64_t goal_cache_hits_ = 0;
+  // Last (input, fixpoint) pair, for the GoalTuples cache.
+  std::optional<Instance> cached_input_;
+  std::optional<Instance> cached_output_;
 };
 
 }  // namespace gfomq

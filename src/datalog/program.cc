@@ -106,12 +106,10 @@ Result<DatalogProgram> ParseDatalog(const std::string& text,
     return Status::Ok();
   };
   auto peek = [&](char c) {
-    size_t p = pos;
-    while (p < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[p]))) {
-      ++p;
-    }
-    return p < text.size() && text[p] == c;
+    // Reuse the shared skipper: `#` comments are as insignificant as
+    // whitespace, so consuming them here never changes what is parsed.
+    skip();
+    return pos < text.size() && text[pos] == c;
   };
 
   skip();

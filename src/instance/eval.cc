@@ -36,8 +36,8 @@ int CountGuardMatches(const Formula& guard, const Instance& interp,
     }
     return static_cast<int>(counted.size());
   }
-  for (const Fact& fact : interp.facts()) {
-    if (fact.rel != guard.rel()) continue;
+  for (const Fact* fact_ptr : interp.FactsOfPtr(guard.rel())) {
+    const Fact& fact = *fact_ptr;
     std::map<uint32_t, ElemId> saved = env;
     bool ok = true;
     for (size_t i = 0; i < guard.args().size() && ok; ++i) {
@@ -126,13 +126,15 @@ bool EvalFormula(const Formula& f, const Instance& interp,
 
 bool EvalSentence(const Sentence& s, const Instance& interp) {
   if (s.kind == Sentence::Kind::kFunctionality) {
-    for (const Fact& f1 : interp.FactsOf(s.func_rel)) {
-      for (const Fact& f2 : interp.FactsOf(s.func_rel)) {
-        ElemId k1 = s.inverse ? f1.args[1] : f1.args[0];
-        ElemId k2 = s.inverse ? f2.args[1] : f2.args[0];
-        ElemId v1 = s.inverse ? f1.args[0] : f1.args[1];
-        ElemId v2 = s.inverse ? f2.args[0] : f2.args[1];
-        if (k1 == k2 && v1 != v2) return false;
+    for (const Fact* f1 : interp.FactsOfPtr(s.func_rel)) {
+      ElemId k1 = s.inverse ? f1->args[1] : f1->args[0];
+      ElemId v1 = s.inverse ? f1->args[0] : f1->args[1];
+      // Index lookup: only facts sharing the key position can violate
+      // functionality.
+      for (const Fact* f2 :
+           interp.FactsAtPtr(s.func_rel, s.inverse ? 1 : 0, k1)) {
+        ElemId v2 = s.inverse ? f2->args[0] : f2->args[1];
+        if (v1 != v2) return false;
       }
     }
     return true;

@@ -7,20 +7,120 @@ namespace gfomq {
 
 namespace {
 
-/// Backtracking matcher with a greedy most-bound-first atom order.
-class Matcher {
+/// Backtracking matcher with a greedy most-bound-first atom order. Candidate
+/// facts for each atom come from the target's incremental indexes: among the
+/// atom's bound argument positions the most selective (rel, pos, elem) list
+/// is used; with no bound position, the per-relation list. Per-call setup is
+/// O(#atoms) — no scan of the target.
+class IndexedMatcher {
  public:
-  Matcher(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
-          const Instance& target, const std::vector<int64_t>& fixed,
-          const std::function<bool(const std::vector<int64_t>&)>& fn)
-      : atoms_(atoms), target_(target), fn_(fn), assign_(num_vars, -1) {
+  IndexedMatcher(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+                 const Instance& target, const std::vector<int64_t>& fixed,
+                 const std::function<bool(const std::vector<int64_t>&)>& fn,
+                 MatchStats* stats)
+      : atoms_(atoms),
+        target_(target),
+        fn_(fn),
+        stats_(stats),
+        assign_(num_vars, -1) {
+    for (size_t v = 0; v < fixed.size() && v < assign_.size(); ++v) {
+      assign_[v] = fixed[v];
+    }
+    used_.assign(atoms_.size(), false);
+  }
+
+  bool Run() { return Extend(0); }
+
+ private:
+  int PickNextAtom() const {
+    int best = -1;
+    int best_bound = -1;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      int bound = 0;
+      for (uint32_t v : atoms_[i].vars) {
+        if (assign_[v] >= 0) ++bound;
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  const std::vector<const Fact*>& Candidates(const PatternAtom& atom) const {
+    const std::vector<const Fact*>* best = nullptr;
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      int64_t e = assign_[atom.vars[i]];
+      if (e < 0) continue;
+      const auto& lst = target_.FactsAtPtr(atom.rel, static_cast<uint32_t>(i),
+                                           static_cast<ElemId>(e));
+      if (best == nullptr || lst.size() < best->size()) best = &lst;
+    }
+    if (best != nullptr) {
+      if (stats_) ++stats_->index_lookups;
+      return *best;
+    }
+    if (stats_) ++stats_->relation_scans;
+    return target_.FactsOfPtr(atom.rel);
+  }
+
+  bool Extend(size_t matched) {
+    if (matched == atoms_.size()) {
+      if (stats_) ++stats_->matches;
+      return fn_(assign_);
+    }
+    int idx = PickNextAtom();
+    const PatternAtom& atom = atoms_[static_cast<size_t>(idx)];
+    used_[static_cast<size_t>(idx)] = true;
+    for (const Fact* f : Candidates(atom)) {
+      if (stats_) ++stats_->candidates;
+      if (f->args.size() != atom.vars.size()) continue;
+      // Try to unify.
+      std::vector<uint32_t> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.vars.size() && ok; ++i) {
+        uint32_t v = atom.vars[i];
+        ElemId e = f->args[i];
+        if (assign_[v] < 0) {
+          assign_[v] = static_cast<int64_t>(e);
+          newly_bound.push_back(v);
+        } else if (assign_[v] != static_cast<int64_t>(e)) {
+          ok = false;
+        }
+      }
+      if (!ok && stats_) ++stats_->unify_failures;
+      if (ok && Extend(matched + 1)) return true;
+      for (uint32_t v : newly_bound) assign_[v] = -1;
+    }
+    used_[static_cast<size_t>(idx)] = false;
+    return false;
+  }
+
+  const std::vector<PatternAtom>& atoms_;
+  const Instance& target_;
+  const std::function<bool(const std::vector<int64_t>&)>& fn_;
+  MatchStats* stats_;
+  std::vector<int64_t> assign_;
+  std::vector<bool> used_;
+};
+
+/// The pre-index matcher, kept verbatim as the differential-testing
+/// reference: rebuilds facts_by_rel_ from a full instance scan per call.
+class NaiveMatcher {
+ public:
+  NaiveMatcher(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+               const Instance& target, const std::vector<int64_t>& fixed,
+               const std::function<bool(const std::vector<int64_t>&)>& fn)
+      : atoms_(atoms), fn_(fn), assign_(num_vars, -1) {
     for (size_t v = 0; v < fixed.size() && v < assign_.size(); ++v) {
       assign_[v] = fixed[v];
     }
     for (const PatternAtom& a : atoms_) {
       facts_by_rel_[a.rel];  // touch
     }
-    for (const Fact& f : target_.facts()) {
+    for (const Fact& f : target.facts()) {
       auto it = facts_by_rel_.find(f.rel);
       if (it != facts_by_rel_.end()) it->second.push_back(&f);
     }
@@ -55,7 +155,6 @@ class Matcher {
     const auto& facts = facts_by_rel_[atom.rel];
     for (const Fact* f : facts) {
       if (f->args.size() != atom.vars.size()) continue;
-      // Try to unify.
       std::vector<uint32_t> newly_bound;
       bool ok = true;
       for (size_t i = 0; i < atom.vars.size() && ok; ++i) {
@@ -76,7 +175,6 @@ class Matcher {
   }
 
   const std::vector<PatternAtom>& atoms_;
-  const Instance& target_;
   const std::function<bool(const std::vector<int64_t>&)>& fn_;
   std::vector<int64_t> assign_;
   std::vector<bool> used_;
@@ -87,8 +185,17 @@ class Matcher {
 
 bool ForEachMatch(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
                   const Instance& target, const std::vector<int64_t>& fixed,
-                  const std::function<bool(const std::vector<int64_t>&)>& fn) {
-  Matcher m(atoms, num_vars, target, fixed, fn);
+                  const std::function<bool(const std::vector<int64_t>&)>& fn,
+                  MatchStats* stats) {
+  IndexedMatcher m(atoms, num_vars, target, fixed, fn, stats);
+  return m.Run();
+}
+
+bool ForEachMatchNaive(
+    const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+    const Instance& target, const std::vector<int64_t>& fixed,
+    const std::function<bool(const std::vector<int64_t>&)>& fn) {
+  NaiveMatcher m(atoms, num_vars, target, fixed, fn);
   return m.Run();
 }
 

@@ -16,14 +16,46 @@ struct PatternAtom {
   std::vector<uint32_t> vars;
 };
 
+/// Counters of one (or several, when accumulated) matcher runs; benches
+/// and DatalogStats use these to prove the index layer pays off.
+struct MatchStats {
+  uint64_t candidates = 0;       // facts tried against some atom
+  uint64_t unify_failures = 0;   // candidates rejected during unification
+  uint64_t index_lookups = 0;    // atoms extended via the (rel,pos,elem) index
+  uint64_t relation_scans = 0;   // atoms extended via the per-relation list
+  uint64_t matches = 0;          // complete assignments delivered
+
+  MatchStats& operator+=(const MatchStats& o) {
+    candidates += o.candidates;
+    unify_failures += o.unify_failures;
+    index_lookups += o.index_lookups;
+    relation_scans += o.relation_scans;
+    matches += o.matches;
+    return *this;
+  }
+};
+
 /// Enumerates assignments of pattern variables to elements of `target` such
 /// that every pattern atom is a fact of `target`. `fixed[v] >= 0` pins
 /// variable v. Variables not occurring in any atom are left at -1 in the
 /// callback's assignment. Returns true if the callback ever returned true
-/// (enumeration stops at the first accepted match).
+/// (enumeration stops at the first accepted match). Candidate facts are
+/// drawn from the target's indexes: each atom is extended from the most
+/// selective bound argument position, falling back to the per-relation
+/// list only when no position is bound.
 bool ForEachMatch(const std::vector<PatternAtom>& atoms, uint32_t num_vars,
                   const Instance& target, const std::vector<int64_t>& fixed,
-                  const std::function<bool(const std::vector<int64_t>&)>& fn);
+                  const std::function<bool(const std::vector<int64_t>&)>& fn,
+                  MatchStats* stats = nullptr);
+
+/// Reference matcher retained for differential testing and before/after
+/// benches: rebuilds a per-relation fact list by scanning the whole target
+/// on every call and never consults the position index. Semantically
+/// identical to ForEachMatch (same matches, possibly different order).
+bool ForEachMatchNaive(
+    const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+    const Instance& target, const std::vector<int64_t>& fixed,
+    const std::function<bool(const std::vector<int64_t>&)>& fn);
 
 /// First match or nullopt.
 std::optional<std::vector<int64_t>> MatchAtoms(

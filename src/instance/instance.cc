@@ -1,10 +1,31 @@
 #include "instance/instance.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace gfomq {
+
+namespace {
+const std::vector<const Fact*> kNoFacts;
+}  // namespace
+
+Instance::Instance(const Instance& other)
+    : symbols_(other.symbols_),
+      elem_const_(other.elem_const_),
+      facts_(other.facts_) {
+  RebuildIndexes();
+}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this == &other) return *this;
+  symbols_ = other.symbols_;
+  elem_const_ = other.elem_const_;
+  facts_ = other.facts_;
+  RebuildIndexes();
+  return *this;
+}
 
 ElemId Instance::AddConstant(const std::string& name) {
   uint32_t cid = symbols_->Const(name);
@@ -12,11 +33,13 @@ ElemId Instance::AddConstant(const std::string& name) {
     if (elem_const_[e] == static_cast<int64_t>(cid)) return e;
   }
   elem_const_.push_back(static_cast<int64_t>(cid));
+  by_elem_.emplace_back();
   return static_cast<ElemId>(elem_const_.size() - 1);
 }
 
 ElemId Instance::AddNull() {
   elem_const_.push_back(-1);
+  by_elem_.emplace_back();
   return static_cast<ElemId>(elem_const_.size() - 1);
 }
 
@@ -27,49 +50,133 @@ std::string Instance::ElemName(ElemId e) const {
   return "_n" + std::to_string(e);
 }
 
-bool Instance::AddFact(uint32_t rel, std::vector<ElemId> args) {
-  assert(static_cast<int>(args.size()) == symbols_->RelArity(rel));
-  for ([[maybe_unused]] ElemId e : args) assert(e < NumElements());
-  return facts_.insert(Fact{rel, std::move(args)}).second;
+Status Instance::CheckFact(const Fact& f) const {
+  if (static_cast<int>(f.args.size()) != symbols_->RelArity(f.rel)) {
+    return Status::InvalidArgument(
+        "arity mismatch: " + symbols_->RelName(f.rel) + "/" +
+        std::to_string(symbols_->RelArity(f.rel)) + " applied to " +
+        std::to_string(f.args.size()) + " arguments");
+  }
+  for (ElemId e : f.args) {
+    if (e >= NumElements()) {
+      return Status::InvalidArgument(
+          "element id " + std::to_string(e) + " out of range (instance has " +
+          std::to_string(NumElements()) + " elements)");
+    }
+  }
+  return Status::Ok();
 }
 
-bool Instance::AddFact(const Fact& f) { return facts_.insert(f).second; }
+void Instance::IndexFact(const Fact* f) {
+  by_rel_[f->rel].push_back(f);
+  for (uint32_t i = 0; i < f->args.size(); ++i) {
+    by_pos_[PosKey{f->rel, i, f->args[i]}].push_back(f);
+    // List each fact once per element, even when the element repeats.
+    bool first = true;
+    for (uint32_t j = 0; j < i; ++j) {
+      if (f->args[j] == f->args[i]) first = false;
+    }
+    if (first) by_elem_[f->args[i]].push_back(f);
+  }
+}
+
+void Instance::UnindexFact(const Fact* f) {
+  std::erase(by_rel_[f->rel], f);
+  for (uint32_t i = 0; i < f->args.size(); ++i) {
+    std::erase(by_pos_[PosKey{f->rel, i, f->args[i]}], f);
+    std::erase(by_elem_[f->args[i]], f);
+  }
+}
+
+void Instance::RebuildIndexes() {
+  by_rel_.clear();
+  by_pos_.clear();
+  by_elem_.assign(elem_const_.size(), {});
+  for (const Fact& f : facts_) IndexFact(&f);
+}
+
+bool Instance::Insert(Fact f) {
+  auto [it, fresh] = facts_.insert(std::move(f));
+  if (fresh) IndexFact(&*it);
+  return fresh;
+}
+
+bool Instance::AddFact(uint32_t rel, std::vector<ElemId> args) {
+  return AddFact(Fact{rel, std::move(args)});
+}
+
+bool Instance::AddFact(const Fact& f) {
+  Status s = CheckFact(f);
+  if (!s.ok()) {
+    // A malformed fact would corrupt the indexes and every downstream
+    // decision procedure; fail fast in all build modes.
+    std::fprintf(stderr, "gfomq: Instance::AddFact: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+  return Insert(f);
+}
 
 bool Instance::HasFact(uint32_t rel, const std::vector<ElemId>& args) const {
   return facts_.count(Fact{rel, args}) > 0;
 }
 
+bool Instance::RemoveFact(const Fact& f) {
+  auto it = facts_.find(f);
+  if (it == facts_.end()) return false;
+  UnindexFact(&*it);
+  facts_.erase(it);
+  return true;
+}
+
+const std::vector<const Fact*>& Instance::FactsOfPtr(uint32_t rel) const {
+  auto it = by_rel_.find(rel);
+  return it == by_rel_.end() ? kNoFacts : it->second;
+}
+
+const std::vector<const Fact*>& Instance::FactsAtPtr(uint32_t rel,
+                                                     uint32_t pos,
+                                                     ElemId e) const {
+  auto it = by_pos_.find(PosKey{rel, pos, e});
+  return it == by_pos_.end() ? kNoFacts : it->second;
+}
+
+const std::vector<const Fact*>& Instance::FactsContainingPtr(ElemId e) const {
+  if (e >= by_elem_.size()) return kNoFacts;
+  return by_elem_[e];
+}
+
 std::vector<Fact> Instance::FactsOf(uint32_t rel) const {
   std::vector<Fact> out;
-  for (const Fact& f : facts_) {
-    if (f.rel == rel) out.push_back(f);
-  }
+  const auto& ptrs = FactsOfPtr(rel);
+  out.reserve(ptrs.size());
+  for (const Fact* f : ptrs) out.push_back(*f);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Fact> Instance::FactsContaining(ElemId e) const {
   std::vector<Fact> out;
-  for (const Fact& f : facts_) {
-    if (std::find(f.args.begin(), f.args.end(), e) != f.args.end()) {
-      out.push_back(f);
-    }
-  }
+  const auto& ptrs = FactsContainingPtr(e);
+  out.reserve(ptrs.size());
+  for (const Fact* f : ptrs) out.push_back(*f);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<uint32_t> Instance::Signature() const {
   std::vector<uint32_t> rels;
-  for (const Fact& f : facts_) rels.push_back(f.rel);
+  for (const auto& [rel, ptrs] : by_rel_) {
+    if (!ptrs.empty()) rels.push_back(rel);
+  }
   std::sort(rels.begin(), rels.end());
-  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
   return rels;
 }
 
 std::vector<ElemId> Instance::Neighbors(ElemId e) const {
   std::set<ElemId> out;
-  for (const Fact& f : facts_) {
-    if (std::find(f.args.begin(), f.args.end(), e) == f.args.end()) continue;
-    for (ElemId a : f.args) {
+  for (const Fact* f : FactsContainingPtr(e)) {
+    for (ElemId a : f->args) {
       if (a != e) out.insert(a);
     }
   }
@@ -78,29 +185,31 @@ std::vector<ElemId> Instance::Neighbors(ElemId e) const {
 
 std::vector<std::vector<ElemId>> Instance::MaximalGuardedSets() const {
   std::vector<std::set<ElemId>> candidates;
-  std::set<ElemId> covered;
   for (const Fact& f : facts_) {
     candidates.emplace_back(f.args.begin(), f.args.end());
-    covered.insert(f.args.begin(), f.args.end());
   }
   for (ElemId e = 0; e < NumElements(); ++e) {
-    if (!covered.count(e)) candidates.push_back({e});
+    if (FactsContainingPtr(e).empty()) candidates.push_back({e});
   }
-  // Keep sets not strictly contained in another.
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  // A candidate is non-maximal iff some fact's argument set strictly
+  // contains it; any such fact contains the candidate's first element, so
+  // only the per-element index list needs checking (singletons of isolated
+  // elements are maximal by construction).
   std::vector<std::vector<ElemId>> out;
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  for (const std::set<ElemId>& cand : candidates) {
     bool maximal = true;
-    for (size_t j = 0; j < candidates.size() && maximal; ++j) {
-      if (i == j || candidates[j].size() <= candidates[i].size()) continue;
-      if (std::includes(candidates[j].begin(), candidates[j].end(),
-                        candidates[i].begin(), candidates[i].end())) {
+    for (const Fact* f : FactsContainingPtr(*cand.begin())) {
+      std::set<ElemId> have(f->args.begin(), f->args.end());
+      if (have.size() <= cand.size()) continue;
+      if (std::includes(have.begin(), have.end(), cand.begin(), cand.end())) {
         maximal = false;
+        break;
       }
     }
-    if (maximal) out.emplace_back(candidates[i].begin(), candidates[i].end());
+    if (maximal) out.emplace_back(cand.begin(), cand.end());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -109,8 +218,9 @@ std::vector<std::vector<ElemId>> Instance::MaximalGuardedSets() const {
 bool Instance::IsGuardedSet(const std::vector<ElemId>& elems) const {
   if (elems.size() <= 1) return true;
   std::set<ElemId> want(elems.begin(), elems.end());
-  for (const Fact& f : facts_) {
-    std::set<ElemId> have(f.args.begin(), f.args.end());
+  // Any guard contains elems[0]; only its index list needs scanning.
+  for (const Fact* f : FactsContainingPtr(elems[0])) {
+    std::set<ElemId> have(f->args.begin(), f->args.end());
     if (std::includes(have.begin(), have.end(), want.begin(), want.end())) {
       return true;
     }
@@ -121,13 +231,14 @@ bool Instance::IsGuardedSet(const std::vector<ElemId>& elems) const {
 Instance Instance::InducedSub(const std::vector<ElemId>& elems) const {
   Instance out(symbols_);
   out.elem_const_ = elem_const_;
+  out.by_elem_.assign(elem_const_.size(), {});
   std::set<ElemId> keep(elems.begin(), elems.end());
   for (const Fact& f : facts_) {
     bool inside = true;
     for (ElemId a : f.args) {
       if (!keep.count(a)) inside = false;
     }
-    if (inside) out.facts_.insert(f);
+    if (inside) out.Insert(f);
   }
   return out;
 }
@@ -149,7 +260,7 @@ ElemId Instance::AppendDisjoint(const Instance& other) {
   for (const Fact& f : other.facts_) {
     Fact g = f;
     for (ElemId& a : g.args) a += offset;
-    facts_.insert(std::move(g));
+    Insert(std::move(g));
   }
   return offset;
 }

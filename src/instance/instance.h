@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "logic/symbols.h"
 
 namespace gfomq {
@@ -27,9 +29,26 @@ struct Fact {
 /// labelled nulls (anonymous, instance-local). Instances are value types;
 /// copying one yields an independent structure with the same element ids,
 /// which is how "interpretation A extends instance D" is modeled.
+///
+/// The fact set is backed by incrementally-maintained indexes (see
+/// DESIGN.md §Fact indexes): a per-relation fact list, a
+/// (relation, argument position, element) -> facts index, and a
+/// per-element fact list over the Gaifman graph. All three are updated in
+/// AddFact/RemoveFact, so the lookup accessors (FactsOfPtr, FactsAtPtr,
+/// FactsContainingPtr) are O(1) hash probes plus output size, never scans.
+/// Const accessors perform no lazy mutation and are safe to call from many
+/// threads concurrently (the parallel bouquet search relies on this).
 class Instance {
  public:
   explicit Instance(SymbolsPtr symbols) : symbols_(std::move(symbols)) {}
+
+  // The indexes hold pointers into facts_ (std::set nodes are stable under
+  // insert/erase/move, but not across copies), so copying rebuilds them
+  // while moving keeps them.
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
 
   /// Adds (or finds) the element for a named constant.
   ElemId AddConstant(const std::string& name);
@@ -43,25 +62,46 @@ class Instance {
   /// Display name: the constant's name, or "_nK" for nulls.
   std::string ElemName(ElemId e) const;
 
-  /// Adds a fact; returns true if it was new. Arity is checked by assert.
+  /// Adds a fact; returns true if it was new. Arity and element ids are
+  /// validated unconditionally (release builds included); a malformed fact
+  /// would corrupt the indexes, so it aborts the process. Validate
+  /// untrusted input with CheckFact first.
   bool AddFact(uint32_t rel, std::vector<ElemId> args);
   bool AddFact(const Fact& f);
+
+  /// Validates a candidate fact (relation arity, element ids in range)
+  /// without mutating the instance.
+  Status CheckFact(const Fact& f) const;
 
   bool HasFact(uint32_t rel, const std::vector<ElemId>& args) const;
   bool HasFact(const Fact& f) const { return facts_.count(f) > 0; }
 
-  bool RemoveFact(const Fact& f) { return facts_.erase(f) > 0; }
+  /// Removes a fact and de-indexes it; returns true if it was present.
+  bool RemoveFact(const Fact& f);
 
   const std::set<Fact>& facts() const { return facts_; }
   size_t NumFacts() const { return facts_.size(); }
 
   const SymbolsPtr& symbols() const { return symbols_; }
 
-  /// All facts of a given relation (scan; instances are small by design).
+  /// All facts of a given relation, in sorted order (copies; prefer
+  /// FactsOfPtr on hot paths).
   std::vector<Fact> FactsOf(uint32_t rel) const;
 
-  /// All facts containing element e.
+  /// All facts containing element e, in sorted order (copies; prefer
+  /// FactsContainingPtr on hot paths).
   std::vector<Fact> FactsContaining(ElemId e) const;
+
+  /// Index lookup: facts of `rel`, in insertion order. O(1) + output.
+  const std::vector<const Fact*>& FactsOfPtr(uint32_t rel) const;
+
+  /// Index lookup: facts of `rel` whose argument at position `pos` is `e`.
+  const std::vector<const Fact*>& FactsAtPtr(uint32_t rel, uint32_t pos,
+                                             ElemId e) const;
+
+  /// Index lookup: facts containing element e (each fact listed once even
+  /// if e occurs in several positions).
+  const std::vector<const Fact*>& FactsContainingPtr(ElemId e) const;
 
   /// Relation symbols occurring in the instance (sig(D)), sorted.
   std::vector<uint32_t> Signature() const;
@@ -89,10 +129,37 @@ class Instance {
   std::string ToString() const;
 
  private:
+  // Key of the (relation, argument position, element) index.
+  struct PosKey {
+    uint32_t rel;
+    uint32_t pos;
+    ElemId elem;
+    bool operator==(const PosKey&) const = default;
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.rel) * 0x9E3779B97F4A7C15ull;
+      h ^= (static_cast<uint64_t>(k.pos) + 0x1000193ull) * 0xC2B2AE3D27D4EB4Full;
+      h ^= static_cast<uint64_t>(k.elem) * 0x165667B19E3779F9ull;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  /// Inserts an already-validated fact and indexes it if new.
+  bool Insert(Fact f);
+  void IndexFact(const Fact* f);
+  void UnindexFact(const Fact* f);
+  void RebuildIndexes();
+
   SymbolsPtr symbols_;
   // elem_const_[e] = constant id in Symbols, or -1 for a null.
   std::vector<int64_t> elem_const_;
   std::set<Fact> facts_;
+
+  // Incremental indexes over facts_ (pointers into set nodes).
+  std::unordered_map<uint32_t, std::vector<const Fact*>> by_rel_;
+  std::unordered_map<PosKey, std::vector<const Fact*>, PosKeyHash> by_pos_;
+  std::vector<std::vector<const Fact*>> by_elem_;  // indexed by ElemId
 };
 
 }  // namespace gfomq

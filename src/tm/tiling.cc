@@ -84,15 +84,13 @@ bool CellClosedAt(const Instance& inst, ElemId d) {
   int64_t x = inst.symbols()->FindRel("X");
   int64_t y = inst.symbols()->FindRel("Y");
   if (x < 0 || y < 0) return false;
-  for (const Fact& fx : inst.FactsOf(static_cast<uint32_t>(x))) {
-    if (fx.args[0] != d) continue;
-    ElemId d1 = fx.args[1];
-    for (const Fact& fy : inst.FactsOf(static_cast<uint32_t>(y))) {
-      if (fy.args[0] != d) continue;
-      ElemId d2 = fy.args[1];
-      for (const Fact& fy2 : inst.FactsOf(static_cast<uint32_t>(y))) {
-        if (fy2.args[0] != d1) continue;
-        ElemId d3 = fy2.args[1];
+  for (const Fact* fx : inst.FactsAtPtr(static_cast<uint32_t>(x), 0, d)) {
+    ElemId d1 = fx->args[1];
+    for (const Fact* fy : inst.FactsAtPtr(static_cast<uint32_t>(y), 0, d)) {
+      ElemId d2 = fy->args[1];
+      for (const Fact* fy2 :
+           inst.FactsAtPtr(static_cast<uint32_t>(y), 0, d1)) {
+        ElemId d3 = fy2->args[1];
         if (inst.HasFact(static_cast<uint32_t>(x), {d2, d3})) return true;
       }
     }

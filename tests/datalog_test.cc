@@ -25,6 +25,43 @@ TEST(DatalogTest, RejectsUnboundHeadVariable) {
   EXPECT_FALSE(ParseDatalog("B(x) :- A(y);", sym).ok());
 }
 
+// Regression: peek() used to skip whitespace but not `#` comments, so a
+// comment line between an atom and the following `,` (or between argument
+// and `,` inside an atom) failed the parse.
+TEST(DatalogTest, ParsesCommentBetweenBodyAtoms) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "goal(x) :- A(x) # the guard atom\n"
+      ", B(x);",
+      sym);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->rules.size(), 1u);
+  EXPECT_EQ(prog->rules[0].body.size(), 2u);
+}
+
+TEST(DatalogTest, ParsesCommentInsideArgumentList) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "T(x,y) :- R(x # first arg\n"
+      ", y);",
+      sym);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog->rules[0].body[0].vars.size(), 2u);
+}
+
+TEST(DatalogTest, ParsesCommentsAroundRules) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog(
+      "# transitive closure\n"
+      "T(x,y) :- R(x,y); # base\n"
+      "T(x,z) :- T(x,y) # step\n"
+      ", R(y,z);\n"
+      "# trailing comment\n",
+      sym);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(prog->rules.size(), 2u);
+}
+
 TEST(DatalogTest, TransitiveClosure) {
   SymbolsPtr sym = MakeSymbols();
   auto prog = ParseDatalog(
@@ -116,6 +153,113 @@ TEST(DatalogTest, SemiNaiveMatchesNaiveOnRandomGraphs) {
       }
     }
   }
+}
+
+// Differential suite: the indexed engine must be bit-identical to the
+// retained naive reference — same fixpoints, same goal tuples — on seeded
+// random instances across programs exercising recursion, inequality
+// filters, repeated variables and multi-atom bodies.
+TEST(DatalogTest, IndexedEngineMatchesNaiveOnRandomInstances) {
+  const char* programs[] = {
+      "T(x,y) :- R(x,y); T(x,z) :- T(x,y), R(y,z);",
+      "goal(x) :- R(x,y), A(y), x != y;",
+      "B(x) :- A(x); C(x) :- B(x), R(x,x); goal(x) :- C(x);",
+      "P(x,z) :- R(x,y), R(y,z), A(x); goal(x) :- P(x,x);",
+  };
+  uint64_t seed = 17;
+  for (const char* text : programs) {
+    SymbolsPtr sym = MakeSymbols();
+    auto prog = ParseDatalog(text, sym);
+    ASSERT_TRUE(prog.ok()) << text << ": " << prog.status().ToString();
+    uint32_t A = sym->Rel("A", 1);
+    uint32_t R = sym->Rel("R", 2);
+    for (int trial = 0; trial < 6; ++trial) {
+      Rng rng(seed++);
+      Instance d(sym);
+      std::vector<ElemId> es;
+      for (int i = 0; i < 6; ++i) {
+        es.push_back(d.AddConstant("d" + std::to_string(trial) + "_" +
+                                   std::to_string(i)));
+      }
+      for (ElemId e : es) {
+        if (rng.Chance(0.4)) d.AddFact(A, {e});
+      }
+      for (ElemId u : es) {
+        for (ElemId v : es) {
+          if (rng.Chance(0.25)) d.AddFact(R, {u, v});
+        }
+      }
+      DatalogEngine indexed(*prog, DatalogEvalMode::kIndexed);
+      DatalogEngine naive(*prog, DatalogEvalMode::kNaive);
+      Instance out_indexed = indexed.Evaluate(d);
+      Instance out_naive = naive.Evaluate(d);
+      EXPECT_EQ(out_indexed.facts(), out_naive.facts())
+          << "program: " << text << " trial " << trial;
+      EXPECT_EQ(indexed.GoalTuples(d), naive.GoalTuples(d))
+          << "program: " << text << " trial " << trial;
+    }
+  }
+}
+
+TEST(DatalogTest, DeltaDispatchSkipsUnreachableRules) {
+  SymbolsPtr sym = MakeSymbols();
+  // The S-rule can never fire: no S fact ever exists in the input or is
+  // derivable, so delta dispatch must prune it every round.
+  auto prog = ParseDatalog(
+      "T(x,y) :- R(x,y); T(x,z) :- T(x,y), R(y,z); B(x) :- S(x,x);", sym);
+  ASSERT_TRUE(prog.ok());
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  DatalogEngine engine(*prog);
+  engine.Evaluate(d);
+  const DatalogStats& st = engine.stats();
+  EXPECT_GT(st.iterations, 0u);
+  EXPECT_GT(st.rules_skipped, 0u);
+  EXPECT_GT(st.rules_dispatched, 0u);
+  EXPECT_GT(st.match.index_lookups + st.match.relation_scans, 0u);
+  ASSERT_EQ(st.per_rule_firings.size(), 3u);
+  EXPECT_GT(st.per_rule_firings[0], 0u);
+  EXPECT_EQ(st.per_rule_firings[2], 0u);  // the S-rule never fired
+}
+
+TEST(DatalogTest, GoalTuplesCachesLastEvaluation) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog("goal(x) :- A(x); A(x) :- B(x);", sym);
+  ASSERT_TRUE(prog.ok());
+  uint32_t B = static_cast<uint32_t>(sym->FindRel("B"));
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(B, {a});
+  DatalogEngine engine(*prog);
+  auto first = engine.GoalTuples(d);
+  EXPECT_EQ(engine.evaluations(), 1u);
+  EXPECT_EQ(engine.goal_cache_hits(), 0u);
+  uint64_t iterations = engine.stats().iterations;
+  // Same input: answered from the cache, stats untouched.
+  auto second = engine.GoalTuples(d);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(engine.evaluations(), 1u);
+  EXPECT_EQ(engine.goal_cache_hits(), 1u);
+  EXPECT_EQ(engine.stats().iterations, iterations);
+  // An equal copy also hits (cache keys on contents, not identity).
+  Instance d2 = d;
+  EXPECT_EQ(engine.GoalTuples(d2), first);
+  EXPECT_EQ(engine.goal_cache_hits(), 2u);
+  // A changed input re-saturates.
+  ElemId b = d.AddConstant("b");
+  d.AddFact(B, {b});
+  auto third = engine.GoalTuples(d);
+  EXPECT_EQ(engine.evaluations(), 2u);
+  EXPECT_EQ(third.size(), 2u);
+  // And removal is detected too.
+  d.RemoveFact(Fact{B, {b}});
+  EXPECT_NE(engine.GoalTuples(d), third);
+  EXPECT_EQ(engine.evaluations(), 3u);
 }
 
 TEST(DatalogTest, RewriterHornSubsumptionChain) {

@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "common/rng.h"
+
 namespace gfomq {
 namespace {
+
+// Collects the full match set (as assignments) a matcher produces.
+std::set<std::vector<int64_t>> AllMatches(
+    const std::vector<PatternAtom>& atoms, uint32_t num_vars,
+    const Instance& target, const std::vector<int64_t>& fixed, bool naive,
+    MatchStats* stats = nullptr) {
+  std::set<std::vector<int64_t>> out;
+  auto collect = [&out](const std::vector<int64_t>& a) {
+    out.insert(a);
+    return false;
+  };
+  if (naive) {
+    ForEachMatchNaive(atoms, num_vars, target, fixed, collect);
+  } else {
+    ForEachMatch(atoms, num_vars, target, fixed, collect, stats);
+  }
+  return out;
+}
 
 class HomTest : public ::testing::Test {
  protected:
@@ -123,6 +145,99 @@ TEST_F(HomTest, IsomorphismHandlesIsolatedElements) {
   b.AddFact(A, {bx});
   b.AddConstant("v");
   EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST_F(HomTest, IndexedMatcherReportsStats) {
+  Instance cycle = Cycle(4);
+  std::vector<PatternAtom> pattern{{R, {0, 1}}, {R, {1, 2}}};
+  MatchStats stats;
+  auto matches = AllMatches(pattern, 3, cycle, {-1, -1, -1}, false, &stats);
+  EXPECT_EQ(matches.size(), 4u);
+  EXPECT_EQ(stats.matches, 4u);
+  // The first atom has no bound position (relation list); the second is
+  // extended through the (rel,pos,elem) index.
+  EXPECT_GT(stats.relation_scans, 0u);
+  EXPECT_GT(stats.index_lookups, 0u);
+  EXPECT_GT(stats.candidates, 0u);
+}
+
+// Differential property test: on seeded random instances and patterns the
+// indexed matcher must produce exactly the naive reference's match set.
+TEST_F(HomTest, IndexedMatchesNaiveOnRandomInstances) {
+  uint32_t Q3 = sym->Rel("Q", 3);
+  Rng rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    Instance d(sym);
+    std::vector<ElemId> es;
+    int n = 3 + static_cast<int>(rng.Below(5));
+    for (int i = 0; i < n; ++i) {
+      es.push_back(d.AddConstant("m" + std::to_string(trial) + "_" +
+                                 std::to_string(i)));
+    }
+    for (ElemId e : es) {
+      if (rng.Chance(0.4)) d.AddFact(A, {e});
+    }
+    for (ElemId u : es) {
+      for (ElemId v : es) {
+        if (rng.Chance(0.3)) d.AddFact(R, {u, v});
+      }
+    }
+    if (rng.Chance(0.5)) {
+      d.AddFact(Q3, {es[rng.Below(es.size())], es[rng.Below(es.size())],
+                     es[rng.Below(es.size())]});
+    }
+    // Random pattern over up to 4 variables, including repeated variables.
+    uint32_t num_vars = 2 + static_cast<uint32_t>(rng.Below(3));
+    auto rand_var = [&] { return static_cast<uint32_t>(rng.Below(num_vars)); };
+    std::vector<PatternAtom> atoms;
+    int num_atoms = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < num_atoms; ++i) {
+      switch (rng.Below(3)) {
+        case 0:
+          atoms.push_back({A, {rand_var()}});
+          break;
+        case 1:
+          atoms.push_back({R, {rand_var(), rand_var()}});
+          break;
+        default:
+          atoms.push_back({Q3, {rand_var(), rand_var(), rand_var()}});
+          break;
+      }
+    }
+    std::vector<int64_t> fixed(num_vars, -1);
+    if (rng.Chance(0.5)) {
+      fixed[rng.Below(num_vars)] =
+          static_cast<int64_t>(es[rng.Below(es.size())]);
+    }
+    auto indexed = AllMatches(atoms, num_vars, d, fixed, false);
+    auto naive = AllMatches(atoms, num_vars, d, fixed, true);
+    EXPECT_EQ(indexed, naive) << "trial " << trial;
+  }
+}
+
+TEST_F(HomTest, IndexedMatchesNaiveAfterRemovals) {
+  Rng rng(7777);
+  Instance d(sym);
+  std::vector<ElemId> es;
+  for (int i = 0; i < 6; ++i) {
+    es.push_back(d.AddConstant("rm" + std::to_string(i)));
+  }
+  std::vector<Fact> added;
+  for (ElemId u : es) {
+    for (ElemId v : es) {
+      if (rng.Chance(0.5)) {
+        d.AddFact(R, {u, v});
+        added.push_back(Fact{R, {u, v}});
+      }
+    }
+  }
+  for (const Fact& f : added) {
+    if (rng.Chance(0.4)) d.RemoveFact(f);
+  }
+  std::vector<PatternAtom> atoms{{R, {0, 1}}, {R, {1, 2}}, {R, {2, 0}}};
+  std::vector<int64_t> fixed(3, -1);
+  EXPECT_EQ(AllMatches(atoms, 3, d, fixed, false),
+            AllMatches(atoms, 3, d, fixed, true));
 }
 
 }  // namespace

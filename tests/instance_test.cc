@@ -2,8 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.h"
+
 namespace gfomq {
 namespace {
+
+// Rebuild-from-scratch oracle: the incremental indexes must always agree
+// with what a fresh scan of the fact set would produce.
+void ExpectIndexesConsistent(const Instance& d) {
+  // Per-relation lists partition the fact set.
+  size_t indexed = 0;
+  for (uint32_t rel : d.Signature()) {
+    for (const Fact* f : d.FactsOfPtr(rel)) {
+      EXPECT_EQ(f->rel, rel);
+      EXPECT_TRUE(d.HasFact(*f));
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, d.NumFacts());
+  for (const Fact& f : d.facts()) {
+    // Every fact is reachable through every (rel,pos,elem) key it defines
+    // and through every element list it touches.
+    for (uint32_t i = 0; i < f.args.size(); ++i) {
+      const auto& at = d.FactsAtPtr(f.rel, i, f.args[i]);
+      EXPECT_EQ(std::count_if(at.begin(), at.end(),
+                              [&](const Fact* p) { return *p == f; }),
+                1);
+      const auto& cont = d.FactsContainingPtr(f.args[i]);
+      EXPECT_EQ(std::count_if(cont.begin(), cont.end(),
+                              [&](const Fact* p) { return *p == f; }),
+                1)
+          << "element list must hold each fact exactly once";
+    }
+  }
+}
 
 class InstanceTest : public ::testing::Test {
  protected:
@@ -108,6 +142,137 @@ TEST_F(InstanceTest, SignatureListsUsedRelations) {
   auto sig = d.Signature();
   ASSERT_EQ(sig.size(), 1u);
   EXPECT_EQ(sig[0], A);
+}
+
+TEST_F(InstanceTest, IndexLookupsMatchScans) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {a, c});
+  d.AddFact(R, {b, a});
+  d.AddFact(A, {a});
+  ExpectIndexesConsistent(d);
+  EXPECT_EQ(d.FactsOfPtr(R).size(), 3u);
+  EXPECT_EQ(d.FactsAtPtr(R, 0, a).size(), 2u);
+  EXPECT_EQ(d.FactsAtPtr(R, 1, a).size(), 1u);
+  EXPECT_EQ(d.FactsContainingPtr(a).size(), 4u);
+  EXPECT_TRUE(d.FactsAtPtr(R, 0, c).empty());
+  EXPECT_TRUE(d.FactsOfPtr(Q3).empty());
+}
+
+TEST_F(InstanceTest, SelfLoopIndexedOncePerElement) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(R, {a, a});
+  EXPECT_EQ(d.FactsContainingPtr(a).size(), 1u);
+  EXPECT_EQ(d.FactsAtPtr(R, 0, a).size(), 1u);
+  EXPECT_EQ(d.FactsAtPtr(R, 1, a).size(), 1u);
+  ExpectIndexesConsistent(d);
+}
+
+TEST_F(InstanceTest, RemoveFactDeindexes) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, a});
+  EXPECT_TRUE(d.RemoveFact(Fact{R, {a, b}}));
+  EXPECT_FALSE(d.RemoveFact(Fact{R, {a, b}}));
+  EXPECT_EQ(d.NumFacts(), 1u);
+  EXPECT_TRUE(d.FactsAtPtr(R, 0, a).empty());
+  EXPECT_EQ(d.FactsContainingPtr(a).size(), 1u);
+  EXPECT_EQ(d.Neighbors(a), std::vector<ElemId>{b});
+  ExpectIndexesConsistent(d);
+}
+
+TEST_F(InstanceTest, CopyRebuildsIndexesIndependently) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(R, {a, b});
+  Instance copy = d;
+  // Mutating the copy must not disturb the original's indexes (they hold
+  // pointers into their own fact sets).
+  copy.AddFact(R, {b, a});
+  copy.RemoveFact(Fact{R, {a, b}});
+  EXPECT_EQ(d.FactsOfPtr(R).size(), 1u);
+  EXPECT_EQ(copy.FactsOfPtr(R).size(), 1u);
+  EXPECT_TRUE(d.HasFact(R, {a, b}));
+  EXPECT_FALSE(copy.HasFact(R, {a, b}));
+  ExpectIndexesConsistent(d);
+  ExpectIndexesConsistent(copy);
+  Instance assigned(sym);
+  assigned = d;
+  ExpectIndexesConsistent(assigned);
+}
+
+TEST_F(InstanceTest, DerivedInstancesKeepIndexesConsistent) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  ElemId c = d.AddConstant("c");
+  d.AddFact(R, {a, b});
+  d.AddFact(R, {b, c});
+  d.AddFact(Q3, {a, b, c});
+  Instance sub = d.InducedSub({a, b});
+  ExpectIndexesConsistent(sub);
+  EXPECT_EQ(sub.FactsOfPtr(R).size(), 1u);
+  Instance uni = d;
+  ElemId offset = uni.AppendDisjoint(d);
+  ExpectIndexesConsistent(uni);
+  EXPECT_EQ(uni.FactsAtPtr(R, 0, offset + a).size(), 1u);
+}
+
+TEST_F(InstanceTest, RandomizedIndexMaintenance) {
+  Rng rng(2026);
+  Instance d(sym);
+  std::vector<ElemId> es;
+  for (int i = 0; i < 8; ++i) {
+    es.push_back(d.AddConstant("r" + std::to_string(i)));
+  }
+  std::vector<Fact> pool;
+  for (ElemId u : es) {
+    pool.push_back(Fact{A, {u}});
+    for (ElemId v : es) pool.push_back(Fact{R, {u, v}});
+  }
+  for (int step = 0; step < 300; ++step) {
+    const Fact& f = pool[rng.Below(pool.size())];
+    if (rng.Chance(0.6)) {
+      d.AddFact(f);
+    } else {
+      d.RemoveFact(f);
+    }
+  }
+  ExpectIndexesConsistent(d);
+}
+
+TEST_F(InstanceTest, CheckFactValidatesWithoutMutating) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  EXPECT_TRUE(d.CheckFact(Fact{R, {a, a}}).ok());
+  EXPECT_FALSE(d.CheckFact(Fact{R, {a}}).ok());
+  EXPECT_FALSE(d.CheckFact(Fact{R, {a, a, a}}).ok());
+  EXPECT_FALSE(d.CheckFact(Fact{R, {a, 7}}).ok());
+  EXPECT_EQ(d.NumFacts(), 0u);
+}
+
+// The arity/range check must hold in release builds too (it used to be
+// assert-only, silently admitting index-corrupting facts under NDEBUG).
+using InstanceDeathTest = InstanceTest;
+
+TEST_F(InstanceDeathTest, AddFactRejectsArityMismatchUnconditionally) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  EXPECT_DEATH(d.AddFact(R, {a}), "arity mismatch");
+  EXPECT_DEATH(d.AddFact(Fact{A, {a, a}}), "arity mismatch");
+}
+
+TEST_F(InstanceDeathTest, AddFactRejectsUnknownElementUnconditionally) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  EXPECT_DEATH(d.AddFact(R, {a, 42}), "out of range");
 }
 
 }  // namespace
