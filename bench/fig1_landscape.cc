@@ -1,16 +1,20 @@
 // E1 — Figure 1: the dichotomy landscape. One representative ontology per
 // fragment box; the classifier must reproduce the figure's three bands.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "dl/concept.h"
 #include "dl/tbox.h"
 #include "fragments/fragments.h"
 #include "logic/parser.h"
+#include "logic/term_store.h"
 
 using namespace gfomq;
+using gfomq::bench::JsonObj;
 
 namespace {
 
@@ -93,6 +97,59 @@ void PrintTable() {
   std::printf("=> %d/%zu boxes reproduced\n\n", agree, Rows().size());
 }
 
+// Term-store trajectory: classify the full landscape kReps times and dump
+// the hash-consing counters. After the first pass every formula/concept the
+// parser builds is already in the arena, so the steady-state intern hit
+// rate approaches 1 and the classify wall time tracks the O(1)-equality
+// fast path rather than structural comparison.
+void WriteTermsJson() {
+  constexpr uint64_t kReps = 50;
+  TermStoreStats f0 = FormulaStoreStats();
+  TermStoreStats c0 = ConceptStoreStats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kReps; ++i) {
+    for (const Row& row : Rows()) {
+      benchmark::DoNotOptimize(ClassifyRow(row));
+    }
+  }
+  uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  TermStoreStats f1 = FormulaStoreStats();
+  TermStoreStats c1 = ConceptStoreStats();
+  TermStoreStats fd{f1.hits - f0.hits, f1.misses - f0.misses};
+  TermStoreStats cd{c1.hits - c0.hits, c1.misses - c0.misses};
+  std::printf("term store over %llu landscape passes: %llu us, formula "
+              "hit-rate %.3f (%llu/%llu), concept hit-rate %.3f (%llu/%llu)\n",
+              static_cast<unsigned long long>(kReps),
+              static_cast<unsigned long long>(micros), fd.HitRate(),
+              static_cast<unsigned long long>(fd.hits),
+              static_cast<unsigned long long>(fd.Lookups()), cd.HitRate(),
+              static_cast<unsigned long long>(cd.hits),
+              static_cast<unsigned long long>(cd.Lookups()));
+  bench::WriteJsonFile("BENCH_terms.json",
+                       JsonObj()
+                           .Str("bench", "term_store")
+                           .Int("reps", kReps)
+                           .Int("classify_micros", micros)
+                           .Int("formula_hits", fd.hits)
+                           .Int("formula_misses", fd.misses)
+                           .Num("formula_hit_rate", fd.HitRate())
+                           .Int("formula_nodes", FormulaArena().size())
+                           .Int("concept_hits", cd.hits)
+                           .Int("concept_misses", cd.misses)
+                           .Num("concept_hit_rate", cd.HitRate())
+                           .Int("concept_nodes", ConceptArena().size())
+                           .Done());
+  std::printf("\n");
+}
+
+void PrintTableAndTerms() {
+  PrintTable();
+  WriteTermsJson();
+}
+
 void BM_ClassifyLandscape(benchmark::State& state) {
   for (auto _ : state) {
     for (const Row& row : Rows()) {
@@ -104,4 +161,4 @@ BENCHMARK(BM_ClassifyLandscape);
 
 }  // namespace
 
-GFOMQ_BENCH_MAIN(PrintTable)
+GFOMQ_BENCH_MAIN(PrintTableAndTerms)

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "logic/parser.h"
+#include "logic/term_store.h"
 #include "reasoner/bouquet.h"
 
 using namespace gfomq;
@@ -135,8 +136,20 @@ void WriteScalingJson() {
 }
 
 void PrintTableAndScaling() {
+  TermStoreStats before = FormulaStoreStats();
   PrintTable();
   WriteScalingJson();
+  // Interning traffic of the whole meta-decision run: the probes rebuild
+  // atomic queries and normalized rule bodies constantly, so a healthy hit
+  // rate here means the bouquet search runs on canonical nodes instead of
+  // re-allocating and deep-comparing formulas.
+  TermStoreStats after = FormulaStoreStats();
+  TermStoreStats delta{after.hits - before.hits, after.misses - before.misses};
+  std::printf("formula term store: %llu lookups, hit-rate %.3f "
+              "(%llu hits / %llu distinct nodes interned)\n\n",
+              static_cast<unsigned long long>(delta.Lookups()),
+              delta.HitRate(), static_cast<unsigned long long>(delta.hits),
+              static_cast<unsigned long long>(delta.misses));
 }
 
 void BM_BouquetSearchOutdegree(benchmark::State& state) {

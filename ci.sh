@@ -2,14 +2,17 @@
 # CI driver: builds the three preset configurations and runs their test
 # suites. The release preset runs everything; the asan preset re-runs
 # everything under AddressSanitizer+UBSan; the tsan preset runs the
-# concurrency suites (thread_pool_test, meta_parallel_test) under
-# ThreadSanitizer to certify the work-stealing pool and the parallel
-# bouquet meta decision. Two extra gates cover the index layer: the
-# differential suite (indexed matcher/engine vs the naive reference) is
-# re-run explicitly under asan, and the perf-trajectory file
-# BENCH_datalog.json is regenerated and schema-checked against
-# bench/BENCH_datalog.expected_keys so trajectory tooling never sees a
-# silently drifted format.
+# concurrency suites (thread_pool_test, meta_parallel_test, and the
+# TermStore interning hammer) under ThreadSanitizer to certify the
+# work-stealing pool, the parallel bouquet meta decision, and the sharded
+# hash-consing arena. Extra gates: the index-layer differential suite
+# (indexed matcher/engine vs the naive reference) is re-run explicitly
+# under asan; the perf-trajectory files BENCH_datalog.json and
+# BENCH_terms.json are regenerated and schema-checked against their
+# bench/*.expected_keys so trajectory tooling never sees a silently
+# drifted format (BENCH_terms must additionally show a nonzero intern hit
+# rate); and, when clang-tidy is installed, the modernize/performance/
+# bugprone profile in .clang-tidy runs over src/logic and src/reasoner.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,5 +43,31 @@ if ! diff -u bench/BENCH_datalog.expected_keys "$keys_tmp"; then
   exit 1
 fi
 rm -f "$keys_tmp"
+
+echo "=== perf trajectory: BENCH_terms.json schema ==="
+(cd build-release && ./bench/fig1_landscape --benchmark_filter=_none_ >/dev/null)
+keys_tmp="$(mktemp)"
+grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_terms.json \
+  | tr -d '":' | sort -u > "$keys_tmp"
+if ! diff -u bench/BENCH_terms.expected_keys "$keys_tmp"; then
+  echo "BENCH_terms.json key schema drifted;" \
+       "update bench/BENCH_terms.expected_keys" >&2
+  rm -f "$keys_tmp"
+  exit 1
+fi
+rm -f "$keys_tmp"
+if ! grep -o '"formula_hit_rate": [0-9.e+-]*' build-release/BENCH_terms.json \
+    | awk '{ exit !($2 > 0) }'; then
+  echo "BENCH_terms.json: formula intern hit rate is zero —" \
+       "hash consing is not deduplicating" >&2
+  exit 1
+fi
+
+echo "=== clang-tidy (modernize, performance, bugprone) ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p build-release --quiet src/logic/*.cc src/reasoner/*.cc
+else
+  echo "clang-tidy not installed; skipping static-analysis step"
+fi
 
 echo "ci.sh: all presets green"

@@ -4,103 +4,147 @@
 
 namespace gfomq {
 
-int Concept::Depth() const {
+TermArena<Concept>& ConceptArena() {
+  // Leaked on purpose, like FormulaArena: canonical pointers are immortal.
+  static TermArena<Concept>* arena = new TermArena<Concept>();
+  return *arena;
+}
+
+TermStoreStats ConceptStoreStats() { return ConceptArena().Stats(); }
+
+void Concept::FinalizeAttrs() {
   switch (kind_) {
     case ConceptKind::kTop:
     case ConceptKind::kBottom:
     case ConceptKind::kName:
-      return 0;
+      depth_ = 0;
+      break;
     case ConceptKind::kNot:
-      return children_[0]->Depth();
+      depth_ = children_[0]->depth_;
+      break;
     case ConceptKind::kAnd:
-    case ConceptKind::kOr: {
-      int d = 0;
-      for (const auto& c : children_) d = std::max(d, c->Depth());
-      return d;
-    }
+    case ConceptKind::kOr:
+      depth_ = 0;
+      for (ConceptPtr c : children_) depth_ = std::max(depth_, c->depth_);
+      break;
     case ConceptKind::kExists:
     case ConceptKind::kForall:
     case ConceptKind::kAtLeast:
     case ConceptKind::kAtMost:
-      return 1 + children_[0]->Depth();
+      depth_ = 1 + children_[0]->depth_;
+      break;
   }
-  return 0;
+  uint64_t h = 0x452821E638D01377ull ^ (static_cast<uint64_t>(kind_) << 56);
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(name_);
+  mix(role_.rel);
+  mix(role_.inverse ? 1 : 2);
+  mix(n_);
+  mix(children_.size());
+  for (ConceptPtr c : children_) mix(c->hash_);
+  hash_ = h;
 }
 
+bool Concept::ShallowEquals(const Concept& other) const {
+  return kind_ == other.kind_ && name_ == other.name_ &&
+         role_ == other.role_ && n_ == other.n_ &&
+         children_ == other.children_;
+}
+
+namespace {
+
+ConceptPtr Intern(Concept&& candidate) {
+  return ConceptArena().Intern(std::move(candidate));
+}
+
+}  // namespace
+
 ConceptPtr Concept::Top() {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kTop;
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kTop;
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Bottom() {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kBottom;
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kBottom;
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Name(uint32_t rel) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kName;
-  c->name_ = rel;
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kName;
+  c.name_ = rel;
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Not(ConceptPtr inner) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kNot;
-  c->children_ = {std::move(inner)};
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kNot;
+  c.children_ = {inner};
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::And(std::vector<ConceptPtr> cs) {
   if (cs.size() == 1) return cs[0];
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kAnd;
-  c->children_ = std::move(cs);
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kAnd;
+  c.children_ = std::move(cs);
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Or(std::vector<ConceptPtr> cs) {
   if (cs.size() == 1) return cs[0];
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kOr;
-  c->children_ = std::move(cs);
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kOr;
+  c.children_ = std::move(cs);
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Exists(Role r, ConceptPtr inner) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kExists;
-  c->role_ = r;
-  c->children_ = {std::move(inner)};
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kExists;
+  c.role_ = r;
+  c.children_ = {inner};
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::Forall(Role r, ConceptPtr inner) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kForall;
-  c->role_ = r;
-  c->children_ = {std::move(inner)};
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kForall;
+  c.role_ = r;
+  c.children_ = {inner};
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::AtLeast(uint32_t n, Role r, ConceptPtr inner) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kAtLeast;
-  c->n_ = n;
-  c->role_ = r;
-  c->children_ = {std::move(inner)};
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kAtLeast;
+  c.n_ = n;
+  c.role_ = r;
+  c.children_ = {inner};
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 ConceptPtr Concept::AtMost(uint32_t n, Role r, ConceptPtr inner) {
-  auto c = std::shared_ptr<Concept>(new Concept());
-  c->kind_ = ConceptKind::kAtMost;
-  c->n_ = n;
-  c->role_ = r;
-  c->children_ = {std::move(inner)};
-  return c;
+  Concept c;
+  c.kind_ = ConceptKind::kAtMost;
+  c.n_ = n;
+  c.role_ = r;
+  c.children_ = {inner};
+  c.FinalizeAttrs();
+  return Intern(std::move(c));
 }
 
 std::string DlFeatures::FamilyName() const {

@@ -2,11 +2,11 @@
 #define GFOMQ_DL_CONCEPT_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "logic/symbols.h"
+#include "logic/term_store.h"
 
 namespace gfomq {
 
@@ -35,9 +35,13 @@ enum class ConceptKind {
 };
 
 class Concept;
-using ConceptPtr = std::shared_ptr<const Concept>;
 
-/// Immutable DL concept node.
+/// Canonical pointer into the DL concept arena (ConceptArena below).
+/// Same contract as FormulaPtr: structurally equal concepts are
+/// pointer-equal, pointers are immortal.
+using ConceptPtr = const Concept*;
+
+/// Immutable, hash-consed DL concept node.
 class Concept {
  public:
   ConceptKind kind() const { return kind_; }
@@ -45,10 +49,17 @@ class Concept {
   const Role& role() const { return role_; }
   uint32_t n() const { return n_; }
   const std::vector<ConceptPtr>& children() const { return children_; }
-  const ConceptPtr& child() const { return children_[0]; }
+  ConceptPtr child() const { return children_[0]; }
 
   /// Nesting depth of role restrictions (∃/∀/≥/≤), the paper's DL depth.
-  int Depth() const;
+  /// Memoized at intern time.
+  int Depth() const { return depth_; }
+
+  /// Dense arena id (intern order).
+  uint32_t id() const { return id_; }
+
+  /// Content hash (structure-derived, address-free).
+  uint64_t hash() const { return hash_; }
 
   static ConceptPtr Top();
   static ConceptPtr Bottom();
@@ -61,15 +72,34 @@ class Concept {
   static ConceptPtr AtLeast(uint32_t n, Role r, ConceptPtr c);
   static ConceptPtr AtMost(uint32_t n, Role r, ConceptPtr c);
 
+  Concept(Concept&&) = default;
+
  private:
+  friend class TermArena<Concept>;
+
   Concept() = default;
+
+  void FinalizeAttrs();
+  bool ShallowEquals(const Concept& other) const;
+  void SetInternId(uint32_t id) { id_ = id; }
 
   ConceptKind kind_ = ConceptKind::kTop;
   uint32_t name_ = 0;
   Role role_;
   uint32_t n_ = 0;
   std::vector<ConceptPtr> children_;
+
+  // Memoized attributes; immutable after interning.
+  uint64_t hash_ = 0;
+  uint32_t id_ = 0;
+  int depth_ = 0;
 };
+
+/// The process-wide arena backing `Concept` factories (never cleared).
+TermArena<Concept>& ConceptArena();
+
+/// Snapshot of the concept arena's hit/miss counters.
+TermStoreStats ConceptStoreStats();
 
 /// Feature census of a DL ontology, used to position it in the paper's DL
 /// naming scheme (ALC + I/H/Q/F/F-local).

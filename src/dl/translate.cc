@@ -1,5 +1,8 @@
 #include "dl/translate.h"
 
+#include <map>
+#include <tuple>
+
 namespace gfomq {
 
 namespace {
@@ -9,47 +12,72 @@ FormulaPtr RoleAtom(const Role& r, uint32_t from, uint32_t to) {
   return Formula::Atom(r.rel, {from, to});
 }
 
-}  // namespace
+// Memo key: canonical concept pointer plus the two alternating variables.
+// Hash-consed concepts make shared subconcepts pointer-equal, so each
+// distinct (subconcept, variable-polarity) pair is translated once.
+using TranslateKey = std::tuple<const Concept*, uint32_t, uint32_t>;
+using TranslateMemo = std::map<TranslateKey, FormulaPtr>;
 
-FormulaPtr TranslateConcept(const Concept& c, uint32_t cur, uint32_t other,
-                            Symbols* symbols) {
+FormulaPtr TranslateRec(const Concept& c, uint32_t cur, uint32_t other,
+                        Symbols* symbols, TranslateMemo* memo) {
+  auto it = memo->find({&c, cur, other});
+  if (it != memo->end()) return it->second;
+  FormulaPtr out = nullptr;
   switch (c.kind()) {
     case ConceptKind::kTop:
-      return Formula::True();
+      out = Formula::True();
+      break;
     case ConceptKind::kBottom:
-      return Formula::False();
+      out = Formula::False();
+      break;
     case ConceptKind::kName:
-      return Formula::Atom(c.name(), {cur});
+      out = Formula::Atom(c.name(), {cur});
+      break;
     case ConceptKind::kNot:
-      return Formula::Not(TranslateConcept(*c.child(), cur, other, symbols));
+      out = Formula::Not(TranslateRec(*c.child(), cur, other, symbols, memo));
+      break;
     case ConceptKind::kAnd:
     case ConceptKind::kOr: {
       std::vector<FormulaPtr> parts;
       parts.reserve(c.children().size());
       for (const auto& ch : c.children()) {
-        parts.push_back(TranslateConcept(*ch, cur, other, symbols));
+        parts.push_back(TranslateRec(*ch, cur, other, symbols, memo));
       }
-      return c.kind() == ConceptKind::kAnd ? Formula::And(std::move(parts))
-                                           : Formula::Or(std::move(parts));
+      out = c.kind() == ConceptKind::kAnd ? Formula::And(std::move(parts))
+                                          : Formula::Or(std::move(parts));
+      break;
     }
     case ConceptKind::kExists:
-      return Formula::Exists(
+      out = Formula::Exists(
           {other}, RoleAtom(c.role(), cur, other),
-          TranslateConcept(*c.child(), other, cur, symbols));
+          TranslateRec(*c.child(), other, cur, symbols, memo));
+      break;
     case ConceptKind::kForall:
-      return Formula::Forall(
+      out = Formula::Forall(
           {other}, RoleAtom(c.role(), cur, other),
-          TranslateConcept(*c.child(), other, cur, symbols));
+          TranslateRec(*c.child(), other, cur, symbols, memo));
+      break;
     case ConceptKind::kAtLeast:
-      return Formula::CountQ(
+      out = Formula::CountQ(
           true, c.n(), other, RoleAtom(c.role(), cur, other),
-          TranslateConcept(*c.child(), other, cur, symbols));
+          TranslateRec(*c.child(), other, cur, symbols, memo));
+      break;
     case ConceptKind::kAtMost:
-      return Formula::CountQ(
+      out = Formula::CountQ(
           false, c.n(), other, RoleAtom(c.role(), cur, other),
-          TranslateConcept(*c.child(), other, cur, symbols));
+          TranslateRec(*c.child(), other, cur, symbols, memo));
+      break;
   }
-  return Formula::True();
+  memo->emplace(TranslateKey{&c, cur, other}, out);
+  return out;
+}
+
+}  // namespace
+
+FormulaPtr TranslateConcept(const Concept& c, uint32_t cur, uint32_t other,
+                            Symbols* symbols) {
+  TranslateMemo memo;
+  return TranslateRec(c, cur, other, symbols, &memo);
 }
 
 Result<Ontology> TranslateToGuarded(const DlOntology& dl) {

@@ -65,53 +65,13 @@ DichotomyStatus FragmentStatus(FragmentId id) {
 
 namespace {
 
-void CountEqualityAndCounting(const Formula& f, bool* equality,
-                              bool* counting) {
-  switch (f.kind()) {
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-    case FormulaKind::kAtom:
-      return;
-    case FormulaKind::kEq:
-      *equality = true;
-      return;
-    case FormulaKind::kNot:
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr:
-      for (const auto& c : f.children()) {
-        CountEqualityAndCounting(*c, equality, counting);
-      }
-      return;
-    case FormulaKind::kCount:
-      *counting = true;
-      [[fallthrough]];
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-      if (f.guard()->kind() == FormulaKind::kEq) *equality = true;
-      CountEqualityAndCounting(*f.body(), equality, counting);
-      return;
-  }
-}
-
-void MaxArity(const Formula& f, const Symbols& sym, int* arity) {
-  switch (f.kind()) {
-    case FormulaKind::kAtom:
-      *arity = std::max(*arity, sym.RelArity(f.rel()));
-      return;
-    case FormulaKind::kNot:
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr:
-      for (const auto& c : f.children()) MaxArity(*c, sym, arity);
-      return;
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-    case FormulaKind::kCount:
-      MaxArity(*f.guard(), sym, arity);
-      MaxArity(*f.body(), sym, arity);
-      return;
-    default:
-      return;
-  }
+// Maximum declared arity over the relations occurring in `f`. Served from
+// the term store's memoized per-node signature, so profiling is linear in
+// the number of distinct relations rather than the formula size.
+int MaxArity(const Formula& f, const Symbols& sym) {
+  int arity = 0;
+  for (uint32_t r : f.Relations()) arity = std::max(arity, sym.RelArity(r));
+  return arity;
 }
 
 }  // namespace
@@ -127,14 +87,14 @@ FragmentProfile ProfileOntology(const Ontology& ontology) {
     }
     if (!s.HasEqualityGuard()) {
       p.eq_guards_only = false;
-      int ar = 0;
-      MaxArity(*s.guard, *ontology.symbols, &ar);
-      p.max_arity = std::max(p.max_arity, ar);
+      p.max_arity =
+          std::max(p.max_arity, MaxArity(*s.guard, *ontology.symbols));
     }
-    CountEqualityAndCounting(*s.body, &p.equality, &p.counting);
-    int ar = 0;
-    MaxArity(*s.body, *ontology.symbols, &ar);
-    p.max_arity = std::max(p.max_arity, ar);
+    // Equality/counting usage is memoized in the node (quantifier guards
+    // included, matching the openGF-with-= census this profile wants).
+    p.equality = p.equality || s.body->UsesEquality();
+    p.counting = p.counting || s.body->UsesCounting();
+    p.max_arity = std::max(p.max_arity, MaxArity(*s.body, *ontology.symbols));
     std::set<uint32_t> vars(s.vars.begin(), s.vars.end());
     for (uint32_t v : s.body->AllVars()) vars.insert(v);
     p.max_vars = std::max(p.max_vars, static_cast<int>(vars.size()));

@@ -1,269 +1,335 @@
 #include "logic/formula.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "logic/term_store.h"
 
 namespace gfomq {
 
+namespace {
+
+void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+// Attribute finalization -----------------------------------------------------
+//
+// Called on the candidate node right before interning. Children are already
+// canonical, so every child attribute is a memoized O(1) read; the whole
+// pass is linear in the node's local size. In particular building a
+// ~100k-deep chain of Not/And nodes performs 100k O(1) finalizations — no
+// recursion anywhere.
+
+void Formula::FinalizeAttrs() {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      break;
+    case FormulaKind::kAtom:
+      free_vars_ = args_;
+      SortUnique(&free_vars_);
+      all_vars_ = free_vars_;
+      rels_ = {rel_};
+      max_arity_ = static_cast<uint32_t>(args_.size());
+      break;
+    case FormulaKind::kEq:
+      free_vars_ = args_;
+      SortUnique(&free_vars_);
+      all_vars_ = free_vars_;
+      uses_equality_ = true;
+      break;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (FormulaPtr c : children_) {
+        free_vars_.insert(free_vars_.end(), c->free_vars_.begin(),
+                          c->free_vars_.end());
+        all_vars_.insert(all_vars_.end(), c->all_vars_.begin(),
+                         c->all_vars_.end());
+        rels_.insert(rels_.end(), c->rels_.begin(), c->rels_.end());
+        depth_ = std::max(depth_, c->depth_);
+        max_arity_ = std::max(max_arity_, c->max_arity_);
+        uses_equality_ = uses_equality_ || c->uses_equality_;
+        uses_counting_ = uses_counting_ || c->uses_counting_;
+      }
+      SortUnique(&free_vars_);
+      SortUnique(&all_vars_);
+      SortUnique(&rels_);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCount: {
+      const Formula* g = guard_;
+      const Formula* b = children_[0];
+      free_vars_ = g->free_vars_;
+      free_vars_.insert(free_vars_.end(), b->free_vars_.begin(),
+                        b->free_vars_.end());
+      SortUnique(&free_vars_);
+      // Quantified variables are bound here.
+      free_vars_.erase(
+          std::remove_if(free_vars_.begin(), free_vars_.end(),
+                         [this](uint32_t v) {
+                           return std::find(qvars_.begin(), qvars_.end(), v) !=
+                                  qvars_.end();
+                         }),
+          free_vars_.end());
+      all_vars_ = g->all_vars_;
+      all_vars_.insert(all_vars_.end(), b->all_vars_.begin(),
+                       b->all_vars_.end());
+      all_vars_.insert(all_vars_.end(), qvars_.begin(), qvars_.end());
+      SortUnique(&all_vars_);
+      rels_ = g->rels_;
+      rels_.insert(rels_.end(), b->rels_.begin(), b->rels_.end());
+      SortUnique(&rels_);
+      depth_ = 1 + b->depth_;
+      max_arity_ = std::max(g->max_arity_, b->max_arity_);
+      uses_equality_ = g->uses_equality_ || b->uses_equality_;
+      uses_counting_ = kind_ == FormulaKind::kCount || g->uses_counting_ ||
+                       b->uses_counting_;
+      break;
+    }
+  }
+
+  // Content hash: derived from scalar fields and child *hashes* (not
+  // addresses or ids), so it is identical across runs and thread counts.
+  uint64_t h = 0x243F6A8885A308D3ull ^ (static_cast<uint64_t>(kind_) << 56);
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(rel_);
+  mix(args_.size());
+  for (uint32_t v : args_) mix(v);
+  mix(qvars_.size());
+  for (uint32_t v : qvars_) mix(v);
+  mix(count_);
+  mix(count_at_least_ ? 1 : 2);
+  mix(guard_ ? guard_->hash_ : 0);
+  mix(children_.size());
+  for (FormulaPtr c : children_) mix(c->hash_);
+  hash_ = h;
+}
+
+bool Formula::ShallowEquals(const Formula& other) const {
+  return kind_ == other.kind_ && rel_ == other.rel_ &&
+         count_ == other.count_ && count_at_least_ == other.count_at_least_ &&
+         guard_ == other.guard_ && args_ == other.args_ &&
+         qvars_ == other.qvars_ && children_ == other.children_;
+}
+
 // Factories -----------------------------------------------------------------
 
+namespace {
+
+FormulaPtr Intern(Formula&& candidate) {
+  return FormulaArena().Intern(std::move(candidate));
+}
+
+}  // namespace
+
 FormulaPtr Formula::True() {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kTrue;
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kTrue;
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::False() {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kFalse;
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kFalse;
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Atom(uint32_t rel, std::vector<uint32_t> args) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kAtom;
-  f->rel_ = rel;
-  f->args_ = std::move(args);
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kAtom;
+  f.rel_ = rel;
+  f.args_ = std::move(args);
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Eq(uint32_t x, uint32_t y) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kEq;
-  f->args_ = {x, y};
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kEq;
+  f.args_ = {x, y};
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Not(FormulaPtr g) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kNot;
-  f->children_ = {std::move(g)};
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kNot;
+  f.children_ = {g};
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
   if (fs.empty()) return True();
   if (fs.size() == 1) return fs[0];
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kAnd;
-  f->children_ = std::move(fs);
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kAnd;
+  f.children_ = std::move(fs);
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
   if (fs.empty()) return False();
   if (fs.size() == 1) return fs[0];
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kOr;
-  f->children_ = std::move(fs);
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kOr;
+  f.children_ = std::move(fs);
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
-  return And(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+  return And(std::vector<FormulaPtr>{a, b});
 }
 
 FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
-  return Or(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+  return Or(std::vector<FormulaPtr>{a, b});
 }
 
 FormulaPtr Formula::Exists(std::vector<uint32_t> qvars, FormulaPtr guard,
                            FormulaPtr body) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kExists;
-  f->qvars_ = std::move(qvars);
-  f->guard_ = std::move(guard);
-  f->children_ = {std::move(body)};
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kExists;
+  f.qvars_ = std::move(qvars);
+  f.guard_ = guard;
+  f.children_ = {body};
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::Forall(std::vector<uint32_t> qvars, FormulaPtr guard,
                            FormulaPtr body) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kForall;
-  f->qvars_ = std::move(qvars);
-  f->guard_ = std::move(guard);
-  f->children_ = {std::move(body)};
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kForall;
+  f.qvars_ = std::move(qvars);
+  f.guard_ = guard;
+  f.children_ = {body};
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
 FormulaPtr Formula::CountQ(bool at_least, uint32_t n, uint32_t qvar,
                            FormulaPtr guard, FormulaPtr body) {
-  auto f = std::shared_ptr<Formula>(new Formula());
-  f->kind_ = FormulaKind::kCount;
-  f->count_at_least_ = at_least;
-  f->count_ = n;
-  f->qvars_ = {qvar};
-  f->guard_ = std::move(guard);
-  f->children_ = {std::move(body)};
-  return f;
+  Formula f;
+  f.kind_ = FormulaKind::kCount;
+  f.count_at_least_ = at_least;
+  f.count_ = n;
+  f.qvars_ = {qvar};
+  f.guard_ = guard;
+  f.children_ = {body};
+  f.FinalizeAttrs();
+  return Intern(std::move(f));
 }
 
-// Variable collection --------------------------------------------------------
+// Structural equality (differential reference) -------------------------------
 
-void Formula::CollectVars(std::set<uint32_t>* free, std::set<uint32_t>* all,
-                          std::vector<uint32_t>& bound) const {
-  switch (kind_) {
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-      return;
-    case FormulaKind::kAtom:
-    case FormulaKind::kEq:
-      for (uint32_t v : args_) {
-        if (all) all->insert(v);
-        if (free &&
-            std::find(bound.begin(), bound.end(), v) == bound.end()) {
-          free->insert(v);
-        }
-      }
-      return;
-    case FormulaKind::kNot:
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr:
-      for (const auto& c : children_) c->CollectVars(free, all, bound);
-      return;
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-    case FormulaKind::kCount: {
-      size_t mark = bound.size();
-      for (uint32_t v : qvars_) {
-        bound.push_back(v);
-        if (all) all->insert(v);
-      }
-      guard_->CollectVars(free, all, bound);
-      children_[0]->CollectVars(free, all, bound);
-      bound.resize(mark);
-      return;
+bool Formula::StructuralEquals(const Formula& other) const {
+  std::vector<std::pair<const Formula*, const Formula*>> stack;
+  stack.emplace_back(this, &other);
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (a == b) continue;
+    if (a->kind_ != b->kind_ || a->rel_ != b->rel_ || a->args_ != b->args_ ||
+        a->qvars_ != b->qvars_ || a->count_ != b->count_ ||
+        a->count_at_least_ != b->count_at_least_) {
+      return false;
     }
-  }
-}
-
-std::vector<uint32_t> Formula::FreeVars() const {
-  std::set<uint32_t> free;
-  std::vector<uint32_t> bound;
-  CollectVars(&free, nullptr, bound);
-  return {free.begin(), free.end()};
-}
-
-std::vector<uint32_t> Formula::AllVars() const {
-  std::set<uint32_t> all;
-  std::vector<uint32_t> bound;
-  CollectVars(nullptr, &all, bound);
-  return {all.begin(), all.end()};
-}
-
-int Formula::Depth() const {
-  switch (kind_) {
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-    case FormulaKind::kAtom:
-    case FormulaKind::kEq:
-      return 0;
-    case FormulaKind::kNot:
-      return children_[0]->Depth();
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr: {
-      int d = 0;
-      for (const auto& c : children_) d = std::max(d, c->Depth());
-      return d;
+    if ((a->guard_ == nullptr) != (b->guard_ == nullptr)) return false;
+    if (a->guard_ != nullptr) stack.emplace_back(a->guard_, b->guard_);
+    if (a->children_.size() != b->children_.size()) return false;
+    for (size_t i = 0; i < a->children_.size(); ++i) {
+      stack.emplace_back(a->children_[i], b->children_[i]);
     }
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-    case FormulaKind::kCount:
-      return 1 + children_[0]->Depth();
-  }
-  return 0;
-}
-
-bool Formula::Equals(const Formula& other) const {
-  if (kind_ != other.kind_) return false;
-  if (rel_ != other.rel_ || args_ != other.args_ || qvars_ != other.qvars_ ||
-      count_ != other.count_ || count_at_least_ != other.count_at_least_) {
-    return false;
-  }
-  if ((guard_ == nullptr) != (other.guard_ == nullptr)) return false;
-  if (guard_ && !guard_->Equals(*other.guard_)) return false;
-  if (children_.size() != other.children_.size()) return false;
-  for (size_t i = 0; i < children_.size(); ++i) {
-    if (!children_[i]->Equals(*other.children_[i])) return false;
   }
   return true;
 }
 
 // Validation -----------------------------------------------------------------
 
-namespace {
-
-Status ValidateRec(const Formula& f, const Symbols& symbols) {
-  switch (f.kind()) {
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-      return Status::Ok();
-    case FormulaKind::kAtom: {
-      if (f.rel() >= symbols.NumRels()) {
-        return Status::InvalidArgument("unknown relation id in atom");
-      }
-      if (static_cast<int>(f.args().size()) != symbols.RelArity(f.rel())) {
-        return Status::InvalidArgument("arity mismatch for relation " +
-                                       symbols.RelName(f.rel()));
-      }
-      return Status::Ok();
-    }
-    case FormulaKind::kEq:
-      return Status::Ok();
-    case FormulaKind::kNot:
-      return ValidateRec(*f.child(), symbols);
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr: {
-      for (const auto& c : f.children()) {
-        Status s = ValidateRec(*c, symbols);
-        if (!s.ok()) return s;
-      }
-      return Status::Ok();
-    }
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-    case FormulaKind::kCount: {
-      const Formula& g = *f.guard();
-      if (g.kind() != FormulaKind::kAtom && g.kind() != FormulaKind::kEq) {
-        return Status::InvalidArgument("guard must be an atom or equality");
-      }
-      if (f.kind() == FormulaKind::kCount) {
-        if (g.kind() != FormulaKind::kAtom || g.args().size() != 2) {
-          return Status::InvalidArgument(
-              "counting guard must be a binary atom");
+Status ValidateGuarded(const Formula& f, const Symbols& symbols) {
+  // Iterative worklist with a visited set: shared subterms of the hash-
+  // consed DAG are validated once, and arbitrarily deep chains cannot
+  // overflow the stack.
+  std::vector<const Formula*> stack{&f};
+  std::unordered_set<const Formula*> visited;
+  while (!stack.empty()) {
+    const Formula* cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    switch (cur->kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+      case FormulaKind::kEq:
+        break;
+      case FormulaKind::kAtom: {
+        if (cur->rel() >= symbols.NumRels()) {
+          return Status::InvalidArgument("unknown relation id in atom");
         }
-        if (f.qvars().size() != 1) {
-          return Status::InvalidArgument(
-              "counting quantifier binds exactly one variable");
+        if (static_cast<int>(cur->args().size()) !=
+            symbols.RelArity(cur->rel())) {
+          return Status::InvalidArgument("arity mismatch for relation " +
+                                         symbols.RelName(cur->rel()));
         }
+        break;
       }
-      Status s = ValidateRec(g, symbols);
-      if (!s.ok()) return s;
-      // The guard must contain all variables that occur free in the body or
-      // are quantified here.
-      std::set<uint32_t> guard_vars(g.args().begin(), g.args().end());
-      for (uint32_t v : f.qvars()) {
-        if (!guard_vars.count(v)) {
-          return Status::InvalidArgument(
-              "guard misses quantified variable " + symbols.VarName(v));
+      case FormulaKind::kNot:
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr c : cur->children()) stack.push_back(c);
+        break;
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCount: {
+        const Formula& g = *cur->guard();
+        if (g.kind() != FormulaKind::kAtom && g.kind() != FormulaKind::kEq) {
+          return Status::InvalidArgument("guard must be an atom or equality");
         }
-      }
-      for (uint32_t v : f.body()->FreeVars()) {
-        if (!guard_vars.count(v)) {
-          return Status::InvalidArgument("guard misses free variable " +
-                                         symbols.VarName(v));
+        if (cur->kind() == FormulaKind::kCount) {
+          if (g.kind() != FormulaKind::kAtom || g.args().size() != 2) {
+            return Status::InvalidArgument(
+                "counting guard must be a binary atom");
+          }
+          if (cur->qvars().size() != 1) {
+            return Status::InvalidArgument(
+                "counting quantifier binds exactly one variable");
+          }
         }
+        // The guard must contain all variables that occur free in the body
+        // or are quantified here.
+        std::unordered_set<uint32_t> guard_vars(g.args().begin(),
+                                                g.args().end());
+        for (uint32_t v : cur->qvars()) {
+          if (!guard_vars.count(v)) {
+            return Status::InvalidArgument(
+                "guard misses quantified variable " + symbols.VarName(v));
+          }
+        }
+        for (uint32_t v : cur->body()->FreeVars()) {
+          if (!guard_vars.count(v)) {
+            return Status::InvalidArgument("guard misses free variable " +
+                                           symbols.VarName(v));
+          }
+        }
+        stack.push_back(cur->guard());
+        stack.push_back(cur->body());
+        break;
       }
-      return ValidateRec(*f.body(), symbols);
     }
   }
-  return Status::Internal("unreachable formula kind");
-}
-
-}  // namespace
-
-Status ValidateGuarded(const Formula& f, const Symbols& symbols) {
-  return ValidateRec(f, symbols);
+  return Status::Ok();
 }
 
 // Substitution ---------------------------------------------------------------
@@ -281,6 +347,19 @@ uint32_t MapVar(uint32_t v,
 FormulaPtr SubstituteVars(
     const FormulaPtr& f,
     const std::vector<std::pair<uint32_t, uint32_t>>& map) {
+  // Fast path: substitution only touches free occurrences, so a subterm
+  // whose (memoized, sorted) free variables miss every map key is returned
+  // unchanged — and stays pointer-identical under the term store.
+  const std::vector<uint32_t>& fv = f->FreeVars();
+  bool relevant = false;
+  for (const auto& [from, to] : map) {
+    if (std::binary_search(fv.begin(), fv.end(), from)) {
+      relevant = true;
+      break;
+    }
+  }
+  if (!relevant) return f;
+
   switch (f->kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
@@ -318,13 +397,13 @@ FormulaPtr SubstituteVars(
       FormulaPtr guard = SubstituteVars(f->guard(), inner);
       FormulaPtr body = SubstituteVars(f->body(), inner);
       if (f->kind() == FormulaKind::kExists) {
-        return Formula::Exists(f->qvars(), std::move(guard), std::move(body));
+        return Formula::Exists(f->qvars(), guard, body);
       }
       if (f->kind() == FormulaKind::kForall) {
-        return Formula::Forall(f->qvars(), std::move(guard), std::move(body));
+        return Formula::Forall(f->qvars(), guard, body);
       }
       return Formula::CountQ(f->count_at_least(), f->count(), f->qvars()[0],
-                             std::move(guard), std::move(body));
+                             guard, body);
     }
   }
   return f;
@@ -333,52 +412,117 @@ FormulaPtr SubstituteVars(
 // NNF ------------------------------------------------------------------------
 
 FormulaPtr ToNnf(const FormulaPtr& f, bool negate) {
-  switch (f->kind()) {
-    case FormulaKind::kTrue:
-      return negate ? Formula::False() : Formula::True();
-    case FormulaKind::kFalse:
-      return negate ? Formula::True() : Formula::False();
-    case FormulaKind::kAtom:
-    case FormulaKind::kEq:
-      return negate ? Formula::Not(f) : f;
-    case FormulaKind::kNot:
-      return ToNnf(f->child(), !negate);
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr: {
-      std::vector<FormulaPtr> cs;
-      cs.reserve(f->children().size());
-      for (const auto& c : f->children()) cs.push_back(ToNnf(c, negate));
-      bool is_and = (f->kind() == FormulaKind::kAnd) != negate;
-      return is_and ? Formula::And(std::move(cs)) : Formula::Or(std::move(cs));
+  // Iterative post-order rewrite, memoized per (node, polarity). On the
+  // hash-consed DAG every distinct subterm is rewritten at most twice
+  // (once per polarity) no matter how often it is shared, and ~100k-deep
+  // chains cannot overflow the call stack.
+  std::unordered_map<const Formula*, FormulaPtr> memo[2];
+  struct Item {
+    const Formula* node;
+    bool neg;
+    bool expanded;
+  };
+  std::vector<Item> stack;
+  stack.push_back({f, negate, false});
+  while (!stack.empty()) {
+    Item& top = stack.back();
+    const Formula* n = top.node;
+    const bool neg = top.neg;
+    auto& m = memo[neg ? 1 : 0];
+    if (m.count(n) != 0) {
+      stack.pop_back();
+      continue;
     }
-    case FormulaKind::kExists: {
-      FormulaPtr body = ToNnf(f->body(), negate);
-      if (!negate) return Formula::Exists(f->qvars(), f->guard(), body);
-      return Formula::Forall(f->qvars(), f->guard(), body);
-    }
-    case FormulaKind::kForall: {
-      FormulaPtr body = ToNnf(f->body(), negate);
-      if (!negate) return Formula::Forall(f->qvars(), f->guard(), body);
-      return Formula::Exists(f->qvars(), f->guard(), body);
-    }
-    case FormulaKind::kCount: {
-      FormulaPtr body = ToNnf(f->body(), false);
-      if (!negate) {
-        return Formula::CountQ(f->count_at_least(), f->count(), f->qvars()[0],
-                               f->guard(), body);
+    if (!top.expanded) {
+      top.expanded = true;  // before push_back: `top` may dangle afterwards
+      switch (n->kind()) {
+        case FormulaKind::kTrue:
+          m[n] = neg ? Formula::False() : Formula::True();
+          stack.pop_back();
+          break;
+        case FormulaKind::kFalse:
+          m[n] = neg ? Formula::True() : Formula::False();
+          stack.pop_back();
+          break;
+        case FormulaKind::kAtom:
+        case FormulaKind::kEq:
+          m[n] = neg ? Formula::Not(n) : n;
+          stack.pop_back();
+          break;
+        case FormulaKind::kNot:
+          stack.push_back({n->child(), !neg, false});
+          break;
+        case FormulaKind::kAnd:
+        case FormulaKind::kOr:
+          for (FormulaPtr c : n->children()) stack.push_back({c, neg, false});
+          break;
+        case FormulaKind::kExists:
+        case FormulaKind::kForall:
+          stack.push_back({n->body(), neg, false});
+          break;
+        case FormulaKind::kCount:
+          // Counting dualization flips the bound, not the body.
+          stack.push_back({n->body(), false, false});
+          break;
       }
-      // ¬(∃≥n) = ∃≤n−1 ; ¬(∃≤n) = ∃≥n+1. For n = 0, ∃≥0 is ⊤ so its
-      // negation is ⊥.
-      if (f->count_at_least()) {
-        if (f->count() == 0) return Formula::False();
-        return Formula::CountQ(false, f->count() - 1, f->qvars()[0],
-                               f->guard(), body);
-      }
-      return Formula::CountQ(true, f->count() + 1, f->qvars()[0], f->guard(),
-                             body);
+      continue;
     }
+    // All dependencies are memoized; build the rewritten node.
+    FormulaPtr result = nullptr;
+    switch (n->kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+      case FormulaKind::kAtom:
+      case FormulaKind::kEq:
+        break;  // handled at expansion
+      case FormulaKind::kNot:
+        result = memo[neg ? 0 : 1].at(n->child());
+        break;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        std::vector<FormulaPtr> cs;
+        cs.reserve(n->children().size());
+        for (FormulaPtr c : n->children()) cs.push_back(m.at(c));
+        bool is_and = (n->kind() == FormulaKind::kAnd) != neg;
+        result = is_and ? Formula::And(std::move(cs))
+                        : Formula::Or(std::move(cs));
+        break;
+      }
+      case FormulaKind::kExists: {
+        FormulaPtr body = m.at(n->body());
+        result = neg ? Formula::Forall(n->qvars(), n->guard(), body)
+                     : Formula::Exists(n->qvars(), n->guard(), body);
+        break;
+      }
+      case FormulaKind::kForall: {
+        FormulaPtr body = m.at(n->body());
+        result = neg ? Formula::Exists(n->qvars(), n->guard(), body)
+                     : Formula::Forall(n->qvars(), n->guard(), body);
+        break;
+      }
+      case FormulaKind::kCount: {
+        FormulaPtr body = memo[0].at(n->body());
+        if (!neg) {
+          result = Formula::CountQ(n->count_at_least(), n->count(),
+                                   n->qvars()[0], n->guard(), body);
+        } else if (n->count_at_least()) {
+          // ¬(∃≥n) = ∃≤n−1 ; for n = 0, ∃≥0 is ⊤ so its negation is ⊥.
+          result = n->count() == 0
+                       ? Formula::False()
+                       : Formula::CountQ(false, n->count() - 1, n->qvars()[0],
+                                         n->guard(), body);
+        } else {
+          // ¬(∃≤n) = ∃≥n+1.
+          result = Formula::CountQ(true, n->count() + 1, n->qvars()[0],
+                                   n->guard(), body);
+        }
+        break;
+      }
+    }
+    m[n] = result;
+    stack.pop_back();
   }
-  return f;
+  return memo[negate ? 1 : 0].at(f);
 }
 
 }  // namespace gfomq

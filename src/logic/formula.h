@@ -2,13 +2,12 @@
 #define GFOMQ_LOGIC_FORMULA_H_
 
 #include <cstdint>
-#include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "logic/symbols.h"
+#include "logic/term_store.h"
 
 namespace gfomq {
 
@@ -30,10 +29,19 @@ enum class FormulaKind {
 };
 
 class Formula;
-using FormulaPtr = std::shared_ptr<const Formula>;
 
-/// Immutable formula node. Construct via the factory functions below;
-/// instances are shared freely (value semantics via shared_ptr-to-const).
+/// Canonical pointer into the process-wide hash-consing arena
+/// (FormulaArena in term_store.h). Structurally equal formulas are
+/// pointer-equal: `a == b` iff `a->StructuralEquals(*b)`. Pointers are
+/// immortal — the arena is never cleared — so FormulaPtr is freely copyable
+/// and trivially destructible (no refcount traffic, no recursive teardown
+/// of deep chains).
+using FormulaPtr = const Formula*;
+
+/// Immutable, hash-consed formula node. Construct via the factory
+/// functions below; every factory interns its result, so per-node
+/// attributes (free variables, depth, signature, ...) are computed exactly
+/// once per distinct structure and served from the node afterwards.
 class Formula {
  public:
   FormulaKind kind() const { return kind_; }
@@ -46,29 +54,57 @@ class Formula {
 
   // kNot / kAnd / kOr accessors.
   const std::vector<FormulaPtr>& children() const { return children_; }
-  const FormulaPtr& child() const { return children_[0]; }
+  FormulaPtr child() const { return children_[0]; }
 
   // Quantifier accessors (kExists/kForall/kCount).
   const std::vector<uint32_t>& qvars() const { return qvars_; }
-  const FormulaPtr& guard() const { return guard_; }
-  const FormulaPtr& body() const { return children_[0]; }
+  FormulaPtr guard() const { return guard_; }
+  FormulaPtr body() const { return children_[0]; }
 
   // kCount accessors.
   uint32_t count() const { return count_; }
   bool count_at_least() const { return count_at_least_; }
 
+  // --- Memoized attributes (computed once at intern time) ----------------
+
   /// Free variables, sorted.
-  std::vector<uint32_t> FreeVars() const;
+  const std::vector<uint32_t>& FreeVars() const { return free_vars_; }
 
   /// All variables occurring (free or bound), sorted.
-  std::vector<uint32_t> AllVars() const;
+  const std::vector<uint32_t>& AllVars() const { return all_vars_; }
 
   /// Nesting depth of guarded quantifiers (counting quantifiers included),
   /// the paper's notion of depth for openGF / openGC2 formulas.
-  int Depth() const;
+  int Depth() const { return depth_; }
 
-  /// Structural equality.
-  bool Equals(const Formula& other) const;
+  /// Relation ids occurring anywhere in the formula, sorted.
+  const std::vector<uint32_t>& Relations() const { return rels_; }
+
+  /// Maximum argument count over all atoms (0 if atom-free).
+  uint32_t MaxAtomArity() const { return max_arity_; }
+
+  /// True iff an equality occurs anywhere (including quantifier guards).
+  bool UsesEquality() const { return uses_equality_; }
+
+  /// True iff a counting quantifier occurs anywhere.
+  bool UsesCounting() const { return uses_counting_; }
+
+  /// Dense arena id (intern order). Distinct structures have distinct ids,
+  /// so sets of formulas can be sorted-id vectors.
+  uint32_t id() const { return id_; }
+
+  /// Content hash (deterministic: derived from structure, not addresses).
+  uint64_t hash() const { return hash_; }
+
+  /// Structural equality. Under hash-consing this is pointer identity.
+  bool Equals(const Formula& other) const { return this == &other; }
+
+  /// Reference implementation of structural equality: an iterative deep
+  /// compare that never consults the arena. Retained as the differential
+  /// oracle for the pointer-equality contract (tests assert
+  /// `(a == b) == a->StructuralEquals(*b)`), and stack-safe on ~100k-deep
+  /// chains.
+  bool StructuralEquals(const Formula& other) const;
 
   // --- Factory functions -------------------------------------------------
 
@@ -91,36 +127,65 @@ class Formula {
   static FormulaPtr CountQ(bool at_least, uint32_t n, uint32_t qvar,
                            FormulaPtr guard, FormulaPtr body);
 
+  Formula(Formula&&) = default;
+
  private:
+  friend class TermArena<Formula>;
+
   Formula() = default;
-  void CollectVars(std::set<uint32_t>* free, std::set<uint32_t>* all,
-                   std::vector<uint32_t>& bound) const;
+
+  /// Computes hash and memoized attributes from the scalar fields and the
+  /// (already canonical) children. O(local) — no recursion: child
+  /// attributes are read from their nodes.
+  void FinalizeAttrs();
+
+  /// Field-level equality against another candidate/canonical node.
+  /// Children and guard compare by canonical pointer, which decides deep
+  /// structural equality in O(1) per child.
+  bool ShallowEquals(const Formula& other) const;
+
+  void SetInternId(uint32_t id) { id_ = id; }
 
   FormulaKind kind_ = FormulaKind::kTrue;
   uint32_t rel_ = 0;
   std::vector<uint32_t> args_;
   std::vector<FormulaPtr> children_;
-  FormulaPtr guard_;
+  FormulaPtr guard_ = nullptr;
   std::vector<uint32_t> qvars_;
   uint32_t count_ = 0;
   bool count_at_least_ = true;
+
+  // Memoized attributes; immutable after interning.
+  std::vector<uint32_t> free_vars_;
+  std::vector<uint32_t> all_vars_;
+  std::vector<uint32_t> rels_;
+  uint64_t hash_ = 0;
+  uint32_t id_ = 0;
+  uint32_t max_arity_ = 0;
+  int depth_ = 0;
+  bool uses_equality_ = false;
+  bool uses_counting_ = false;
 };
 
 /// Validates that `f` is a well-formed openGF/openGC2 formula: every
 /// quantifier guard is an atom or equality containing all variables that
 /// are free in the body or quantified, arities match `symbols`, and
 /// counting guards are binary atoms over the quantified variable and the
-/// (single) free variable.
+/// (single) free variable. Iterative and DAG-aware: shared subterms are
+/// validated once.
 Status ValidateGuarded(const Formula& f, const Symbols& symbols);
 
 /// Substitutes variables: any occurrence of a key of `map` (as a free
 /// variable) becomes the mapped variable. Quantified variables are not
-/// renamed; callers must avoid capture.
+/// renamed; callers must avoid capture. Subterms whose free variables miss
+/// the map are returned unchanged (O(1) via the memoized FreeVars).
 FormulaPtr SubstituteVars(const FormulaPtr& f,
                           const std::vector<std::pair<uint32_t, uint32_t>>& map);
 
 /// Negation normal form: pushes negation to atoms/equalities; quantifiers
 /// dualize (¬∃(α∧φ) → ∀(α→¬φ), ¬∀(α→φ) → ∃(α∧¬φ), ¬∃≥n → ∃≤n−1, etc.).
+/// Iterative and memoized per (node, polarity): shared subterms are
+/// rewritten once and deep chains cannot overflow the stack.
 FormulaPtr ToNnf(const FormulaPtr& f, bool negate = false);
 
 }  // namespace gfomq

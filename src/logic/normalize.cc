@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
+#include <unordered_set>
 
 #include "logic/printer.h"
 
@@ -17,13 +19,20 @@ bool IsQuantifier(const Formula& f) {
 
 // --- Depth reduction ---------------------------------------------------------
 
+// Scott-definition cache: under hash-consing, structurally equal nested
+// units are pointer-equal, so a (enclosing guard, unit) pair that was
+// already named reuses its auxiliary predicate instead of minting a fresh
+// one (and re-emitting the two definitional sentences).
+using DefCache = std::map<std::pair<const Formula*, const Formula*>, FormulaPtr>;
+
 // Replaces innermost quantified units that occur strictly inside another
 // quantifier by fresh predicates. `enclosing_guard` is the guard of the
 // nearest enclosing quantifier (nullptr at body top level).
 FormulaPtr ReplaceNested(const FormulaPtr& f, const FormulaPtr& enclosing_guard,
                          Symbols* symbols,
                          std::vector<Sentence>* new_sentences,
-                         std::vector<uint32_t>* auxiliary_rels) {
+                         std::vector<uint32_t>* auxiliary_rels,
+                         DefCache* def_cache) {
   switch (f->kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
@@ -32,14 +41,15 @@ FormulaPtr ReplaceNested(const FormulaPtr& f, const FormulaPtr& enclosing_guard,
       return f;
     case FormulaKind::kNot:
       return Formula::Not(ReplaceNested(f->child(), enclosing_guard, symbols,
-                                        new_sentences, auxiliary_rels));
+                                        new_sentences, auxiliary_rels,
+                                        def_cache));
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
       std::vector<FormulaPtr> cs;
       cs.reserve(f->children().size());
       for (const auto& c : f->children()) {
         cs.push_back(ReplaceNested(c, enclosing_guard, symbols, new_sentences,
-                                   auxiliary_rels));
+                                   auxiliary_rels, def_cache));
       }
       return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(cs))
                                             : Formula::Or(std::move(cs));
@@ -48,7 +58,10 @@ FormulaPtr ReplaceNested(const FormulaPtr& f, const FormulaPtr& enclosing_guard,
     case FormulaKind::kForall:
     case FormulaKind::kCount: {
       if (enclosing_guard != nullptr && f->body()->Depth() == 0) {
-        // Innermost nested quantified unit: name it.
+        // Innermost nested quantified unit: name it (or reuse the name a
+        // pointer-equal occurrence under the same guard already got).
+        auto cached = def_cache->find({enclosing_guard, f});
+        if (cached != def_cache->end()) return cached->second;
         std::vector<uint32_t> free = f->FreeVars();
         uint32_t p = symbols->FreshRel("Def", static_cast<int>(free.size()));
         auxiliary_rels->push_back(p);
@@ -70,11 +83,13 @@ FormulaPtr ReplaceNested(const FormulaPtr& f, const FormulaPtr& enclosing_guard,
         new_sentences->push_back(Sentence::GuardedUniversal(
             gvars, enclosing_guard,
             Formula::Or(p_atom, ToNnf(f, /*negate=*/true))));
+        def_cache->emplace(std::make_pair(enclosing_guard, f), p_atom);
         return p_atom;
       }
       // Recurse into the body with this quantifier's guard as context.
       FormulaPtr body = ReplaceNested(f->body(), f->guard(), symbols,
-                                      new_sentences, auxiliary_rels);
+                                      new_sentences, auxiliary_rels,
+                                      def_cache);
       if (f->kind() == FormulaKind::kExists) {
         return Formula::Exists(f->qvars(), f->guard(), body);
       }
@@ -167,6 +182,24 @@ UnitCnf UnitsToDnf(const FormulaPtr& f) {
   }
 }
 
+// Stable dedup of a clause/conjunct shape: drops repeated units inside a
+// group and repeated groups, keeping first-occurrence order so downstream
+// tableau exploration order is unchanged. Units compare by canonical
+// pointer — O(1) per unit thanks to hash-consing.
+UnitCnf DedupShape(const UnitCnf& shape) {
+  UnitCnf out;
+  std::set<UnitClause> seen_groups;
+  for (const UnitClause& group : shape) {
+    UnitClause dedup;
+    std::unordered_set<FormulaPtr> seen_units;
+    for (const FormulaPtr& u : group) {
+      if (seen_units.insert(u).second) dedup.push_back(u);
+    }
+    if (seen_groups.insert(dedup).second) out.push_back(std::move(dedup));
+  }
+  return out;
+}
+
 // Maps formula variables to rule-local ids, allocating on demand.
 class VarMap {
  public:
@@ -210,7 +243,7 @@ Result<Lit> LiteralToLit(const FormulaPtr& f, VarMap* vars) {
 // or clauses (CNF) using the given variable map.
 Result<std::vector<std::vector<Lit>>> QfLits(const FormulaPtr& f, VarMap* vars,
                                              bool dnf) {
-  UnitCnf shape = dnf ? UnitsToDnf(f) : UnitsToCnf(f);
+  UnitCnf shape = DedupShape(dnf ? UnitsToDnf(f) : UnitsToCnf(f));
   std::vector<std::vector<Lit>> out;
   for (const UnitClause& group : shape) {
     std::vector<Lit> lits;
@@ -299,7 +332,7 @@ Result<std::vector<HeadAlt>> QuantifiedUnitToAlts(const FormulaPtr& u,
 Status ClausifySentence(const Sentence& s, const Symbols& symbols,
                         std::vector<GuardedRule>* rules) {
   FormulaPtr body = ToNnf(s.body);
-  UnitCnf cnf = UnitsToCnf(body);
+  UnitCnf cnf = DedupShape(UnitsToCnf(body));
   for (const UnitClause& clause : cnf) {
     GuardedRule rule;
     rule.origin = SentenceToString(s, symbols);
@@ -356,6 +389,7 @@ Result<Ontology> ReduceDepth(const Ontology& ontology,
   // nested units; definitional sentences added by a pass have depth <= 1 and
   // never need further reduction, but the rewritten sentence might.
   size_t guard_iterations = 0;
+  DefCache def_cache;  // shared across sentences and passes
   while (!work.empty()) {
     if (++guard_iterations > 10000) {
       return Status::Internal("depth reduction failed to converge");
@@ -370,7 +404,7 @@ Result<Ontology> ReduceDepth(const Ontology& ontology,
       FormulaPtr body = ToNnf(s.body);
       FormulaPtr reduced =
           ReplaceNested(body, nullptr, ontology.symbols.get(), &defs,
-                        auxiliary_rels);
+                        auxiliary_rels, &def_cache);
       next.push_back(Sentence::GuardedUniversal(s.vars, s.guard, reduced));
       for (Sentence& d : defs) next.push_back(std::move(d));
     }
@@ -385,7 +419,16 @@ Result<RuleSet> NormalizeOntology(const Ontology& ontology) {
   rs.symbols = ontology.symbols;
   Result<Ontology> reduced = ReduceDepth(ontology, &rs.auxiliary_rels);
   if (!reduced.ok()) return reduced.status();
+  // Sentence-level dedup: interning makes structurally equal sentences
+  // pointer-comparable, so duplicates (e.g. from Ontology::Union of
+  // overlapping ontologies) clausify once. First-occurrence order is kept.
+  using SentenceKey = std::tuple<int, std::vector<uint32_t>, const Formula*,
+                                 const Formula*, uint32_t, bool>;
+  std::set<SentenceKey> seen;
   for (const Sentence& s : reduced->sentences) {
+    SentenceKey key{static_cast<int>(s.kind), s.vars, s.guard, s.body,
+                    s.func_rel, s.inverse};
+    if (!seen.insert(key).second) continue;
     if (s.kind == Sentence::Kind::kFunctionality) {
       rs.functional.push_back({s.func_rel, s.inverse});
       continue;

@@ -12,26 +12,8 @@ int Ontology::Depth() const {
 }
 
 void CollectRelations(const Formula& f, std::vector<uint32_t>* rels) {
-  switch (f.kind()) {
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-    case FormulaKind::kEq:
-      return;
-    case FormulaKind::kAtom:
-      rels->push_back(f.rel());
-      return;
-    case FormulaKind::kNot:
-    case FormulaKind::kAnd:
-    case FormulaKind::kOr:
-      for (const auto& c : f.children()) CollectRelations(*c, rels);
-      return;
-    case FormulaKind::kExists:
-    case FormulaKind::kForall:
-    case FormulaKind::kCount:
-      CollectRelations(*f.guard(), rels);
-      CollectRelations(*f.body(), rels);
-      return;
-  }
+  // Served from the term store's memoized per-node signature.
+  rels->insert(rels->end(), f.Relations().begin(), f.Relations().end());
 }
 
 std::vector<uint32_t> Ontology::Signature() const {

@@ -25,8 +25,8 @@ struct Sentence {
 
   // kGuardedUniversal fields.
   std::vector<uint32_t> vars;  // quantified variables y~
-  FormulaPtr guard;            // kAtom over vars, or kEq(v, v)
-  FormulaPtr body;             // openGF / openGC2 formula over vars
+  FormulaPtr guard = nullptr;  // kAtom over vars, or kEq(v, v)
+  FormulaPtr body = nullptr;   // openGF / openGC2 formula over vars
 
   // kFunctionality fields.
   uint32_t func_rel = 0;

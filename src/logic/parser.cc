@@ -367,7 +367,7 @@ class Parser {
     if (!lp.ok()) return lp;
     Result<FormulaPtr> guard = ParseGuardAtom();
     if (!guard.ok()) return guard.status();
-    FormulaPtr body;
+    FormulaPtr body = nullptr;
     if (is_forall) {
       Status ar = Expect(Tok::kArrow, "'->' after forall guard");
       if (!ar.ok()) return ar;

@@ -1,0 +1,17 @@
+#include "logic/term_store.h"
+
+#include "logic/formula.h"
+
+namespace gfomq {
+
+TermArena<Formula>& FormulaArena() {
+  // Leaked on purpose: canonical pointers must outlive every consumer,
+  // including statics destroyed after main. The arena is the single owner
+  // of all Formula nodes in the process.
+  static TermArena<Formula>* arena = new TermArena<Formula>();
+  return *arena;
+}
+
+TermStoreStats FormulaStoreStats() { return FormulaArena().Stats(); }
+
+}  // namespace gfomq

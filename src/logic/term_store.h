@@ -1,0 +1,115 @@
+#ifndef GFOMQ_LOGIC_TERM_STORE_H_
+#define GFOMQ_LOGIC_TERM_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gfomq {
+
+/// Aggregate counters of a hash-consing arena. `misses` equals the number
+/// of distinct nodes ever interned (the arena size); `hits` counts factory
+/// calls that were answered by an existing canonical node.
+struct TermStoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t Lookups() const { return hits + misses; }
+  double HitRate() const {
+    uint64_t total = Lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Sharded hash-consing arena. Interning a candidate node returns the
+/// canonical pointer for its structure: two factory calls with identical
+/// content (same scalar fields and same canonical child pointers) yield the
+/// same `const Node*`, so pointer equality coincides with structural
+/// equality for nodes of the same arena.
+///
+/// Concurrency: the table is split into `kShards` shards keyed by the
+/// candidate's content hash; each shard has its own mutex, bucket map and
+/// node storage, so interning from the work-stealing pool contends only on
+/// hash-colliding shards. Nodes are stored in per-shard deques (stable
+/// addresses) and are never destroyed or moved after publication, which
+/// makes the canonical pointers immortal: reading a node's memoized
+/// attributes needs no lock, and tearing down deep chains never recurses.
+///
+/// `Node` must provide:
+///   - `uint64_t hash() const` — content hash, valid before interning;
+///   - `bool ShallowEquals(const Node&) const` — scalar fields plus
+///     canonical child pointers (children are already interned, so a
+///     shallow compare decides deep structural equality);
+///   - `void SetInternId(uint32_t)` — called once, under the shard lock,
+///     before the node becomes visible.
+template <typename Node>
+class TermArena {
+ public:
+  TermArena() = default;
+  TermArena(const TermArena&) = delete;
+  TermArena& operator=(const TermArena&) = delete;
+
+  /// Returns the canonical node for `candidate`'s structure, interning it
+  /// if no structurally equal node exists yet. Thread-safe.
+  const Node* Intern(Node&& candidate) {
+    const uint64_t h = candidate.hash();
+    Shard& shard = shards_[h % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<const Node*>& bucket = shard.buckets[h];
+    for (const Node* n : bucket) {
+      if (n->ShallowEquals(candidate)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return n;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    candidate.SetInternId(next_id_.fetch_add(1, std::memory_order_relaxed));
+    shard.nodes.push_back(std::move(candidate));
+    const Node* canon = &shard.nodes.back();
+    bucket.push_back(canon);
+    return canon;
+  }
+
+  TermStoreStats Stats() const {
+    TermStoreStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Number of distinct nodes interned so far.
+  uint64_t size() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    // hash -> canonical nodes with that hash (collision bucket).
+    std::unordered_map<uint64_t, std::vector<const Node*>> buckets;
+    // Owns the nodes; deque addresses are stable under push_back.
+    std::deque<Node> nodes;
+  };
+
+  Shard shards_[kShards];
+  std::atomic<uint32_t> next_id_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+class Formula;
+
+/// The process-wide arena backing `Formula` factories. Never cleared:
+/// `FormulaPtr` values stay valid for the lifetime of the process.
+TermArena<Formula>& FormulaArena();
+
+/// Snapshot of the formula arena's hit/miss counters.
+TermStoreStats FormulaStoreStats();
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_LOGIC_TERM_STORE_H_

@@ -49,12 +49,17 @@ Instance Cq::CanonicalDb() const {
   return db;
 }
 
-void Cq::Answers(
-    const Instance& interp,
-    const std::function<bool(const std::vector<ElemId>&)>& fn) const {
+std::vector<PatternAtom> Cq::Pattern() const {
   std::vector<PatternAtom> pattern;
   pattern.reserve(atoms.size());
   for (const CqAtom& a : atoms) pattern.push_back({a.rel, a.vars});
+  return pattern;
+}
+
+void Cq::Answers(
+    const Instance& interp,
+    const std::function<bool(const std::vector<ElemId>&)>& fn) const {
+  std::vector<PatternAtom> pattern = Pattern();
   std::vector<int64_t> fixed(num_vars, -1);
   std::set<std::vector<ElemId>> seen;
   ForEachMatch(pattern, num_vars, interp, fixed,
@@ -80,9 +85,7 @@ std::set<std::vector<ElemId>> Cq::AllAnswers(const Instance& interp) const {
 
 bool Cq::HasAnswer(const Instance& interp,
                    const std::vector<ElemId>& tuple) const {
-  std::vector<PatternAtom> pattern;
-  pattern.reserve(atoms.size());
-  for (const CqAtom& a : atoms) pattern.push_back({a.rel, a.vars});
+  std::vector<PatternAtom> pattern = Pattern();
   std::vector<int64_t> fixed(num_vars, -1);
   for (size_t i = 0; i < answer_vars.size(); ++i) {
     uint32_t v = answer_vars[i];

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "instance/homomorphism.h"
 #include "instance/instance.h"
 #include "logic/symbols.h"
 
@@ -39,6 +40,10 @@ struct Cq {
   /// The canonical database D_q: one (null) element per variable, element
   /// id i representing variable i, one fact per atom.
   Instance CanonicalDb() const;
+
+  /// The atoms as a homomorphism-matcher pattern (shared by Answers and
+  /// HasAnswer).
+  std::vector<PatternAtom> Pattern() const;
 
   /// Enumerates answer tuples in `interp` (each reported once); stops early
   /// if the callback returns true.

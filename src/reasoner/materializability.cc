@@ -1,6 +1,6 @@
-#include <map>
 #include "reasoner/materializability.h"
 
+#include <map>
 #include <sstream>
 
 namespace gfomq {
@@ -53,11 +53,10 @@ std::optional<DisjunctionViolation> FindDisjunctionViolation(
     const std::vector<uint32_t>& signature, bool* conclusive,
     ProbeOptions options) {
   *conclusive = true;
-  if (solver.IsConsistent(instance) != Certainty::kYes) {
+  Certainty consistent = solver.IsConsistent(instance);
+  if (consistent != Certainty::kYes) {
     // Inconsistent (everything certain, no violation possible) or unknown.
-    if (solver.IsConsistent(instance) == Certainty::kUnknown) {
-      *conclusive = false;
-    }
+    if (consistent == Certainty::kUnknown) *conclusive = false;
     return std::nullopt;
   }
   SymbolsPtr sym = instance.symbols();

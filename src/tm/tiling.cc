@@ -209,7 +209,7 @@ CellOntology BuildCellOntology(SymbolsPtr symbols,
       // to avoid capture.
       FormulaPtr inner = Formula::CountQ(
           false, 1, z, Formula::Atom(sub, {y, z}), Formula::True());
-      FormulaPtr step;
+      FormulaPtr step = nullptr;
       switch (w[0]) {
         case Letter::kX:
           step = Formula::Exists({y}, Formula::Atom(X, {x, y}), inner);

@@ -130,7 +130,77 @@ TEST_F(FormulaTest, AndOrFlattenTrivialCases) {
   EXPECT_EQ(Formula::Or(std::vector<FormulaPtr>{})->kind(),
             FormulaKind::kFalse);
   FormulaPtr a = Formula::Atom(A, {x});
-  EXPECT_EQ(Formula::And(std::vector<FormulaPtr>{a}).get(), a.get());
+  EXPECT_EQ(Formula::And(std::vector<FormulaPtr>{a}), a);
+}
+
+TEST_F(FormulaTest, PointerEqualityIsStructuralEquality) {
+  // The hash-consing contract: factories return the canonical node, so ==
+  // on FormulaPtr decides structural equality, and the retained
+  // StructuralEquals reference agrees in both directions.
+  FormulaPtr f1 = Formula::And(Formula::Atom(A, {x}), Formula::Atom(A, {y}));
+  FormulaPtr f2 = Formula::And(Formula::Atom(A, {x}), Formula::Atom(A, {y}));
+  FormulaPtr f3 = Formula::And(Formula::Atom(A, {y}), Formula::Atom(A, {x}));
+  EXPECT_EQ(f1, f2);
+  EXPECT_NE(f1, f3);
+  EXPECT_TRUE(f1->StructuralEquals(*f2));
+  EXPECT_FALSE(f1->StructuralEquals(*f3));
+  EXPECT_EQ(f1->id(), f2->id());
+  EXPECT_NE(f1->id(), f3->id());
+}
+
+TEST_F(FormulaTest, MemoizedAttributesMatchStructure) {
+  FormulaPtr f = Formula::Exists({z}, Formula::Atom(S, {y, z}),
+                                 Formula::Not(Formula::Atom(A, {z})));
+  EXPECT_EQ(f->FreeVars(), (std::vector<uint32_t>{y}));
+  EXPECT_EQ(f->AllVars(), (std::vector<uint32_t>{y, z}));
+  EXPECT_EQ(f->Relations(), (std::vector<uint32_t>{A, S}));
+  EXPECT_EQ(f->MaxAtomArity(), 2u);
+  EXPECT_FALSE(f->UsesEquality());
+  EXPECT_FALSE(f->UsesCounting());
+  FormulaPtr g = Formula::Forall({y}, Formula::Eq(y, y),
+                                 Formula::CountQ(true, 2, z,
+                                                 Formula::Atom(S, {y, z}),
+                                                 Formula::True()));
+  EXPECT_TRUE(g->UsesEquality());  // quantifier equality guard counts
+  EXPECT_TRUE(g->UsesCounting());
+}
+
+TEST_F(FormulaTest, DeepChainsAreStackSafe) {
+  // Regression: FreeVars/Depth/ToNnf/Validate used to recurse (and
+  // shared_ptr teardown of a ~100k-deep chain recursed too). All of them
+  // are now iterative or O(1) memoized reads, and arena nodes are never
+  // destroyed recursively.
+  constexpr int kDepth = 100000;
+  FormulaPtr f = Formula::Atom(A, {x});
+  for (int i = 0; i < kDepth; ++i) f = Formula::Not(f);
+  EXPECT_EQ(f->Depth(), 0);
+  EXPECT_EQ(f->FreeVars(), (std::vector<uint32_t>{x}));
+  EXPECT_TRUE(ValidateGuarded(*f, *sym).ok());
+
+  // Rebuilding the same chain is 100k intern hits ending in the same node.
+  FormulaPtr f2 = Formula::Atom(A, {x});
+  for (int i = 0; i < kDepth; ++i) f2 = Formula::Not(f2);
+  EXPECT_EQ(f, f2);
+
+  // A chain differing only at the leaf drives the iterative deep compare
+  // through all 100k levels.
+  FormulaPtr g = Formula::Atom(A, {y});
+  for (int i = 0; i < kDepth; ++i) g = Formula::Not(g);
+  EXPECT_FALSE(f->StructuralEquals(*g));
+  EXPECT_TRUE(f->StructuralEquals(*f2));
+
+  // NNF of the chain collapses double negations pairwise, iteratively.
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_EQ(nnf, Formula::Atom(A, {x}));  // kDepth is even
+
+  // Long And-chains (left-leaning comb) are safe too.
+  FormulaPtr comb = Formula::Atom(A, {x});
+  for (int i = 0; i < kDepth; ++i) {
+    comb = Formula::And(comb, Formula::Atom(A, {y}));
+  }
+  EXPECT_EQ(comb->Depth(), 0);
+  EXPECT_EQ(comb->FreeVars(), (std::vector<uint32_t>{x, y}));
+  EXPECT_TRUE(ValidateGuarded(*comb, *sym).ok());
 }
 
 TEST_F(FormulaTest, PrinterRoundTripShape) {

@@ -1,0 +1,296 @@
+// Term-store suite: the hash-consing arena's canonicalization contract
+// (single canonical pointer per distinct structure, also under concurrent
+// interning from the work-stealing pool), the parse→print→parse round
+// trip, and differential checks that the interned pipeline agrees with the
+// structural-equality reference and that dedup-on-intern does not change
+// reasoner verdicts. TermStore* tests run under the tsan preset (ci.sh).
+
+#include "logic/term_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dl/concept.h"
+#include "dl/translate.h"
+#include "fragments/fragments.h"
+#include "logic/formula.h"
+#include "logic/normalize.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "reasoner/bouquet.h"
+#include "reasoner/certain.h"
+
+namespace gfomq {
+namespace {
+
+// Seeded random openGF / openGC2 formula generator. All quantifiers get a
+// fresh variable guarded by a binary atom over (outer var, fresh var), so
+// every generated formula passes ValidateGuarded and every construct the
+// printer emits is accepted back by the parser.
+class FormulaGen {
+ public:
+  FormulaGen(SymbolsPtr sym, uint64_t seed, bool counting)
+      : sym_(std::move(sym)), rng_(seed), counting_(counting) {
+    unary_ = {sym_->Rel("A", 1), sym_->Rel("B", 1)};
+    binary_ = {sym_->Rel("R", 2), sym_->Rel("S", 2)};
+    x_ = sym_->Var("x");
+    y_ = sym_->Var("y");
+  }
+
+  uint32_t x() const { return x_; }
+  uint32_t y() const { return y_; }
+
+  FormulaPtr Gen(int depth) { return Gen({x_, y_}, depth, 0); }
+
+ private:
+  uint32_t Pick(const std::vector<uint32_t>& pool) {
+    return pool[rng_.Below(pool.size())];
+  }
+
+  FormulaPtr Leaf(const std::vector<uint32_t>& scope) {
+    switch (rng_.Below(4)) {
+      case 0:
+        return Formula::Atom(Pick(unary_), {Pick(scope)});
+      case 1:
+        return Formula::Atom(Pick(binary_), {Pick(scope), Pick(scope)});
+      case 2:
+        return Formula::Eq(Pick(scope), Pick(scope));
+      default:
+        return Formula::True();
+    }
+  }
+
+  FormulaPtr Gen(const std::vector<uint32_t>& scope, int depth, int level) {
+    if (depth <= 0) return Leaf(scope);
+    switch (rng_.Below(7)) {
+      case 0:
+        return Leaf(scope);
+      case 1:
+        return Formula::Not(Gen(scope, depth - 1, level));
+      case 2:
+        return Formula::And(Gen(scope, depth - 1, level),
+                            Gen(scope, depth - 1, level));
+      case 3:
+        return Formula::Or(Gen(scope, depth - 1, level),
+                           Gen(scope, depth - 1, level));
+      default: {
+        uint32_t v = Pick(scope);
+        uint32_t z = sym_->Var("q" + std::to_string(level));
+        FormulaPtr guard = Formula::Atom(Pick(binary_), {v, z});
+        FormulaPtr body = Gen({v, z}, depth - 1, level + 1);
+        if (counting_ && rng_.Chance(0.5)) {
+          return Formula::CountQ(rng_.Chance(0.5), rng_.Below(4), z, guard,
+                                 body);
+        }
+        if (rng_.Chance(0.5)) return Formula::Exists({z}, guard, body);
+        return Formula::Forall({z}, guard, body);
+      }
+    }
+  }
+
+  SymbolsPtr sym_;
+  Rng rng_;
+  bool counting_;
+  std::vector<uint32_t> unary_, binary_;
+  uint32_t x_ = 0, y_ = 0;
+};
+
+TEST(TermStoreTest, CanonicalPointerPerDistinctStructure) {
+  // Differential against the retained structural reference: for a pool of
+  // seeded random formulas (duplicate seeds included), pointer equality
+  // must coincide with StructuralEquals in both directions.
+  SymbolsPtr sym = MakeSymbols();
+  std::vector<FormulaPtr> pool;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    FormulaGen gen(sym, seed % 20, /*counting=*/seed % 2 == 0);
+    pool.push_back(gen.Gen(3));
+  }
+  int equal_pairs = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      bool by_pointer = pool[i] == pool[j];
+      bool by_structure = pool[i]->StructuralEquals(*pool[j]);
+      ASSERT_EQ(by_pointer, by_structure)
+          << "pair (" << i << "," << j << ")";
+      ASSERT_EQ(by_pointer, pool[i]->id() == pool[j]->id());
+      if (by_pointer && i != j) ++equal_pairs;
+    }
+  }
+  EXPECT_GT(equal_pairs, 0) << "pool should contain duplicate structures";
+}
+
+TEST(TermStoreTest, ParsePrintParseRoundTripIsPointerIdentical) {
+  // Seeded random formulas across openGF (no counting) and openGC2
+  // (counting): rendering through the printer and re-parsing with the same
+  // symbol table must come back as the same canonical node.
+  for (bool counting : {false, true}) {
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+      SymbolsPtr sym = MakeSymbols();
+      FormulaGen gen(sym, seed, counting);
+      FormulaPtr f = gen.Gen(4);
+      ASSERT_TRUE(ValidateGuarded(*f, *sym).ok());
+      std::string text = FormulaToString(*f, *sym);
+      Result<FormulaPtr> re = ParseFormula(text, sym);
+      ASSERT_TRUE(re.ok()) << re.status().ToString() << "\n  text: " << text;
+      EXPECT_EQ(*re, f) << "round trip not pointer-identical for: " << text
+                        << "\n  reparsed as: " << FormulaToString(**re, *sym);
+      EXPECT_TRUE((*re)->StructuralEquals(*f));
+    }
+  }
+}
+
+TEST(TermStoreTest, OntologyRoundTripIsPointerIdentical) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t hand = sym->Rel("Hand", 1);
+  (void)hand;
+  auto onto = ParseOntology(
+      "forall x . (Hand(x) -> exists>=2 y (hasFinger(x,y)) & "
+      "exists<=2 y (hasFinger(x,y)));"
+      "forall x . (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y)));"
+      "forall x, y (hasFinger(x,y) -> Hand(x));",
+      sym);
+  ASSERT_TRUE(onto.ok());
+  auto re = ParseOntology(OntologyToString(*onto), sym);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  ASSERT_EQ(re->sentences.size(), onto->sentences.size());
+  for (size_t i = 0; i < onto->sentences.size(); ++i) {
+    EXPECT_EQ(re->sentences[i].guard, onto->sentences[i].guard);
+    EXPECT_EQ(re->sentences[i].body, onto->sentences[i].body);
+  }
+}
+
+TEST(TermStoreConcurrencyTest, HammeredInterningYieldsSingleCanonicalId) {
+  // Hammer the arena from pool workers: every worker builds the same 48
+  // recipe formulas over and over; all builds of a recipe must resolve to
+  // one canonical pointer, and distinct recipes must agree with the
+  // structural reference. Runs under the tsan preset.
+  constexpr uint32_t kRecipes = 48;
+  constexpr uint32_t kRepeats = 96;
+  SymbolsPtr sym = MakeSymbols();
+  {
+    // Pre-intern the symbol names so worker-side Symbols lookups are pure
+    // reads of existing ids (Symbols itself is mutex-guarded anyway).
+    FormulaGen warmup(sym, 0, true);
+    (void)warmup;
+  }
+  auto build = [&sym](uint32_t recipe) {
+    FormulaGen gen(sym, 1000 + recipe, /*counting=*/recipe % 2 == 0);
+    return gen.Gen(3);
+  };
+  std::vector<FormulaPtr> got(kRecipes * kRepeats, nullptr);
+  ThreadPool pool(8);
+  Status st = pool.ParallelFor(
+      got.size(),
+      [&](uint64_t i) { got[i] = build(static_cast<uint32_t>(i % kRecipes)); },
+      /*token=*/nullptr, /*chunk=*/1);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  pool.Wait();
+
+  // One canonical pointer per recipe, across all workers.
+  for (uint32_t r = 0; r < kRecipes; ++r) {
+    FormulaPtr canon = got[r];
+    ASSERT_NE(canon, nullptr);
+    for (uint32_t k = 0; k < kRepeats; ++k) {
+      ASSERT_EQ(got[k * kRecipes + r], canon) << "recipe " << r;
+    }
+    ASSERT_EQ(build(r), canon) << "recipe " << r;
+  }
+  // Across recipes, pointer equality must still track structure exactly.
+  for (uint32_t a = 0; a < kRecipes; ++a) {
+    for (uint32_t b = 0; b < kRecipes; ++b) {
+      ASSERT_EQ(got[a] == got[b], got[a]->StructuralEquals(*got[b]));
+    }
+  }
+}
+
+TEST(TermStoreTest, StatsReportHitsAndMisses) {
+  TermStoreStats before = FormulaStoreStats();
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t p = sym->Rel("StatsOnlyRel", 1);
+  uint32_t v = sym->Var("x");
+  FormulaPtr a1 = Formula::Atom(p, {v});  // first build: miss
+  FormulaPtr a2 = Formula::Atom(p, {v});  // duplicate: hit
+  EXPECT_EQ(a1, a2);
+  TermStoreStats after = FormulaStoreStats();
+  EXPECT_GE(after.misses, before.misses + 1);
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_GT(after.HitRate(), 0.0);
+}
+
+TEST(TermStoreTest, ConceptArenaInternsAndTranslationDedupes) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t a = sym->Rel("A", 1);
+  uint32_t r = sym->Rel("R", 2);
+  Role role{r, false};
+  ConceptPtr c1 = Concept::Exists(role, Concept::Name(a));
+  ConceptPtr c2 = Concept::Exists(role, Concept::Name(a));
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1->id(), c2->id());
+  EXPECT_NE(c1, Concept::Forall(role, Concept::Name(a)));
+  ConceptPtr shared = Concept::And({c1, Concept::Not(c1)});
+  uint32_t x = sym->Var("x");
+  uint32_t y = sym->Var("y");
+  FormulaPtr f1 = TranslateConcept(*shared, x, y, sym.get());
+  FormulaPtr f2 = TranslateConcept(*shared, x, y, sym.get());
+  EXPECT_EQ(f1, f2);  // structurally equal translations are canonical
+}
+
+TEST(TermStoreTest, SelfUnionNormalizesToIdenticalRuleSet) {
+  // Sentence-level dedup on the interned representation: O ∪ O must
+  // clausify to exactly O's rules, and the meta decision must not change.
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B1(x) | B2(x));"
+      "forall x, y (R(x,y) -> A(x) | exists z (S(y,z)));");
+  ASSERT_TRUE(onto.ok());
+  Ontology doubled = Ontology::Union(*onto, *onto);
+  auto rs1 = NormalizeOntology(*onto);
+  auto rs2 = NormalizeOntology(doubled);
+  ASSERT_TRUE(rs1.ok());
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_EQ(rs2->rules.size(), rs1->rules.size());
+
+  auto s1 = CertainAnswerSolver::Create(*onto);
+  auto s2 = CertainAnswerSolver::Create(doubled);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  BouquetOptions opts;
+  opts.max_outdegree = 1;
+  MetaDecision m1 = DecidePtimeByBouquets(*s1, onto->symbols,
+                                          onto->Signature(), opts);
+  MetaDecision m2 = DecidePtimeByBouquets(*s2, doubled.symbols,
+                                          doubled.Signature(), opts);
+  EXPECT_EQ(m1.ptime, m2.ptime);
+  EXPECT_EQ(m1.violation.has_value(), m2.violation.has_value());
+}
+
+TEST(TermStoreTest, ReparsedOntologyClassifiesIdentically) {
+  // Classification runs off memoized node attributes; parsing the same
+  // text twice (fresh symbol tables) must classify identically.
+  const char* kTexts[] = {
+      "forall x . (A(x) -> exists y (R(x,y) & B(y)));",
+      "forall x . (A(x) -> exists>=2 y (R(x,y)));",
+      "forall x, y (R(x,y) -> A(x) | x = y);",
+      "func F; forall x . (A(x) -> exists y (F(x,y)));",
+  };
+  for (const char* text : kTexts) {
+    auto o1 = ParseOntology(text);
+    auto o2 = ParseOntology(text);
+    ASSERT_TRUE(o1.ok() && o2.ok()) << text;
+    Classification c1 = ClassifyOntology(*o1);
+    Classification c2 = ClassifyOntology(*o2);
+    EXPECT_EQ(c1.verdict, c2.verdict) << text;
+    EXPECT_EQ(c1.matched, c2.matched) << text;
+    // Same symbol table ⇒ even pointer-identical sentence bodies.
+    auto o3 = ParseOntology(text, o1->symbols);
+    ASSERT_TRUE(o3.ok());
+    for (size_t i = 0; i < o1->sentences.size(); ++i) {
+      EXPECT_EQ(o1->sentences[i].body, o3->sentences[i].body) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfomq
