@@ -17,6 +17,8 @@
 
 #include "instance/instance.h"
 #include "logic/symbols.h"
+#include "reasoner/consistency_cache.h"
+#include "reasoner/tableau.h"
 
 namespace gfomq::bench {
 
@@ -60,6 +62,44 @@ inline std::string JsonArr(const std::vector<std::string>& elems) {
     out += elems[i];
   }
   return out + "]";
+}
+
+/// One point of BENCH_tableau.json — shared by bench/meta_decision and
+/// bench/tiling_runfit so both emit the identical key schema pinned by
+/// bench/BENCH_tableau.expected_keys. `naive_micros` is the full-scan,
+/// cache-off reference; `engine_micros` the indexed, memoizing engine on
+/// the same workload; `cache`/`tableau` are the engine solver's counters.
+inline std::string TableauJsonRow(const std::string& family, uint64_t size,
+                                  uint64_t runs, uint64_t naive_micros,
+                                  uint64_t engine_micros,
+                                  bool verdicts_identical,
+                                  const ConsistencyCacheStats& cache,
+                                  const TableauStats& tableau) {
+  double speedup =
+      engine_micros == 0
+          ? 0.0
+          : static_cast<double>(naive_micros) /
+                static_cast<double>(engine_micros);
+  return JsonObj()
+      .Str("family", family)
+      .Int("size", size)
+      .Int("runs", runs)
+      .Int("naive_micros", naive_micros)
+      .Int("engine_micros", engine_micros)
+      .Num("speedup", speedup)
+      .Int("cache_hits", cache.hits)
+      .Int("cache_lookups", cache.Lookups())
+      .Num("cache_hit_rate", cache.HitRate())
+      .Int("verdicts_identical", verdicts_identical ? 1 : 0)
+      .Int("steps", tableau.steps)
+      .Int("guard_match_probes", tableau.guard_match_probes)
+      .Int("index_lookups", tableau.index_lookups)
+      .Int("relation_scans", tableau.relation_scans)
+      .Int("branches_opened", tableau.branches_opened)
+      .Int("branches_closed", tableau.branches_closed)
+      .Int("peak_branch_depth", tableau.peak_branch_depth)
+      .Int("cow_copies", tableau.cow_copies)
+      .Done();
 }
 
 inline void WriteJsonFile(const std::string& path, const std::string& json) {

@@ -3,6 +3,7 @@
 // the Lemma 11 behaviour (marker derived exactly at closed cells) and run
 // fitting semantics; the timings show solver scaling.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -108,6 +109,76 @@ void PrintTable() {
   std::printf("\n");
 }
 
+// Cell-marker family of BENCH_tableau.json: the Lemma 11 marker check on
+// an n×n grid, repeated kRuns times per solver — exactly what the grid
+// scans do (one probe per cell, isomorphic extensions recur). The naive
+// reference runs the full-scan tableau with the cache off; the engine runs
+// indexed with the shared consistency cache. Statuses must agree.
+void WriteTableauJson() {
+  constexpr uint64_t kRuns = 10;
+  std::printf("cell-marker tableau — naive full-scan vs indexed+cached "
+              "(%llu runs each)\n",
+              static_cast<unsigned long long>(kRuns));
+  std::printf("%-6s %-12s %-12s %-9s %-9s %s\n", "grid", "naive_us",
+              "engine_us", "speedup", "hit_rate", "statuses");
+  std::vector<std::string> rows;
+  for (int size : {1, 2}) {
+    SymbolsPtr sym = MakeSymbols();
+    CellOntology cell = BuildCellOntology(sym, /*include_cycle_axioms=*/false);
+    CertainOptions naive_opts;
+    naive_opts.naive_matching = true;
+    naive_opts.consistency_cache = false;
+    auto naive_solver = CertainAnswerSolver::Create(cell.ontology, naive_opts);
+    auto engine_solver = CertainAnswerSolver::Create(cell.ontology);
+    if (!naive_solver.ok() || !engine_solver.ok()) return;
+    Instance g = BuildGridInstance(sym, size, size, nullptr);
+
+    std::vector<MarkerStatus> naive_statuses;
+    std::vector<MarkerStatus> engine_statuses;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t r = 0; r < kRuns; ++r) {
+      naive_statuses.push_back(
+          CheckMarker(*naive_solver, g, cell.p_marker, 0, 0));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (uint64_t r = 0; r < kRuns; ++r) {
+      engine_statuses.push_back(
+          CheckMarker(*engine_solver, g, cell.p_marker, 0, 0));
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    auto micros = [](auto a, auto b) {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+              .count());
+    };
+    uint64_t naive_us = micros(t0, t1);
+    uint64_t engine_us = micros(t1, t2);
+    bool identical = naive_statuses == engine_statuses;
+    ConsistencyCacheStats cache = engine_solver->cache_stats();
+    TableauStats tableau = engine_solver->tableau_stats();
+    std::printf("%dx%-4d %-12llu %-12llu %-9.2f %-9.3f %s\n", size, size,
+                static_cast<unsigned long long>(naive_us),
+                static_cast<unsigned long long>(engine_us),
+                engine_us == 0 ? 0.0
+                               : static_cast<double>(naive_us) /
+                                     static_cast<double>(engine_us),
+                cache.HitRate(), identical ? "ok" : "MISMATCH");
+    rows.push_back(bench::TableauJsonRow(
+        "cell-marker", static_cast<uint64_t>(size), kRuns, naive_us,
+        engine_us, identical, cache, tableau));
+  }
+  bench::WriteJsonFile(
+      "BENCH_tableau.json",
+      "{\n  \"bench\": \"tiling_runfit\",\n  \"points\": " +
+          bench::JsonArr(rows) + "\n}");
+  std::printf("\n");
+}
+
+void PrintTableAndTableau() {
+  PrintTable();
+  WriteTableauJson();
+}
+
 void BM_RunFitting(benchmark::State& state) {
   Ntm m = GuessMachine();
   int len = static_cast<int>(state.range(0));
@@ -153,4 +224,4 @@ BENCHMARK(BM_CellMarkerCheck);
 
 }  // namespace
 
-GFOMQ_BENCH_MAIN(PrintTable)
+GFOMQ_BENCH_MAIN(PrintTableAndTableau)

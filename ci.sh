@@ -11,6 +11,9 @@
 # BENCH_terms.json are regenerated and schema-checked against their
 # bench/*.expected_keys so trajectory tooling never sees a silently
 # drifted format (BENCH_terms must additionally show a nonzero intern hit
+# rate, and BENCH_tableau.json — written by both tiling_runfit and
+# meta_decision — is schema-checked after each writer, with the bouquet
+# family additionally required to show a nonzero consistency-cache hit
 # rate); and, when clang-tidy is installed, the modernize/performance/
 # bugprone profile in .clang-tidy runs over src/logic and src/reasoner.
 set -euo pipefail
@@ -29,7 +32,7 @@ done
 
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|ConsistencyCache'
 
 echo "=== perf trajectory: BENCH_datalog.json schema ==="
 (cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
@@ -60,6 +63,39 @@ if ! grep -o '"formula_hit_rate": [0-9.e+-]*' build-release/BENCH_terms.json \
     | awk '{ exit !($2 > 0) }'; then
   echo "BENCH_terms.json: formula intern hit rate is zero —" \
        "hash consing is not deduplicating" >&2
+  exit 1
+fi
+
+check_tableau_schema() {
+  keys_tmp="$(mktemp)"
+  grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_tableau.json \
+    | tr -d '":' | sort -u > "$keys_tmp"
+  if ! diff -u bench/BENCH_tableau.expected_keys "$keys_tmp"; then
+    echo "BENCH_tableau.json key schema drifted ($1);" \
+         "update bench/BENCH_tableau.expected_keys" >&2
+    rm -f "$keys_tmp"
+    exit 1
+  fi
+  rm -f "$keys_tmp"
+}
+
+echo "=== perf trajectory: BENCH_tableau.json schema (tiling_runfit) ==="
+(cd build-release && ./bench/tiling_runfit --benchmark_filter=_none_ >/dev/null)
+check_tableau_schema tiling_runfit
+
+echo "=== perf trajectory: BENCH_tableau.json schema (meta_decision) ==="
+(cd build-release && ./bench/meta_decision --benchmark_filter=_none_ >/dev/null)
+check_tableau_schema meta_decision
+if ! grep -o '"cache_hit_rate": [0-9.e+-]*' build-release/BENCH_tableau.json \
+    | awk 'BEGIN { ok = 1 } { if ($2 <= 0) ok = 0 } END { exit !ok }'; then
+  echo "BENCH_tableau.json: a bouquet-family point has zero consistency" \
+       "cache hit rate — the chase memo is not being shared" >&2
+  exit 1
+fi
+if ! grep -o '"verdicts_identical": [01]' build-release/BENCH_tableau.json \
+    | awk 'BEGIN { ok = 1 } { if ($2 != 1) ok = 0 } END { exit !ok }'; then
+  echo "BENCH_tableau.json: engine verdicts diverge from the naive" \
+       "differential reference" >&2
   exit 1
 fi
 

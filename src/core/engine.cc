@@ -54,6 +54,22 @@ std::string OmqVerdict::Summary(const Symbols& symbols) const {
   if (bouquets_checked > 0) {
     out << "bouquets checked: " << bouquets_checked << "\n";
   }
+  if (meta_stats.cache.Lookups() > 0) {
+    out << "consistency cache: " << meta_stats.cache.hits << " hits / "
+        << meta_stats.cache.Lookups() << " lookups (hit-rate "
+        << meta_stats.cache.HitRate() << ", " << meta_stats.cache.evictions
+        << " evictions)\n";
+  }
+  if (meta_stats.tableau.steps > 0) {
+    out << "tableau: " << meta_stats.tableau.steps << " rule firings, "
+        << meta_stats.tableau.branches_opened << " branches opened ("
+        << meta_stats.tableau.branches_closed << " closed, peak depth "
+        << meta_stats.tableau.peak_branch_depth << "), "
+        << meta_stats.tableau.guard_match_probes << " guard-match probes ("
+        << meta_stats.tableau.index_lookups << " indexed, "
+        << meta_stats.tableau.relation_scans << " relation scans), "
+        << meta_stats.tableau.cow_copies << " COW copies\n";
+  }
   return out.str();
 }
 

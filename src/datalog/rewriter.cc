@@ -259,6 +259,7 @@ Result<RewriteResult> RewriteToDatalog(const Ontology& ontology,
 
   Status v = prog.Validate();
   if (!v.ok()) return v;
+  result.cache = solver->cache_stats();
   return result;
 }
 

@@ -28,6 +28,9 @@ struct RewriteResult {
   /// True if decoration pools had to be truncated (the program is then
   /// still sound but may be incomplete even on Horn inputs).
   bool truncated = false;
+  /// Consistency-cache traffic of the configuration sweep (many
+  /// configurations are isomorphic, so the hit rate is substantial).
+  ConsistencyCacheStats cache;
 };
 
 /// Constructs a Datalog(≠) program Π for the OMQ (O, q) by local-consequence

@@ -186,6 +186,8 @@ MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
   const uint32_t threads = ThreadPool::EffectiveThreads(options.num_threads);
   MetaDecision out;
   out.stats.num_threads = threads;
+  const ConsistencyCacheStats cache_before = solver.cache_stats();
+  const TableauStats tableau_before = solver.tableau_stats();
 
   if (threads == 1) {
     uint64_t total = 0;
@@ -314,6 +316,22 @@ MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  const ConsistencyCacheStats cache_after = solver.cache_stats();
+  out.stats.cache.hits = cache_after.hits - cache_before.hits;
+  out.stats.cache.misses = cache_after.misses - cache_before.misses;
+  out.stats.cache.evictions = cache_after.evictions - cache_before.evictions;
+  out.stats.cache.insertions =
+      cache_after.insertions - cache_before.insertions;
+  const TableauStats tableau_after = solver.tableau_stats();
+  out.stats.tableau = tableau_after;
+  out.stats.tableau.steps -= tableau_before.steps;
+  out.stats.tableau.branches_opened -= tableau_before.branches_opened;
+  out.stats.tableau.branches_closed -= tableau_before.branches_closed;
+  out.stats.tableau.branches_saturated -= tableau_before.branches_saturated;
+  out.stats.tableau.guard_match_probes -= tableau_before.guard_match_probes;
+  out.stats.tableau.index_lookups -= tableau_before.index_lookups;
+  out.stats.tableau.relation_scans -= tableau_before.relation_scans;
+  out.stats.tableau.cow_copies -= tableau_before.cow_copies;
   return out;
 }
 

@@ -72,6 +72,11 @@ struct MetaSearchStats {
   uint64_t violations_found = 0;
   uint64_t steals = 0;
   uint64_t wall_micros = 0;
+  /// Consistency-cache and tableau activity during this run (deltas of the
+  /// solver's shared counters; diagnostics, not part of the verdict —
+  /// tableau.peak_branch_depth is the solver's lifetime peak).
+  ConsistencyCacheStats cache;
+  TableauStats tableau;
   std::vector<MetaWorkerStats> per_worker;
 };
 

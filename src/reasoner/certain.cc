@@ -2,6 +2,47 @@
 
 namespace gfomq {
 
+namespace {
+
+std::atomic<uint64_t> g_next_solver_id{1};
+
+// Tokenizes an element consistently with a CanonicalKey renaming:
+// elements that occur in facts keep their first-occurrence token, isolated
+// ones are assigned fresh tokens in the order they appear here.
+void AppendElemToken(std::string* key, const Instance& inst, ElemId e,
+                     std::unordered_map<ElemId, uint32_t>* rename) {
+  auto [it, fresh] =
+      rename->emplace(e, static_cast<uint32_t>(rename->size()));
+  (void)fresh;
+  *key += inst.IsNull(e) ? 'n' : 'c';
+  *key += std::to_string(it->second);
+}
+
+// Exact numeric serialization of a UCQ for entailment keys. Cheaper than
+// ToString (no symbol-name lookups), and equally collision-free: relation
+// ids and query-local variable ids determine the query.
+void AppendUcqKey(std::string* key, const Ucq& query) {
+  for (const Cq& d : query.disjuncts) {
+    *key += 'd';
+    *key += std::to_string(d.num_vars);
+    for (const CqAtom& a : d.atoms) {
+      *key += 'a';
+      *key += std::to_string(a.rel);
+      for (uint32_t v : a.vars) {
+        *key += ',';
+        *key += std::to_string(v);
+      }
+    }
+    *key += 'v';
+    for (uint32_t v : d.answer_vars) {
+      *key += std::to_string(v);
+      *key += ',';
+    }
+  }
+}
+
+}  // namespace
+
 Result<CertainAnswerSolver> CertainAnswerSolver::Create(
     const Ontology& ontology, CertainOptions options) {
   Result<RuleSet> rules = NormalizeOntology(ontology);
@@ -9,38 +50,138 @@ Result<CertainAnswerSolver> CertainAnswerSolver::Create(
   return CertainAnswerSolver(std::move(*rules), options);
 }
 
+CertainAnswerSolver::CertainAnswerSolver(RuleSet rules, CertainOptions options)
+    : rules_(std::move(rules)),
+      options_(options),
+      shared_(std::make_shared<SharedState>(options.cache_capacity)),
+      solver_id_(g_next_solver_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void CertainAnswerSolver::AccumulateStats(const TableauStats& stats) {
+  std::lock_guard<std::mutex> lock(shared_->stats_mu);
+  shared_->tableau_totals += stats;
+}
+
+TableauStats CertainAnswerSolver::tableau_stats() const {
+  std::lock_guard<std::mutex> lock(shared_->stats_mu);
+  return shared_->tableau_totals;
+}
+
+ConsistencyCacheStats CertainAnswerSolver::cache_stats() const {
+  return shared_->cache.stats();
+}
+
+std::string CertainAnswerSolver::ProbeKey(
+    const Instance& input,
+    std::unordered_map<ElemId, uint32_t>* rename) const {
+  std::string key = ConsistencyCache::CanonicalKey(input, rename);
+  key += "|o";
+  key += std::to_string(solver_id_);
+  key += "|b";
+  key += std::to_string(options_.tableau.max_fresh_nulls);
+  key += ':';
+  key += std::to_string(options_.tableau.max_steps);
+  key += ':';
+  key += std::to_string(options_.tableau.max_branches);
+  key += "|g";
+  key += std::to_string(options_.ground_extra_nulls);
+  return key;
+}
+
 Certainty CertainAnswerSolver::IsConsistent(const Instance& input) {
+  return ConsistencyImpl(input, options_.tableau, options_.ground_extra_nulls);
+}
+
+Certainty CertainAnswerSolver::TableauIsConsistent(
+    const Instance& input, const TableauBudget& budget) {
+  return ConsistencyImpl(input, budget, /*ground_extra_nulls=*/0);
+}
+
+Certainty CertainAnswerSolver::ConsistencyImpl(const Instance& input,
+                                               const TableauBudget& budget,
+                                               uint32_t ground_extra_nulls) {
+  std::string key;
+  if (options_.consistency_cache) {
+    // The budget and the ground-fallback strength are part of the key:
+    // kYes/kNo verdicts are ground truth, but kUnknown depends on how hard
+    // the procedures tried, and the cache must never upgrade or downgrade
+    // a verdict across differently-budgeted probes.
+    key = ConsistencyCache::CanonicalKey(input);
+    key += "|o";
+    key += std::to_string(solver_id_);
+    key += "|b";
+    key += std::to_string(budget.max_fresh_nulls);
+    key += ':';
+    key += std::to_string(budget.max_steps);
+    key += ':';
+    key += std::to_string(budget.max_branches);
+    key += "|g";
+    key += std::to_string(ground_extra_nulls);
+    if (std::optional<Certainty> hit = shared_->cache.Lookup(key)) {
+      return *hit;
+    }
+  }
+  Certainty verdict;
+  bool decided = false;
   // Finding a model is what the ground solver is best at (GF has the
   // finite-model property); try small finite models first.
-  if (options_.ground_extra_nulls > 0) {
+  if (ground_extra_nulls > 0) {
     GroundSolver ground(rules_);
-    Certainty g = ground.CheckConsistency(input, options_.ground_extra_nulls);
-    if (g == Certainty::kYes) return Certainty::kYes;
+    if (ground.CheckConsistency(input, ground_extra_nulls) ==
+        Certainty::kYes) {
+      verdict = Certainty::kYes;
+      decided = true;
+    }
   }
-  // Only the tableau can prove inconsistency (all branches close).
-  Tableau tableau(rules_, options_.tableau);
-  return tableau.IsConsistent(input);
+  if (!decided) {
+    // Only the tableau can prove inconsistency (all branches close).
+    Tableau tableau(rules_, budget, options_.naive_matching);
+    verdict = tableau.IsConsistent(input);
+    AccumulateStats(tableau.stats());
+  }
+  if (options_.consistency_cache) shared_->cache.Insert(key, verdict);
+  return verdict;
 }
 
 Certainty CertainAnswerSolver::IsCertain(const Instance& input,
                                          const Ucq& query,
                                          const std::vector<ElemId>& tuple) {
-  Tableau tableau(rules_, options_.tableau);
+  // Entailment probes are memoized alongside consistency verdicts: the key
+  // extends the canonical instance content with the query text and the
+  // answer tuple tokenized through the same element renaming, so the
+  // verdict transfers across isomorphic (instance, tuple) pairs.
+  std::string key;
+  if (options_.consistency_cache) {
+    std::unordered_map<ElemId, uint32_t> rename;
+    key = ProbeKey(input, &rename);
+    key += "|q";
+    AppendUcqKey(&key, query);
+    key += "|t";
+    for (ElemId e : tuple) AppendElemToken(&key, input, e, &rename);
+    if (std::optional<Certainty> hit = shared_->cache.Lookup(key)) {
+      return *hit;
+    }
+  }
+  Certainty verdict = Certainty::kUnknown;
+  Tableau tableau(rules_, options_.tableau, options_.naive_matching);
   Certainty counter = tableau.FindModelWhere(
       input,
       [&](const Instance& model) { return !query.HasAnswer(model, tuple); },
       /*reject_antimonotone=*/true);
-  if (counter == Certainty::kYes) return Certainty::kNo;
-  if (counter == Certainty::kNo) return Certainty::kYes;
-  // Tableau hit its budget: try a bounded finite countermodel search, which
-  // can still refute entailment soundly.
-  if (options_.ground_extra_nulls > 0) {
+  AccumulateStats(tableau.stats());
+  if (counter == Certainty::kYes) {
+    verdict = Certainty::kNo;
+  } else if (counter == Certainty::kNo) {
+    verdict = Certainty::kYes;
+  } else if (options_.ground_extra_nulls > 0) {
+    // Tableau hit its budget: try a bounded finite countermodel search,
+    // which can still refute entailment soundly.
     GroundSolver ground(rules_);
     Certainty refuted = ground.RefuteEntailment(input, query, tuple,
                                                 options_.ground_extra_nulls);
-    if (refuted == Certainty::kYes) return Certainty::kNo;
+    if (refuted == Certainty::kYes) verdict = Certainty::kNo;
   }
-  return Certainty::kUnknown;
+  if (options_.consistency_cache) shared_->cache.Insert(key, verdict);
+  return verdict;
 }
 
 std::set<std::vector<ElemId>> CertainAnswerSolver::CertainAnswers(
@@ -74,16 +215,36 @@ Certainty CertainAnswerSolver::HasDisjunctionViolation(
     const Instance& input,
     const std::vector<std::pair<Ucq, std::vector<ElemId>>>& disjuncts) {
   // (1) The disjunction must be certain: no model falsifies all disjuncts.
-  Tableau tableau(rules_, options_.tableau);
-  Certainty all_fail = tableau.FindModelWhere(
-      input,
-      [&](const Instance& m) {
-        for (const auto& [q, t] : disjuncts) {
-          if (q.HasAnswer(m, t)) return false;
-        }
-        return true;
-      },
-      /*reject_antimonotone=*/true);
+  std::string key;
+  Certainty all_fail;
+  std::optional<Certainty> cached;
+  if (options_.consistency_cache) {
+    std::unordered_map<ElemId, uint32_t> rename;
+    key = ProbeKey(input, &rename);
+    key += "|D";
+    for (const auto& [q, t] : disjuncts) {
+      AppendUcqKey(&key, q);
+      key += "|t";
+      for (ElemId e : t) AppendElemToken(&key, input, e, &rename);
+    }
+    cached = shared_->cache.Lookup(key);
+  }
+  if (cached) {
+    all_fail = *cached;
+  } else {
+    Tableau tableau(rules_, options_.tableau, options_.naive_matching);
+    all_fail = tableau.FindModelWhere(
+        input,
+        [&](const Instance& m) {
+          for (const auto& [q, t] : disjuncts) {
+            if (q.HasAnswer(m, t)) return false;
+          }
+          return true;
+        },
+        /*reject_antimonotone=*/true);
+    AccumulateStats(tableau.stats());
+    if (options_.consistency_cache) shared_->cache.Insert(key, all_fail);
+  }
   if (all_fail == Certainty::kYes) return Certainty::kNo;  // not even certain
   if (all_fail == Certainty::kUnknown) return Certainty::kUnknown;
   // (2) No single disjunct may be certain.

@@ -1,6 +1,9 @@
 #ifndef GFOMQ_REASONER_CERTAIN_H_
 #define GFOMQ_REASONER_CERTAIN_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -8,6 +11,7 @@
 #include "logic/normalize.h"
 #include "logic/ontology.h"
 #include "query/cq.h"
+#include "reasoner/consistency_cache.h"
 #include "reasoner/ground.h"
 #include "reasoner/tableau.h"
 
@@ -18,23 +22,43 @@ struct CertainOptions {
   TableauBudget tableau;
   /// Extra nulls for the ground countermodel fallback (0 disables it).
   uint32_t ground_extra_nulls = 3;
+  /// Use the full-scan guard matcher instead of the indexed one — the
+  /// differential/bench reference path.
+  bool naive_matching = false;
+  /// Memoize consistency verdicts in the solver's shared ConsistencyCache.
+  bool consistency_cache = true;
+  /// Total entry bound of that cache. Sized to hold every probe of a full
+  /// outdegree-3 bouquet scan (~10^5 keys): an LRU that is smaller than
+  /// one scan's working set degenerates to zero hits on repeated scans.
+  size_t cache_capacity = 1u << 19;
 };
 
 /// Front end for OMQ semantics: consistency and certain answers of UCQs
 /// w.r.t. an ontology. Combines the disjunctive guarded tableau (complete
 /// when it terminates) with the finite-countermodel ground solver (sound
 /// refutations), per the engine design in DESIGN.md.
+///
+/// Thread-safe: the methods may be called concurrently (the parallel
+/// bouquet scan does). Consistency verdicts are memoized in a sharded
+/// ConsistencyCache shared by all copies of the solver, keyed by canonical
+/// instance content + ontology id + budget fingerprint; TableauStats are
+/// accumulated across every tableau run the solver performs.
 class CertainAnswerSolver {
  public:
   /// Normalizes the ontology; fails if it uses unsupported features.
   static Result<CertainAnswerSolver> Create(const Ontology& ontology,
                                             CertainOptions options = {});
 
-  explicit CertainAnswerSolver(RuleSet rules, CertainOptions options = {})
-      : rules_(std::move(rules)), options_(options) {}
+  explicit CertainAnswerSolver(RuleSet rules, CertainOptions options = {});
 
   /// Is the instance consistent w.r.t. the ontology?
   Certainty IsConsistent(const Instance& input);
+
+  /// Consistency under a caller-supplied tableau budget, without the
+  /// ground-solver fast path (used by the tiling marker probes). Consults
+  /// the same shared cache, under a distinct budget fingerprint.
+  Certainty TableauIsConsistent(const Instance& input,
+                                const TableauBudget& budget);
 
   /// Is `tuple` a certain answer to `query` on `input`? (kYes also when the
   /// instance is inconsistent, as every tuple is then certain.)
@@ -60,10 +84,43 @@ class CertainAnswerSolver {
       const std::vector<std::pair<Ucq, std::vector<ElemId>>>& disjuncts);
 
   const RuleSet& rules() const { return rules_; }
+  const CertainOptions& options() const { return options_; }
+
+  /// Totals across every tableau run this solver (and its copies) made.
+  TableauStats tableau_stats() const;
+  /// Hit/miss/eviction counters of the shared consistency cache.
+  ConsistencyCacheStats cache_stats() const;
+
+  /// The shared memo table, for callers composing their own probe keys
+  /// (e.g. the whole-probe memo in FindDisjunctionViolation).
+  ConsistencyCache& cache() { return shared_->cache; }
+
+  /// Canonical key prefix of any memoized probe on `input` under the
+  /// solver's default budgets (canonical instance content + ontology id +
+  /// budget fingerprint). `rename` receives the element renaming so
+  /// callers can tokenize further elements (query tuples) consistently.
+  std::string ProbeKey(const Instance& input,
+                       std::unordered_map<ElemId, uint32_t>* rename) const;
 
  private:
+  // Cache + stats shared by all copies of a solver, so the parallel
+  // bouquet shards (which share one solver by reference) and any
+  // by-value captures all feed one memo table.
+  struct SharedState {
+    explicit SharedState(size_t capacity) : cache(capacity) {}
+    ConsistencyCache cache;
+    mutable std::mutex stats_mu;
+    TableauStats tableau_totals;
+  };
+
+  Certainty ConsistencyImpl(const Instance& input, const TableauBudget& budget,
+                            uint32_t ground_extra_nulls);
+  void AccumulateStats(const TableauStats& stats);
+
   RuleSet rules_;
   CertainOptions options_;
+  std::shared_ptr<SharedState> shared_;
+  uint64_t solver_id_;
 };
 
 }  // namespace gfomq

@@ -1,0 +1,109 @@
+#include "reasoner/consistency_cache.h"
+
+#include <functional>
+
+namespace gfomq {
+
+ConsistencyCache::ConsistencyCache(size_t capacity)
+    : shard_capacity_(capacity / kShards < 1 ? 1 : capacity / kShards) {}
+
+ConsistencyCache::Shard& ConsistencyCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<Certainty> ConsistencyCache::Lookup(const std::string& key) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+  return it->second->verdict;
+}
+
+void ConsistencyCache::Insert(const std::string& key, Certainty verdict) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    // First writer wins: concurrent probes of the same instance may race
+    // to insert, and keeping the earliest verdict guarantees that every
+    // later reader sees the same one.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key, verdict});
+  s.index.emplace(key, s.lru.begin());
+  ++s.insertions;
+  while (s.lru.size() > shard_capacity_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+ConsistencyCacheStats ConsistencyCache::stats() const {
+  ConsistencyCacheStats out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.insertions += s.insertions;
+  }
+  return out;
+}
+
+size_t ConsistencyCache::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.lru.size();
+  }
+  return n;
+}
+
+std::string ConsistencyCache::CanonicalKey(
+    const Instance& inst, std::unordered_map<ElemId, uint32_t>* rename_out) {
+  std::string key;
+  key.reserve(32 + 12 * inst.facts().size());
+  // Rename elements by first occurrence over the sorted fact list. The
+  // class prefix (constant vs null) is part of the token because nulls are
+  // mergeable during the chase and constants are not.
+  std::unordered_map<ElemId, uint32_t> local;
+  std::unordered_map<ElemId, uint32_t>& rename =
+      rename_out != nullptr ? *rename_out : local;
+  rename.clear();
+  for (const Fact& f : inst.facts()) {
+    key += 'R';
+    key += std::to_string(f.rel);
+    for (ElemId a : f.args) {
+      auto [it, fresh] =
+          rename.emplace(a, static_cast<uint32_t>(rename.size()));
+      key += inst.IsNull(a) ? 'n' : 'c';
+      key += std::to_string(it->second);
+      (void)fresh;
+    }
+    key += ';';
+  }
+  // Isolated elements carry no structure beyond their class and count.
+  size_t iso_const = 0, iso_null = 0;
+  for (ElemId e = 0; e < inst.NumElements(); ++e) {
+    if (rename.count(e)) continue;
+    if (inst.IsNull(e)) {
+      ++iso_null;
+    } else {
+      ++iso_const;
+    }
+  }
+  key += "|ic";
+  key += std::to_string(iso_const);
+  key += "|in";
+  key += std::to_string(iso_null);
+  return key;
+}
+
+}  // namespace gfomq

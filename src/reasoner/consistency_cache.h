@@ -1,0 +1,99 @@
+#ifndef GFOMQ_REASONER_CONSISTENCY_CACHE_H_
+#define GFOMQ_REASONER_CONSISTENCY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "instance/instance.h"
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+
+/// Counters of a ConsistencyCache, aggregated across its shards.
+struct ConsistencyCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+
+  uint64_t Lookups() const { return hits + misses; }
+  double HitRate() const {
+    return Lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(Lookups());
+  }
+};
+
+/// Sharded, LRU-bounded memo table for consistency verdicts, shared across
+/// bouquet shards and materializability probes (see DESIGN.md §Chase
+/// engine). 16-way sharding follows the TermArena pattern: a key hashes to
+/// one shard, whose mutex guards a small LRU map, so concurrent probes of
+/// distinct instances rarely contend.
+///
+/// Keys are exact strings (canonical instance content + ontology id +
+/// budget fingerprint), not hashes: a lookup can never return the verdict
+/// of a different instance. The first insert for a key wins; later inserts
+/// for the same key only refresh recency — so every reader observes one
+/// canonical verdict per key even under concurrent insertion.
+class ConsistencyCache {
+ public:
+  static constexpr size_t kShards = 16;
+
+  /// `capacity` bounds the total entry count (split evenly over shards).
+  explicit ConsistencyCache(size_t capacity = 1u << 14);
+
+  ConsistencyCache(const ConsistencyCache&) = delete;
+  ConsistencyCache& operator=(const ConsistencyCache&) = delete;
+
+  std::optional<Certainty> Lookup(const std::string& key);
+  void Insert(const std::string& key, Certainty verdict);
+
+  ConsistencyCacheStats stats() const;
+  size_t size() const;
+
+  /// Canonical serialization of the instance content: facts in sorted
+  /// order with elements renamed by first occurrence (tokens c<k> for
+  /// constants, n<k> for labelled nulls), plus counts of isolated
+  /// constants/nulls. Equal keys imply isomorphic instances (the key
+  /// determines the structure up to element renaming), and guarded rules
+  /// contain no constants, so a verdict served from the cache is always
+  /// the verdict of an isomorphic copy — that is the soundness direction.
+  /// The converse is best-effort: the renaming follows the instance's own
+  /// sorted fact order, so isomorphic instances whose raw element ids sort
+  /// their facts differently may miss each other (costing only a hit).
+  ///
+  /// When `rename_out` is non-null it receives the first-occurrence
+  /// renaming, so callers can tokenize further elements (e.g. an answer
+  /// tuple for an entailment key) consistently with the instance part.
+  static std::string CanonicalKey(
+      const Instance& inst,
+      std::unordered_map<ElemId, uint32_t>* rename_out = nullptr);
+
+ private:
+  struct Entry {
+    std::string key;
+    Certainty verdict;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_;
+  Shard shards_[kShards];
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_CONSISTENCY_CACHE_H_

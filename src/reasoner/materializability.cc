@@ -48,7 +48,9 @@ Cq AtomicQuery(SymbolsPtr sym, uint32_t rel, const std::vector<ElemId>& tuple,
 
 }  // namespace
 
-std::optional<DisjunctionViolation> FindDisjunctionViolation(
+namespace {
+
+std::optional<DisjunctionViolation> FindDisjunctionViolationImpl(
     CertainAnswerSolver& solver, const Instance& instance,
     const std::vector<uint32_t>& signature, bool* conclusive,
     ProbeOptions options) {
@@ -125,6 +127,56 @@ std::optional<DisjunctionViolation> FindDisjunctionViolation(
     }
   }
   DisjunctionViolation out{instance, std::move(minimal)};
+  return out;
+}
+
+}  // namespace
+
+std::optional<DisjunctionViolation> FindDisjunctionViolation(
+    CertainAnswerSolver& solver, const Instance& instance,
+    const std::vector<uint32_t>& signature, bool* conclusive,
+    ProbeOptions options) {
+  // Whole-probe memo: one cache entry summarizes the probe of this
+  // instance (kNo = no violation & conclusive, kUnknown = no violation &
+  // inconclusive, kYes = violation exists). A warm bouquet scan thus pays
+  // one canonical key + one lookup per bouquet instead of dozens of
+  // entailment probes. On a kYes hit the witness is recomputed — cheap,
+  // since it happens at most once per decision (the scan stops there) and
+  // the inner probes are themselves memoized.
+  std::string key;
+  const bool use_cache = solver.options().consistency_cache;
+  if (use_cache) {
+    std::unordered_map<ElemId, uint32_t> rename;
+    key = solver.ProbeKey(instance, &rename);
+    key += "|V";
+    for (uint32_t rel : signature) {
+      key += 'r';
+      key += std::to_string(rel);
+    }
+    key += options.boolean_binary_candidates ? 'B' : 'b';
+    key += options.binary_pair_candidates ? 'P' : 'p';
+    if (std::optional<Certainty> hit = solver.cache().Lookup(key)) {
+      if (*hit == Certainty::kNo) {
+        *conclusive = true;
+        return std::nullopt;
+      }
+      if (*hit == Certainty::kUnknown) {
+        *conclusive = false;
+        return std::nullopt;
+      }
+      return FindDisjunctionViolationImpl(solver, instance, signature,
+                                          conclusive, options);
+    }
+  }
+  std::optional<DisjunctionViolation> out = FindDisjunctionViolationImpl(
+      solver, instance, signature, conclusive, options);
+  if (use_cache) {
+    Certainty summary = out.has_value()
+                            ? Certainty::kYes
+                            : (*conclusive ? Certainty::kNo
+                                           : Certainty::kUnknown);
+    solver.cache().Insert(key, summary);
+  }
   return out;
 }
 

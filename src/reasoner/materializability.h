@@ -33,6 +33,11 @@ struct ProbeOptions {
 /// violation witness if one exists within the pool; nullopt if the pool is
 /// exhausted without violation (kUnknown results in the pool make the
 /// "no violation" answer inconclusive — reported via `conclusive`).
+///
+/// The opening consistency check goes through the solver's shared
+/// ConsistencyCache: bouquet scans probe many isomorphic instances, so
+/// repeated probes (and re-runs, e.g. determinism double-checks) are served
+/// from the cache rather than re-chasing.
 std::optional<DisjunctionViolation> FindDisjunctionViolation(
     CertainAnswerSolver& solver, const Instance& instance,
     const std::vector<uint32_t>& signature, bool* conclusive,

@@ -8,20 +8,181 @@ namespace gfomq {
 
 namespace {
 
-// Extends `env` so it can hold variable ids up to `v`.
-void EnsureEnv(std::vector<int64_t>* env, uint32_t v) {
-  if (env->size() <= v) env->resize(v + 1, -1);
+// Packed normalized element pair, the key of a committed disequality.
+uint64_t PackPair(ElemId a, ElemId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
 }
 
-uint32_t MaxVarIn(const Lit& lit) {
-  uint32_t m = 0;
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Hash of a pinned-unit identity: interned rule pointer + unit coordinates
+// + binding. Used as the pin_filter key (membership is confirmed exactly).
+uint64_t PinHash(const GuardedRule* rule, size_t alt_index, size_t unit_index,
+                 bool is_count, const std::vector<ElemId>& binding) {
+  uint64_t h = reinterpret_cast<uintptr_t>(rule);
+  h = MixHash(h, alt_index);
+  h = MixHash(h, unit_index);
+  h = MixHash(h, is_count ? 1 : 0);
+  for (ElemId e : binding) h = MixHash(h, e);
+  return h;
+}
+
+uint32_t MaxVarIn(const Lit& lit, uint32_t m) {
   for (uint32_t v : lit.args) m = std::max(m, v);
   return m;
 }
 
+// Unification core shared by the indexed and naive guard matchers: tries
+// every candidate fact against `guard`, extending `env` into the hoisted
+// scratch buffer `ext` (one allocation per enumeration, not per fact).
+template <typename FactRange>
+bool RunGuardMatch(
+    const Lit& guard, const FactRange& candidates,
+    const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats) {
+  std::vector<int64_t> ext;
+  for (const Fact* f : candidates) {
+    if (stats != nullptr) ++stats->guard_match_probes;
+    if (f->args.size() != guard.args.size()) continue;
+    ext.assign(env.begin(), env.end());
+    bool ok = true;
+    for (size_t i = 0; i < guard.args.size() && ok; ++i) {
+      uint32_t v = guard.args[i];
+      if (ext[v] < 0) {
+        ext[v] = static_cast<int64_t>(f->args[i]);
+      } else if (ext[v] != static_cast<int64_t>(f->args[i])) {
+        ok = false;
+      }
+    }
+    if (ok && fn(ext)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-// --- Small predicates ---------------------------------------------------------
+bool ForEachGuardMatch(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats) {
+  // Most-selective-bound-position ordering: among the guard's bound
+  // argument positions pick the shortest (rel, pos, elem) candidate list;
+  // with nothing bound, fall back to the per-relation list.
+  const std::vector<const Fact*>* candidates = nullptr;
+  for (size_t i = 0; i < guard.args.size(); ++i) {
+    uint32_t v = guard.args[i];
+    if (v >= env.size() || env[v] < 0) continue;
+    const std::vector<const Fact*>& lst = inst.FactsAtPtr(
+        guard.rel, static_cast<uint32_t>(i), static_cast<ElemId>(env[v]));
+    if (candidates == nullptr || lst.size() < candidates->size()) {
+      candidates = &lst;
+    }
+  }
+  if (candidates != nullptr) {
+    if (stats != nullptr) ++stats->index_lookups;
+  } else {
+    if (stats != nullptr) ++stats->relation_scans;
+    candidates = &inst.FactsOfPtr(guard.rel);
+  }
+  return RunGuardMatch(guard, *candidates, env, fn, stats);
+}
+
+bool ForEachGuardMatchNaive(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats) {
+  // Full scan over every fact of the instance, in sorted fact order —
+  // exactly the pre-index behaviour, retained as the differential and
+  // bench reference.
+  if (stats != nullptr) ++stats->relation_scans;
+  std::vector<const Fact*> candidates;
+  for (const Fact& f : inst.facts()) {
+    if (stats != nullptr) ++stats->guard_match_probes;
+    if (f.rel == guard.rel) candidates.push_back(&f);
+  }
+  return RunGuardMatch(guard, candidates, env, fn, stats);
+}
+
+// --- Construction --------------------------------------------------------------
+
+Tableau::Tableau(const RuleSet& rules, TableauBudget budget,
+                 bool naive_matching)
+    : rules_(rules), budget_(budget), naive_(naive_matching) {
+  // Precompute every environment size once: the hot loops then allocate
+  // exactly-sized environments instead of re-deriving max-vars and
+  // resizing per obligation (the old EnsureEnv churn).
+  for (const GuardedRule& r : rules_.rules) {
+    uint32_t rule_need = r.num_vars;
+    for (const HeadAlt& alt : r.head) {
+      for (const ExistsUnit& e : alt.exists) {
+        uint32_t mv = 0;
+        mv = MaxVarIn(e.guard, mv);
+        for (const Lit& l : e.lits) mv = MaxVarIn(l, mv);
+        for (uint32_t q : e.qvars) mv = std::max(mv, q);
+        uint32_t need = std::max(r.num_vars, mv + 1);
+        env_need_[&e] = need;
+        rule_need = std::max(rule_need, need);
+      }
+      for (const ForallUnit& u : alt.foralls) {
+        uint32_t mv = 0;
+        mv = MaxVarIn(u.guard, mv);
+        for (const Lit& l : u.clause.lits) mv = MaxVarIn(l, mv);
+        for (uint32_t q : u.qvars) mv = std::max(mv, q);
+        uint32_t need = std::max(r.num_vars, mv + 1);
+        env_need_[&u] = need;
+        rule_need = std::max(rule_need, need);
+      }
+      for (const CountUnit& c : alt.counts) {
+        uint32_t mv = c.qvar;
+        mv = MaxVarIn(c.guard, mv);
+        for (const Lit& l : c.lits) mv = MaxVarIn(l, mv);
+        uint32_t need = std::max(r.num_vars, mv + 1);
+        env_need_[&c] = need;
+        rule_need = std::max(rule_need, need);
+      }
+    }
+    env_need_[&r] = rule_need;
+  }
+}
+
+uint32_t Tableau::EnvNeed(const void* unit) const {
+  auto it = env_need_.find(unit);
+  assert(it != env_need_.end());
+  return it->second;
+}
+
+bool Tableau::GuardMatch(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn) {
+  return naive_ ? ForEachGuardMatchNaive(guard, inst, env, fn, &stats_)
+                : ForEachGuardMatch(guard, inst, env, fn, &stats_);
+}
+
+// --- Branch helpers ------------------------------------------------------------
+
+Instance* Tableau::Branch::Mut(TableauStats* stats) {
+  // Copy-on-write: forked branches share the parent's Instance (and its
+  // fact indexes); the first mutation after a fork clones it. Branches
+  // that close before mutating — or deterministic chains, whose sole
+  // successor inherits the parent's reference — never pay for a copy.
+  if (inst.use_count() > 1) {
+    if (stats != nullptr) ++stats->cow_copies;
+    inst = std::make_shared<Instance>(*inst);
+  }
+  return inst.get();
+}
+
+ElemId Tableau::Branch::Find(ElemId e) const {
+  while (e < canon.size() && canon[e] != e) e = canon[e];
+  return e;
+}
+
+// --- Small predicates ----------------------------------------------------------
 
 bool Tableau::LitHolds(const Lit& lit, const std::vector<ElemId>& env,
                        const Instance& inst) const {
@@ -37,18 +198,26 @@ bool Tableau::LitHolds(const Lit& lit, const std::vector<ElemId>& env,
 }
 
 bool Tableau::Diseq(const Branch& branch, ElemId a, ElemId b) const {
+  // Resolve through the merge union-find first: ids captured before a
+  // merge must compare as their survivors, never as raw (possibly dead)
+  // ids — see the count-unit witness regression in the tests.
+  a = branch.Find(a);
+  b = branch.Find(b);
   if (a == b) return false;
   // Distinct constants are always unequal (standard names).
-  if (!branch.inst.IsNull(a) && !branch.inst.IsNull(b)) return true;
-  for (const auto& [x, y] : branch.diseq) {
-    if ((x == a && y == b) || (x == b && y == a)) return true;
-  }
-  return false;
+  if (!branch.I().IsNull(a) && !branch.I().IsNull(b)) return true;
+  return branch.diseq.count(PackPair(a, b)) > 0;
 }
 
 bool Tableau::PinnedAlready(const Branch& branch, const GuardedRule* rule,
                             size_t alt_index, size_t unit_index, bool is_count,
                             const std::vector<ElemId>& binding) const {
+  // Hash-filter fast path: a missing hash proves the pin is absent. A
+  // present hash is confirmed by the exact scan (collisions are harmless).
+  if (branch.pin_filter.count(
+          PinHash(rule, alt_index, unit_index, is_count, binding)) == 0) {
+    return false;
+  }
   for (const Pinned& p : branch.pinned) {
     if (p.rule == rule && p.alt_index == alt_index &&
         p.unit_index == unit_index && p.is_count == is_count &&
@@ -59,53 +228,33 @@ bool Tableau::PinnedAlready(const Branch& branch, const GuardedRule* rule,
   return false;
 }
 
-// Enumerates extensions of `env` (a partial assignment) that match `guard`
-// against a fact, binding exactly the unassigned guard variables.
-static void ForEachGuardMatch(
-    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
-    const std::function<void(const std::vector<int64_t>&)>& fn) {
-  for (const Fact& f : inst.facts()) {
-    if (f.rel != guard.rel) continue;
-    std::vector<int64_t> ext = env;
-    bool ok = true;
-    for (size_t i = 0; i < guard.args.size() && ok; ++i) {
-      uint32_t v = guard.args[i];
-      if (ext.size() <= v) ext.resize(v + 1, -1);
-      if (ext[v] < 0) {
-        ext[v] = static_cast<int64_t>(f.args[i]);
-      } else if (ext[v] != static_cast<int64_t>(f.args[i])) {
-        ok = false;
-      }
-    }
-    if (ok) fn(ext);
-  }
-}
-
 std::vector<ElemId> Tableau::CountWitnesses(const CountUnit& unit,
                                             const std::vector<ElemId>& binding,
-                                            const Branch& branch) const {
+                                            const Branch& branch) {
   std::vector<ElemId> out;
-  std::vector<int64_t> env(binding.begin(), binding.end());
-  EnsureEnv(&env, unit.qvar);
-  for (const Lit& l : unit.lits) EnsureEnv(&env, MaxVarIn(l));
-  EnsureEnv(&env, MaxVarIn(unit.guard));
+  std::vector<int64_t> env(EnvNeed(&unit), -1);
+  for (size_t i = 0; i < binding.size() && i < env.size(); ++i) {
+    env[i] = static_cast<int64_t>(binding[i]);
+  }
   env[unit.qvar] = -1;
-  std::set<ElemId> seen;
-  ForEachGuardMatch(unit.guard, branch.inst, env,
-                    [&](const std::vector<int64_t>& ext) {
-                      if (ext[unit.qvar] < 0) return;
-                      ElemId y = static_cast<ElemId>(ext[unit.qvar]);
-                      if (seen.count(y)) return;
-                      std::vector<ElemId> full(ext.size(), 0);
-                      for (size_t i = 0; i < ext.size(); ++i) {
-                        full[i] = ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
-                      }
-                      for (const Lit& l : unit.lits) {
-                        if (!LitHolds(l, full, branch.inst)) return;
-                      }
-                      seen.insert(y);
-                      out.push_back(y);
-                    });
+  std::vector<ElemId> full;
+  GuardMatch(unit.guard, branch.I(), env,
+             [&](const std::vector<int64_t>& ext) {
+               if (ext[unit.qvar] < 0) return false;
+               ElemId y = static_cast<ElemId>(ext[unit.qvar]);
+               if (std::find(out.begin(), out.end(), y) != out.end()) {
+                 return false;
+               }
+               full.assign(ext.size(), 0);
+               for (size_t i = 0; i < ext.size(); ++i) {
+                 full[i] = ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
+               }
+               for (const Lit& l : unit.lits) {
+                 if (!LitHolds(l, full, branch.I())) return false;
+               }
+               out.push_back(y);
+               return false;
+             });
   return out;
 }
 
@@ -115,72 +264,65 @@ bool Tableau::ForallUnitSatisfiedAt(const ForallUnit& unit,
                                     const Branch& branch) const {
   (void)binding;
   for (const Lit& l : unit.clause.lits) {
-    if (LitHolds(l, match, branch.inst)) return true;
+    if (LitHolds(l, match, branch.I())) return true;
   }
   return false;
 }
 
 bool Tableau::AltSatisfied(const HeadAlt& alt,
                            const std::vector<ElemId>& binding,
-                           const Branch& branch) const {
+                           const Branch& branch) {
   if (alt.is_false) return false;
-  std::vector<ElemId> env = binding;
   for (const Lit& l : alt.lits) {
-    if (!LitHolds(l, env, branch.inst)) return false;
+    if (!LitHolds(l, binding, branch.I())) return false;
   }
+  std::vector<ElemId> full;
   for (const ExistsUnit& e : alt.exists) {
-    std::vector<int64_t> partial(binding.begin(), binding.end());
-    EnsureEnv(&partial, MaxVarIn(e.guard));
-    for (const Lit& l : e.lits) EnsureEnv(&partial, MaxVarIn(l));
-    for (uint32_t q : e.qvars) {
-      EnsureEnv(&partial, q);
-      partial[q] = -1;
+    std::vector<int64_t> partial(EnvNeed(&e), -1);
+    for (size_t i = 0; i < binding.size() && i < partial.size(); ++i) {
+      partial[i] = static_cast<int64_t>(binding[i]);
     }
-    bool found = false;
-    ForEachGuardMatch(e.guard, branch.inst, partial,
-                      [&](const std::vector<int64_t>& ext) {
-                        if (found) return;
-                        std::vector<ElemId> full(ext.size(), 0);
-                        for (size_t i = 0; i < ext.size(); ++i) {
-                          if (ext[i] < 0) return;  // unbound var in lits
-                          full[i] = static_cast<ElemId>(ext[i]);
-                        }
-                        for (const Lit& l : e.lits) {
-                          if (!LitHolds(l, full, branch.inst)) return;
-                        }
-                        found = true;
-                      });
+    for (uint32_t q : e.qvars) partial[q] = -1;
+    bool found =
+        GuardMatch(e.guard, branch.I(), partial,
+                   [&](const std::vector<int64_t>& ext) {
+                     full.assign(ext.size(), 0);
+                     for (size_t i = 0; i < ext.size(); ++i) {
+                       if (ext[i] < 0) return false;  // unbound var in lits
+                       full[i] = static_cast<ElemId>(ext[i]);
+                     }
+                     for (const Lit& l : e.lits) {
+                       if (!LitHolds(l, full, branch.I())) return false;
+                     }
+                     return true;  // witness found; stop enumerating
+                   });
     if (!found) return false;
   }
   // Universal and at-most units count as satisfied only when committed
   // (pinned); the pin is then enforced by its own obligations.
-  // To locate them we need the rule/alt indices, which AltSatisfied does
-  // not know — callers pass them via the pinned check below.
   // Here we conservatively require that such units are pinned; the caller
-  // performs that check (see RuleInstanceSatisfied).
+  // performs that check (see the rule-instance loop in FindObligation).
   return true;
 }
 
 // --- Obligation discovery ------------------------------------------------------
 
 std::optional<Tableau::Obligation> Tableau::FindObligation(
-    const Branch& branch) const {
-  // 1. Functionality merges (deterministic).
+    const Branch& branch) {
+  // 1. Functionality merges (deterministic). One hash pass over the
+  // per-relation index instead of the old quadratic pair scan.
   for (const FunctionalityConstraint& fc : rules_.functional) {
-    std::vector<Fact> rfacts = branch.inst.FactsOf(fc.rel);
-    for (size_t i = 0; i < rfacts.size(); ++i) {
-      for (size_t j = i + 1; j < rfacts.size(); ++j) {
-        ElemId key_i = fc.inverse ? rfacts[i].args[1] : rfacts[i].args[0];
-        ElemId key_j = fc.inverse ? rfacts[j].args[1] : rfacts[j].args[0];
-        ElemId val_i = fc.inverse ? rfacts[i].args[0] : rfacts[i].args[1];
-        ElemId val_j = fc.inverse ? rfacts[j].args[0] : rfacts[j].args[1];
-        if (key_i == key_j && val_i != val_j) {
-          Obligation ob;
-          ob.kind = Obligation::Kind::kMergeFunc;
-          ob.merge_a = val_i;
-          ob.merge_b = val_j;
-          return ob;
-        }
+    std::unordered_map<ElemId, ElemId> val_of;
+    for (const Fact* f : branch.I().FactsOfPtr(fc.rel)) {
+      ElemId key = fc.inverse ? f->args[1] : f->args[0];
+      ElemId val = fc.inverse ? f->args[0] : f->args[1];
+      auto [it, fresh] = val_of.emplace(key, val);
+      if (!fresh && it->second != val) {
+        Obligation ob;
+        ob.kind = Obligation::Kind::kMergeFunc;
+        ob.merge_a = it->second;
+        ob.merge_b = val;
+        return ob;
       }
     }
   }
@@ -188,31 +330,28 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
   for (const Pinned& p : branch.pinned) {
     if (p.is_count) continue;
     const ForallUnit& unit = p.rule->head[p.alt_index].foralls[p.unit_index];
-    std::vector<int64_t> env(p.binding.begin(), p.binding.end());
-    EnsureEnv(&env, MaxVarIn(unit.guard));
-    for (const Lit& l : unit.clause.lits) EnsureEnv(&env, MaxVarIn(l));
-    for (uint32_t q : unit.qvars) {
-      EnsureEnv(&env, q);
-      env[q] = -1;
+    std::vector<int64_t> env(EnvNeed(&unit), -1);
+    for (size_t i = 0; i < p.binding.size() && i < env.size(); ++i) {
+      env[i] = static_cast<int64_t>(p.binding[i]);
     }
+    for (uint32_t q : unit.qvars) env[q] = -1;
     std::optional<Obligation> found;
-    ForEachGuardMatch(unit.guard, branch.inst, env,
-                      [&](const std::vector<int64_t>& ext) {
-                        if (found) return;
-                        std::vector<ElemId> full(ext.size(), 0);
-                        for (size_t i = 0; i < ext.size(); ++i) {
-                          full[i] =
-                              ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
-                        }
-                        if (!ForallUnitSatisfiedAt(unit, p.binding, full,
-                                                   branch)) {
-                          Obligation ob;
-                          ob.kind = Obligation::Kind::kPinForall;
-                          ob.pin = &p;
-                          ob.match = full;
-                          found = ob;
-                        }
-                      });
+    GuardMatch(unit.guard, branch.I(), env,
+               [&](const std::vector<int64_t>& ext) {
+                 std::vector<ElemId> full(ext.size(), 0);
+                 for (size_t i = 0; i < ext.size(); ++i) {
+                   full[i] = ext[i] < 0 ? 0 : static_cast<ElemId>(ext[i]);
+                 }
+                 if (!ForallUnitSatisfiedAt(unit, p.binding, full, branch)) {
+                   Obligation ob;
+                   ob.kind = Obligation::Kind::kPinForall;
+                   ob.pin = &p;
+                   ob.match = std::move(full);
+                   found = std::move(ob);
+                   return true;  // first unsatisfied match suffices
+                 }
+                 return false;
+               });
     if (found) return found;
   }
   // 3. Pinned at-most units with an overflow.
@@ -248,7 +387,7 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
     auto instance_satisfied = [&](const std::vector<ElemId>& binding) {
       // A rule instance with a failing body literal is vacuously satisfied.
       for (const Lit& l : rule.body) {
-        if (!LitHolds(l, binding, branch.inst)) return true;
+        if (!LitHolds(l, binding, branch.I())) return true;
       }
       for (size_t ai = 0; ai < rule.head.size(); ++ai) {
         const HeadAlt& alt = rule.head[ai];
@@ -277,8 +416,8 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
     };
 
     if (rule.eq_guard) {
-      for (ElemId e = 0; e < branch.inst.NumElements(); ++e) {
-        if (e < branch.dead.size() && branch.dead[e]) continue;
+      for (ElemId e = 0; e < branch.I().NumElements(); ++e) {
+        if (branch.IsDead(e)) continue;
         if (best && e >= best_key) break;  // can't improve
         std::vector<ElemId> binding(rule.num_vars, e);
         if (!instance_satisfied(binding)) {
@@ -292,24 +431,25 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
       }
     } else {
       std::vector<int64_t> env(rule.num_vars, -1);
-      ForEachGuardMatch(rule.guard, branch.inst, env,
-                        [&](const std::vector<int64_t>& ext) {
-                          std::vector<ElemId> binding(rule.num_vars, 0);
-                          ElemId key = 0;
-                          for (uint32_t v = 0; v < rule.num_vars; ++v) {
-                            if (ext[v] < 0) return;  // guard must bind all
-                            binding[v] = static_cast<ElemId>(ext[v]);
-                            key = std::max(key, binding[v]);
-                          }
-                          if (best && key >= best_key) return;
-                          if (!instance_satisfied(binding)) {
-                            Obligation ob;
-                            ob.kind = Obligation::Kind::kRule;
-                            ob.rule = &rule;
-                            ob.binding = binding;
-                            consider(std::move(ob));
-                          }
-                        });
+      GuardMatch(rule.guard, branch.I(), env,
+                 [&](const std::vector<int64_t>& ext) {
+                   std::vector<ElemId> binding(rule.num_vars, 0);
+                   ElemId key = 0;
+                   for (uint32_t v = 0; v < rule.num_vars; ++v) {
+                     if (ext[v] < 0) return false;  // guard must bind all
+                     binding[v] = static_cast<ElemId>(ext[v]);
+                     key = std::max(key, binding[v]);
+                   }
+                   if (best && key >= best_key) return false;
+                   if (!instance_satisfied(binding)) {
+                     Obligation ob;
+                     ob.kind = Obligation::Kind::kRule;
+                     ob.rule = &rule;
+                     ob.binding = std::move(binding);
+                     consider(std::move(ob));
+                   }
+                   return false;
+                 });
     }
   }
   return best;
@@ -318,54 +458,83 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
 // --- Branch mutation -----------------------------------------------------------
 
 bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b) {
+  a = branch->Find(a);
+  b = branch->Find(b);
   if (a == b) return true;
   if (Diseq(*branch, a, b)) return false;
   // Keep the constant, or the smaller id.
   ElemId keep = a, drop = b;
-  if (branch->inst.IsNull(keep) && !branch->inst.IsNull(drop)) {
+  if (branch->I().IsNull(keep) && !branch->I().IsNull(drop)) {
     std::swap(keep, drop);
-  } else if (branch->inst.IsNull(keep) == branch->inst.IsNull(drop) &&
+  } else if (branch->I().IsNull(keep) == branch->I().IsNull(drop) &&
              drop < keep) {
     std::swap(keep, drop);
   }
-  // Rewrite facts.
+  // Rewrite facts, via the per-element Gaifman index rather than a full
+  // fact scan.
+  Instance* inst = branch->Mut(&stats_);
   std::vector<Fact> to_fix;
-  for (const Fact& f : branch->inst.facts()) {
-    if (std::find(f.args.begin(), f.args.end(), drop) != f.args.end()) {
-      to_fix.push_back(f);
-    }
-  }
+  for (const Fact* f : inst->FactsContainingPtr(drop)) to_fix.push_back(*f);
   for (const Fact& f : to_fix) {
-    branch->inst.RemoveFact(f);
+    inst->RemoveFact(f);
     Fact g = f;
     for (ElemId& x : g.args) {
       if (x == drop) x = keep;
     }
-    branch->inst.AddFact(g);
+    inst->AddFact(g);
   }
-  // Rewrite pins, disequalities and forbidden facts.
+  // Record the merge in the union-find.
+  if (branch->canon.size() <= drop) {
+    size_t old = branch->canon.size();
+    branch->canon.resize(drop + 1);
+    for (size_t e = old; e < branch->canon.size(); ++e) {
+      branch->canon[e] = static_cast<ElemId>(e);
+    }
+  }
+  branch->canon[drop] = keep;
+  // Rewrite pins (and rebuild the hash filter when anything changed),
+  // disequalities and forbidden facts.
+  bool pins_changed = false;
   for (Pinned& p : branch->pinned) {
     for (ElemId& x : p.binding) {
-      if (x == drop) x = keep;
+      if (x == drop) {
+        x = keep;
+        pins_changed = true;
+      }
     }
   }
-  for (auto& [x, y] : branch->diseq) {
-    if (x == drop) x = keep;
-    if (y == drop) y = keep;
-    if (x == y) return false;  // committed disequality violated
-  }
-  std::set<Fact> new_forbidden;
-  for (const Fact& f : branch->forbidden) {
-    Fact g = f;
-    for (ElemId& x : g.args) {
-      if (x == drop) x = keep;
+  if (pins_changed) {
+    branch->pin_filter.clear();
+    for (const Pinned& p : branch->pinned) {
+      branch->pin_filter.insert(
+          PinHash(p.rule, p.alt_index, p.unit_index, p.is_count, p.binding));
     }
-    if (branch->inst.HasFact(g)) return false;  // commitment violated
-    new_forbidden.insert(std::move(g));
   }
-  branch->forbidden = std::move(new_forbidden);
-  if (branch->dead.size() <= drop) branch->dead.resize(drop + 1, false);
-  branch->dead[drop] = true;
+  if (!branch->diseq.empty()) {
+    std::unordered_set<uint64_t> remapped;
+    remapped.reserve(branch->diseq.size());
+    for (uint64_t pk : branch->diseq) {
+      ElemId x = static_cast<ElemId>(pk >> 32);
+      ElemId y = static_cast<ElemId>(pk & 0xFFFFFFFFu);
+      if (x == drop) x = keep;
+      if (y == drop) y = keep;
+      if (x == y) return false;  // committed disequality violated
+      remapped.insert(PackPair(x, y));
+    }
+    branch->diseq = std::move(remapped);
+  }
+  if (!branch->forbidden.empty()) {
+    std::set<Fact> new_forbidden;
+    for (const Fact& f : branch->forbidden) {
+      Fact g = f;
+      for (ElemId& x : g.args) {
+        if (x == drop) x = keep;
+      }
+      if (inst->HasFact(g)) return false;  // commitment violated
+      new_forbidden.insert(std::move(g));
+    }
+    branch->forbidden = std::move(new_forbidden);
+  }
   return true;
 }
 
@@ -379,7 +548,7 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
       for (uint32_t v : l.args) args.push_back((*env)[v]);
       Fact f{l.rel, std::move(args)};
       if (branch->forbidden.count(f)) return false;
-      branch->inst.AddFact(f);
+      branch->Mut(&stats_)->AddFact(f);
     }
   }
   for (const Lit& l : lits) {
@@ -388,26 +557,22 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
       ElemId b = (*env)[l.args[1]];
       if (a == b) continue;
       if (!MergeElements(branch, a, b)) return false;
-      // Update env entries that referenced the dropped element.
-      ElemId keep = branch->dead.size() > a && branch->dead[a] ? b : a;
-      ElemId drop = keep == a ? b : a;
-      for (ElemId& x : *env) {
-        if (x == drop) x = keep;
-      }
+      // Canonicalize every env entry through the union-find.
+      for (ElemId& x : *env) x = branch->Find(x);
     }
   }
   for (const Lit& l : lits) {
     if (l.is_eq && !l.positive) {
-      ElemId a = (*env)[l.args[0]];
-      ElemId b = (*env)[l.args[1]];
+      ElemId a = branch->Find((*env)[l.args[0]]);
+      ElemId b = branch->Find((*env)[l.args[1]]);
       if (a == b) return false;
-      if (!Diseq(*branch, a, b)) branch->diseq.emplace_back(a, b);
+      if (!Diseq(*branch, a, b)) branch->diseq.insert(PackPair(a, b));
     } else if (!l.is_eq && !l.positive) {
       std::vector<ElemId> args;
       args.reserve(l.args.size());
       for (uint32_t v : l.args) args.push_back((*env)[v]);
       Fact f{l.rel, std::move(args)};
-      if (branch->inst.HasFact(f)) return false;
+      if (branch->I().HasFact(f)) return false;
       branch->forbidden.insert(std::move(f));  // committed negative fact
     }
   }
@@ -416,12 +581,15 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
 
 // --- Expansion -----------------------------------------------------------------
 
-std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
+std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
                                              const Obligation& ob) {
+  // `branch` is consumed: every alternative but the last forks a COW copy;
+  // the last reuses the storage, so a deterministic chase chain keeps
+  // mutating one instance in place.
   std::vector<Branch> out;
   switch (ob.kind) {
     case Obligation::Kind::kMergeFunc: {
-      Branch next = branch;
+      Branch next = std::move(branch);
       if (MergeElements(&next, ob.merge_a, ob.merge_b)) {
         out.push_back(std::move(next));
       }
@@ -430,17 +598,32 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
     case Obligation::Kind::kPinForall: {
       const ForallUnit& unit =
           ob.pin->rule->head[ob.pin->alt_index].foralls[ob.pin->unit_index];
-      for (const Lit& l : unit.clause.lits) {
-        Branch next = branch;
+      const std::vector<Lit>& clause = unit.clause.lits;
+      for (size_t li = 0; li < clause.size(); ++li) {
+        Branch next;
+        if (li + 1 == clause.size()) {
+          next = std::move(branch);
+        } else {
+          next = branch;
+        }
         std::vector<ElemId> env = ob.match;
-        if (ApplyLits(&next, {l}, &env)) out.push_back(std::move(next));
+        if (ApplyLits(&next, {clause[li]}, &env)) {
+          out.push_back(std::move(next));
+        }
       }
       return out;
     }
     case Obligation::Kind::kPinAtMost: {
+      size_t pairs = ob.witnesses.size() * (ob.witnesses.size() - 1) / 2;
+      size_t done = 0;
       for (size_t i = 0; i < ob.witnesses.size(); ++i) {
         for (size_t j = i + 1; j < ob.witnesses.size(); ++j) {
-          Branch next = branch;
+          Branch next;
+          if (++done == pairs) {
+            next = std::move(branch);
+          } else {
+            next = branch;
+          }
           if (MergeElements(&next, ob.witnesses[i], ob.witnesses[j])) {
             out.push_back(std::move(next));
           }
@@ -450,12 +633,22 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
     }
     case Obligation::Kind::kRule: {
       const GuardedRule& rule = *ob.rule;
+      size_t last_alt = rule.head.size();
+      for (size_t ai = 0; ai < rule.head.size(); ++ai) {
+        if (!rule.head[ai].is_false) last_alt = ai;
+      }
       for (size_t ai = 0; ai < rule.head.size(); ++ai) {
         const HeadAlt& alt = rule.head[ai];
         if (alt.is_false) continue;
-        Branch next = branch;
+        Branch next;
+        if (ai == last_alt) {
+          next = std::move(branch);
+        } else {
+          next = branch;
+        }
         std::vector<ElemId> env = ob.binding;
         bool alive = ApplyLits(&next, alt.lits, &env);
+        if (alive) env.resize(EnvNeed(&rule), 0);
         // Existential units: fresh witnesses.
         for (size_t ei = 0; ei < alt.exists.size() && alive; ++ei) {
           const ExistsUnit& e = alt.exists[ei];
@@ -464,11 +657,8 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
             stats_.budget_hit = true;
             break;
           }
-          uint32_t max_var = MaxVarIn(e.guard);
-          for (const Lit& l : e.lits) max_var = std::max(max_var, MaxVarIn(l));
-          if (env.size() <= max_var) env.resize(max_var + 1, 0);
           for (uint32_t q : e.qvars) {
-            env[q] = next.inst.AddNull();
+            env[q] = next.Mut(&stats_)->AddNull();
             ++next.fresh_nulls;
           }
           std::vector<Lit> to_apply;
@@ -484,6 +674,8 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
           p.unit_index = ui;
           p.is_count = false;
           p.binding.assign(env.begin(), env.begin() + rule.num_vars);
+          next.pin_filter.insert(
+              PinHash(p.rule, ai, ui, false, p.binding));
           next.pinned.push_back(std::move(p));
         }
         for (size_t ui = 0; ui < alt.counts.size() && alive; ++ui) {
@@ -498,13 +690,9 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
                 stats_.budget_hit = true;
                 break;
               }
-              uint32_t max_var = std::max(MaxVarIn(c.guard), c.qvar);
-              for (const Lit& l : c.lits) {
-                max_var = std::max(max_var, MaxVarIn(l));
-              }
               std::vector<ElemId> wenv = binding;
-              if (wenv.size() <= max_var) wenv.resize(max_var + 1, 0);
-              ElemId fresh = next.inst.AddNull();
+              wenv.resize(EnvNeed(&c), 0);
+              ElemId fresh = next.Mut(&stats_)->AddNull();
               ++next.fresh_nulls;
               wenv[c.qvar] = fresh;
               std::vector<Lit> to_apply;
@@ -512,11 +700,29 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
               for (const Lit& l : c.lits) to_apply.push_back(l);
               alive = ApplyLits(&next, to_apply, &wenv);
               if (!alive) break;
+              // The witness (or a previous one) may have been merged away
+              // while its defining literals were applied; resolve before
+              // committing distinctness, else the disequality would attach
+              // to a dead id and silently stop constraining the branch.
+              ElemId fresh_c = next.Find(fresh);
+              bool collided = false;
+              for (ElemId& w : have) {
+                w = next.Find(w);
+                if (w == fresh_c) collided = true;
+              }
+              if (collided) {
+                // Forced equal to an existing witness: the unit's demand
+                // for pairwise-distinct witnesses cannot be met this way.
+                alive = false;
+                break;
+              }
               // Commit pairwise disequality with previous witnesses.
               for (ElemId w : have) {
-                if (!Diseq(next, fresh, w)) next.diseq.emplace_back(fresh, w);
+                if (!Diseq(next, fresh_c, w)) {
+                  next.diseq.insert(PackPair(fresh_c, w));
+                }
               }
-              have.push_back(fresh);
+              have.push_back(fresh_c);
             }
           } else {
             Pinned p;
@@ -525,6 +731,7 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
             p.unit_index = ui;
             p.is_count = true;
             p.binding = binding;
+            next.pin_filter.insert(PinHash(p.rule, ai, ui, true, p.binding));
             next.pinned.push_back(std::move(p));
           }
         }
@@ -538,12 +745,14 @@ std::vector<Tableau::Branch> Tableau::Expand(const Branch& branch,
 
 // --- Search --------------------------------------------------------------------
 
-bool Tableau::Explore(Branch branch,
+bool Tableau::Explore(Branch branch, uint64_t depth,
                       const std::function<bool(const Instance&)>& fn,
                       bool* stop) {
+  ++stats_.branches_opened;
+  if (depth > stats_.peak_branch_depth) stats_.peak_branch_depth = depth;
   for (;;) {
     if (*stop) return true;
-    if (prune_ != nullptr && (*prune_)(branch.inst)) {
+    if (prune_ != nullptr && (*prune_)(branch.I())) {
       // This branch can never become a rejecting model; abandon it.
       ++stats_.branches_saturated;
       return true;
@@ -558,16 +767,16 @@ bool Tableau::Explore(Branch branch,
     if (!ob) {
       ++stats_.branches_saturated;
       // Compact: drop merged-away elements before reporting.
-      Instance model(branch.inst.symbols());
-      std::vector<int64_t> remap(branch.inst.NumElements(), -1);
-      for (ElemId e = 0; e < branch.inst.NumElements(); ++e) {
-        if (e < branch.dead.size() && branch.dead[e]) continue;
-        remap[e] = branch.inst.IsNull(e)
+      Instance model(branch.I().symbols());
+      std::vector<int64_t> remap(branch.I().NumElements(), -1);
+      for (ElemId e = 0; e < branch.I().NumElements(); ++e) {
+        if (branch.IsDead(e)) continue;
+        remap[e] = branch.I().IsNull(e)
                        ? static_cast<int64_t>(model.AddNull())
                        : static_cast<int64_t>(
-                             model.AddConstant(branch.inst.ElemName(e)));
+                             model.AddConstant(branch.I().ElemName(e)));
       }
-      for (const Fact& f : branch.inst.facts()) {
+      for (const Fact& f : branch.I().facts()) {
         Fact g = f;
         for (ElemId& x : g.args) x = static_cast<ElemId>(remap[x]);
         model.AddFact(g);
@@ -578,7 +787,7 @@ bool Tableau::Explore(Branch branch,
       }
       return true;
     }
-    std::vector<Branch> successors = Expand(branch, *ob);
+    std::vector<Branch> successors = Expand(std::move(branch), *ob);
     if (successors.empty()) {
       ++stats_.branches_closed;
       return true;
@@ -590,7 +799,7 @@ bool Tableau::Explore(Branch branch,
     bool complete = true;
     for (Branch& next : successors) {
       if (*stop) break;
-      if (!Explore(std::move(next), fn, stop)) complete = false;
+      if (!Explore(std::move(next), depth + 1, fn, stop)) complete = false;
     }
     return complete;
   }
@@ -599,9 +808,10 @@ bool Tableau::Explore(Branch branch,
 bool Tableau::ForEachModel(const Instance& input,
                            const std::function<bool(const Instance&)>& fn) {
   stats_ = TableauStats{};
-  Branch root{input, {}, {}, {}, {}, 0};
+  Branch root;
+  root.inst = std::make_shared<Instance>(input);
   bool stop = false;
-  bool complete = Explore(std::move(root), fn, &stop);
+  bool complete = Explore(std::move(root), 0, fn, &stop);
   if (stats_.budget_hit) complete = false;
   return complete;
 }

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "instance/instance.h"
@@ -23,13 +26,63 @@ struct TableauBudget {
   uint64_t max_branches = 20000;     // saturated/closed branches explored
 };
 
-/// Statistics of a tableau run.
+/// Statistics of a tableau run (see DESIGN.md §Chase engine). A run's
+/// counters are reset by ForEachModel; callers that aggregate across runs
+/// (CertainAnswerSolver) use operator+=.
 struct TableauStats {
-  uint64_t steps = 0;
+  uint64_t steps = 0;                // rule firings (obligations expanded)
+  uint64_t branches_opened = 0;      // branches entered (root + successors)
   uint64_t branches_closed = 0;
   uint64_t branches_saturated = 0;
+  uint64_t guard_match_probes = 0;   // candidate facts examined by matching
+  uint64_t index_lookups = 0;        // guard matches served by (rel,pos,elem)
+  uint64_t relation_scans = 0;       // guard matches over the per-rel list
+  uint64_t cow_copies = 0;           // instance clones actually materialized
+  uint64_t peak_branch_depth = 0;    // deepest disjunctive nesting explored
   bool budget_hit = false;
+
+  TableauStats& operator+=(const TableauStats& o) {
+    steps += o.steps;
+    branches_opened += o.branches_opened;
+    branches_closed += o.branches_closed;
+    branches_saturated += o.branches_saturated;
+    guard_match_probes += o.guard_match_probes;
+    index_lookups += o.index_lookups;
+    relation_scans += o.relation_scans;
+    cow_copies += o.cow_copies;
+    peak_branch_depth = peak_branch_depth > o.peak_branch_depth
+                            ? peak_branch_depth
+                            : o.peak_branch_depth;
+    budget_hit = budget_hit || o.budget_hit;
+    return *this;
+  }
 };
+
+/// Enumerates extensions of the partial assignment `env` (entry -1 =
+/// unbound) that match `guard` against a fact of `inst`, binding exactly
+/// the unassigned guard positions. The vector handed to the callback is a
+/// scratch buffer owned by the enumeration (same size as `env`) — copy it
+/// to keep it past the callback. The callback returns true to stop; the
+/// function returns true iff it was stopped.
+///
+/// Candidate facts are drawn from the instance's incremental indexes: the
+/// most selective bound guard position selects a (rel, pos, elem) list,
+/// falling back to the per-relation list when no position is bound — the
+/// same discipline as the homomorphism Matcher. Every guard variable id
+/// must be < env.size().
+bool ForEachGuardMatch(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats = nullptr);
+
+/// The pre-index reference: scans every fact of the instance (in sorted
+/// fact order) per enumeration. Semantically identical to ForEachGuardMatch
+/// — same extension set, possibly different order — and kept for
+/// differential testing and the naive bench reference.
+bool ForEachGuardMatchNaive(
+    const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats = nullptr);
 
 /// Disjunctive guarded tableau over the rule normal form. It explores the
 /// tree of "chase branches": every saturated branch is a finite model of
@@ -37,10 +90,17 @@ struct TableauStats {
 /// branch homomorphically (preserving the input's constants). Consequently:
 ///  - consistency  = some branch saturates,
 ///  - O,D |= q(a~) = every saturated branch satisfies q(a~)   (UCQ q).
+///
+/// The engine is index-backed and copy-on-write: guard matching drives off
+/// the Instance fact indexes, branch forks share the parent's Instance
+/// until their first mutation, pinned-unit and disequality lookups are
+/// hash-set probes, and per-rule environment sizes are precomputed once.
+/// `naive_matching` selects the full-scan reference path instead (used by
+/// differential tests and the before/after benches).
 class Tableau {
  public:
-  Tableau(const RuleSet& rules, TableauBudget budget = {})
-      : rules_(rules), budget_(budget) {}
+  explicit Tableau(const RuleSet& rules, TableauBudget budget = {},
+                   bool naive_matching = false);
 
   /// Enumerates saturated branches (models). The callback returns true to
   /// stop the search early. Returns false if the budget was hit (some part
@@ -79,12 +139,27 @@ class Tableau {
   };
 
   struct Branch {
-    Instance inst;
+    // Shared copy-on-write instance: forked branches alias the parent's
+    // Instance (and thereby its fact indexes) until their first mutation.
+    std::shared_ptr<Instance> inst;
     std::vector<Pinned> pinned;
-    std::vector<std::pair<ElemId, ElemId>> diseq;  // committed disequalities
+    // Hash filter over `pinned` (PinHash of each entry): a missing hash
+    // proves absence, a present one is confirmed by the exact scan.
+    std::unordered_set<uint64_t> pin_filter;
+    // Committed disequalities as packed normalized pairs (lo, hi), stored
+    // over canonical (merge-resolved) element ids.
+    std::unordered_set<uint64_t> diseq;
     std::set<Fact> forbidden;  // committed negative facts
-    std::vector<bool> dead;  // elements merged away (ignored everywhere)
+    // Union-find over merges: canon[e] = element e was merged into (only
+    // merged-away ids have an entry != e). Resolving through Find keeps
+    // stale ids (captured before a merge) meaningful.
+    std::vector<ElemId> canon;
     uint32_t fresh_nulls = 0;
+
+    const Instance& I() const { return *inst; }
+    Instance* Mut(TableauStats* stats);
+    ElemId Find(ElemId e) const;
+    bool IsDead(ElemId e) const { return Find(e) != e; }
   };
 
   // One pending obligation found in a branch.
@@ -104,26 +179,36 @@ class Tableau {
     std::vector<ElemId> witnesses;         // at-most overflow witnesses
   };
 
-  bool Explore(Branch branch, const std::function<bool(const Instance&)>& fn,
-               bool* stop);
+  bool Explore(Branch branch, uint64_t depth,
+               const std::function<bool(const Instance&)>& fn, bool* stop);
 
   // Set during FindModelWhere with an antimonotone reject: branches on
   // which this returns true can never become rejecting models and are
   // abandoned early (counted as satisfied).
   const std::function<bool(const Instance&)>* prune_ = nullptr;
-  std::optional<Obligation> FindObligation(const Branch& branch) const;
+  std::optional<Obligation> FindObligation(const Branch& branch);
+
+  // Dispatches to the indexed or naive guard matcher per `naive_`.
+  bool GuardMatch(const Lit& guard, const Instance& inst,
+                  const std::vector<int64_t>& env,
+                  const std::function<bool(const std::vector<int64_t>&)>& fn);
+
+  // Environment size (max variable id + 1) needed to evaluate a quantified
+  // unit or a whole rule head, precomputed once at construction so the hot
+  // loops never re-derive max-vars or resize environments.
+  uint32_t EnvNeed(const void* unit) const;
 
   bool LitHolds(const Lit& lit, const std::vector<ElemId>& env,
                 const Instance& inst) const;
   bool AltSatisfied(const HeadAlt& alt, const std::vector<ElemId>& binding,
-                    const Branch& branch) const;
+                    const Branch& branch);
   bool ForallUnitSatisfiedAt(const ForallUnit& unit,
                              const std::vector<ElemId>& binding,
                              const std::vector<ElemId>& match,
                              const Branch& branch) const;
   std::vector<ElemId> CountWitnesses(const CountUnit& unit,
                                      const std::vector<ElemId>& binding,
-                                     const Branch& branch) const;
+                                     const Branch& branch);
   bool PinnedAlready(const Branch& branch, const GuardedRule* rule,
                      size_t alt_index, size_t unit_index, bool is_count,
                      const std::vector<ElemId>& binding) const;
@@ -134,13 +219,20 @@ class Tableau {
   bool MergeElements(Branch* branch, ElemId a, ElemId b);
   bool Diseq(const Branch& branch, ElemId a, ElemId b) const;
 
-  // Expansion: all successor branches of firing `ob` on `branch`.
-  std::vector<Branch> Expand(const Branch& branch, const Obligation& ob);
+  // Expansion: all successor branches of firing `ob`. Consumes `branch`
+  // (the final alternative reuses its storage, which lets deterministic
+  // chase chains mutate one shared instance in place).
+  std::vector<Branch> Expand(Branch branch, const Obligation& ob);
 
   const RuleSet& rules_;
   TableauBudget budget_;
+  bool naive_;
   TableauStats stats_;
   std::optional<Instance> last_model_;
+  // Precomputed environment sizes: per rule (keyed by GuardedRule*, the
+  // size covering every variable of the rule incl. quantified units) and
+  // per unit (keyed by ExistsUnit*/ForallUnit*/CountUnit*).
+  std::unordered_map<const void*, uint32_t> env_need_;
 };
 
 }  // namespace gfomq

@@ -433,8 +433,9 @@ MarkerStatus CheckMarker(CertainAnswerSolver& solver, const Instance& input,
   }
   TableauBudget budget;
   budget.max_steps = 20000;
-  Tableau tableau(solver.rules(), budget);
-  Certainty c = tableau.IsConsistent(extended);
+  // Route through the solver so repeated marker probes (isomorphic
+  // extensions recur across cells) hit the shared consistency cache.
+  Certainty c = solver.TableauIsConsistent(extended, budget);
   if (c == Certainty::kYes) return MarkerStatus::kRefuted;
   if (c == Certainty::kNo) return MarkerStatus::kEntailedProved;
   return MarkerStatus::kNoCountermodelUpTo;

@@ -1,0 +1,257 @@
+// Unit and concurrency suites for the sharded consistency cache:
+//  - LRU bounding, eviction counters, first-writer-wins semantics.
+//  - CanonicalKey soundness: equal keys only for isomorphic content,
+//    invariance under constant renaming and insertion order.
+//  - Hammering: 8 pool workers race lookups and conflicting inserts on a
+//    small key space; every key must resolve to one canonical verdict.
+//  - Integration: a parallel bouquet scan sharing one solver across 8
+//    workers produces the sequential verdict while the shared cache takes
+//    concurrent traffic. Run under ThreadSanitizer (the tsan preset does).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "logic/parser.h"
+#include "reasoner/bouquet.h"
+#include "reasoner/certain.h"
+#include "reasoner/consistency_cache.h"
+
+namespace gfomq {
+namespace {
+
+TEST(ConsistencyCacheTest, LookupMissThenHit) {
+  ConsistencyCache cache(64);
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  cache.Insert("k1", Certainty::kYes);
+  auto hit = cache.Lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Certainty::kYes);
+  ConsistencyCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.5);
+}
+
+TEST(ConsistencyCacheTest, FirstWriterWins) {
+  ConsistencyCache cache(64);
+  cache.Insert("k", Certainty::kNo);
+  cache.Insert("k", Certainty::kYes);  // must not overwrite
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Certainty::kNo);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ConsistencyCacheTest, LruBoundsSizeAndEvicts) {
+  // capacity 16 over 16 shards = one entry per shard: every shard keeps
+  // only its most recent key.
+  ConsistencyCache cache(16);
+  for (int i = 0; i < 512; ++i) {
+    cache.Insert("key" + std::to_string(i), Certainty::kYes);
+  }
+  EXPECT_LE(cache.size(), 16u);
+  ConsistencyCacheStats s = cache.stats();
+  EXPECT_EQ(s.insertions, 512u);
+  EXPECT_EQ(s.evictions, 512u - cache.size());
+}
+
+TEST(ConsistencyCacheTest, LruKeepsRecentlyTouchedKeys) {
+  // capacity 32 over 16 shards = two entries per shard. Generate keys that
+  // land in "hot"'s shard (same modular hash the cache uses), so the LRU
+  // discipline within one shard is fully deterministic.
+  ConsistencyCache cache(32);
+  auto shard_of = [](const std::string& key) {
+    return std::hash<std::string>{}(key) % ConsistencyCache::kShards;
+  };
+  size_t hot_shard = shard_of("hot");
+  std::vector<std::string> colliding;
+  for (int i = 0; colliding.size() < 4; ++i) {
+    std::string k = "cold" + std::to_string(i);
+    if (shard_of(k) == hot_shard) colliding.push_back(k);
+  }
+
+  cache.Insert("hot", Certainty::kYes);
+  cache.Insert(colliding[0], Certainty::kNo);  // shard: [c0, hot]
+  ASSERT_TRUE(cache.Lookup("hot").has_value());  // touch: [hot, c0]
+  cache.Insert(colliding[1], Certainty::kNo);  // evicts c0: [c1, hot]
+  EXPECT_FALSE(cache.Lookup(colliding[0]).has_value());
+  ASSERT_TRUE(cache.Lookup("hot").has_value());  // touch: [hot, c1]
+  // Two same-shard inserts with no touch in between evict the hot key.
+  cache.Insert(colliding[2], Certainty::kNo);
+  cache.Insert(colliding[3], Certainty::kNo);
+  EXPECT_FALSE(cache.Lookup("hot").has_value());
+  EXPECT_GE(cache.stats().evictions, 3u);
+}
+
+TEST(ConsistencyCacheTest, CanonicalKeyInvariantUnderRenaming) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+
+  Instance d1(sym);
+  ElemId a = d1.AddConstant("a");
+  ElemId b = d1.AddConstant("b");
+  d1.AddFact(rel_a, {a});
+  d1.AddFact(rel_r, {a, b});
+
+  // Same shape, different constant names, facts added in another order.
+  Instance d2(sym);
+  ElemId x = d2.AddConstant("x");
+  ElemId y = d2.AddConstant("y");
+  d2.AddFact(rel_r, {x, y});
+  d2.AddFact(rel_a, {x});
+
+  EXPECT_EQ(ConsistencyCache::CanonicalKey(d1),
+            ConsistencyCache::CanonicalKey(d2));
+
+  // A null is not a constant: replacing b by a labelled null changes the
+  // key (nulls are mergeable during the chase, constants are not).
+  Instance d3(sym);
+  ElemId c = d3.AddConstant("c");
+  ElemId n = d3.AddNull();
+  d3.AddFact(rel_a, {c});
+  d3.AddFact(rel_r, {c, n});
+  EXPECT_NE(ConsistencyCache::CanonicalKey(d1),
+            ConsistencyCache::CanonicalKey(d3));
+
+  // Different structure, same fact count: different key.
+  Instance d4(sym);
+  ElemId p = d4.AddConstant("p");
+  ElemId q = d4.AddConstant("q");
+  d4.AddFact(rel_a, {q});
+  d4.AddFact(rel_r, {p, q});
+  EXPECT_NE(ConsistencyCache::CanonicalKey(d1),
+            ConsistencyCache::CanonicalKey(d4));
+
+  // Isolated elements contribute class counts.
+  Instance d5(sym);
+  ElemId a5 = d5.AddConstant("a");
+  ElemId b5 = d5.AddConstant("b");
+  d5.AddFact(rel_a, {a5});
+  d5.AddFact(rel_r, {a5, b5});
+  d5.AddConstant("iso");
+  EXPECT_NE(ConsistencyCache::CanonicalKey(d1),
+            ConsistencyCache::CanonicalKey(d5));
+}
+
+TEST(ConsistencyCacheTest, CanonicalKeyRenameOutMatchesTokens) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t rel_r = sym->Rel("R", 2);
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  d.AddFact(rel_r, {b, a});
+  std::unordered_map<ElemId, uint32_t> rename;
+  std::string key = ConsistencyCache::CanonicalKey(d, &rename);
+  ASSERT_EQ(rename.size(), 2u);
+  // First occurrence over the sorted fact list: R(b,a) names b first.
+  EXPECT_EQ(rename[b], 0u);
+  EXPECT_EQ(rename[a], 1u);
+  EXPECT_NE(key.find("c0"), std::string::npos);
+  EXPECT_NE(key.find("c1"), std::string::npos);
+}
+
+// 8 workers race conflicting inserts and lookups over a small key space.
+// Correctness contract under contention: per key, the verdict is fixed by
+// whichever insert lands first, and every subsequent observation (by any
+// worker) returns exactly that verdict. Detected failures: torn reads,
+// lost first-writer-wins, shard mutex misuse (the tsan preset runs this).
+TEST(ConsistencyCacheTest, ParallelHammeringOneVerdictPerKey) {
+  constexpr int kKeys = 64;
+  constexpr int kWorkers = 8;
+  constexpr int kOpsPerWorker = 4000;
+  ConsistencyCache cache(1 << 10);
+
+  // 0 = unseen, otherwise 1 + static_cast<int>(verdict).
+  std::array<std::atomic<int>, kKeys> observed{};
+  std::atomic<int> disagreements{0};
+
+  ThreadPool pool(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.Submit([&, w] {
+      uint64_t state = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1);
+      auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      for (int op = 0; op < kOpsPerWorker; ++op) {
+        int k = static_cast<int>(next() % kKeys);
+        std::string key = "inst" + std::to_string(k);
+        Certainty mine =
+            (next() % 2 == 0) ? Certainty::kYes : Certainty::kNo;
+        cache.Insert(key, mine);
+        auto got = cache.Lookup(key);
+        if (!got.has_value()) continue;  // evicted between the two calls
+        int tag = 1 + static_cast<int>(*got);
+        int expected = 0;
+        if (!observed[static_cast<size_t>(k)].compare_exchange_strong(
+                expected, tag) &&
+            expected != tag) {
+          disagreements.fetch_add(1);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_TRUE(pool.status().ok());
+  EXPECT_EQ(disagreements.load(), 0);
+
+  // The canonical verdict is still served after the dust settles.
+  for (int k = 0; k < kKeys; ++k) {
+    int tag = observed[static_cast<size_t>(k)].load();
+    if (tag == 0) continue;
+    auto got = cache.Lookup("inst" + std::to_string(k));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(1 + static_cast<int>(*got), tag) << k;
+  }
+}
+
+// The real traffic shape: a parallel bouquet scan shares one solver (and
+// thus one cache) across 8 workers. The verdict must equal the sequential
+// one, and the scan must actually exercise the cache concurrently.
+TEST(ConsistencyCacheTest, ParallelBouquetScanSharesOneCache) {
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));");
+  ASSERT_TRUE(onto.ok());
+
+  BouquetOptions opts;
+  opts.max_outdegree = 2;
+
+  auto seq_solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(seq_solver.ok());
+  opts.num_threads = 1;
+  MetaDecision seq = DecidePtimeByBouquets(*seq_solver, onto->symbols,
+                                           onto->Signature(), opts);
+
+  auto par_solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(par_solver.ok());
+  opts.num_threads = 8;
+  MetaDecision par = DecidePtimeByBouquets(*par_solver, onto->symbols,
+                                           onto->Signature(), opts);
+
+  EXPECT_EQ(par.ptime, seq.ptime);
+  EXPECT_EQ(par.bouquets_checked, seq.bouquets_checked);
+  EXPECT_EQ(par.violation.has_value(), seq.violation.has_value());
+
+  ConsistencyCacheStats cache = par_solver->cache_stats();
+  EXPECT_GT(cache.Lookups(), 0u);
+  EXPECT_GT(cache.insertions, 0u);
+
+  // A second scan on the warm solver is served from the cache and agrees.
+  MetaDecision warm = DecidePtimeByBouquets(*par_solver, onto->symbols,
+                                            onto->Signature(), opts);
+  EXPECT_EQ(warm.ptime, seq.ptime);
+  EXPECT_EQ(warm.bouquets_checked, seq.bouquets_checked);
+  EXPECT_GT(par_solver->cache_stats().hits, cache.hits);
+}
+
+}  // namespace
+}  // namespace gfomq

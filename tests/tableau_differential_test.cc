@@ -1,0 +1,228 @@
+// Differential suites for the index-backed, memoizing chase engine:
+//  - ForEachGuardMatch (index-driven) must enumerate exactly the extension
+//    set of ForEachGuardMatchNaive (full scan) on random instances, for
+//    every binding pattern of the guard.
+//  - CertainAnswerSolver with the indexed engine and the shared consistency
+//    cache must return bit-identical verdicts to the naive, cache-off
+//    reference — including on the second, cache-served pass.
+//  - Regression: disequalities between at-least witnesses must be recorded
+//    on the union-find representatives, so a witness merged into an earlier
+//    one closes the branch instead of pinning a disequality to a dead id.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/parser.h"
+#include "reasoner/certain.h"
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+namespace {
+
+Instance RandomInstance(SymbolsPtr sym, Rng& rng, int salt) {
+  Instance d(sym);
+  std::vector<ElemId> es;
+  int n = 2 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.3)) {
+      es.push_back(d.AddNull());
+    } else {
+      es.push_back(d.AddConstant("e" + std::to_string(salt) + "_" +
+                                 std::to_string(i)));
+    }
+  }
+  for (const char* u : {"A", "B", "C"}) {
+    uint32_t rel = sym->Rel(u, 1);
+    for (ElemId e : es) {
+      if (rng.Chance(0.4)) d.AddFact(rel, {e});
+    }
+  }
+  for (const char* b : {"R", "S"}) {
+    uint32_t rel = sym->Rel(b, 2);
+    for (ElemId x : es) {
+      for (ElemId y : es) {
+        if (rng.Chance(0.3)) d.AddFact(rel, {x, y});
+      }
+    }
+  }
+  return d;
+}
+
+std::set<std::vector<int64_t>> CollectMatches(
+    bool naive, const Lit& guard, const Instance& inst,
+    const std::vector<int64_t>& env) {
+  std::set<std::vector<int64_t>> out;
+  auto grab = [&](const std::vector<int64_t>& ext) {
+    out.insert(ext);
+    return false;  // enumerate everything
+  };
+  if (naive) {
+    ForEachGuardMatchNaive(guard, inst, env, grab);
+  } else {
+    ForEachGuardMatch(guard, inst, env, grab);
+  }
+  return out;
+}
+
+TEST(TableauDifferentialTest, GuardMatchIndexedEqualsNaive) {
+  Rng rng(20260806);
+  SymbolsPtr sym = MakeSymbols();
+  for (int round = 0; round < 40; ++round) {
+    Instance inst = RandomInstance(sym, rng, round);
+    const uint32_t rels[] = {sym->Rel("A", 1), sym->Rel("B", 1),
+                             sym->Rel("R", 2), sym->Rel("S", 2)};
+    for (uint32_t rel : rels) {
+      int arity = sym->RelArity(rel);
+      std::vector<uint32_t> args;
+      // Repeated variables included: R(x,x) patterns stress the
+      // consistency filter of the index path.
+      for (int i = 0; i < arity; ++i) {
+        args.push_back(static_cast<uint32_t>(rng.Below(2)));
+      }
+      Lit guard = Lit::Atom(rel, args);
+      // Every binding pattern over env size 3: unbound, or a random
+      // element (possibly one with no facts).
+      for (int mask = 0; mask < 8; ++mask) {
+        std::vector<int64_t> env(3, -1);
+        for (int i = 0; i < 3; ++i) {
+          if (mask & (1 << i)) {
+            env[static_cast<size_t>(i)] = static_cast<int64_t>(
+                rng.Below(inst.NumElements()));
+          }
+        }
+        EXPECT_EQ(CollectMatches(false, guard, inst, env),
+                  CollectMatches(true, guard, inst, env))
+            << "rel=" << rel << " mask=" << mask << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(TableauDifferentialTest, GuardMatchEarlyStopAgrees) {
+  Rng rng(7);
+  SymbolsPtr sym = MakeSymbols();
+  Instance inst = RandomInstance(sym, rng, 99);
+  Lit guard = Lit::Atom(sym->Rel("R", 2), {0, 1});
+  std::vector<int64_t> env(2, -1);
+  // Stopping on the first match must report "stopped" identically; the
+  // matched extension may differ (order is unspecified) but must be a
+  // member of the common extension set.
+  auto all = CollectMatches(true, guard, inst, env);
+  auto stop_first = [&](bool naive) {
+    std::vector<int64_t> got;
+    auto fn = [&](const std::vector<int64_t>& ext) {
+      got = ext;
+      return true;
+    };
+    bool stopped = naive ? ForEachGuardMatchNaive(guard, inst, env, fn)
+                         : ForEachGuardMatch(guard, inst, env, fn);
+    return std::make_pair(stopped, got);
+  };
+  auto [ns, next] = stop_first(true);
+  auto [is, iext] = stop_first(false);
+  EXPECT_EQ(ns, is);
+  EXPECT_EQ(ns, !all.empty());
+  if (ns) {
+    EXPECT_TRUE(all.count(next));
+    EXPECT_TRUE(all.count(iext));
+  }
+}
+
+const char* kOntologies[] = {
+    "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));",
+    "forall x . (A(x) -> exists y (R(x,y) & B(y)));",
+    "forall x . (A(x) -> B(x) | C(x)); forall x . (B(x) & C(x) -> false);",
+    "forall x . (A(x) -> forall y (R(x,y) -> B(y)));",
+    "forall x . (A(x) -> exists>=2 y (R(x,y))); "
+    "forall x . (B(x) -> exists<=1 y (R(x,y)));",
+};
+
+TEST(TableauDifferentialTest, SolverVerdictsMatchNaiveReference) {
+  Rng rng(42);
+  for (const char* text : kOntologies) {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology(text, sym);
+    ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+
+    CertainOptions naive_opts;
+    naive_opts.naive_matching = true;
+    naive_opts.consistency_cache = false;
+    auto naive = CertainAnswerSolver::Create(*onto, naive_opts);
+    auto engine = CertainAnswerSolver::Create(*onto);
+    ASSERT_TRUE(naive.ok() && engine.ok());
+
+    Cq qb;
+    qb.symbols = sym;
+    qb.num_vars = 1;
+    qb.answer_vars = {0};
+    qb.atoms.push_back({sym->Rel("B", 1), {0}});
+
+    for (int round = 0; round < 12; ++round) {
+      Instance d = RandomInstance(sym, rng, round);
+      Certainty want = naive->IsConsistent(d);
+      // Two engine passes: the first populates the shared cache, the
+      // second must serve the identical verdict from it.
+      EXPECT_EQ(engine->IsConsistent(d), want) << text;
+      EXPECT_EQ(engine->IsConsistent(d), want) << text;
+      for (ElemId e = 0; e < d.NumElements() && e < 2; ++e) {
+        Certainty cw = naive->IsCertain(d, qb, {e});
+        EXPECT_EQ(engine->IsCertain(d, qb, {e}), cw) << text;
+        EXPECT_EQ(engine->IsCertain(d, qb, {e}), cw) << text;
+      }
+    }
+    EXPECT_GT(engine->cache_stats().hits, 0u) << text;
+  }
+}
+
+// ∀x (A(x) → ∃≥2 y (R(x,y) ∧ y = x)): both witnesses are forced equal to
+// x, hence equal to each other — contradicting their pairwise
+// disequality, so {A(a)} is inconsistent. An engine that records the
+// disequality against the witness's pre-merge id (a dead element) misses
+// the clash and wrongly saturates.
+TEST(TableauDifferentialTest, MergedAtLeastWitnessesCloseBranch) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+
+  RuleSet rules;
+  rules.symbols = sym;
+  GuardedRule rule;
+  rule.num_vars = 1;
+  rule.guard = Lit::Atom(rel_a, {0});
+  HeadAlt alt;
+  CountUnit cu;
+  cu.at_least = true;
+  cu.n = 2;
+  cu.qvar = 1;
+  cu.guard = Lit::Atom(rel_r, {0, 1});
+  cu.lits.push_back(Lit::Eq(1, 0));
+  alt.counts.push_back(cu);
+  rule.head.push_back(alt);
+  rules.rules.push_back(rule);
+
+  Instance d(sym);
+  d.AddFact(rel_a, {d.AddConstant("a")});
+
+  for (bool naive : {false, true}) {
+    Tableau tableau(rules, {}, naive);
+    EXPECT_EQ(tableau.IsConsistent(d), Certainty::kNo)
+        << (naive ? "naive" : "indexed");
+  }
+
+  // Dropping the equality makes the same rule satisfiable: two distinct
+  // fresh witnesses suffice.
+  rules.rules[0].head[0].counts[0].lits.clear();
+  for (bool naive : {false, true}) {
+    Tableau tableau(rules, {}, naive);
+    EXPECT_EQ(tableau.IsConsistent(d), Certainty::kYes)
+        << (naive ? "naive" : "indexed");
+  }
+}
+
+}  // namespace
+}  // namespace gfomq
