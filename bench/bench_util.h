@@ -68,29 +68,43 @@ inline std::string JsonArr(const std::vector<std::string>& elems) {
 /// bench/tiling_runfit so both emit the identical key schema pinned by
 /// bench/BENCH_tableau.expected_keys. `naive_micros` is the full-scan,
 /// cache-off reference; `engine_micros` the indexed, memoizing engine on
-/// the same workload; `cache`/`tableau` are the engine solver's counters.
-inline std::string TableauJsonRow(const std::string& family, uint64_t size,
-                                  uint64_t runs, uint64_t naive_micros,
-                                  uint64_t engine_micros,
-                                  bool verdicts_identical,
-                                  const ConsistencyCacheStats& cache,
-                                  const TableauStats& tableau) {
+/// the same workload; `parallel_micros` the same indexed engine with the
+/// or-parallel tableau at `tableau_threads` workers (g_tableau_threads);
+/// `cache`/`tableau` are the engine solver's counters and
+/// `parallel_tableau` the parallel solver's (tasks spawned, cancellations,
+/// sequential-cutoff forks). `parallel_speedup` is engine/parallel wall
+/// time — it scales with physical cores, so single-core CI records ~1.
+inline std::string TableauJsonRow(
+    const std::string& family, uint64_t size, uint64_t runs,
+    uint64_t naive_micros, uint64_t engine_micros, uint64_t parallel_micros,
+    bool verdicts_identical, bool parallel_verdicts_identical,
+    uint32_t tableau_threads, const ConsistencyCacheStats& cache,
+    const TableauStats& tableau, const TableauStats& parallel_tableau) {
   double speedup =
       engine_micros == 0
           ? 0.0
           : static_cast<double>(naive_micros) /
                 static_cast<double>(engine_micros);
+  double parallel_speedup =
+      parallel_micros == 0
+          ? 0.0
+          : static_cast<double>(engine_micros) /
+                static_cast<double>(parallel_micros);
   return JsonObj()
       .Str("family", family)
       .Int("size", size)
       .Int("runs", runs)
       .Int("naive_micros", naive_micros)
       .Int("engine_micros", engine_micros)
+      .Int("parallel_micros", parallel_micros)
       .Num("speedup", speedup)
+      .Num("parallel_speedup", parallel_speedup)
+      .Int("tableau_threads", tableau_threads)
       .Int("cache_hits", cache.hits)
       .Int("cache_lookups", cache.Lookups())
       .Num("cache_hit_rate", cache.HitRate())
       .Int("verdicts_identical", verdicts_identical ? 1 : 0)
+      .Int("parallel_verdicts_identical", parallel_verdicts_identical ? 1 : 0)
       .Int("steps", tableau.steps)
       .Int("guard_match_probes", tableau.guard_match_probes)
       .Int("index_lookups", tableau.index_lookups)
@@ -99,6 +113,9 @@ inline std::string TableauJsonRow(const std::string& family, uint64_t size,
       .Int("branches_closed", tableau.branches_closed)
       .Int("peak_branch_depth", tableau.peak_branch_depth)
       .Int("cow_copies", tableau.cow_copies)
+      .Int("tasks_spawned", parallel_tableau.tasks_spawned)
+      .Int("cancelled_branches", parallel_tableau.cancelled_branches)
+      .Int("sequential_cutoff_hits", parallel_tableau.sequential_cutoff_hits)
       .Done();
 }
 
@@ -112,12 +129,21 @@ inline void WriteJsonFile(const std::string& path, const std::string& json) {
 /// Benches that support parallel runs read this; default is sequential.
 inline uint32_t g_threads = 1;
 
-/// Strips a --threads=N argument (if present) into g_threads, before the
-/// remaining argv is handed to google-benchmark.
+/// Tableau workers requested via --tableau-threads=N (0 = one per hardware
+/// thread). Feeds the parallel pass of the BENCH_tableau families; the
+/// default of 8 matches the acceptance sweep's top point.
+inline uint32_t g_tableau_threads = 8;
+
+/// Strips --threads=N / --tableau-threads=N arguments (if present) into
+/// g_threads / g_tableau_threads, before the remaining argv is handed to
+/// google-benchmark.
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    if (std::strncmp(argv[i], "--tableau-threads=", 18) == 0) {
+      g_tableau_threads =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 18, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = static_cast<uint32_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     } else {
       argv[out++] = argv[i];

@@ -3,6 +3,7 @@
 // O1 ∪ O2, and the reflexive-loop ontology of Example 7); the timings show
 // how the bouquet search scales with the out-degree bound.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -136,24 +137,174 @@ void WriteScalingJson() {
   std::printf("\n");
 }
 
+uint64_t Micros(std::chrono::steady_clock::time_point a,
+                std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+// Pigeonhole principle as guarded rules: every pigeon picks one of `holes`
+// colors and D-linked pigeons must differ, so a pigeon clique forces an
+// injective coloring. One pigeon more than holes is inconsistent, and the
+// tableau must explore the full tree of partial colorings to prove it —
+// the canonical branch-heavy workload for the or-parallel engine.
+RuleSet PigeonholeRules(SymbolsPtr sym, uint32_t holes) {
+  RuleSet rules;
+  rules.symbols = sym;
+  GuardedRule choose;
+  choose.num_vars = 1;
+  choose.guard = Lit::Atom(sym->Rel("P", 1), {0});
+  for (uint32_t h = 0; h < holes; ++h) {
+    HeadAlt alt;
+    alt.lits.push_back(Lit::Atom(sym->Rel("H" + std::to_string(h), 1), {0}));
+    choose.head.push_back(alt);
+  }
+  rules.rules.push_back(choose);
+  for (uint32_t h = 0; h < holes; ++h) {
+    uint32_t rel_h = sym->Rel("H" + std::to_string(h), 1);
+    GuardedRule conflict;
+    conflict.num_vars = 2;
+    conflict.guard = Lit::Atom(sym->Rel("D", 2), {0, 1});
+    conflict.body.push_back(Lit::Atom(rel_h, {0}));
+    conflict.body.push_back(Lit::Atom(rel_h, {1}));
+    HeadAlt ff;
+    ff.is_false = true;
+    conflict.head.push_back(ff);
+    rules.rules.push_back(conflict);
+  }
+  return rules;
+}
+
+Instance PigeonClique(SymbolsPtr sym, uint32_t pigeons) {
+  Instance d(sym);
+  uint32_t rel_p = sym->Rel("P", 1);
+  uint32_t rel_d = sym->Rel("D", 2);
+  std::vector<ElemId> es;
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    es.push_back(d.AddConstant("p" + std::to_string(i)));
+    d.AddFact(rel_p, {es.back()});
+  }
+  for (ElemId x : es) {
+    for (ElemId y : es) {
+      if (x != y) d.AddFact(rel_d, {x, y});
+    }
+  }
+  return d;
+}
+
+CertainOptions PigeonholeOptions(uint32_t tableau_threads) {
+  CertainOptions opts;
+  // Pure tableau probes (no ground fallback) under a budget generous
+  // enough that every size below is decided, never kUnknown.
+  opts.ground_extra_nulls = 0;
+  opts.tableau.max_steps = 5000000;
+  opts.tableau.max_branches = 1000000;
+  opts.tableau.tableau_threads = tableau_threads;
+  return opts;
+}
+
+// Branch-heavy family of BENCH_tableau.json plus the --tableau-threads
+// sweep: proving the pigeonhole clique inconsistent at 1/2/4/8 workers,
+// plus a consistent sibling clique (one pigeon fewer) where the first
+// saturated branch cancels the in-flight rest — so the row exercises both
+// the shared-budget close-out and the cooperative-cancellation path.
+// Two runs per solver — cold (the real exploration) then cache-warm (the
+// memoized verdict) — mirroring how the drivers re-probe isomorphic
+// instances. Verdicts must agree across every engine and thread count.
+// parallel_speedup scales with physical cores: ~cores on a multi-core
+// box, ~1 on single-core CI.
+void AppendPigeonholeRows(std::vector<std::string>* rows) {
+  constexpr uint64_t kRuns = 2;
+  std::printf("pigeonhole tableau — serial vs or-parallel branch search "
+              "(--tableau-threads sweep, %llu runs each)\n",
+              static_cast<unsigned long long>(kRuns));
+  std::printf("%-9s %-12s %-12s %-31s %-9s %s\n", "pigeons", "naive_us",
+              "serial_us", "sweep 1/2/4/8 (us)", "par_us", "verdicts");
+  for (uint32_t pigeons : {6u, 7u}) {
+    SymbolsPtr sym = MakeSymbols();
+    RuleSet rules = PigeonholeRules(sym, pigeons - 1);
+    Instance d = PigeonClique(sym, pigeons);
+    Instance fits = PigeonClique(sym, pigeons - 1);
+
+    auto run_pair = [&](CertainAnswerSolver& solver) {
+      std::vector<Certainty> verdicts;
+      auto t0 = std::chrono::steady_clock::now();
+      for (uint64_t r = 0; r < kRuns; ++r) {
+        verdicts.push_back(solver.IsConsistent(d));
+        verdicts.push_back(solver.IsConsistent(fits));
+      }
+      return std::make_pair(verdicts,
+                            Micros(t0, std::chrono::steady_clock::now()));
+    };
+
+    CertainOptions naive_opts = PigeonholeOptions(1);
+    naive_opts.naive_matching = true;
+    naive_opts.consistency_cache = false;
+    CertainAnswerSolver naive_solver(rules, naive_opts);
+    auto [naive_verdicts, naive_us] = run_pair(naive_solver);
+
+    CertainAnswerSolver engine_solver(rules, PigeonholeOptions(1));
+    auto [engine_verdicts, engine_us] = run_pair(engine_solver);
+
+    // The sweep: a fresh solver per worker count (cold caches), the JSON
+    // row records the g_tableau_threads point.
+    std::vector<uint32_t> sweep = {1, 2, 4, 8};
+    if (std::find(sweep.begin(), sweep.end(), bench::g_tableau_threads) ==
+        sweep.end()) {
+      sweep.push_back(bench::g_tableau_threads);
+    }
+    uint64_t parallel_us = 0;
+    bool parallel_identical = true;
+    TableauStats parallel_tableau;
+    std::string sweep_text;
+    for (uint32_t threads : sweep) {
+      CertainAnswerSolver sweep_solver(rules, PigeonholeOptions(threads));
+      auto [verdicts, us] = run_pair(sweep_solver);
+      parallel_identical = parallel_identical && verdicts == engine_verdicts;
+      if (!sweep_text.empty()) sweep_text += "/";
+      sweep_text += std::to_string(us);
+      if (threads == bench::g_tableau_threads) {
+        parallel_us = us;
+        parallel_tableau = sweep_solver.tableau_stats();
+      }
+    }
+    bool identical = naive_verdicts == engine_verdicts;
+    std::printf("%-9u %-12llu %-12llu %-31s %-9llu %s\n", pigeons,
+                static_cast<unsigned long long>(naive_us),
+                static_cast<unsigned long long>(engine_us),
+                sweep_text.c_str(),
+                static_cast<unsigned long long>(parallel_us),
+                identical && parallel_identical ? "ok" : "MISMATCH");
+    rows->push_back(bench::TableauJsonRow(
+        "pigeonhole", pigeons, kRuns, naive_us, engine_us, parallel_us,
+        identical, parallel_identical, bench::g_tableau_threads,
+        engine_solver.cache_stats(), engine_solver.tableau_stats(),
+        parallel_tableau));
+  }
+}
+
 // Before/after workload for the chase-engine overhaul (BENCH_tableau.json,
 // bouquet family): the same sequential meta decision run kRuns times, once
 // with the naive full-scan tableau and the consistency cache off, once
-// with the indexed, memoizing engine. Repeated decisions model what the
-// drivers actually do (determinism double-checks, seq-vs-par scaling
-// re-runs): warm runs are served almost entirely from the cache, and the
-// cold run rides the fact indexes, so the speedup combines both effects.
-// The verdict keys must match bit for bit between the two engines.
+// with the indexed, memoizing engine, and once more with the indexed
+// engine exploring each tableau or-parallel at --tableau-threads workers.
+// Repeated decisions model what the drivers actually do (determinism
+// double-checks, seq-vs-par scaling re-runs): warm runs are served almost
+// entirely from the cache, and the cold run rides the fact indexes, so the
+// naive-vs-engine speedup combines both effects. The verdict keys must
+// match bit for bit between all three engines.
 void WriteTableauJson() {
   constexpr uint64_t kRuns = 10;
   auto onto = ParseOntology(
       "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));");
   if (!onto.ok()) return;
-  std::printf("tableau chase engine — naive full-scan vs indexed+cached "
-              "(%llu runs each)\n",
-              static_cast<unsigned long long>(kRuns));
-  std::printf("%-10s %-12s %-12s %-9s %-9s %s\n", "outdegree", "naive_us",
-              "engine_us", "speedup", "hit_rate", "verdicts");
+  std::printf("tableau chase engine — naive full-scan vs indexed+cached vs "
+              "or-parallel (%llu runs each, tableau_threads=%u)\n",
+              static_cast<unsigned long long>(kRuns),
+              bench::g_tableau_threads);
+  std::printf("%-10s %-12s %-12s %-12s %-9s %-9s %s\n", "outdegree",
+              "naive_us", "engine_us", "parallel_us", "speedup", "hit_rate",
+              "verdicts");
   std::vector<std::string> rows;
   for (uint32_t outdeg : {1u, 2u, 3u}) {
     BouquetOptions opts;
@@ -165,42 +316,45 @@ void WriteTableauJson() {
     naive_opts.consistency_cache = false;
     auto naive_solver = CertainAnswerSolver::Create(*onto, naive_opts);
     auto engine_solver = CertainAnswerSolver::Create(*onto);
-    if (!naive_solver.ok() || !engine_solver.ok()) return;
+    CertainOptions parallel_opts;
+    parallel_opts.tableau.tableau_threads = bench::g_tableau_threads;
+    auto parallel_solver = CertainAnswerSolver::Create(*onto, parallel_opts);
+    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok()) {
+      return;
+    }
 
-    std::vector<std::string> naive_keys;
-    std::vector<std::string> engine_keys;
-    auto t0 = std::chrono::steady_clock::now();
-    for (uint64_t r = 0; r < kRuns; ++r) {
-      naive_keys.push_back(VerdictKey(DecidePtimeByBouquets(
-          *naive_solver, onto->symbols, onto->Signature(), opts)));
-    }
-    auto t1 = std::chrono::steady_clock::now();
-    for (uint64_t r = 0; r < kRuns; ++r) {
-      engine_keys.push_back(VerdictKey(DecidePtimeByBouquets(
-          *engine_solver, onto->symbols, onto->Signature(), opts)));
-    }
-    auto t2 = std::chrono::steady_clock::now();
-    auto micros = [](auto a, auto b) {
-      return static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(b - a)
-              .count());
+    auto run_all = [&](CertainAnswerSolver& solver) {
+      std::vector<std::string> keys;
+      auto t0 = std::chrono::steady_clock::now();
+      for (uint64_t r = 0; r < kRuns; ++r) {
+        keys.push_back(VerdictKey(DecidePtimeByBouquets(
+            solver, onto->symbols, onto->Signature(), opts)));
+      }
+      return std::make_pair(keys,
+                            Micros(t0, std::chrono::steady_clock::now()));
     };
-    uint64_t naive_us = micros(t0, t1);
-    uint64_t engine_us = micros(t1, t2);
+    auto [naive_keys, naive_us] = run_all(*naive_solver);
+    auto [engine_keys, engine_us] = run_all(*engine_solver);
+    auto [parallel_keys, parallel_us] = run_all(*parallel_solver);
     bool identical = naive_keys == engine_keys;
+    bool parallel_identical = parallel_keys == engine_keys;
     ConsistencyCacheStats cache = engine_solver->cache_stats();
     TableauStats tableau = engine_solver->tableau_stats();
-    std::printf("%-10u %-12llu %-12llu %-9.2f %-9.3f %s\n", outdeg,
+    std::printf("%-10u %-12llu %-12llu %-12llu %-9.2f %-9.3f %s\n", outdeg,
                 static_cast<unsigned long long>(naive_us),
                 static_cast<unsigned long long>(engine_us),
+                static_cast<unsigned long long>(parallel_us),
                 engine_us == 0 ? 0.0
                                : static_cast<double>(naive_us) /
                                      static_cast<double>(engine_us),
-                cache.HitRate(), identical ? "ok" : "MISMATCH");
-    rows.push_back(bench::TableauJsonRow("bouquet", outdeg, kRuns, naive_us,
-                                         engine_us, identical, cache,
-                                         tableau));
+                cache.HitRate(),
+                identical && parallel_identical ? "ok" : "MISMATCH");
+    rows.push_back(bench::TableauJsonRow(
+        "bouquet", outdeg, kRuns, naive_us, engine_us, parallel_us,
+        identical, parallel_identical, bench::g_tableau_threads, cache,
+        tableau, parallel_solver->tableau_stats()));
   }
+  AppendPigeonholeRows(&rows);
   bench::WriteJsonFile(
       "BENCH_tableau.json",
       "{\n  \"bench\": \"meta_decision\",\n  \"points\": " +

@@ -113,14 +113,18 @@ void PrintTable() {
 // an n×n grid, repeated kRuns times per solver — exactly what the grid
 // scans do (one probe per cell, isomorphic extensions recur). The naive
 // reference runs the full-scan tableau with the cache off; the engine runs
-// indexed with the shared consistency cache. Statuses must agree.
+// indexed with the shared consistency cache; the parallel pass runs the
+// same indexed engine with the or-parallel tableau at --tableau-threads
+// workers (the marker probes inherit the execution strategy through the
+// solver options). Statuses must agree across all three.
 void WriteTableauJson() {
   constexpr uint64_t kRuns = 10;
-  std::printf("cell-marker tableau — naive full-scan vs indexed+cached "
-              "(%llu runs each)\n",
-              static_cast<unsigned long long>(kRuns));
-  std::printf("%-6s %-12s %-12s %-9s %-9s %s\n", "grid", "naive_us",
-              "engine_us", "speedup", "hit_rate", "statuses");
+  std::printf("cell-marker tableau — naive full-scan vs indexed+cached vs "
+              "or-parallel (%llu runs each, tableau_threads=%u)\n",
+              static_cast<unsigned long long>(kRuns),
+              bench::g_tableau_threads);
+  std::printf("%-6s %-12s %-12s %-12s %-9s %-9s %s\n", "grid", "naive_us",
+              "engine_us", "parallel_us", "speedup", "hit_rate", "statuses");
   std::vector<std::string> rows;
   for (int size : {1, 2}) {
     SymbolsPtr sym = MakeSymbols();
@@ -130,42 +134,49 @@ void WriteTableauJson() {
     naive_opts.consistency_cache = false;
     auto naive_solver = CertainAnswerSolver::Create(cell.ontology, naive_opts);
     auto engine_solver = CertainAnswerSolver::Create(cell.ontology);
-    if (!naive_solver.ok() || !engine_solver.ok()) return;
+    CertainOptions parallel_opts;
+    parallel_opts.tableau.tableau_threads = bench::g_tableau_threads;
+    auto parallel_solver =
+        CertainAnswerSolver::Create(cell.ontology, parallel_opts);
+    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok()) {
+      return;
+    }
     Instance g = BuildGridInstance(sym, size, size, nullptr);
 
-    std::vector<MarkerStatus> naive_statuses;
-    std::vector<MarkerStatus> engine_statuses;
-    auto t0 = std::chrono::steady_clock::now();
-    for (uint64_t r = 0; r < kRuns; ++r) {
-      naive_statuses.push_back(
-          CheckMarker(*naive_solver, g, cell.p_marker, 0, 0));
-    }
-    auto t1 = std::chrono::steady_clock::now();
-    for (uint64_t r = 0; r < kRuns; ++r) {
-      engine_statuses.push_back(
-          CheckMarker(*engine_solver, g, cell.p_marker, 0, 0));
-    }
-    auto t2 = std::chrono::steady_clock::now();
-    auto micros = [](auto a, auto b) {
-      return static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(b - a)
-              .count());
+    auto run_all = [&](CertainAnswerSolver& solver) {
+      std::vector<MarkerStatus> statuses;
+      auto t0 = std::chrono::steady_clock::now();
+      for (uint64_t r = 0; r < kRuns; ++r) {
+        statuses.push_back(CheckMarker(solver, g, cell.p_marker, 0, 0));
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      return std::make_pair(
+          statuses,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                  .count()));
     };
-    uint64_t naive_us = micros(t0, t1);
-    uint64_t engine_us = micros(t1, t2);
+    auto [naive_statuses, naive_us] = run_all(*naive_solver);
+    auto [engine_statuses, engine_us] = run_all(*engine_solver);
+    auto [parallel_statuses, parallel_us] = run_all(*parallel_solver);
     bool identical = naive_statuses == engine_statuses;
+    bool parallel_identical = parallel_statuses == engine_statuses;
     ConsistencyCacheStats cache = engine_solver->cache_stats();
     TableauStats tableau = engine_solver->tableau_stats();
-    std::printf("%dx%-4d %-12llu %-12llu %-9.2f %-9.3f %s\n", size, size,
-                static_cast<unsigned long long>(naive_us),
+    std::printf("%dx%-4d %-12llu %-12llu %-12llu %-9.2f %-9.3f %s\n", size,
+                size, static_cast<unsigned long long>(naive_us),
                 static_cast<unsigned long long>(engine_us),
+                static_cast<unsigned long long>(parallel_us),
                 engine_us == 0 ? 0.0
                                : static_cast<double>(naive_us) /
                                      static_cast<double>(engine_us),
-                cache.HitRate(), identical ? "ok" : "MISMATCH");
+                cache.HitRate(),
+                identical && parallel_identical ? "ok" : "MISMATCH");
     rows.push_back(bench::TableauJsonRow(
         "cell-marker", static_cast<uint64_t>(size), kRuns, naive_us,
-        engine_us, identical, cache, tableau));
+        engine_us, parallel_us, identical, parallel_identical,
+        bench::g_tableau_threads, cache, tableau,
+        parallel_solver->tableau_stats()));
   }
   bench::WriteJsonFile(
       "BENCH_tableau.json",

@@ -2,20 +2,25 @@
 # CI driver: builds the three preset configurations and runs their test
 # suites. The release preset runs everything; the asan preset re-runs
 # everything under AddressSanitizer+UBSan; the tsan preset runs the
-# concurrency suites (thread_pool_test, meta_parallel_test, and the
-# TermStore interning hammer) under ThreadSanitizer to certify the
-# work-stealing pool, the parallel bouquet meta decision, and the sharded
-# hash-consing arena. Extra gates: the index-layer differential suite
-# (indexed matcher/engine vs the naive reference) is re-run explicitly
-# under asan; the perf-trajectory files BENCH_datalog.json and
+# concurrency suites (thread_pool_test, meta_parallel_test, the TermStore
+# interning hammer, and the or-parallel tableau differential/cancellation
+# hammer) under ThreadSanitizer to certify the work-stealing pool, the
+# parallel bouquet meta decision, the sharded hash-consing arena, and the
+# or-parallel branch search. Extra gates: the `parallel` ctest label (the
+# whole concurrency tier) is re-run as one batch on release; the
+# index-layer differential suite (indexed matcher/engine vs the naive
+# reference, plus the parallel-vs-serial tableau differential) is re-run
+# explicitly under asan; the perf-trajectory files BENCH_datalog.json and
 # BENCH_terms.json are regenerated and schema-checked against their
 # bench/*.expected_keys so trajectory tooling never sees a silently
 # drifted format (BENCH_terms must additionally show a nonzero intern hit
 # rate, and BENCH_tableau.json — written by both tiling_runfit and
 # meta_decision — is schema-checked after each writer, with the bouquet
 # family additionally required to show a nonzero consistency-cache hit
-# rate); and, when clang-tidy is installed, the modernize/performance/
-# bugprone profile in .clang-tidy runs over src/logic and src/reasoner.
+# rate and every point required to report parallel verdicts identical to
+# the serial engine's); and, when clang-tidy is installed, the modernize/
+# performance/bugprone profile in .clang-tidy runs over src/logic and
+# src/reasoner.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,9 +35,12 @@ for preset in release asan tsan; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
+echo "=== [release] concurrency tier (ctest -L parallel) ==="
+ctest --preset release -j "$JOBS" -L parallel
+
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|ConsistencyCache'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|ConsistencyCache'
 
 echo "=== perf trajectory: BENCH_datalog.json schema ==="
 (cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
@@ -96,6 +104,13 @@ if ! grep -o '"verdicts_identical": [01]' build-release/BENCH_tableau.json \
     | awk 'BEGIN { ok = 1 } { if ($2 != 1) ok = 0 } END { exit !ok }'; then
   echo "BENCH_tableau.json: engine verdicts diverge from the naive" \
        "differential reference" >&2
+  exit 1
+fi
+if ! grep -o '"parallel_verdicts_identical": [01]' \
+    build-release/BENCH_tableau.json \
+    | awk 'BEGIN { ok = 1 } { if ($2 != 1) ok = 0 } END { exit !ok }'; then
+  echo "BENCH_tableau.json: or-parallel verdicts diverge from the serial" \
+       "engine — cancellation or the shared budget broke determinism" >&2
   exit 1
 fi
 

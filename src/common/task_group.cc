@@ -1,0 +1,38 @@
+#include "common/task_group.h"
+
+#include <utility>
+
+namespace gfomq {
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  pool_->Submit([this, fn = std::move(fn)] {
+    // Decrement on every exit path: if fn throws, Submit's wrapper records
+    // the exception into the pool status and the guard still runs during
+    // unwinding, so Wait() can never hang on a throwing member.
+    struct Guard {
+      TaskGroup* group;
+      ~Guard() { group->Done(); }
+    } guard{this};
+    fn();
+  });
+}
+
+void TaskGroup::Done() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Taking the mutex orders the notify against a waiter that just
+    // evaluated the predicate as false and is about to sleep.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace gfomq

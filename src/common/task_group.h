@@ -1,0 +1,65 @@
+#ifndef GFOMQ_COMMON_TASK_GROUP_H_
+#define GFOMQ_COMMON_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace gfomq {
+
+/// Tracks a family of tasks submitted to a ThreadPool so that one caller
+/// can block until every member — including tasks spawned by other members
+/// — has finished. This is the completion-tracking companion of
+/// CancellationToken: the token says "stop early", the group says "all
+/// stopped". Unlike ThreadPool::Wait (which waits for the whole pool and
+/// so cannot be used by concurrent independent searches sharing one pool),
+/// a TaskGroup counts only its own family, so any number of groups can
+/// drain over the same workers at once.
+///
+/// Usage pattern (the or-parallel tableau, the original client):
+///   TaskGroup group(&pool);
+///   ... do root work inline, calling group.Spawn(...) at fork points;
+///   ... spawned tasks may themselves call group.Spawn(...);
+///   group.Wait();   // every spawned task has returned
+///
+/// Wait() may be called from any thread that is not itself a member task
+/// (a member waiting on its own group would deadlock the count). Tasks
+/// must not outlive the group: the destructor waits.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one member task. The completion count is decremented even if
+  /// `fn` throws (the pool's sticky status records the exception), so a
+  /// throwing member can never hang Wait().
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks until every spawned member has finished.
+  void Wait();
+
+  /// Total members spawned over the group's lifetime.
+  uint64_t spawned() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Done();
+
+  ThreadPool* pool_;
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<uint64_t> spawned_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_COMMON_TASK_GROUP_H_

@@ -7,6 +7,9 @@ namespace gfomq {
 Result<OmqEngine> OmqEngine::Create(Ontology ontology, EngineOptions options) {
   Status v = ontology.Validate();
   if (!v.ok()) return v;
+  if (options.tableau_threads != 1) {
+    options.certain.tableau.tableau_threads = options.tableau_threads;
+  }
   Result<CertainAnswerSolver> solver =
       CertainAnswerSolver::Create(ontology, options.certain);
   if (!solver.ok()) return solver.status();
@@ -69,6 +72,15 @@ std::string OmqVerdict::Summary(const Symbols& symbols) const {
         << meta_stats.tableau.index_lookups << " indexed, "
         << meta_stats.tableau.relation_scans << " relation scans), "
         << meta_stats.tableau.cow_copies << " COW copies\n";
+    if (meta_stats.tableau.tasks_spawned > 0 ||
+        meta_stats.tableau.cancelled_branches > 0) {
+      out << "tableau parallelism: " << meta_stats.tableau.tasks_spawned
+          << " tasks spawned (peak " << meta_stats.tableau.peak_live_tasks
+          << " live), " << meta_stats.tableau.cancelled_branches
+          << " branches cancelled, "
+          << meta_stats.tableau.sequential_cutoff_hits
+          << " sequential-cutoff forks\n";
+    }
   }
   return out.str();
 }

@@ -44,6 +44,11 @@ struct EngineOptions {
   /// concurrency). Overrides bouquet.num_threads when != 1; the verdict
   /// is bit-identical for every value.
   uint32_t num_threads = 1;
+  /// Worker threads for each tableau chase (1 = the serial reference
+  /// engine, 0 = hardware concurrency). Overrides
+  /// certain.tableau.tableau_threads when != 1; verdicts are identical for
+  /// every value, and consistency-cache entries are shared across values.
+  uint32_t tableau_threads = 1;
   RewriterOptions rewriter;
 };
 

@@ -332,6 +332,12 @@ MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
   out.stats.tableau.index_lookups -= tableau_before.index_lookups;
   out.stats.tableau.relation_scans -= tableau_before.relation_scans;
   out.stats.tableau.cow_copies -= tableau_before.cow_copies;
+  out.stats.tableau.tasks_spawned -= tableau_before.tasks_spawned;
+  out.stats.tableau.cancelled_branches -= tableau_before.cancelled_branches;
+  out.stats.tableau.sequential_cutoff_hits -=
+      tableau_before.sequential_cutoff_hits;
+  // peak_branch_depth / peak_live_tasks are watermarks, not tallies: the
+  // totals' peaks already bound this scan's, so they are kept as-is.
   return out;
 }
 

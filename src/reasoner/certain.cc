@@ -43,6 +43,22 @@ void AppendUcqKey(std::string* key, const Ucq& query) {
 
 }  // namespace
 
+std::string BudgetKey(const TableauBudget& budget,
+                      uint32_t ground_extra_nulls) {
+  // Verdict-relevant fields only: tableau_threads / spawn_cutoff_depth are
+  // execution strategy and intentionally absent (see the declaration), so
+  // a parallel run hits the entries a serial run populated and vice versa.
+  std::string key = "|b";
+  key += std::to_string(budget.max_fresh_nulls);
+  key += ':';
+  key += std::to_string(budget.max_steps);
+  key += ':';
+  key += std::to_string(budget.max_branches);
+  key += "|g";
+  key += std::to_string(ground_extra_nulls);
+  return key;
+}
+
 Result<CertainAnswerSolver> CertainAnswerSolver::Create(
     const Ontology& ontology, CertainOptions options) {
   Result<RuleSet> rules = NormalizeOntology(ontology);
@@ -76,15 +92,17 @@ std::string CertainAnswerSolver::ProbeKey(
   std::string key = ConsistencyCache::CanonicalKey(input, rename);
   key += "|o";
   key += std::to_string(solver_id_);
-  key += "|b";
-  key += std::to_string(options_.tableau.max_fresh_nulls);
-  key += ':';
-  key += std::to_string(options_.tableau.max_steps);
-  key += ':';
-  key += std::to_string(options_.tableau.max_branches);
-  key += "|g";
-  key += std::to_string(options_.ground_extra_nulls);
+  key += BudgetKey(options_.tableau, options_.ground_extra_nulls);
   return key;
+}
+
+ThreadPool* CertainAnswerSolver::TableauPool(uint32_t tableau_threads) {
+  uint32_t threads = ThreadPool::EffectiveThreads(tableau_threads);
+  if (threads <= 1) return nullptr;
+  std::call_once(shared_->pool_once, [this, threads] {
+    shared_->pool = std::make_unique<ThreadPool>(threads);
+  });
+  return shared_->pool.get();
 }
 
 Certainty CertainAnswerSolver::IsConsistent(const Instance& input) {
@@ -108,14 +126,7 @@ Certainty CertainAnswerSolver::ConsistencyImpl(const Instance& input,
     key = ConsistencyCache::CanonicalKey(input);
     key += "|o";
     key += std::to_string(solver_id_);
-    key += "|b";
-    key += std::to_string(budget.max_fresh_nulls);
-    key += ':';
-    key += std::to_string(budget.max_steps);
-    key += ':';
-    key += std::to_string(budget.max_branches);
-    key += "|g";
-    key += std::to_string(ground_extra_nulls);
+    key += BudgetKey(budget, ground_extra_nulls);
     if (std::optional<Certainty> hit = shared_->cache.Lookup(key)) {
       return *hit;
     }
@@ -134,7 +145,8 @@ Certainty CertainAnswerSolver::ConsistencyImpl(const Instance& input,
   }
   if (!decided) {
     // Only the tableau can prove inconsistency (all branches close).
-    Tableau tableau(rules_, budget, options_.naive_matching);
+    Tableau tableau(rules_, budget, options_.naive_matching,
+                    TableauPool(budget.tableau_threads));
     verdict = tableau.IsConsistent(input);
     AccumulateStats(tableau.stats());
   }
@@ -162,7 +174,8 @@ Certainty CertainAnswerSolver::IsCertain(const Instance& input,
     }
   }
   Certainty verdict = Certainty::kUnknown;
-  Tableau tableau(rules_, options_.tableau, options_.naive_matching);
+  Tableau tableau(rules_, options_.tableau, options_.naive_matching,
+                  TableauPool(options_.tableau.tableau_threads));
   Certainty counter = tableau.FindModelWhere(
       input,
       [&](const Instance& model) { return !query.HasAnswer(model, tuple); },
@@ -232,7 +245,8 @@ Certainty CertainAnswerSolver::HasDisjunctionViolation(
   if (cached) {
     all_fail = *cached;
   } else {
-    Tableau tableau(rules_, options_.tableau, options_.naive_matching);
+    Tableau tableau(rules_, options_.tableau, options_.naive_matching,
+                    TableauPool(options_.tableau.tableau_threads));
     all_fail = tableau.FindModelWhere(
         input,
         [&](const Instance& m) {

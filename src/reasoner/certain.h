@@ -17,6 +17,15 @@
 
 namespace gfomq {
 
+/// Canonical budget fingerprint used in every consistency/entailment cache
+/// key. Deliberately EXCLUDES tableau_threads and spawn_cutoff_depth: those
+/// choose an execution strategy, not a verdict (both engines implement the
+/// same complete procedure), so serial and parallel runs of the same probe
+/// share cache entries. `ground_extra_nulls` is included because the ground
+/// fallback's strength changes how hard a kUnknown verdict tried.
+std::string BudgetKey(const TableauBudget& budget,
+                      uint32_t ground_extra_nulls);
+
 /// Options for the certain-answer front end.
 struct CertainOptions {
   TableauBudget tableau;
@@ -111,7 +120,15 @@ class CertainAnswerSolver {
     ConsistencyCache cache;
     mutable std::mutex stats_mu;
     TableauStats tableau_totals;
+    // Lazily created worker pool for the or-parallel tableau, shared by
+    // all copies of the solver so repeated probes amortize thread startup.
+    std::once_flag pool_once;
+    std::unique_ptr<ThreadPool> pool;
   };
+
+  // Returns the shared tableau pool (created on first use), or nullptr
+  // when `tableau_threads` resolves to a serial run.
+  ThreadPool* TableauPool(uint32_t tableau_threads);
 
   Certainty ConsistencyImpl(const Instance& input, const TableauBudget& budget,
                             uint32_t ground_extra_nulls);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <set>
+#include <utility>
+
+#include "common/task_group.h"
 
 namespace gfomq {
 
@@ -111,8 +115,8 @@ bool ForEachGuardMatchNaive(
 // --- Construction --------------------------------------------------------------
 
 Tableau::Tableau(const RuleSet& rules, TableauBudget budget,
-                 bool naive_matching)
-    : rules_(rules), budget_(budget), naive_(naive_matching) {
+                 bool naive_matching, ThreadPool* pool)
+    : rules_(rules), budget_(budget), naive_(naive_matching), pool_(pool) {
   // Precompute every environment size once: the hot loops then allocate
   // exactly-sized environments instead of re-deriving max-vars and
   // resizing per obligation (the old EnsureEnv churn).
@@ -158,9 +162,10 @@ uint32_t Tableau::EnvNeed(const void* unit) const {
 
 bool Tableau::GuardMatch(
     const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
-    const std::function<bool(const std::vector<int64_t>&)>& fn) {
-  return naive_ ? ForEachGuardMatchNaive(guard, inst, env, fn, &stats_)
-                : ForEachGuardMatch(guard, inst, env, fn, &stats_);
+    const std::function<bool(const std::vector<int64_t>&)>& fn,
+    TableauStats* stats) {
+  return naive_ ? ForEachGuardMatchNaive(guard, inst, env, fn, stats)
+                : ForEachGuardMatch(guard, inst, env, fn, stats);
 }
 
 // --- Branch helpers ------------------------------------------------------------
@@ -170,6 +175,9 @@ Instance* Tableau::Branch::Mut(TableauStats* stats) {
   // fact indexes); the first mutation after a fork clones it. Branches
   // that close before mutating — or deterministic chains, whose sole
   // successor inherits the parent's reference — never pay for a copy.
+  // This is also the parallel-safety story: a use_count of 1 proves this
+  // branch task owns the instance outright, and a shared instance is only
+  // ever read (any thread that needs to write clones first).
   if (inst.use_count() > 1) {
     if (stats != nullptr) ++stats->cow_copies;
     inst = std::make_shared<Instance>(*inst);
@@ -230,7 +238,8 @@ bool Tableau::PinnedAlready(const Branch& branch, const GuardedRule* rule,
 
 std::vector<ElemId> Tableau::CountWitnesses(const CountUnit& unit,
                                             const std::vector<ElemId>& binding,
-                                            const Branch& branch) {
+                                            const Branch& branch,
+                                            TableauStats* stats) {
   std::vector<ElemId> out;
   std::vector<int64_t> env(EnvNeed(&unit), -1);
   for (size_t i = 0; i < binding.size() && i < env.size(); ++i) {
@@ -254,7 +263,8 @@ std::vector<ElemId> Tableau::CountWitnesses(const CountUnit& unit,
                }
                out.push_back(y);
                return false;
-             });
+             },
+             stats);
   return out;
 }
 
@@ -271,7 +281,7 @@ bool Tableau::ForallUnitSatisfiedAt(const ForallUnit& unit,
 
 bool Tableau::AltSatisfied(const HeadAlt& alt,
                            const std::vector<ElemId>& binding,
-                           const Branch& branch) {
+                           const Branch& branch, TableauStats* stats) {
   if (alt.is_false) return false;
   for (const Lit& l : alt.lits) {
     if (!LitHolds(l, binding, branch.I())) return false;
@@ -295,7 +305,8 @@ bool Tableau::AltSatisfied(const HeadAlt& alt,
                        if (!LitHolds(l, full, branch.I())) return false;
                      }
                      return true;  // witness found; stop enumerating
-                   });
+                   },
+                   stats);
     if (!found) return false;
   }
   // Universal and at-most units count as satisfied only when committed
@@ -308,7 +319,7 @@ bool Tableau::AltSatisfied(const HeadAlt& alt,
 // --- Obligation discovery ------------------------------------------------------
 
 std::optional<Tableau::Obligation> Tableau::FindObligation(
-    const Branch& branch) {
+    const Branch& branch, TableauStats* stats) {
   // 1. Functionality merges (deterministic). One hash pass over the
   // per-relation index instead of the old quadratic pair scan.
   for (const FunctionalityConstraint& fc : rules_.functional) {
@@ -351,14 +362,16 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
                    return true;  // first unsatisfied match suffices
                  }
                  return false;
-               });
+               },
+               stats);
     if (found) return found;
   }
   // 3. Pinned at-most units with an overflow.
   for (const Pinned& p : branch.pinned) {
     if (!p.is_count) continue;
     const CountUnit& unit = p.rule->head[p.alt_index].counts[p.unit_index];
-    std::vector<ElemId> witnesses = CountWitnesses(unit, p.binding, branch);
+    std::vector<ElemId> witnesses =
+        CountWitnesses(unit, p.binding, branch, stats);
     if (witnesses.size() > unit.n) {
       Obligation ob;
       ob.kind = Obligation::Kind::kPinAtMost;
@@ -391,7 +404,7 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
       }
       for (size_t ai = 0; ai < rule.head.size(); ++ai) {
         const HeadAlt& alt = rule.head[ai];
-        if (!AltSatisfied(alt, binding, branch)) continue;
+        if (!AltSatisfied(alt, binding, branch, stats)) continue;
         bool pins_ok = true;
         for (size_t ui = 0; ui < alt.foralls.size() && pins_ok; ++ui) {
           if (!PinnedAlready(branch, &rule, ai, ui, false, binding)) {
@@ -402,8 +415,8 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
           if (alt.counts[ui].at_least) {
             // At-least satisfaction was not checked by AltSatisfied; do it
             // here: enough pairwise-distinct witnesses.
-            if (CountWitnesses(alt.counts[ui], binding, branch).size() <
-                alt.counts[ui].n) {
+            if (CountWitnesses(alt.counts[ui], binding, branch, stats)
+                    .size() < alt.counts[ui].n) {
               pins_ok = false;
             }
           } else if (!PinnedAlready(branch, &rule, ai, ui, true, binding)) {
@@ -449,7 +462,8 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
                      consider(std::move(ob));
                    }
                    return false;
-                 });
+                 },
+                 stats);
     }
   }
   return best;
@@ -457,7 +471,8 @@ std::optional<Tableau::Obligation> Tableau::FindObligation(
 
 // --- Branch mutation -----------------------------------------------------------
 
-bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b) {
+bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b,
+                            TableauStats* stats) {
   a = branch->Find(a);
   b = branch->Find(b);
   if (a == b) return true;
@@ -472,7 +487,7 @@ bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b) {
   }
   // Rewrite facts, via the per-element Gaifman index rather than a full
   // fact scan.
-  Instance* inst = branch->Mut(&stats_);
+  Instance* inst = branch->Mut(stats);
   std::vector<Fact> to_fix;
   for (const Fact* f : inst->FactsContainingPtr(drop)) to_fix.push_back(*f);
   for (const Fact& f : to_fix) {
@@ -539,7 +554,7 @@ bool Tableau::MergeElements(Branch* branch, ElemId a, ElemId b) {
 }
 
 bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
-                        std::vector<ElemId>* env) {
+                        std::vector<ElemId>* env, TableauStats* stats) {
   // First positive atoms, then equalities (merges), then checks.
   for (const Lit& l : lits) {
     if (!l.is_eq && l.positive) {
@@ -548,7 +563,7 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
       for (uint32_t v : l.args) args.push_back((*env)[v]);
       Fact f{l.rel, std::move(args)};
       if (branch->forbidden.count(f)) return false;
-      branch->Mut(&stats_)->AddFact(f);
+      branch->Mut(stats)->AddFact(f);
     }
   }
   for (const Lit& l : lits) {
@@ -556,7 +571,7 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
       ElemId a = (*env)[l.args[0]];
       ElemId b = (*env)[l.args[1]];
       if (a == b) continue;
-      if (!MergeElements(branch, a, b)) return false;
+      if (!MergeElements(branch, a, b, stats)) return false;
       // Canonicalize every env entry through the union-find.
       for (ElemId& x : *env) x = branch->Find(x);
     }
@@ -582,7 +597,8 @@ bool Tableau::ApplyLits(Branch* branch, const std::vector<Lit>& lits,
 // --- Expansion -----------------------------------------------------------------
 
 std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
-                                             const Obligation& ob) {
+                                             const Obligation& ob,
+                                             TableauStats* stats) {
   // `branch` is consumed: every alternative but the last forks a COW copy;
   // the last reuses the storage, so a deterministic chase chain keeps
   // mutating one instance in place.
@@ -590,7 +606,7 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
   switch (ob.kind) {
     case Obligation::Kind::kMergeFunc: {
       Branch next = std::move(branch);
-      if (MergeElements(&next, ob.merge_a, ob.merge_b)) {
+      if (MergeElements(&next, ob.merge_a, ob.merge_b, stats)) {
         out.push_back(std::move(next));
       }
       return out;
@@ -607,7 +623,7 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
           next = branch;
         }
         std::vector<ElemId> env = ob.match;
-        if (ApplyLits(&next, {clause[li]}, &env)) {
+        if (ApplyLits(&next, {clause[li]}, &env, stats)) {
           out.push_back(std::move(next));
         }
       }
@@ -624,7 +640,7 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
           } else {
             next = branch;
           }
-          if (MergeElements(&next, ob.witnesses[i], ob.witnesses[j])) {
+          if (MergeElements(&next, ob.witnesses[i], ob.witnesses[j], stats)) {
             out.push_back(std::move(next));
           }
         }
@@ -647,24 +663,24 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
           next = branch;
         }
         std::vector<ElemId> env = ob.binding;
-        bool alive = ApplyLits(&next, alt.lits, &env);
+        bool alive = ApplyLits(&next, alt.lits, &env, stats);
         if (alive) env.resize(EnvNeed(&rule), 0);
         // Existential units: fresh witnesses.
         for (size_t ei = 0; ei < alt.exists.size() && alive; ++ei) {
           const ExistsUnit& e = alt.exists[ei];
           if (next.fresh_nulls + e.qvars.size() > budget_.max_fresh_nulls) {
             alive = false;
-            stats_.budget_hit = true;
+            stats->budget_hit = true;
             break;
           }
           for (uint32_t q : e.qvars) {
-            env[q] = next.Mut(&stats_)->AddNull();
+            env[q] = next.Mut(stats)->AddNull();
             ++next.fresh_nulls;
           }
           std::vector<Lit> to_apply;
           to_apply.push_back(e.guard);
           for (const Lit& l : e.lits) to_apply.push_back(l);
-          alive = ApplyLits(&next, to_apply, &env);
+          alive = ApplyLits(&next, to_apply, &env, stats);
         }
         // Universal and counting units.
         for (size_t ui = 0; ui < alt.foralls.size() && alive; ++ui) {
@@ -683,22 +699,22 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
           std::vector<ElemId> binding(env.begin(),
                                       env.begin() + rule.num_vars);
           if (c.at_least) {
-            std::vector<ElemId> have = CountWitnesses(c, binding, next);
+            std::vector<ElemId> have = CountWitnesses(c, binding, next, stats);
             while (alive && have.size() < c.n) {
               if (next.fresh_nulls + 1 > budget_.max_fresh_nulls) {
                 alive = false;
-                stats_.budget_hit = true;
+                stats->budget_hit = true;
                 break;
               }
               std::vector<ElemId> wenv = binding;
               wenv.resize(EnvNeed(&c), 0);
-              ElemId fresh = next.Mut(&stats_)->AddNull();
+              ElemId fresh = next.Mut(stats)->AddNull();
               ++next.fresh_nulls;
               wenv[c.qvar] = fresh;
               std::vector<Lit> to_apply;
               to_apply.push_back(c.guard);
               for (const Lit& l : c.lits) to_apply.push_back(l);
-              alive = ApplyLits(&next, to_apply, &wenv);
+              alive = ApplyLits(&next, to_apply, &wenv, stats);
               if (!alive) break;
               // The witness (or a previous one) may have been merged away
               // while its defining literals were applied; resolve before
@@ -743,7 +759,29 @@ std::vector<Tableau::Branch> Tableau::Expand(Branch branch,
   return out;
 }
 
-// --- Search --------------------------------------------------------------------
+// --- Model reporting -----------------------------------------------------------
+
+Instance Tableau::CompactModel(const Branch& branch) const {
+  // Drop merged-away elements before reporting: the model's element ids
+  // are dense, constants keep their names, nulls are renumbered.
+  Instance model(branch.I().symbols());
+  std::vector<int64_t> remap(branch.I().NumElements(), -1);
+  for (ElemId e = 0; e < branch.I().NumElements(); ++e) {
+    if (branch.IsDead(e)) continue;
+    remap[e] = branch.I().IsNull(e)
+                   ? static_cast<int64_t>(model.AddNull())
+                   : static_cast<int64_t>(
+                         model.AddConstant(branch.I().ElemName(e)));
+  }
+  for (const Fact& f : branch.I().facts()) {
+    Fact g = f;
+    for (ElemId& x : g.args) x = static_cast<ElemId>(remap[x]);
+    model.AddFact(g);
+  }
+  return model;
+}
+
+// --- Serial search (the differential reference) --------------------------------
 
 bool Tableau::Explore(Branch branch, uint64_t depth,
                       const std::function<bool(const Instance&)>& fn,
@@ -755,41 +793,36 @@ bool Tableau::Explore(Branch branch, uint64_t depth,
     if (prune_ != nullptr && (*prune_)(branch.I())) {
       // This branch can never become a rejecting model; abandon it.
       ++stats_.branches_saturated;
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    if (stats_.steps++ > budget_.max_steps ||
-        stats_.branches_closed + stats_.branches_saturated >
+    // The atomics replicate the old per-member accounting exactly at one
+    // thread: fetch_add returns the pre-increment value the old
+    // `stats_.steps++ > max_steps` compared, and branch_terminations_
+    // tracks branches_closed + branches_saturated.
+    ++stats_.steps;
+    if (steps_used_.fetch_add(1, std::memory_order_relaxed) >
+            budget_.max_steps ||
+        branch_terminations_.load(std::memory_order_relaxed) >
             budget_.max_branches) {
       stats_.budget_hit = true;
       return false;
     }
-    std::optional<Obligation> ob = FindObligation(branch);
+    std::optional<Obligation> ob = FindObligation(branch, &stats_);
     if (!ob) {
       ++stats_.branches_saturated;
-      // Compact: drop merged-away elements before reporting.
-      Instance model(branch.I().symbols());
-      std::vector<int64_t> remap(branch.I().NumElements(), -1);
-      for (ElemId e = 0; e < branch.I().NumElements(); ++e) {
-        if (branch.IsDead(e)) continue;
-        remap[e] = branch.I().IsNull(e)
-                       ? static_cast<int64_t>(model.AddNull())
-                       : static_cast<int64_t>(
-                             model.AddConstant(branch.I().ElemName(e)));
-      }
-      for (const Fact& f : branch.I().facts()) {
-        Fact g = f;
-        for (ElemId& x : g.args) x = static_cast<ElemId>(remap[x]);
-        model.AddFact(g);
-      }
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
+      Instance model = CompactModel(branch);
       last_model_ = model;
       if (fn(model)) {
         *stop = true;
       }
       return true;
     }
-    std::vector<Branch> successors = Expand(std::move(branch), *ob);
+    std::vector<Branch> successors = Expand(std::move(branch), *ob, &stats_);
     if (successors.empty()) {
       ++stats_.branches_closed;
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     if (successors.size() == 1) {
@@ -805,15 +838,172 @@ bool Tableau::Explore(Branch branch, uint64_t depth,
   }
 }
 
+// --- Or-parallel search --------------------------------------------------------
+
+// Shared state of one parallel exploration family. The callback pointer is
+// written once before any task runs; result_mu serializes model reports
+// (so the user callback and last_model_ writes never race); stats_mu
+// guards merging per-task stats into stats_ as tasks retire.
+struct Tableau::ParallelCtx {
+  explicit ParallelCtx(ThreadPool* pool) : group(pool) {}
+
+  const std::function<bool(const Instance&)>* fn = nullptr;
+  CancellationToken cancel;
+  TaskGroup group;
+  std::mutex result_mu;
+  std::mutex stats_mu;
+  std::atomic<uint32_t> live_tasks{0};
+  std::atomic<uint32_t> peak_live{0};
+  uint64_t spawn_cutoff = 0;
+};
+
+void Tableau::ExploreTask(Branch branch, uint64_t depth, ParallelCtx* ctx,
+                          TableauStats* stats) {
+  ++stats->branches_opened;
+  if (depth > stats->peak_branch_depth) stats->peak_branch_depth = depth;
+  for (;;) {
+    // Cooperative cancellation, checked at obligation granularity: a
+    // sibling found what the search wanted, so this subtree is abandoned
+    // without touching the budget counters.
+    if (ctx->cancel.cancelled()) {
+      ++stats->cancelled_branches;
+      return;
+    }
+    if (prune_ != nullptr && (*prune_)(branch.I())) {
+      ++stats->branches_saturated;
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Shared budget: every worker draws steps from the same relaxed
+    // counters, so the family's total work obeys the same limits the
+    // serial engine enforces. Hitting a limit marks the (task-local)
+    // budget_hit, which downgrades the verdict to kUnknown after the
+    // merge — never to a wrong answer.
+    ++stats->steps;
+    if (steps_used_.fetch_add(1, std::memory_order_relaxed) >
+            budget_.max_steps ||
+        branch_terminations_.load(std::memory_order_relaxed) >
+            budget_.max_branches) {
+      stats->budget_hit = true;
+      return;
+    }
+    std::optional<Obligation> ob = FindObligation(branch, stats);
+    if (!ob) {
+      ++stats->branches_saturated;
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
+      Instance model = CompactModel(branch);
+      std::lock_guard<std::mutex> lk(ctx->result_mu);
+      // Re-check under the lock: a sibling may have accepted a model while
+      // this one was being compacted, and the user callback must not be
+      // invoked after it returned "stop".
+      if (!ctx->cancel.cancelled()) {
+        last_model_ = model;
+        if ((*ctx->fn)(model)) ctx->cancel.Cancel();
+      }
+      return;
+    }
+    std::vector<Branch> successors = Expand(std::move(branch), *ob, stats);
+    if (successors.empty()) {
+      ++stats->branches_closed;
+      branch_terminations_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (successors.size() == 1) {
+      branch = std::move(successors[0]);
+      continue;
+    }
+    // A genuine disjunctive fork. Above the cutoff depth the siblings
+    // become pool tasks (or-parallelism); below it the subtree is small
+    // enough that task-spawn overhead would dominate, so it stays serial
+    // inside this task.
+    if (depth >= ctx->spawn_cutoff) {
+      ++stats->sequential_cutoff_hits;
+      for (size_t i = 1; i < successors.size(); ++i) {
+        if (ctx->cancel.cancelled()) {
+          ++stats->cancelled_branches;
+          return;
+        }
+        ExploreTask(std::move(successors[i]), depth + 1, ctx, stats);
+      }
+    } else {
+      for (size_t i = 1; i < successors.size(); ++i) {
+        ++stats->tasks_spawned;
+        // Branch is copyable, so the capturing lambda satisfies
+        // std::function; the COW instance makes the capture cheap and the
+        // handed-off branch disjoint from this task's continuation.
+        ctx->group.Spawn(
+            [this, ctx, depth, b = std::move(successors[i])]() mutable {
+              TableauStats local;
+              uint32_t live =
+                  ctx->live_tasks.fetch_add(1, std::memory_order_relaxed) + 1;
+              uint32_t peak = ctx->peak_live.load(std::memory_order_relaxed);
+              while (live > peak &&
+                     !ctx->peak_live.compare_exchange_weak(
+                         peak, live, std::memory_order_relaxed)) {
+              }
+              ExploreTask(std::move(b), depth + 1, ctx, &local);
+              ctx->live_tasks.fetch_sub(1, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lk(ctx->stats_mu);
+              stats_ += local;
+            });
+      }
+    }
+    // Continue with the first successor in place (same storage reuse as
+    // the serial loop), counting it as a new branch one level deeper.
+    branch = std::move(successors[0]);
+    ++depth;
+    ++stats->branches_opened;
+    if (depth > stats->peak_branch_depth) stats->peak_branch_depth = depth;
+  }
+}
+
+void Tableau::ExploreParallel(Branch root,
+                              const std::function<bool(const Instance&)>& fn) {
+  ParallelCtx ctx(pool_);
+  ctx.fn = &fn;
+  ctx.spawn_cutoff = budget_.spawn_cutoff_depth;
+  // The calling thread runs the root subtree inline (it counts as a live
+  // exploration) and only then waits for the spawned family — the root
+  // never blocks inside a task, so a work-stealing pool of any size makes
+  // progress and Wait() cannot deadlock.
+  ctx.live_tasks.store(1, std::memory_order_relaxed);
+  ctx.peak_live.store(1, std::memory_order_relaxed);
+  TableauStats local;
+  ExploreTask(std::move(root), 0, &ctx, &local);
+  ctx.live_tasks.fetch_sub(1, std::memory_order_relaxed);
+  ctx.group.Wait();
+  // All tasks have retired; the merges below race with nothing.
+  stats_ += local;
+  uint64_t peak = ctx.peak_live.load(std::memory_order_relaxed);
+  if (peak > stats_.peak_live_tasks) stats_.peak_live_tasks = peak;
+}
+
+// --- Entry points --------------------------------------------------------------
+
 bool Tableau::ForEachModel(const Instance& input,
                            const std::function<bool(const Instance&)>& fn) {
   stats_ = TableauStats{};
+  steps_used_.store(0, std::memory_order_relaxed);
+  branch_terminations_.store(0, std::memory_order_relaxed);
   Branch root;
   root.inst = std::make_shared<Instance>(input);
-  bool stop = false;
-  bool complete = Explore(std::move(root), 0, fn, &stop);
-  if (stats_.budget_hit) complete = false;
-  return complete;
+  uint32_t threads = ThreadPool::EffectiveThreads(budget_.tableau_threads);
+  if (threads <= 1) {
+    // The serial reference engine: exact legacy semantics, no pool.
+    bool stop = false;
+    bool complete = Explore(std::move(root), 0, fn, &stop);
+    if (stats_.budget_hit) complete = false;
+    return complete;
+  }
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+  ExploreParallel(std::move(root), fn);
+  // Completeness has the same meaning as in the serial engine: some part
+  // of the branch space went unexplored iff a budget was hit (cancelled
+  // subtrees don't count — the search already has its answer).
+  return !stats_.budget_hit;
 }
 
 Certainty Tableau::IsConsistent(const Instance& input) {

@@ -1,6 +1,7 @@
 #ifndef GFOMQ_REASONER_TABLEAU_H_
 #define GFOMQ_REASONER_TABLEAU_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "instance/instance.h"
 #include "logic/rules.h"
 
@@ -20,15 +22,35 @@ enum class Certainty { kYes, kNo, kUnknown };
 /// Resource budget for the disjunctive guarded tableau. The tableau is a
 /// complete procedure whenever it terminates within budget; hitting a limit
 /// yields kUnknown, never a wrong answer.
+///
+/// The last two fields choose an *execution strategy*, not a verdict:
+/// consistency-cache keys deliberately exclude them (see BudgetKey in
+/// reasoner/certain.h), so serial and parallel runs of the same probe share
+/// cache entries.
 struct TableauBudget {
   uint32_t max_fresh_nulls = 80;     // per branch
   uint64_t max_steps = 50000;        // rule firings across the search
   uint64_t max_branches = 20000;     // saturated/closed branches explored
+  /// Worker threads for the or-parallel branch exploration: 1 = the serial
+  /// reference engine (default), 0 = one per hardware thread, n = exactly
+  /// n. Verdicts are identical for every value on budget-decisive inputs
+  /// (the tableau is a complete procedure either way); only which branch
+  /// hits a shared step/branch limit first can differ near the budget
+  /// boundary, and then every value still answers kUnknown-or-correct.
+  uint32_t tableau_threads = 1;
+  /// Disjunctive-nesting depth up to which Expand-produced successor
+  /// branches are handed to the work-stealing pool; forks deeper than this
+  /// stay serial inside their task, keeping task-spawn overhead off the
+  /// small subtrees near the leaves.
+  uint64_t spawn_cutoff_depth = 8;
 };
 
 /// Statistics of a tableau run (see DESIGN.md §Chase engine). A run's
 /// counters are reset by ForEachModel; callers that aggregate across runs
-/// (CertainAnswerSolver) use operator+=.
+/// (CertainAnswerSolver) use operator+=. Counters come in two flavours:
+/// additive tallies (summed by operator+=) and peak-style watermarks
+/// (peak_branch_depth, peak_live_tasks), which operator+= max-merges so
+/// per-worker partial stats combine to the same aggregate in any order.
 struct TableauStats {
   uint64_t steps = 0;                // rule firings (obligations expanded)
   uint64_t branches_opened = 0;      // branches entered (root + successors)
@@ -39,6 +61,10 @@ struct TableauStats {
   uint64_t relation_scans = 0;       // guard matches over the per-rel list
   uint64_t cow_copies = 0;           // instance clones actually materialized
   uint64_t peak_branch_depth = 0;    // deepest disjunctive nesting explored
+  uint64_t tasks_spawned = 0;        // branches handed to the pool
+  uint64_t cancelled_branches = 0;   // abandoned by cooperative cancellation
+  uint64_t sequential_cutoff_hits = 0;  // forks kept serial by the cutoff
+  uint64_t peak_live_tasks = 0;      // max concurrently live explorations
   bool budget_hit = false;
 
   TableauStats& operator+=(const TableauStats& o) {
@@ -50,9 +76,15 @@ struct TableauStats {
     index_lookups += o.index_lookups;
     relation_scans += o.relation_scans;
     cow_copies += o.cow_copies;
+    tasks_spawned += o.tasks_spawned;
+    cancelled_branches += o.cancelled_branches;
+    sequential_cutoff_hits += o.sequential_cutoff_hits;
     peak_branch_depth = peak_branch_depth > o.peak_branch_depth
                             ? peak_branch_depth
                             : o.peak_branch_depth;
+    peak_live_tasks = peak_live_tasks > o.peak_live_tasks
+                          ? peak_live_tasks
+                          : o.peak_live_tasks;
     budget_hit = budget_hit || o.budget_hit;
     return *this;
   }
@@ -97,14 +129,29 @@ bool ForEachGuardMatchNaive(
 /// hash-set probes, and per-rule environment sizes are precomputed once.
 /// `naive_matching` selects the full-scan reference path instead (used by
 /// differential tests and the before/after benches).
+///
+/// With budget.tableau_threads > 1 the branch tree is explored
+/// or-parallel: disjunctive successors above spawn_cutoff_depth become
+/// work-stealing pool tasks, the first accepted model cancels all live
+/// siblings through a cooperative flag checked at obligation granularity,
+/// and the step/branch budgets are shared relaxed atomics, so hitting a
+/// limit still yields kUnknown and never a wrong verdict. The serial path
+/// (tableau_threads == 1) is retained verbatim as the differential
+/// reference. `pool`, when non-null, supplies the workers (so callers such
+/// as CertainAnswerSolver amortize one pool across many probes); otherwise
+/// the tableau lazily creates its own. Callbacks handed to FindModelWhere
+/// with reject_antimonotone must be thread-safe under parallel
+/// exploration — they are invoked concurrently from branch tasks.
 class Tableau {
  public:
   explicit Tableau(const RuleSet& rules, TableauBudget budget = {},
-                   bool naive_matching = false);
+                   bool naive_matching = false, ThreadPool* pool = nullptr);
 
   /// Enumerates saturated branches (models). The callback returns true to
-  /// stop the search early. Returns false if the budget was hit (some part
-  /// of the branch space was not explored).
+  /// stop the search early (reports are serialized under a lock in the
+  /// parallel engine, so the callback itself need not be thread-safe).
+  /// Returns false if the budget was hit (some part of the branch space
+  /// was not explored).
   bool ForEachModel(const Instance& input,
                     const std::function<bool(const Instance&)>& fn);
 
@@ -141,6 +188,9 @@ class Tableau {
   struct Branch {
     // Shared copy-on-write instance: forked branches alias the parent's
     // Instance (and thereby its fact indexes) until their first mutation.
+    // This is also what makes branches cheap to hand to other threads: a
+    // forked branch shares only immutable state (the first mutation on any
+    // thread clones, and a use_count of 1 proves sole ownership).
     std::shared_ptr<Instance> inst;
     std::vector<Pinned> pinned;
     // Hash filter over `pinned` (PinHash of each entry): a missing hash
@@ -179,19 +229,39 @@ class Tableau {
     std::vector<ElemId> witnesses;         // at-most overflow witnesses
   };
 
+  // Shared state of one or-parallel exploration; defined in tableau.cc.
+  struct ParallelCtx;
+
+  // The serial reference engine (tableau_threads == 1).
   bool Explore(Branch branch, uint64_t depth,
                const std::function<bool(const Instance&)>& fn, bool* stop);
+
+  // The or-parallel engine: runs the root inline on the calling thread,
+  // forks pool tasks at disjunctions, waits for the whole family.
+  void ExploreParallel(Branch root,
+                       const std::function<bool(const Instance&)>& fn);
+  // One exploration task: a serial-style loop over its subtree that spawns
+  // sibling tasks at forks above the cutoff depth. `stats` is the task's
+  // private accumulator, merged into stats_ when the task retires.
+  void ExploreTask(Branch branch, uint64_t depth, ParallelCtx* ctx,
+                   TableauStats* stats);
+
+  // Compacts a saturated branch into a reportable model (drops merged-away
+  // elements); shared by the serial and parallel engines.
+  Instance CompactModel(const Branch& branch) const;
 
   // Set during FindModelWhere with an antimonotone reject: branches on
   // which this returns true can never become rejecting models and are
   // abandoned early (counted as satisfied).
   const std::function<bool(const Instance&)>* prune_ = nullptr;
-  std::optional<Obligation> FindObligation(const Branch& branch);
+  std::optional<Obligation> FindObligation(const Branch& branch,
+                                           TableauStats* stats);
 
   // Dispatches to the indexed or naive guard matcher per `naive_`.
   bool GuardMatch(const Lit& guard, const Instance& inst,
                   const std::vector<int64_t>& env,
-                  const std::function<bool(const std::vector<int64_t>&)>& fn);
+                  const std::function<bool(const std::vector<int64_t>&)>& fn,
+                  TableauStats* stats);
 
   // Environment size (max variable id + 1) needed to evaluate a quantified
   // unit or a whole rule head, precomputed once at construction so the hot
@@ -201,34 +271,48 @@ class Tableau {
   bool LitHolds(const Lit& lit, const std::vector<ElemId>& env,
                 const Instance& inst) const;
   bool AltSatisfied(const HeadAlt& alt, const std::vector<ElemId>& binding,
-                    const Branch& branch);
+                    const Branch& branch, TableauStats* stats);
   bool ForallUnitSatisfiedAt(const ForallUnit& unit,
                              const std::vector<ElemId>& binding,
                              const std::vector<ElemId>& match,
                              const Branch& branch) const;
   std::vector<ElemId> CountWitnesses(const CountUnit& unit,
                                      const std::vector<ElemId>& binding,
-                                     const Branch& branch);
+                                     const Branch& branch,
+                                     TableauStats* stats);
   bool PinnedAlready(const Branch& branch, const GuardedRule* rule,
                      size_t alt_index, size_t unit_index, bool is_count,
                      const std::vector<ElemId>& binding) const;
 
   // Branch mutation helpers; return false if the branch closes.
   bool ApplyLits(Branch* branch, const std::vector<Lit>& lits,
-                 std::vector<ElemId>* env);
-  bool MergeElements(Branch* branch, ElemId a, ElemId b);
+                 std::vector<ElemId>* env, TableauStats* stats);
+  bool MergeElements(Branch* branch, ElemId a, ElemId b,
+                     TableauStats* stats);
   bool Diseq(const Branch& branch, ElemId a, ElemId b) const;
 
   // Expansion: all successor branches of firing `ob`. Consumes `branch`
   // (the final alternative reuses its storage, which lets deterministic
   // chase chains mutate one shared instance in place).
-  std::vector<Branch> Expand(Branch branch, const Obligation& ob);
+  std::vector<Branch> Expand(Branch branch, const Obligation& ob,
+                             TableauStats* stats);
 
   const RuleSet& rules_;
   TableauBudget budget_;
   bool naive_;
   TableauStats stats_;
   std::optional<Instance> last_model_;
+  // Shared budget accounting, reset per ForEachModel. Relaxed atomics with
+  // exact serial semantics at one thread: fetch_add returns the pre-value
+  // the old `stats_.steps++ > max_steps` compared. In parallel runs every
+  // worker draws from the same counters, so the total work obeys the same
+  // budget the serial engine enforces.
+  std::atomic<uint64_t> steps_used_{0};
+  std::atomic<uint64_t> branch_terminations_{0};  // closed+saturated+pruned
+  // Worker pool for the or-parallel engine: `pool_` when the caller
+  // supplied one, else a lazily created owned pool (cached across runs).
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
   // Precomputed environment sizes: per rule (keyed by GuardedRule*, the
   // size covering every variable of the rule incl. quantified units) and
   // per unit (keyed by ExistsUnit*/ForallUnit*/CountUnit*).

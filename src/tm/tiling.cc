@@ -433,6 +433,11 @@ MarkerStatus CheckMarker(CertainAnswerSolver& solver, const Instance& input,
   }
   TableauBudget budget;
   budget.max_steps = 20000;
+  // Execution strategy follows the solver's configuration (a probe run
+  // under N threads must still share cache entries with a serial one, so
+  // only the verdict-relevant budget fields above are probe-specific).
+  budget.tableau_threads = solver.options().tableau.tableau_threads;
+  budget.spawn_cutoff_depth = solver.options().tableau.spawn_cutoff_depth;
   // Route through the solver so repeated marker probes (isomorphic
   // extensions recur across cells) hit the shared consistency cache.
   Certainty c = solver.TableauIsConsistent(extended, budget);

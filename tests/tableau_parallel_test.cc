@@ -1,0 +1,391 @@
+// Or-parallel tableau suites:
+//  - Differential: for 2/4/8 worker threads, consistency verdicts, model
+//    counts and countermodel searches must be identical to the serial
+//    reference engine (tableau_threads = 1) on random guarded instances
+//    and on branch-heavy pigeonhole families.
+//  - Cancellation hammer: repeated 8-worker runs where the first saturated
+//    branch cancels a large sibling family (the tsan preset runs this).
+//  - Budget-key regression: cache keys are execution-strategy independent,
+//    so a parallel probe is served from the entry a serial probe wrote.
+//  - Stats algebra: merging per-worker TableauStats in any order yields
+//    the same aggregate (peaks max-merge, tallies add).
+//  - Budget saturation: shared atomic budgets may downgrade a verdict to
+//    kUnknown but never flip it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/parser.h"
+#include "reasoner/certain.h"
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+namespace {
+
+Instance RandomInstance(SymbolsPtr sym, Rng& rng, int salt) {
+  Instance d(sym);
+  std::vector<ElemId> es;
+  int n = 2 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.3)) {
+      es.push_back(d.AddNull());
+    } else {
+      es.push_back(d.AddConstant("e" + std::to_string(salt) + "_" +
+                                 std::to_string(i)));
+    }
+  }
+  for (const char* u : {"A", "B", "C"}) {
+    uint32_t rel = sym->Rel(u, 1);
+    for (ElemId e : es) {
+      if (rng.Chance(0.4)) d.AddFact(rel, {e});
+    }
+  }
+  for (const char* b : {"R", "S"}) {
+    uint32_t rel = sym->Rel(b, 2);
+    for (ElemId x : es) {
+      for (ElemId y : es) {
+        if (rng.Chance(0.3)) d.AddFact(rel, {x, y});
+      }
+    }
+  }
+  return d;
+}
+
+// Disjunction-rich ontologies: branching is what the or-parallel engine
+// parallelizes, so every ontology here forks.
+const char* kOntologies[] = {
+    "forall x . (A(x) -> B(x) | C(x)); forall x . (B(x) & C(x) -> false);",
+    "forall x . (A(x) -> B(x) | C(x)); "
+    "forall x, y (R(x,y) -> (B(x) -> B(y)));",
+    "forall x . (A(x) -> B(x) | C(x)); "
+    "forall x . (B(x) -> exists y (R(x,y) & C(y)));",
+    "forall x . (A(x) -> exists>=2 y (R(x,y))); "
+    "forall x . (B(x) -> exists<=1 y (R(x,y)));",
+};
+
+// Pigeonhole principle as guarded rules: every pigeon P picks one of
+// `holes` colors, and D-linked pigeons may not share a color. On a clique
+// of n pigeons this forces an injective coloring — inconsistent iff
+// n > holes — and the branch tree is the full tree of partial colorings,
+// the canonical branch-heavy workload.
+RuleSet PigeonholeRules(SymbolsPtr sym, uint32_t holes) {
+  RuleSet rules;
+  rules.symbols = sym;
+  GuardedRule choose;
+  choose.num_vars = 1;
+  choose.guard = Lit::Atom(sym->Rel("P", 1), {0});
+  for (uint32_t h = 0; h < holes; ++h) {
+    HeadAlt alt;
+    alt.lits.push_back(
+        Lit::Atom(sym->Rel("H" + std::to_string(h), 1), {0}));
+    choose.head.push_back(alt);
+  }
+  rules.rules.push_back(choose);
+  for (uint32_t h = 0; h < holes; ++h) {
+    uint32_t rel_h = sym->Rel("H" + std::to_string(h), 1);
+    GuardedRule conflict;
+    conflict.num_vars = 2;
+    conflict.guard = Lit::Atom(sym->Rel("D", 2), {0, 1});
+    conflict.body.push_back(Lit::Atom(rel_h, {0}));
+    conflict.body.push_back(Lit::Atom(rel_h, {1}));
+    HeadAlt ff;
+    ff.is_false = true;
+    conflict.head.push_back(ff);
+    rules.rules.push_back(conflict);
+  }
+  return rules;
+}
+
+Instance PigeonClique(SymbolsPtr sym, uint32_t pigeons) {
+  Instance d(sym);
+  uint32_t rel_p = sym->Rel("P", 1);
+  uint32_t rel_d = sym->Rel("D", 2);
+  std::vector<ElemId> es;
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    es.push_back(d.AddConstant("p" + std::to_string(i)));
+    d.AddFact(rel_p, {es.back()});
+  }
+  for (ElemId x : es) {
+    for (ElemId y : es) {
+      if (x != y) d.AddFact(rel_d, {x, y});
+    }
+  }
+  return d;
+}
+
+TableauBudget ThreadedBudget(uint32_t threads) {
+  TableauBudget b;
+  b.tableau_threads = threads;
+  // Decisive on every workload in this file: the differential contract is
+  // only about decided verdicts (near the budget boundary, which branch
+  // trips a shared limit first is scheduling-dependent by design).
+  b.max_steps = 2000000;
+  b.max_branches = 500000;
+  return b;
+}
+
+TEST(TableauParallelTest, ConsistencyMatchesSerialOnRandomInstances) {
+  Rng rng(20260807);
+  for (const char* text : kOntologies) {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology(text, sym);
+    ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+    auto rules = NormalizeOntology(*onto);
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    for (int round = 0; round < 10; ++round) {
+      Instance d = RandomInstance(sym, rng, round);
+      Tableau serial(*rules, ThreadedBudget(1));
+      Certainty want = serial.IsConsistent(d);
+      for (uint32_t threads : {2u, 4u, 8u}) {
+        Tableau parallel(*rules, ThreadedBudget(threads));
+        EXPECT_EQ(parallel.IsConsistent(d), want)
+            << text << " round=" << round << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(TableauParallelTest, ModelCountsMatchSerialOnPigeonhole) {
+  SymbolsPtr sym = MakeSymbols();
+  RuleSet rules = PigeonholeRules(sym, 3);
+  Instance d = PigeonClique(sym, 3);  // 3 pigeons, 3 holes: 3! models
+
+  auto count_models = [&](uint32_t threads) {
+    Tableau tableau(rules, ThreadedBudget(threads));
+    uint64_t count = 0;
+    bool complete = tableau.ForEachModel(d, [&count](const Instance&) {
+      ++count;
+      return false;  // enumerate the whole tree, no cancellation
+    });
+    EXPECT_TRUE(complete) << "threads=" << threads;
+    return count;
+  };
+
+  uint64_t want = count_models(1);
+  EXPECT_EQ(want, 6u);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(count_models(threads), want) << "threads=" << threads;
+  }
+}
+
+TEST(TableauParallelTest, FindModelWhereMatchesSerial) {
+  Rng rng(99);
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kOntologies[0], sym);
+  ASSERT_TRUE(onto.ok());
+  auto rules = NormalizeOntology(*onto);
+  ASSERT_TRUE(rules.ok());
+  uint32_t rel_b = sym->Rel("B", 1);
+  // reject = "some element satisfies B": thread-safe (reads the reported
+  // model only), exercised concurrently by the parallel engine.
+  auto reject = [rel_b](const Instance& m) {
+    for (ElemId e = 0; e < m.NumElements(); ++e) {
+      if (m.HasFact(rel_b, {e})) return true;
+    }
+    return false;
+  };
+  for (int round = 0; round < 10; ++round) {
+    Instance d = RandomInstance(sym, rng, round);
+    Tableau serial(*rules, ThreadedBudget(1));
+    Certainty want = serial.FindModelWhere(d, reject);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      Tableau parallel(*rules, ThreadedBudget(threads));
+      EXPECT_EQ(parallel.FindModelWhere(d, reject), want)
+          << "round=" << round << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TableauParallelTest, SolverVerdictsMatchSerialReference) {
+  Rng rng(4242);
+  for (const char* text : kOntologies) {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology(text, sym);
+    ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+
+    CertainOptions serial_opts;
+    serial_opts.consistency_cache = false;
+    auto serial = CertainAnswerSolver::Create(*onto, serial_opts);
+    CertainOptions parallel_opts;
+    parallel_opts.consistency_cache = false;
+    parallel_opts.tableau = ThreadedBudget(8);
+    serial_opts.tableau = ThreadedBudget(1);
+    auto reference = CertainAnswerSolver::Create(*onto, serial_opts);
+    auto parallel = CertainAnswerSolver::Create(*onto, parallel_opts);
+    ASSERT_TRUE(reference.ok() && parallel.ok());
+
+    Cq qb;
+    qb.symbols = sym;
+    qb.num_vars = 1;
+    qb.answer_vars = {0};
+    qb.atoms.push_back({sym->Rel("B", 1), {0}});
+
+    for (int round = 0; round < 8; ++round) {
+      Instance d = RandomInstance(sym, rng, round);
+      EXPECT_EQ(parallel->IsConsistent(d), reference->IsConsistent(d))
+          << text;
+      for (ElemId e = 0; e < d.NumElements() && e < 2; ++e) {
+        EXPECT_EQ(parallel->IsCertain(d, qb, {e}),
+                  reference->IsCertain(d, qb, {e}))
+            << text << " e=" << e;
+      }
+    }
+  }
+}
+
+// The tsan workload: 8 workers race to saturate (consistent clique — the
+// first model cancels a large live family) or to close every branch
+// (inconsistent clique — full tree, shared budget atomics under fire).
+TEST(TableauParallelTest, CancellationHammer8Workers) {
+  SymbolsPtr sym = MakeSymbols();
+  RuleSet rules = PigeonholeRules(sym, 5);
+  Instance consistent = PigeonClique(sym, 5);
+  Instance inconsistent = PigeonClique(sym, 6);
+  for (int round = 0; round < 12; ++round) {
+    Tableau sat(rules, ThreadedBudget(8));
+    EXPECT_EQ(sat.IsConsistent(consistent), Certainty::kYes);
+    Tableau unsat(rules, ThreadedBudget(8));
+    EXPECT_EQ(unsat.IsConsistent(inconsistent), Certainty::kNo);
+  }
+}
+
+TEST(TableauParallelTest, ParallelRunsSpawnTasksSerialRunsDoNot) {
+  SymbolsPtr sym = MakeSymbols();
+  RuleSet rules = PigeonholeRules(sym, 4);
+  Instance d = PigeonClique(sym, 5);  // inconsistent: full tree explored
+
+  Tableau serial(rules, ThreadedBudget(1));
+  EXPECT_EQ(serial.IsConsistent(d), Certainty::kNo);
+  EXPECT_EQ(serial.stats().tasks_spawned, 0u);
+  EXPECT_EQ(serial.stats().peak_live_tasks, 0u);
+
+  Tableau parallel(rules, ThreadedBudget(8));
+  EXPECT_EQ(parallel.IsConsistent(d), Certainty::kNo);
+  EXPECT_GT(parallel.stats().tasks_spawned, 0u);
+  EXPECT_GT(parallel.stats().peak_live_tasks, 0u);
+
+  // Deep forks stay serial: with the cutoff at the root every fork is a
+  // sequential-cutoff hit and nothing is spawned.
+  TableauBudget serial_cutoff = ThreadedBudget(8);
+  serial_cutoff.spawn_cutoff_depth = 0;
+  Tableau cutoff(rules, serial_cutoff);
+  EXPECT_EQ(cutoff.IsConsistent(d), Certainty::kNo);
+  EXPECT_EQ(cutoff.stats().tasks_spawned, 0u);
+  EXPECT_GT(cutoff.stats().sequential_cutoff_hits, 0u);
+}
+
+TEST(TableauParallelTest, BudgetKeyIgnoresExecutionStrategy) {
+  TableauBudget serial;
+  TableauBudget parallel;
+  parallel.tableau_threads = 8;
+  parallel.spawn_cutoff_depth = 2;
+  EXPECT_EQ(BudgetKey(serial, 3), BudgetKey(parallel, 3));
+
+  // Verdict-relevant fields must still separate keys.
+  TableauBudget harder = serial;
+  harder.max_steps += 1;
+  EXPECT_NE(BudgetKey(serial, 3), BudgetKey(harder, 3));
+  TableauBudget more_nulls = serial;
+  more_nulls.max_fresh_nulls += 1;
+  EXPECT_NE(BudgetKey(serial, 3), BudgetKey(more_nulls, 3));
+  EXPECT_NE(BudgetKey(serial, 3), BudgetKey(serial, 4));
+}
+
+TEST(TableauParallelTest, SerialAndParallelProbesShareCacheEntries) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kOntologies[0], sym);
+  ASSERT_TRUE(onto.ok());
+  auto solver = CertainAnswerSolver::Create(*onto);
+  ASSERT_TRUE(solver.ok());
+
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(sym->Rel("A", 1), {a});
+
+  TableauBudget serial = ThreadedBudget(1);
+  Certainty first = solver->TableauIsConsistent(d, serial);
+  uint64_t hits_before = solver->cache_stats().hits;
+  // Same probe, parallel execution strategy: must be a cache hit (the key
+  // excludes tableau_threads / spawn_cutoff_depth), not a recomputation.
+  TableauBudget parallel = ThreadedBudget(8);
+  parallel.spawn_cutoff_depth = 3;
+  EXPECT_EQ(solver->TableauIsConsistent(d, parallel), first);
+  EXPECT_EQ(solver->cache_stats().hits, hits_before + 1);
+}
+
+TEST(TableauParallelTest, StatsMergeIsOrderIndependent) {
+  // Three per-worker partials with distinct values in every field.
+  std::vector<TableauStats> parts(3);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    uint64_t k = i + 1;
+    parts[i].steps = 10 * k;
+    parts[i].branches_opened = 20 * k;
+    parts[i].branches_closed = 30 * k;
+    parts[i].branches_saturated = 40 * k;
+    parts[i].guard_match_probes = 50 * k;
+    parts[i].index_lookups = 60 * k;
+    parts[i].relation_scans = 70 * k;
+    parts[i].cow_copies = 80 * k;
+    parts[i].peak_branch_depth = 7 * ((i + 1) % 3);  // peak not in order 0..2
+    parts[i].tasks_spawned = 90 * k;
+    parts[i].cancelled_branches = 11 * k;
+    parts[i].sequential_cutoff_hits = 13 * k;
+    parts[i].peak_live_tasks = 5 * ((i + 2) % 3);
+    parts[i].budget_hit = (i == 1);
+  }
+  std::vector<size_t> order = {0, 1, 2};
+  TableauStats want;
+  for (size_t i : order) want += parts[i];
+  // Tallies add, watermarks max-merge.
+  EXPECT_EQ(want.steps, 60u);
+  EXPECT_EQ(want.peak_branch_depth, 14u);
+  EXPECT_EQ(want.peak_live_tasks, 10u);
+  EXPECT_TRUE(want.budget_hit);
+  while (std::next_permutation(order.begin(), order.end())) {
+    TableauStats got;
+    for (size_t i : order) got += parts[i];
+    EXPECT_EQ(got.steps, want.steps);
+    EXPECT_EQ(got.branches_opened, want.branches_opened);
+    EXPECT_EQ(got.branches_closed, want.branches_closed);
+    EXPECT_EQ(got.branches_saturated, want.branches_saturated);
+    EXPECT_EQ(got.guard_match_probes, want.guard_match_probes);
+    EXPECT_EQ(got.index_lookups, want.index_lookups);
+    EXPECT_EQ(got.relation_scans, want.relation_scans);
+    EXPECT_EQ(got.cow_copies, want.cow_copies);
+    EXPECT_EQ(got.peak_branch_depth, want.peak_branch_depth);
+    EXPECT_EQ(got.tasks_spawned, want.tasks_spawned);
+    EXPECT_EQ(got.cancelled_branches, want.cancelled_branches);
+    EXPECT_EQ(got.sequential_cutoff_hits, want.sequential_cutoff_hits);
+    EXPECT_EQ(got.peak_live_tasks, want.peak_live_tasks);
+    EXPECT_EQ(got.budget_hit, want.budget_hit);
+  }
+}
+
+TEST(TableauParallelTest, BudgetHitYieldsUnknownNeverWrong) {
+  SymbolsPtr sym = MakeSymbols();
+  RuleSet rules = PigeonholeRules(sym, 4);
+  Instance inconsistent = PigeonClique(sym, 5);
+  Instance consistent = PigeonClique(sym, 4);
+  // Sweep step budgets from hopeless to generous: every (budget, threads)
+  // combination must answer the truth or kUnknown — never the opposite.
+  for (uint64_t max_steps : {1ull, 10ull, 100ull, 1000ull, 1000000ull}) {
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      TableauBudget b;
+      b.max_steps = max_steps;
+      b.tableau_threads = threads;
+      Tableau t1(rules, b);
+      EXPECT_NE(t1.IsConsistent(inconsistent), Certainty::kYes)
+          << "steps=" << max_steps << " threads=" << threads;
+      Tableau t2(rules, b);
+      EXPECT_NE(t2.IsConsistent(consistent), Certainty::kNo)
+          << "steps=" << max_steps << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfomq
