@@ -70,16 +70,23 @@ inline std::string JsonArr(const std::vector<std::string>& elems) {
 /// cache-off reference; `engine_micros` the indexed, memoizing engine on
 /// the same workload; `parallel_micros` the same indexed engine with the
 /// or-parallel tableau at `tableau_threads` workers (g_tableau_threads);
-/// `cache`/`tableau` are the engine solver's counters and
-/// `parallel_tableau` the parallel solver's (tasks spawned, cancellations,
-/// sequential-cutoff forks). `parallel_speedup` is engine/parallel wall
-/// time — it scales with physical cores, so single-core CI records ~1.
+/// `trail_micros` the trail-based destructive engine with nogood learning
+/// on the same workload. `cache`/`tableau` are the engine solver's
+/// counters, `parallel_tableau` the parallel solver's (tasks spawned,
+/// cancellations, sequential-cutoff forks) and `trail_tableau` the trail
+/// solver's (undo entries, level pops, nogoods learned/pruning, and its
+/// cow_copies — expected 0: destructive branching never clones).
+/// `parallel_speedup` is engine/parallel wall time — it scales with
+/// physical cores, so single-core CI records ~1; `trail_speedup` is
+/// engine/trail wall time.
 inline std::string TableauJsonRow(
     const std::string& family, uint64_t size, uint64_t runs,
     uint64_t naive_micros, uint64_t engine_micros, uint64_t parallel_micros,
-    bool verdicts_identical, bool parallel_verdicts_identical,
+    uint64_t trail_micros, bool verdicts_identical,
+    bool parallel_verdicts_identical, bool trail_verdicts_identical,
     uint32_t tableau_threads, const ConsistencyCacheStats& cache,
-    const TableauStats& tableau, const TableauStats& parallel_tableau) {
+    const TableauStats& tableau, const TableauStats& parallel_tableau,
+    const TableauStats& trail_tableau) {
   double speedup =
       engine_micros == 0
           ? 0.0
@@ -90,6 +97,11 @@ inline std::string TableauJsonRow(
           ? 0.0
           : static_cast<double>(engine_micros) /
                 static_cast<double>(parallel_micros);
+  double trail_speedup =
+      trail_micros == 0
+          ? 0.0
+          : static_cast<double>(engine_micros) /
+                static_cast<double>(trail_micros);
   return JsonObj()
       .Str("family", family)
       .Int("size", size)
@@ -116,6 +128,14 @@ inline std::string TableauJsonRow(
       .Int("tasks_spawned", parallel_tableau.tasks_spawned)
       .Int("cancelled_branches", parallel_tableau.cancelled_branches)
       .Int("sequential_cutoff_hits", parallel_tableau.sequential_cutoff_hits)
+      .Int("trail_micros", trail_micros)
+      .Num("trail_speedup", trail_speedup)
+      .Int("trail_verdicts_identical", trail_verdicts_identical ? 1 : 0)
+      .Int("trail_entries", trail_tableau.trail_entries)
+      .Int("pop_levels", trail_tableau.pop_levels)
+      .Int("nogoods_learned", trail_tableau.nogoods_learned)
+      .Int("nogood_prunes", trail_tableau.nogood_prunes)
+      .Int("trail_cow_copies", trail_tableau.cow_copies)
       .Done();
 }
 

@@ -218,8 +218,9 @@ void AppendPigeonholeRows(std::vector<std::string>* rows) {
   std::printf("pigeonhole tableau — serial vs or-parallel branch search "
               "(--tableau-threads sweep, %llu runs each)\n",
               static_cast<unsigned long long>(kRuns));
-  std::printf("%-9s %-12s %-12s %-31s %-9s %s\n", "pigeons", "naive_us",
-              "serial_us", "sweep 1/2/4/8 (us)", "par_us", "verdicts");
+  std::printf("%-9s %-12s %-12s %-31s %-9s %-9s %s\n", "pigeons", "naive_us",
+              "serial_us", "sweep 1/2/4/8 (us)", "par_us", "trail_us",
+              "verdicts");
   for (uint32_t pigeons : {6u, 7u}) {
     SymbolsPtr sym = MakeSymbols();
     RuleSet rules = PigeonholeRules(sym, pigeons - 1);
@@ -268,26 +269,42 @@ void AppendPigeonholeRows(std::vector<std::string>* rows) {
         parallel_tableau = sweep_solver.tableau_stats();
       }
     }
+    // The trail pass: destructive branching with nogood learning. The
+    // pigeonhole clique is exactly the workload it targets — the COW
+    // engine clones per disjunct and re-closes isomorphic colorings, the
+    // trail engine pops levels (trail_cow_copies stays 0) and prunes
+    // sibling colorings against its learned conflict clauses.
+    CertainOptions trail_opts = PigeonholeOptions(1);
+    trail_opts.tableau.engine = TableauEngine::kTrail;
+    CertainAnswerSolver trail_solver(rules, trail_opts);
+    auto [trail_verdicts, trail_us] = run_pair(trail_solver);
+    bool trail_identical = trail_verdicts == engine_verdicts;
+
     bool identical = naive_verdicts == engine_verdicts;
-    std::printf("%-9u %-12llu %-12llu %-31s %-9llu %s\n", pigeons,
+    std::printf("%-9u %-12llu %-12llu %-31s %-9llu %-9llu %s\n", pigeons,
                 static_cast<unsigned long long>(naive_us),
                 static_cast<unsigned long long>(engine_us),
                 sweep_text.c_str(),
                 static_cast<unsigned long long>(parallel_us),
-                identical && parallel_identical ? "ok" : "MISMATCH");
+                static_cast<unsigned long long>(trail_us),
+                identical && parallel_identical && trail_identical
+                    ? "ok"
+                    : "MISMATCH");
     rows->push_back(bench::TableauJsonRow(
         "pigeonhole", pigeons, kRuns, naive_us, engine_us, parallel_us,
-        identical, parallel_identical, bench::g_tableau_threads,
-        engine_solver.cache_stats(), engine_solver.tableau_stats(),
-        parallel_tableau));
+        trail_us, identical, parallel_identical, trail_identical,
+        bench::g_tableau_threads, engine_solver.cache_stats(),
+        engine_solver.tableau_stats(), parallel_tableau,
+        trail_solver.tableau_stats()));
   }
 }
 
 // Before/after workload for the chase-engine overhaul (BENCH_tableau.json,
 // bouquet family): the same sequential meta decision run kRuns times, once
 // with the naive full-scan tableau and the consistency cache off, once
-// with the indexed, memoizing engine, and once more with the indexed
-// engine exploring each tableau or-parallel at --tableau-threads workers.
+// with the indexed, memoizing engine, once more with the indexed engine
+// exploring each tableau or-parallel at --tableau-threads workers, and a
+// final pass on the trail-based destructive engine.
 // Repeated decisions model what the drivers actually do (determinism
 // double-checks, seq-vs-par scaling re-runs): warm runs are served almost
 // entirely from the cache, and the cold run rides the fact indexes, so the
@@ -319,7 +336,11 @@ void WriteTableauJson() {
     CertainOptions parallel_opts;
     parallel_opts.tableau.tableau_threads = bench::g_tableau_threads;
     auto parallel_solver = CertainAnswerSolver::Create(*onto, parallel_opts);
-    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok()) {
+    CertainOptions trail_opts;
+    trail_opts.tableau.engine = TableauEngine::kTrail;
+    auto trail_solver = CertainAnswerSolver::Create(*onto, trail_opts);
+    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok() ||
+        !trail_solver.ok()) {
       return;
     }
 
@@ -336,8 +357,10 @@ void WriteTableauJson() {
     auto [naive_keys, naive_us] = run_all(*naive_solver);
     auto [engine_keys, engine_us] = run_all(*engine_solver);
     auto [parallel_keys, parallel_us] = run_all(*parallel_solver);
+    auto [trail_keys, trail_us] = run_all(*trail_solver);
     bool identical = naive_keys == engine_keys;
     bool parallel_identical = parallel_keys == engine_keys;
+    bool trail_identical = trail_keys == engine_keys;
     ConsistencyCacheStats cache = engine_solver->cache_stats();
     TableauStats tableau = engine_solver->tableau_stats();
     std::printf("%-10u %-12llu %-12llu %-12llu %-9.2f %-9.3f %s\n", outdeg,
@@ -348,11 +371,14 @@ void WriteTableauJson() {
                                : static_cast<double>(naive_us) /
                                      static_cast<double>(engine_us),
                 cache.HitRate(),
-                identical && parallel_identical ? "ok" : "MISMATCH");
+                identical && parallel_identical && trail_identical
+                    ? "ok"
+                    : "MISMATCH");
     rows.push_back(bench::TableauJsonRow(
-        "bouquet", outdeg, kRuns, naive_us, engine_us, parallel_us,
-        identical, parallel_identical, bench::g_tableau_threads, cache,
-        tableau, parallel_solver->tableau_stats()));
+        "bouquet", outdeg, kRuns, naive_us, engine_us, parallel_us, trail_us,
+        identical, parallel_identical, trail_identical,
+        bench::g_tableau_threads, cache, tableau,
+        parallel_solver->tableau_stats(), trail_solver->tableau_stats()));
   }
   AppendPigeonholeRows(&rows);
   bench::WriteJsonFile(

@@ -115,8 +115,9 @@ void PrintTable() {
 // reference runs the full-scan tableau with the cache off; the engine runs
 // indexed with the shared consistency cache; the parallel pass runs the
 // same indexed engine with the or-parallel tableau at --tableau-threads
-// workers (the marker probes inherit the execution strategy through the
-// solver options). Statuses must agree across all three.
+// workers, and the trail pass runs the destructive engine with nogood
+// learning (the marker probes inherit the execution strategy through the
+// solver options). Statuses must agree across all four.
 void WriteTableauJson() {
   constexpr uint64_t kRuns = 10;
   std::printf("cell-marker tableau — naive full-scan vs indexed+cached vs "
@@ -138,7 +139,11 @@ void WriteTableauJson() {
     parallel_opts.tableau.tableau_threads = bench::g_tableau_threads;
     auto parallel_solver =
         CertainAnswerSolver::Create(cell.ontology, parallel_opts);
-    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok()) {
+    CertainOptions trail_opts;
+    trail_opts.tableau.engine = TableauEngine::kTrail;
+    auto trail_solver = CertainAnswerSolver::Create(cell.ontology, trail_opts);
+    if (!naive_solver.ok() || !engine_solver.ok() || !parallel_solver.ok() ||
+        !trail_solver.ok()) {
       return;
     }
     Instance g = BuildGridInstance(sym, size, size, nullptr);
@@ -159,8 +164,10 @@ void WriteTableauJson() {
     auto [naive_statuses, naive_us] = run_all(*naive_solver);
     auto [engine_statuses, engine_us] = run_all(*engine_solver);
     auto [parallel_statuses, parallel_us] = run_all(*parallel_solver);
+    auto [trail_statuses, trail_us] = run_all(*trail_solver);
     bool identical = naive_statuses == engine_statuses;
     bool parallel_identical = parallel_statuses == engine_statuses;
+    bool trail_identical = trail_statuses == engine_statuses;
     ConsistencyCacheStats cache = engine_solver->cache_stats();
     TableauStats tableau = engine_solver->tableau_stats();
     std::printf("%dx%-4d %-12llu %-12llu %-12llu %-9.2f %-9.3f %s\n", size,
@@ -171,12 +178,14 @@ void WriteTableauJson() {
                                : static_cast<double>(naive_us) /
                                      static_cast<double>(engine_us),
                 cache.HitRate(),
-                identical && parallel_identical ? "ok" : "MISMATCH");
+                identical && parallel_identical && trail_identical
+                    ? "ok"
+                    : "MISMATCH");
     rows.push_back(bench::TableauJsonRow(
         "cell-marker", static_cast<uint64_t>(size), kRuns, naive_us,
-        engine_us, parallel_us, identical, parallel_identical,
-        bench::g_tableau_threads, cache, tableau,
-        parallel_solver->tableau_stats()));
+        engine_us, parallel_us, trail_us, identical, parallel_identical,
+        trail_identical, bench::g_tableau_threads, cache, tableau,
+        parallel_solver->tableau_stats(), trail_solver->tableau_stats()));
   }
   bench::WriteJsonFile(
       "BENCH_tableau.json",

@@ -3,13 +3,19 @@
 # suites. The release preset runs everything; the asan preset re-runs
 # everything under AddressSanitizer+UBSan; the tsan preset runs the
 # concurrency suites (thread_pool_test, meta_parallel_test, the TermStore
-# interning hammer, and the or-parallel tableau differential/cancellation
-# hammer) under ThreadSanitizer to certify the work-stealing pool, the
-# parallel bouquet meta decision, the sharded hash-consing arena, and the
-# or-parallel branch search. Extra gates: the `parallel` ctest label (the
-# whole concurrency tier) is re-run as one batch on release; the
-# index-layer differential suite (indexed matcher/engine vs the naive
-# reference, plus the parallel-vs-serial tableau differential) is re-run
+# interning hammer, the or-parallel tableau differential/cancellation
+# hammer, and the reduced-seed cross-engine fuzz sweep TableauFuzzTsan)
+# under ThreadSanitizer to certify the work-stealing pool, the parallel
+# bouquet meta decision, the sharded hash-consing arena, and the
+# or-parallel branch search. The trail-based tableau engine is serial by
+# design (one mutable branch per trail, never shared across threads), so
+# its tsan coverage is the fuzz sweep's serial trail passes racing only
+# against the COW engines' pools. Extra gates: the `parallel` ctest label
+# (the whole concurrency tier) is re-run as one batch on release, and the
+# fixed-seed `fuzz` label (the 500-seed cross-engine differential sweep)
+# runs as its own release batch; the index-layer differential suite
+# (indexed matcher/engine vs the naive reference, the parallel-vs-serial
+# and trail-vs-COW tableau differentials) is re-run
 # explicitly under asan; the perf-trajectory files BENCH_datalog.json and
 # BENCH_terms.json are regenerated and schema-checked against their
 # bench/*.expected_keys so trajectory tooling never sees a silently
@@ -17,8 +23,10 @@
 # rate, and BENCH_tableau.json — written by both tiling_runfit and
 # meta_decision — is schema-checked after each writer, with the bouquet
 # family additionally required to show a nonzero consistency-cache hit
-# rate and every point required to report parallel verdicts identical to
-# the serial engine's); and, when clang-tidy is installed, the modernize/
+# rate and every point required to report parallel and trail verdicts
+# identical to the serial engine's, and the pigeonhole rows additionally
+# required to show the trail engine's COW-copy elimination and nonzero
+# nogood pruning); and, when clang-tidy is installed, the modernize/
 # performance/bugprone profile in .clang-tidy runs over src/logic and
 # src/reasoner.
 set -euo pipefail
@@ -38,9 +46,12 @@ done
 echo "=== [release] concurrency tier (ctest -L parallel) ==="
 ctest --preset release -j "$JOBS" -L parallel
 
+echo "=== [release] cross-engine fuzz tier (ctest -L fuzz) ==="
+ctest --preset release -j "$JOBS" -L fuzz
+
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|ConsistencyCache'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache'
 
 echo "=== perf trajectory: BENCH_datalog.json schema ==="
 (cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
@@ -111,6 +122,32 @@ if ! grep -o '"parallel_verdicts_identical": [01]' \
     | awk 'BEGIN { ok = 1 } { if ($2 != 1) ok = 0 } END { exit !ok }'; then
   echo "BENCH_tableau.json: or-parallel verdicts diverge from the serial" \
        "engine — cancellation or the shared budget broke determinism" >&2
+  exit 1
+fi
+if ! grep -o '"trail_verdicts_identical": [01]' \
+    build-release/BENCH_tableau.json \
+    | awk 'BEGIN { ok = 1 } { if ($2 != 1) ok = 0 } END { exit !ok }'; then
+  echo "BENCH_tableau.json: trail-engine verdicts diverge from the COW" \
+       "engine — destructive backtracking or nogood pruning is unsound" >&2
+  exit 1
+fi
+# The trail engine's raison d'être on the branch-heavy family: destructive
+# backtracking must eliminate every COW clone, and learned nogoods must
+# actually prune sibling colorings.
+if ! grep '"family": "pigeonhole"' build-release/BENCH_tableau.json \
+    | grep -o '"trail_cow_copies": [0-9]*' \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 0) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_tableau.json: a pigeonhole trail pass materialized COW" \
+       "copies — destructive branching is cloning instances" >&2
+  exit 1
+fi
+if ! grep '"family": "pigeonhole"' build-release/BENCH_tableau.json \
+    | grep -o '"nogood_prunes": [0-9]*' \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 <= 0) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_tableau.json: a pigeonhole trail pass pruned no branches —" \
+       "nogood learning is not firing" >&2
   exit 1
 fi
 

@@ -43,6 +43,20 @@ ElemId Instance::AddNull() {
   return static_cast<ElemId>(elem_const_.size() - 1);
 }
 
+void Instance::RemoveLastElement() {
+  if (elem_const_.empty() || !by_elem_.back().empty()) {
+    // Removing an element that facts still mention would leave dangling
+    // ids in the indexes; fail fast like AddFact does.
+    std::fprintf(stderr,
+                 "gfomq: Instance::RemoveLastElement: element %zu is not "
+                 "fact-free\n",
+                 elem_const_.size() - 1);
+    std::abort();
+  }
+  elem_const_.pop_back();
+  by_elem_.pop_back();
+}
+
 std::string Instance::ElemName(ElemId e) const {
   if (elem_const_[e] >= 0) {
     return symbols_->ConstName(static_cast<uint32_t>(elem_const_[e]));

@@ -56,6 +56,13 @@ class Instance {
   /// Adds a fresh labelled null.
   ElemId AddNull();
 
+  /// Removes the most recently added element, which must be fact-free (no
+  /// fact mentions it — the caller unwinds facts first). This is the undo
+  /// of AddNull/AddConstant used by the trail-based tableau engine: popping
+  /// a trail level removes the level's facts in reverse order and then the
+  /// fresh nulls, restoring the exact element table.
+  void RemoveLastElement();
+
   size_t NumElements() const { return elem_const_.size(); }
   bool IsNull(ElemId e) const { return elem_const_[e] < 0; }
 

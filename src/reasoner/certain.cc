@@ -45,9 +45,10 @@ void AppendUcqKey(std::string* key, const Ucq& query) {
 
 std::string BudgetKey(const TableauBudget& budget,
                       uint32_t ground_extra_nulls) {
-  // Verdict-relevant fields only: tableau_threads / spawn_cutoff_depth are
-  // execution strategy and intentionally absent (see the declaration), so
-  // a parallel run hits the entries a serial run populated and vice versa.
+  // Verdict-relevant fields only: tableau_threads / spawn_cutoff_depth /
+  // engine / learn_nogoods are execution strategy and intentionally absent
+  // (see the declaration), so serial, parallel and trail runs of the same
+  // probe all share cache entries.
   std::string key = "|b";
   key += std::to_string(budget.max_fresh_nulls);
   key += ':';

@@ -18,11 +18,12 @@
 namespace gfomq {
 
 /// Canonical budget fingerprint used in every consistency/entailment cache
-/// key. Deliberately EXCLUDES tableau_threads and spawn_cutoff_depth: those
-/// choose an execution strategy, not a verdict (both engines implement the
-/// same complete procedure), so serial and parallel runs of the same probe
-/// share cache entries. `ground_extra_nulls` is included because the ground
-/// fallback's strength changes how hard a kUnknown verdict tried.
+/// key. Deliberately EXCLUDES tableau_threads, spawn_cutoff_depth, engine
+/// and learn_nogoods: those choose an execution strategy, not a verdict
+/// (every engine implements the same complete procedure), so serial,
+/// parallel and trail runs of the same probe share cache entries.
+/// `ground_extra_nulls` is included because the ground fallback's strength
+/// changes how hard a kUnknown verdict tried.
 std::string BudgetKey(const TableauBudget& budget,
                       uint32_t ground_extra_nulls);
 

@@ -19,14 +19,30 @@ namespace gfomq {
 /// Three-valued outcome of a reasoning question.
 enum class Certainty { kYes, kNo, kUnknown };
 
+/// Which branch-exploration engine the tableau uses. All engines implement
+/// the same complete procedure and return bit-identical verdicts on
+/// budget-decisive inputs; they differ in how branch state is materialized.
+enum class TableauEngine : uint8_t {
+  /// Copy-on-write branching (the default and the differential reference):
+  /// forked branches share the parent Instance until first mutation.
+  /// Serial at tableau_threads == 1, or-parallel above.
+  kCow,
+  /// Trail-based destructive branching: one mutable branch, a typed undo
+  /// trail with push_level/pop_level, and CDCL nogood learning against the
+  /// in-repo SAT solver. Serial only — tableau_threads is ignored (the
+  /// single mutable instance is not shareable across workers; see DESIGN.md
+  /// §Trail engine for the thread-safety status).
+  kTrail,
+};
+
 /// Resource budget for the disjunctive guarded tableau. The tableau is a
 /// complete procedure whenever it terminates within budget; hitting a limit
 /// yields kUnknown, never a wrong answer.
 ///
-/// The last two fields choose an *execution strategy*, not a verdict:
-/// consistency-cache keys deliberately exclude them (see BudgetKey in
-/// reasoner/certain.h), so serial and parallel runs of the same probe share
-/// cache entries.
+/// The engine/threading fields choose an *execution strategy*, not a
+/// verdict: consistency-cache keys deliberately exclude them (see BudgetKey
+/// in reasoner/certain.h), so serial, parallel, and trail runs of the same
+/// probe share cache entries.
 struct TableauBudget {
   uint32_t max_fresh_nulls = 80;     // per branch
   uint64_t max_steps = 50000;        // rule firings across the search
@@ -43,6 +59,14 @@ struct TableauBudget {
   /// stay serial inside their task, keeping task-spawn overhead off the
   /// small subtrees near the leaves.
   uint64_t spawn_cutoff_depth = 8;
+  /// Branch-exploration engine (see TableauEngine).
+  TableauEngine engine = TableauEngine::kCow;
+  /// Under the trail engine: learn a conflict clause from every logically
+  /// closed branch and prune sibling choices that would replay it. Only
+  /// takes effect on rule sets where explanation-based nogoods are sound
+  /// (the merge-free monotone fragment — see DESIGN.md §Trail engine);
+  /// elsewhere the trail engine runs without learning.
+  bool learn_nogoods = true;
 };
 
 /// Statistics of a tableau run (see DESIGN.md §Chase engine). A run's
@@ -65,6 +89,10 @@ struct TableauStats {
   uint64_t cancelled_branches = 0;   // abandoned by cooperative cancellation
   uint64_t sequential_cutoff_hits = 0;  // forks kept serial by the cutoff
   uint64_t peak_live_tasks = 0;      // max concurrently live explorations
+  uint64_t trail_entries = 0;        // typed undo entries recorded (trail)
+  uint64_t pop_levels = 0;           // trail levels popped (backtracks)
+  uint64_t nogoods_learned = 0;      // conflict clauses fed to the SAT store
+  uint64_t nogood_prunes = 0;        // sibling choices pruned by propagation
   bool budget_hit = false;
 
   TableauStats& operator+=(const TableauStats& o) {
@@ -79,6 +107,10 @@ struct TableauStats {
     tasks_spawned += o.tasks_spawned;
     cancelled_branches += o.cancelled_branches;
     sequential_cutoff_hits += o.sequential_cutoff_hits;
+    trail_entries += o.trail_entries;
+    pop_levels += o.pop_levels;
+    nogoods_learned += o.nogoods_learned;
+    nogood_prunes += o.nogood_prunes;
     peak_branch_depth = peak_branch_depth > o.peak_branch_depth
                             ? peak_branch_depth
                             : o.peak_branch_depth;
@@ -115,6 +147,82 @@ bool ForEachGuardMatchNaive(
     const Lit& guard, const Instance& inst, const std::vector<int64_t>& env,
     const std::function<bool(const std::vector<int64_t>&)>& fn,
     TableauStats* stats = nullptr);
+
+/// A chosen universal/at-most head unit with its outer-variable binding.
+/// The pin list is the branch's persistent obligation queue: pins never
+/// retire; FindObligation re-checks them each step. Namespace-scope (not
+/// nested in Tableau) so the trail module and its unit tests can build and
+/// inspect branch state directly.
+struct TableauPin {
+  const GuardedRule* rule;
+  size_t alt_index;
+  size_t unit_index;
+  bool is_count;  // true: counts[unit_index] (at-most); false: foralls
+  std::vector<ElemId> binding;  // values of rule-local vars 0..num_vars-1
+
+  bool operator==(const TableauPin& o) const {
+    return rule == o.rule && alt_index == o.alt_index &&
+           unit_index == o.unit_index && is_count == o.is_count &&
+           binding == o.binding;
+  }
+};
+
+/// One branch of the disjunctive tableau: the candidate model under
+/// construction plus the branch-local commitments (pins, disequalities,
+/// forbidden facts) and the union-find over merges. Under the COW engine a
+/// branch is a value type whose Instance is shared until first mutation;
+/// under the trail engine a single TableauBranch is mutated in place and
+/// unwound through BranchTrail (reasoner/trail.h).
+struct TableauBranch {
+  // Shared copy-on-write instance: forked branches alias the parent's
+  // Instance (and thereby its fact indexes) until their first mutation.
+  // This is also what makes branches cheap to hand to other threads: a
+  // forked branch shares only immutable state (the first mutation on any
+  // thread clones, and a use_count of 1 proves sole ownership).
+  std::shared_ptr<Instance> inst;
+  std::vector<TableauPin> pinned;
+  // Hash filter over `pinned` (PinHash of each entry): a missing hash
+  // proves absence, a present one is confirmed by the exact scan.
+  std::unordered_set<uint64_t> pin_filter;
+  // Committed disequalities as packed normalized pairs (lo, hi), stored
+  // over canonical (merge-resolved) element ids.
+  std::unordered_set<uint64_t> diseq;
+  std::set<Fact> forbidden;  // committed negative facts
+  // Union-find over merges: canon[e] = element e was merged into (only
+  // merged-away ids have an entry != e). Resolving through Find keeps
+  // stale ids (captured before a merge) meaningful.
+  std::vector<ElemId> canon;
+  uint32_t fresh_nulls = 0;
+
+  const Instance& I() const { return *inst; }
+  Instance* Mut(TableauStats* stats);
+  ElemId Find(ElemId e) const;
+  bool IsDead(ElemId e) const { return Find(e) != e; }
+};
+
+/// One disjunct choice on a trail-engine search path: a rule instance
+/// (rule index into RuleSet::rules plus guard-match binding over element
+/// ids) together with the head alternative taken.
+struct NogoodDecision {
+  uint32_t rule_index;
+  std::vector<ElemId> binding;
+  uint32_t alt_index;
+
+  bool operator==(const NogoodDecision&) const = default;
+};
+
+/// A learned nogood: a decision set no saturated branch can extend.
+/// Soundness contract (tested by the nogood property test): replaying the
+/// decision set against a fresh COW search — forcing each listed rule
+/// instance to its listed alternative, all other forks exploring freely —
+/// closes every branch (Tableau::RefutesWithForcedChoices returns kNo).
+/// `depth` records the disjunctive nesting at which the trail search hit
+/// the clash that produced the nogood (diagnostic; free forks of a replay
+/// may nest deeper).
+struct Nogood {
+  std::vector<NogoodDecision> decisions;
+  uint64_t depth;  // disjunctive nesting depth at the learning clash
+};
 
 /// Disjunctive guarded tableau over the rule normal form. It explores the
 /// tree of "chase branches": every saturated branch is a finite model of
@@ -175,42 +283,24 @@ class Tableau {
   const std::optional<Instance>& last_model() const { return last_model_; }
   const TableauStats& stats() const { return stats_; }
 
+  /// Nogoods learned by the last trail-engine run (empty for COW runs or
+  /// when learning was ineligible/disabled).
+  const std::vector<Nogood>& learned_nogoods() const {
+    return learned_nogoods_;
+  }
+
+  /// Soundness probe for learned nogoods (see the nogood property test):
+  /// runs the serial COW engine on `input` with every kRule fork whose
+  /// (rule, binding) matches a decision of `ng` restricted to the recorded
+  /// alternative, all other forks exploring freely. A sound nogood makes
+  /// the whole restricted search close (kNo); stats().peak_branch_depth
+  /// then bounds the free-fork depth used. Always serial COW, regardless
+  /// of budget engine/thread settings.
+  Certainty RefutesWithForcedChoices(const Instance& input, const Nogood& ng);
+
  private:
-  struct Pinned {
-    // A chosen universal/at-most head unit with its outer-variable binding.
-    const GuardedRule* rule;
-    size_t alt_index;
-    size_t unit_index;
-    bool is_count;  // true: counts[unit_index] (at-most); false: foralls
-    std::vector<ElemId> binding;  // values of rule-local vars 0..num_vars-1
-  };
-
-  struct Branch {
-    // Shared copy-on-write instance: forked branches alias the parent's
-    // Instance (and thereby its fact indexes) until their first mutation.
-    // This is also what makes branches cheap to hand to other threads: a
-    // forked branch shares only immutable state (the first mutation on any
-    // thread clones, and a use_count of 1 proves sole ownership).
-    std::shared_ptr<Instance> inst;
-    std::vector<Pinned> pinned;
-    // Hash filter over `pinned` (PinHash of each entry): a missing hash
-    // proves absence, a present one is confirmed by the exact scan.
-    std::unordered_set<uint64_t> pin_filter;
-    // Committed disequalities as packed normalized pairs (lo, hi), stored
-    // over canonical (merge-resolved) element ids.
-    std::unordered_set<uint64_t> diseq;
-    std::set<Fact> forbidden;  // committed negative facts
-    // Union-find over merges: canon[e] = element e was merged into (only
-    // merged-away ids have an entry != e). Resolving through Find keeps
-    // stale ids (captured before a merge) meaningful.
-    std::vector<ElemId> canon;
-    uint32_t fresh_nulls = 0;
-
-    const Instance& I() const { return *inst; }
-    Instance* Mut(TableauStats* stats);
-    ElemId Find(ElemId e) const;
-    bool IsDead(ElemId e) const { return Find(e) != e; }
-  };
+  using Pinned = TableauPin;
+  using Branch = TableauBranch;
 
   // One pending obligation found in a branch.
   struct Obligation {
@@ -223,7 +313,10 @@ class Tableau {
     Kind kind;
     const GuardedRule* rule = nullptr;
     std::vector<ElemId> binding;           // rule vars or unit binding
-    const Pinned* pin = nullptr;
+    // By-value copy of the triggering pin: the trail engine mutates (and
+    // may reallocate) branch.pinned between sibling choices of one fork,
+    // so a pointer into it would dangle after the first pop_level.
+    std::optional<Pinned> pin;
     std::vector<ElemId> match;             // guard-match extension (foralls)
     ElemId merge_a = 0, merge_b = 0;       // functionality merge
     std::vector<ElemId> witnesses;         // at-most overflow witnesses
@@ -231,10 +324,20 @@ class Tableau {
 
   // Shared state of one or-parallel exploration; defined in tableau.cc.
   struct ParallelCtx;
+  // Nogood-learning state of one trail exploration; defined in tableau.cc.
+  struct NogoodCtx;
 
   // The serial reference engine (tableau_threads == 1).
   bool Explore(Branch branch, uint64_t depth,
                const std::function<bool(const Instance&)>& fn, bool* stop);
+
+  // The trail-based destructive engine: one mutable branch, backtracking
+  // by popping trail levels, optional nogood pruning. Returns false if the
+  // subtree was not fully explored (budget).
+  bool ExploreTrail(Branch* branch, class BranchTrail* trail, NogoodCtx* ng,
+                    uint64_t depth,
+                    const std::function<bool(const Instance&)>& fn,
+                    bool* stop);
 
   // The or-parallel engine: runs the root inline on the calling thread,
   // forks pool tasks at disjunctions, waits for the whole family.
@@ -284,12 +387,46 @@ class Tableau {
                      size_t alt_index, size_t unit_index, bool is_count,
                      const std::vector<ElemId>& binding) const;
 
-  // Branch mutation helpers; return false if the branch closes.
+  // Why a mutation closed the branch: the nogood learner turns the three
+  // explainable causes into conflict dependencies; everything else (merge
+  // conflicts, budget cuts, witness collisions) stays kNone and the
+  // closure is not learned from.
+  struct Clash {
+    enum class Kind {
+      kNone,       // not closed, or closed for an unexplained reason
+      kForbidden,  // asserted a fact that a forbidden commitment bans
+      kNegAtom,    // committed a negative fact that is already present
+      kNegEq,      // committed x != y under a binding with x == y
+    };
+    Kind kind = Kind::kNone;
+    Fact fact;  // kForbidden/kNegAtom: the clashing ground fact
+  };
+
+  // Branch mutation helpers; return false if the branch closes. All three
+  // record their mutations on `trail` when non-null (the trail engine) and
+  // mutate directly when null (the COW engines) — one implementation
+  // serves both, so the engines cannot drift.
   bool ApplyLits(Branch* branch, const std::vector<Lit>& lits,
-                 std::vector<ElemId>* env, TableauStats* stats);
-  bool MergeElements(Branch* branch, ElemId a, ElemId b,
-                     TableauStats* stats);
+                 std::vector<ElemId>* env, TableauStats* stats,
+                 class BranchTrail* trail = nullptr, Clash* clash = nullptr);
+  bool MergeElements(Branch* branch, ElemId a, ElemId b, TableauStats* stats,
+                     class BranchTrail* trail = nullptr);
   bool Diseq(const Branch& branch, ElemId a, ElemId b) const;
+
+  // The choice points of an obligation: non-false head alternatives
+  // (kRule), clause literals (kPinForall), witness merge pairs
+  // (kPinAtMost), or the single forced action (kMergeFunc). An empty
+  // vector means the branch closes. Under RefutesWithForcedChoices, a
+  // kRule obligation matching a forced decision yields only that
+  // alternative.
+  std::vector<size_t> ChoiceIndices(const Obligation& ob) const;
+
+  // Applies choice `ci` (an index returned by ChoiceIndices) of `ob` to
+  // `branch` in place; returns false if the branch closes. Trail-recording
+  // per the `trail` convention above.
+  bool ApplyChoice(Branch* branch, const Obligation& ob, size_t ci,
+                   TableauStats* stats, class BranchTrail* trail,
+                   Clash* clash = nullptr);
 
   // Expansion: all successor branches of firing `ob`. Consumes `branch`
   // (the final alternative reuses its storage, which lets deterministic
@@ -302,6 +439,17 @@ class Tableau {
   bool naive_;
   TableauStats stats_;
   std::optional<Instance> last_model_;
+  // Nogoods learned by the last trail run (for inspection and the
+  // soundness property test).
+  std::vector<Nogood> learned_nogoods_;
+  // True iff explanation-based nogoods are sound for rules_ (no
+  // functionality constraints, no negative atom body literals, no
+  // forall/count units, no positive equalities in heads); computed once at
+  // construction.
+  bool nogood_eligible_ = false;
+  // Set during RefutesWithForcedChoices: kRule forks matching one of these
+  // decisions expand only the recorded alternative.
+  const Nogood* forced_ = nullptr;
   // Shared budget accounting, reset per ForEachModel. Relaxed atomics with
   // exact serial semantics at one thread: fetch_add returns the pre-value
   // the old `stats_.steps++ > max_steps` compared. In parallel runs every

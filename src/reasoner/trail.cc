@@ -1,0 +1,201 @@
+#include "reasoner/trail.h"
+
+#include <utility>
+
+namespace gfomq {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t DiseqPack(ElemId a, ElemId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+uint64_t TableauPinHash(const GuardedRule* rule, size_t alt_index,
+                        size_t unit_index, bool is_count,
+                        const std::vector<ElemId>& binding) {
+  uint64_t h = reinterpret_cast<uintptr_t>(rule);
+  h = MixHash(h, alt_index);
+  h = MixHash(h, unit_index);
+  h = MixHash(h, is_count ? 1 : 0);
+  for (ElemId e : binding) h = MixHash(h, e);
+  return h;
+}
+
+void BranchTrail::Record(TrailEntry e) {
+  entries_.push_back(std::move(e));
+  if (stats_ != nullptr) ++stats_->trail_entries;
+}
+
+void BranchTrail::TouchPins() {
+  if (!levels_.empty()) levels_.back().pins_touched = true;
+}
+
+void BranchTrail::PushLevel() {
+  Level lv;
+  lv.trail_size = entries_.size();
+  lv.fresh_nulls = branch_->fresh_nulls;
+  levels_.push_back(lv);
+}
+
+void BranchTrail::PopLevel() {
+  Level lv = levels_.back();
+  levels_.pop_back();
+  Instance* inst = branch_->inst.get();
+  while (entries_.size() > lv.trail_size) {
+    TrailEntry& e = entries_.back();
+    switch (e.kind) {
+      case TrailEntry::Kind::kFactAdded:
+        inst->RemoveFact(e.fact);
+        break;
+      case TrailEntry::Kind::kFactRemoved:
+        inst->AddFact(e.fact);
+        break;
+      case TrailEntry::Kind::kNullAdded:
+        // Reverse-order undo guarantees the null is fact-free by now.
+        inst->RemoveLastElement();
+        break;
+      case TrailEntry::Kind::kCanonSet:
+        // Later entries already restored their own resizes, so canon is
+        // exactly max(canon_old_size, elem + 1) entries long here.
+        branch_->canon[e.elem] = e.elem;
+        branch_->canon.resize(e.canon_old_size);
+        break;
+      case TrailEntry::Kind::kPinPushed:
+        branch_->pinned.pop_back();
+        break;
+      case TrailEntry::Kind::kPinBinding:
+        branch_->pinned[e.pin_index].binding = std::move(e.binding);
+        break;
+      case TrailEntry::Kind::kDiseqInserted:
+        branch_->diseq.erase(e.packed);
+        break;
+      case TrailEntry::Kind::kDiseqErased:
+        branch_->diseq.insert(e.packed);
+        break;
+      case TrailEntry::Kind::kForbidInserted:
+        branch_->forbidden.erase(e.fact);
+        break;
+      case TrailEntry::Kind::kForbidErased:
+        branch_->forbidden.insert(e.fact);
+        break;
+    }
+    entries_.pop_back();
+  }
+  branch_->fresh_nulls = lv.fresh_nulls;
+  if (lv.pins_touched) {
+    branch_->pin_filter.clear();
+    for (const TableauPin& p : branch_->pinned) {
+      branch_->pin_filter.insert(TableauPinHash(p));
+    }
+  }
+  if (stats_ != nullptr) ++stats_->pop_levels;
+}
+
+bool BranchTrail::AddFact(const Fact& f) {
+  if (!branch_->inst->AddFact(f)) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kFactAdded;
+  e.fact = f;
+  Record(std::move(e));
+  return true;
+}
+
+bool BranchTrail::RemoveFact(const Fact& f) {
+  if (!branch_->inst->RemoveFact(f)) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kFactRemoved;
+  e.fact = f;
+  Record(std::move(e));
+  return true;
+}
+
+ElemId BranchTrail::AddNull() {
+  ElemId id = branch_->inst->AddNull();
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kNullAdded;
+  Record(std::move(e));
+  return id;
+}
+
+void BranchTrail::SetCanon(ElemId drop, ElemId keep) {
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kCanonSet;
+  e.elem = drop;
+  e.canon_old_size = static_cast<uint32_t>(branch_->canon.size());
+  if (branch_->canon.size() <= drop) {
+    size_t old = branch_->canon.size();
+    branch_->canon.resize(drop + 1);
+    for (size_t i = old; i < branch_->canon.size(); ++i) {
+      branch_->canon[i] = static_cast<ElemId>(i);
+    }
+  }
+  branch_->canon[drop] = keep;
+  Record(std::move(e));
+}
+
+void BranchTrail::PushPin(TableauPin pin) {
+  branch_->pin_filter.insert(TableauPinHash(pin));
+  branch_->pinned.push_back(std::move(pin));
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kPinPushed;
+  Record(std::move(e));
+  TouchPins();
+}
+
+void BranchTrail::RewritePinBinding(size_t index,
+                                    std::vector<ElemId> binding) {
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kPinBinding;
+  e.pin_index = index;
+  e.binding = std::move(branch_->pinned[index].binding);
+  branch_->pinned[index].binding = std::move(binding);
+  Record(std::move(e));
+  TouchPins();
+}
+
+bool BranchTrail::InsertDiseq(uint64_t packed) {
+  if (!branch_->diseq.insert(packed).second) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kDiseqInserted;
+  e.packed = packed;
+  Record(std::move(e));
+  return true;
+}
+
+bool BranchTrail::EraseDiseq(uint64_t packed) {
+  if (branch_->diseq.erase(packed) == 0) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kDiseqErased;
+  e.packed = packed;
+  Record(std::move(e));
+  return true;
+}
+
+bool BranchTrail::InsertForbidden(Fact f) {
+  auto [it, fresh] = branch_->forbidden.insert(std::move(f));
+  if (!fresh) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kForbidInserted;
+  e.fact = *it;
+  Record(std::move(e));
+  return true;
+}
+
+bool BranchTrail::EraseForbidden(const Fact& f) {
+  if (branch_->forbidden.erase(f) == 0) return false;
+  TrailEntry e;
+  e.kind = TrailEntry::Kind::kForbidErased;
+  e.fact = f;
+  Record(std::move(e));
+  return true;
+}
+
+}  // namespace gfomq

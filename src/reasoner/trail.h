@@ -1,0 +1,129 @@
+#ifndef GFOMQ_REASONER_TRAIL_H_
+#define GFOMQ_REASONER_TRAIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reasoner/tableau.h"
+
+namespace gfomq {
+
+/// Packed normalized element pair: the key under which a committed
+/// disequality is stored in TableauBranch::diseq.
+uint64_t DiseqPack(ElemId a, ElemId b);
+
+/// Hash of a pinned-unit identity: interned rule pointer + unit coordinates
+/// + binding. Used as the pin_filter key (membership is confirmed exactly).
+uint64_t TableauPinHash(const GuardedRule* rule, size_t alt_index,
+                        size_t unit_index, bool is_count,
+                        const std::vector<ElemId>& binding);
+inline uint64_t TableauPinHash(const TableauPin& p) {
+  return TableauPinHash(p.rule, p.alt_index, p.unit_index, p.is_count,
+                        p.binding);
+}
+
+/// One typed undo entry of the destructive tableau engine. Every branch
+/// mutation pushes the entry that inverts it; popping a level replays the
+/// segment in reverse (see DESIGN.md §Trail engine for the taxonomy).
+struct TrailEntry {
+  enum class Kind : uint8_t {
+    kFactAdded,       // undo: remove `fact` from the instance
+    kFactRemoved,     // undo: re-add `fact` (merge rewrites remove facts)
+    kNullAdded,       // undo: Instance::RemoveLastElement
+    kCanonSet,        // undo: canon[elem] = elem, shrink to canon_old_size
+    kPinPushed,       // undo: pop the obligation-queue (pin) vector
+    kPinBinding,      // undo: restore pinned[pin_index].binding
+    kDiseqInserted,   // undo: erase `packed` from the disequality set
+    kDiseqErased,     // undo: re-insert `packed`
+    kForbidInserted,  // undo: erase `fact` from the forbidden set
+    kForbidErased,    // undo: re-insert `fact`
+  };
+  Kind kind;
+  Fact fact;                    // kFactAdded/kFactRemoved/kForbid*
+  uint64_t packed = 0;          // kDiseq*
+  ElemId elem = 0;              // kCanonSet: the merged-away element
+  uint32_t canon_old_size = 0;  // kCanonSet: canon.size() before the merge
+  size_t pin_index = 0;         // kPinBinding
+  std::vector<ElemId> binding;  // kPinBinding: the pre-merge binding
+};
+
+/// Typed undo trail over one TableauBranch (the geas push_level/pop_level
+/// idiom): disjunctive forks push a level, apply one choice through the
+/// recording mutators below, explore, and pop the level to restore the
+/// branch — instance facts and indexes, element table, union-find,
+/// obligation queue (pins + filter), disequalities, forbidden facts and the
+/// fresh-null budget — exactly, instead of forking a COW copy.
+///
+/// Undo runs in strict reverse order, which is what makes
+/// Instance::RemoveLastElement safe: elements created mid-search are only
+/// fresh nulls, and every fact mentioning one was recorded (and is removed)
+/// after its kNullAdded entry.
+///
+/// Not thread-safe: one trail owns one branch on one thread (the trail
+/// engine is serial; see TableauEngine::kTrail).
+class BranchTrail {
+ public:
+  /// `stats` (optional) receives trail_entries/pop_levels accounting.
+  explicit BranchTrail(TableauBranch* branch, TableauStats* stats = nullptr)
+      : branch_(branch), stats_(stats) {}
+
+  /// Marks a backtrack point (a disjunctive fork).
+  void PushLevel();
+
+  /// Restores the branch to the state at the matching PushLevel.
+  void PopLevel();
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t num_entries() const { return entries_.size(); }
+  const std::vector<TrailEntry>& entries() const { return entries_; }
+
+  // Recording mutators. Each performs the branch mutation and records its
+  // inverse; they mirror the COW engine's direct mutations exactly (the
+  // shared helpers in tableau.cc dispatch on trail == nullptr).
+
+  /// Adds a fact; returns false (and records nothing) if already present.
+  bool AddFact(const Fact& f);
+  /// Removes a fact; returns false (and records nothing) if absent.
+  bool RemoveFact(const Fact& f);
+  /// Adds a fresh labelled null to the instance (the caller maintains the
+  /// branch's fresh_nulls counter, which the level mark restores).
+  ElemId AddNull();
+  /// Records drop -> keep in the union-find (growing `canon` as needed).
+  void SetCanon(ElemId drop, ElemId keep);
+  /// Appends a pin (obligation-queue push) and inserts its filter hash.
+  void PushPin(TableauPin pin);
+  /// Replaces pinned[index].binding (a merge rewrote it). The caller
+  /// rebuilds pin_filter forward; the pop rebuilds it again after undo.
+  void RewritePinBinding(size_t index, std::vector<ElemId> binding);
+  /// Inserts a packed disequality; returns false if already present.
+  bool InsertDiseq(uint64_t packed);
+  /// Erases a packed disequality; returns false if absent.
+  bool EraseDiseq(uint64_t packed);
+  /// Inserts a forbidden fact; returns false if already present.
+  bool InsertForbidden(Fact f);
+  /// Erases a forbidden fact; returns false if absent.
+  bool EraseForbidden(const Fact& f);
+
+ private:
+  struct Level {
+    size_t trail_size;
+    uint32_t fresh_nulls;
+    // Pins were pushed or rewritten in this segment: the hash filter is
+    // rebuilt from the restored pin vector after undo. Rebuilding (rather
+    // than reference-counting hashes) keeps the filter exact under
+    // collisions, and pin churn per level is small.
+    bool pins_touched = false;
+  };
+
+  void Record(TrailEntry e);
+  void TouchPins();
+
+  TableauBranch* branch_;
+  TableauStats* stats_;
+  std::vector<TrailEntry> entries_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_REASONER_TRAIL_H_

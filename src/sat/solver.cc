@@ -91,6 +91,82 @@ SatSolver::SatSolver(const Cnf& cnf)
   }
 }
 
+uint32_t SatSolver::NewVar() {
+  uint32_t v = num_vars_++;
+  value_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  saved_phase_.push_back(false);
+  heap_pos_.push_back(-1);
+  HeapInsert(v);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::AddClauseIncremental(std::vector<SatLit> lits) {
+  // Same normalization as Cnf::AddClause.
+  std::sort(lits.begin(), lits.end(),
+            [](SatLit a, SatLit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // x and !x: tautology
+  }
+  if (lits.empty()) {
+    contradiction_ = true;
+    return;
+  }
+  auto lit_value = [this](SatLit l) -> int8_t {
+    int8_t v = value_[l.var()];
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) != l.negated() ? kTrue : kFalse;
+  };
+  // Pull non-false literals into the watch slots so the two-watch
+  // invariant holds under the current level-0 assignment.
+  size_t nonfalse = 0;
+  for (size_t i = 0; i < lits.size() && nonfalse < 2; ++i) {
+    if (lit_value(lits[i]) != kFalse) std::swap(lits[nonfalse++], lits[i]);
+  }
+  clauses_.push_back(std::move(lits));
+  uint32_t ci = static_cast<uint32_t>(clauses_.size() - 1);
+  const auto& c = clauses_[ci];
+  if (c.size() == 1) {
+    // Units are enqueued rather than watched (as in Solve's preamble).
+    if (!Enqueue(c[0], static_cast<int>(ci))) contradiction_ = true;
+    return;
+  }
+  watches_[c[0].code].push_back(ci);
+  watches_[c[1].code].push_back(ci);
+  if (nonfalse == 0) {
+    contradiction_ = true;  // every literal false at level 0
+  } else if (nonfalse == 1 && lit_value(c[0]) == kUndef) {
+    // All but one false: the survivor is implied; it propagates on the
+    // next Propagate pass.
+    if (!Enqueue(c[0], static_cast<int>(ci))) contradiction_ = true;
+  }
+}
+
+bool SatSolver::AssumptionsConflict(const std::vector<SatLit>& assumptions) {
+  if (contradiction_) return true;
+  // Settle any level-0 units still pending from AddClauseIncremental.
+  if (Propagate() >= 0) {
+    contradiction_ = true;
+    return true;
+  }
+  trail_lim_.push_back(trail_.size());
+  bool conflict = false;
+  for (SatLit l : assumptions) {
+    if (!Enqueue(l, -1)) {
+      conflict = true;
+      break;
+    }
+  }
+  if (!conflict) conflict = Propagate() >= 0;
+  Backtrack(0);
+  return conflict;
+}
+
 bool SatSolver::Enqueue(SatLit l, int reason) {
   int8_t want = l.negated() ? kFalse : kTrue;
   if (value_[l.var()] != kUndef) return value_[l.var()] == want;

@@ -57,6 +57,28 @@ class SatSolver {
   /// Solves with an optional conflict budget (0 = unlimited).
   SatResult Solve(uint64_t max_conflicts = 0);
 
+  // Incremental interface (used by the trail engine's nogood store): grow
+  // the variable set and clause database after construction, and test
+  // assumption sets by unit propagation alone. All three calls must be
+  // made at decision level 0 — AssumptionsConflict restores level 0
+  // before returning, and Solve() always terminates at level 0, so
+  // interleaving is safe.
+
+  /// Adds a fresh variable; returns its id.
+  uint32_t NewVar();
+
+  /// Adds a clause to the live solver. Tautologies are dropped; an empty
+  /// or level-0-falsified clause marks the solver contradictory. Implied
+  /// units are enqueued (and propagate on the next query).
+  void AddClauseIncremental(std::vector<SatLit> lits);
+
+  /// True iff asserting `assumptions` (on top of everything already
+  /// implied at level 0) yields a conflict under unit propagation. No
+  /// search is performed; the solver is returned to decision level 0.
+  /// A false return means "no learned clause forbids this assignment",
+  /// not satisfiability.
+  bool AssumptionsConflict(const std::vector<SatLit>& assumptions);
+
   /// Model access after kSat.
   bool Value(uint32_t var) const { return model_[var]; }
   const std::vector<bool>& model() const { return model_; }

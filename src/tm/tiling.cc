@@ -438,6 +438,8 @@ MarkerStatus CheckMarker(CertainAnswerSolver& solver, const Instance& input,
   // only the verdict-relevant budget fields above are probe-specific).
   budget.tableau_threads = solver.options().tableau.tableau_threads;
   budget.spawn_cutoff_depth = solver.options().tableau.spawn_cutoff_depth;
+  budget.engine = solver.options().tableau.engine;
+  budget.learn_nogoods = solver.options().tableau.learn_nogoods;
   // Route through the solver so repeated marker probes (isomorphic
   // extensions recur across cells) hit the shared consistency cache.
   Certainty c = solver.TableauIsConsistent(extended, budget);

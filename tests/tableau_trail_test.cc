@@ -1,0 +1,453 @@
+// Unit and property tests for the trail-based destructive tableau engine:
+//  - BranchTrail push/pop must restore a TableauBranch exactly — facts and
+//    all three incremental fact indexes, the element table, the union-find,
+//    the obligation queue (pins + hash filter), disequalities, forbidden
+//    facts and the fresh-null budget — verified against a deep pre-push
+//    snapshot, across single and nested levels.
+//  - The trail engine must return the COW engine's verdict on the
+//    differential ontology families.
+//  - Pigeonhole regression: nogood learning must actually prune sibling
+//    branches (`nogood_prunes > 0`) with the verdict unchanged and zero
+//    COW copies.
+//  - Learned-nogood soundness property: replaying any learned nogood's
+//    decision set against a fresh COW search with those choices forced
+//    closes the whole search (RefutesWithForcedChoices == kNo).
+//  - Body-driver join-ordering regression: the bouquet-style workload
+//    (huge guard relation, tiny body atom) must be served by indexed
+//    lookups, not relation scans alone (`index_lookups > 0`).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/normalize.h"
+#include "logic/parser.h"
+#include "reasoner/tableau.h"
+#include "reasoner/trail.h"
+
+namespace gfomq {
+namespace {
+
+// --- Deep branch snapshot -------------------------------------------------
+
+struct BranchSnapshot {
+  std::set<Fact> facts;
+  size_t num_elems = 0;
+  std::vector<bool> is_null;
+  std::vector<std::string> names;
+  std::vector<TableauPin> pinned;
+  std::set<uint64_t> pin_filter;
+  std::set<uint64_t> diseq;
+  std::set<Fact> forbidden;
+  std::vector<ElemId> canon;
+  uint32_t fresh_nulls = 0;
+  // Index introspection: the exact contents of the per-relation,
+  // per-(rel, pos, elem) and per-element fact lists, as sorted copies.
+  std::map<uint32_t, std::multiset<Fact>> by_rel;
+  std::map<std::tuple<uint32_t, uint32_t, ElemId>, std::multiset<Fact>> by_pos;
+  std::map<ElemId, std::multiset<Fact>> by_elem;
+
+  bool operator==(const BranchSnapshot&) const = default;
+};
+
+BranchSnapshot Snap(const TableauBranch& b, const std::vector<uint32_t>& rels) {
+  BranchSnapshot s;
+  const Instance& inst = b.I();
+  s.facts = inst.facts();
+  s.num_elems = inst.NumElements();
+  for (ElemId e = 0; e < inst.NumElements(); ++e) {
+    s.is_null.push_back(inst.IsNull(e));
+    s.names.push_back(inst.ElemName(e));
+  }
+  s.pinned = b.pinned;
+  s.pin_filter.insert(b.pin_filter.begin(), b.pin_filter.end());
+  s.diseq.insert(b.diseq.begin(), b.diseq.end());
+  s.forbidden = b.forbidden;
+  s.canon = b.canon;
+  s.fresh_nulls = b.fresh_nulls;
+  for (uint32_t rel : rels) {
+    std::multiset<Fact>& of = s.by_rel[rel];
+    for (const Fact* f : inst.FactsOfPtr(rel)) of.insert(*f);
+    uint32_t arity = static_cast<uint32_t>(inst.symbols()->RelArity(rel));
+    for (uint32_t pos = 0; pos < arity; ++pos) {
+      for (ElemId e = 0; e < inst.NumElements(); ++e) {
+        std::multiset<Fact>& at = s.by_pos[{rel, pos, e}];
+        for (const Fact* f : inst.FactsAtPtr(rel, pos, e)) at.insert(*f);
+      }
+    }
+  }
+  for (ElemId e = 0; e < inst.NumElements(); ++e) {
+    std::multiset<Fact>& ct = s.by_elem[e];
+    for (const Fact* f : inst.FactsContainingPtr(e)) ct.insert(*f);
+  }
+  return s;
+}
+
+void ExpectSnapshotsEqual(const BranchSnapshot& want,
+                          const BranchSnapshot& got) {
+  EXPECT_EQ(want.facts, got.facts);
+  EXPECT_EQ(want.num_elems, got.num_elems);
+  EXPECT_EQ(want.is_null, got.is_null);
+  EXPECT_EQ(want.names, got.names);
+  EXPECT_EQ(want.pinned, got.pinned);
+  EXPECT_EQ(want.pin_filter, got.pin_filter);
+  EXPECT_EQ(want.diseq, got.diseq);
+  EXPECT_EQ(want.forbidden, got.forbidden);
+  EXPECT_EQ(want.canon, got.canon);
+  EXPECT_EQ(want.fresh_nulls, got.fresh_nulls);
+  EXPECT_EQ(want.by_rel, got.by_rel);
+  EXPECT_EQ(want.by_pos, got.by_pos);
+  EXPECT_EQ(want.by_elem, got.by_elem);
+}
+
+// A branch with every kind of state populated, so pops have something to
+// restore around: two constants, a null, facts in all relations, a pin, a
+// disequality, a forbidden fact and a (synthetic) union-find entry.
+TableauBranch SeedBranch(SymbolsPtr sym, const GuardedRule* rule) {
+  TableauBranch b;
+  b.inst = std::make_shared<Instance>(sym);
+  ElemId a = b.inst->AddConstant("a");
+  ElemId c = b.inst->AddConstant("c");
+  ElemId n = b.inst->AddNull();
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+  b.inst->AddFact(rel_a, {a});
+  b.inst->AddFact(rel_r, {a, c});
+  b.inst->AddFact(rel_r, {c, n});
+  TableauPin pin;
+  pin.rule = rule;
+  pin.alt_index = 0;
+  pin.unit_index = 0;
+  pin.is_count = false;
+  pin.binding = {a};
+  b.pin_filter.insert(TableauPinHash(pin));
+  b.pinned.push_back(std::move(pin));
+  b.diseq.insert(DiseqPack(a, n));
+  b.forbidden.insert(Fact{sym->Rel("B", 1), {c}});
+  b.fresh_nulls = 1;
+  return b;
+}
+
+TEST(TableauTrailTest, PushPopRestoresBranchExactly) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_b = sym->Rel("B", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+  GuardedRule dummy;  // pins only need a stable address
+  TableauBranch b = SeedBranch(sym, &dummy);
+  std::vector<uint32_t> rels = {rel_a, rel_b, rel_r};
+
+  BranchSnapshot before = Snap(b, rels);
+  BranchTrail trail(&b);
+  trail.PushLevel();
+
+  // One mutation of every trail entry kind.
+  EXPECT_TRUE(trail.AddFact(Fact{rel_b, {0}}));
+  EXPECT_FALSE(trail.AddFact(Fact{rel_b, {0}}));  // no-op: not recorded
+  EXPECT_TRUE(trail.RemoveFact(Fact{rel_r, {0, 1}}));
+  EXPECT_FALSE(trail.RemoveFact(Fact{rel_r, {0, 1}}));
+  ElemId fresh = trail.AddNull();
+  ++b.fresh_nulls;
+  EXPECT_TRUE(trail.AddFact(Fact{rel_r, {fresh, fresh}}));
+  trail.SetCanon(fresh, 0);
+  TableauPin pin;
+  pin.rule = &dummy;
+  pin.alt_index = 1;
+  pin.unit_index = 0;
+  pin.is_count = true;
+  pin.binding = {1};
+  trail.PushPin(std::move(pin));
+  trail.RewritePinBinding(0, {2});
+  EXPECT_TRUE(trail.InsertDiseq(DiseqPack(0, 1)));
+  EXPECT_FALSE(trail.InsertDiseq(DiseqPack(0, 1)));
+  EXPECT_TRUE(trail.EraseDiseq(DiseqPack(0, 2)));
+  EXPECT_TRUE(trail.InsertForbidden(Fact{rel_a, {1}}));
+  EXPECT_TRUE(trail.EraseForbidden(Fact{rel_b, {1}}));
+  EXPECT_GT(trail.num_entries(), 0u);
+
+  // The mutations actually happened.
+  EXPECT_NE(before, Snap(b, rels));
+
+  trail.PopLevel();
+  ExpectSnapshotsEqual(before, Snap(b, rels));
+  EXPECT_EQ(trail.num_entries(), 0u);
+  EXPECT_EQ(trail.num_levels(), 0u);
+}
+
+TEST(TableauTrailTest, NestedLevelsRestoreEachMark) {
+  SymbolsPtr sym = MakeSymbols();
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_b = sym->Rel("B", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+  GuardedRule dummy;
+  TableauBranch b = SeedBranch(sym, &dummy);
+  std::vector<uint32_t> rels = {rel_a, rel_b, rel_r};
+  BranchTrail trail(&b);
+
+  BranchSnapshot s0 = Snap(b, rels);
+  trail.PushLevel();
+  trail.AddFact(Fact{rel_b, {0}});
+  ElemId n1 = trail.AddNull();
+  ++b.fresh_nulls;
+  trail.AddFact(Fact{rel_a, {n1}});
+
+  BranchSnapshot s1 = Snap(b, rels);
+  trail.PushLevel();
+  trail.RemoveFact(Fact{rel_a, {n1}});
+  trail.InsertForbidden(Fact{rel_a, {n1}});
+  ElemId n2 = trail.AddNull();
+  ++b.fresh_nulls;
+  trail.AddFact(Fact{rel_r, {n1, n2}});
+
+  BranchSnapshot s2 = Snap(b, rels);
+  trail.PushLevel();
+  trail.AddFact(Fact{rel_b, {n2}});
+  trail.InsertDiseq(DiseqPack(n1, n2));
+
+  trail.PopLevel();
+  ExpectSnapshotsEqual(s2, Snap(b, rels));
+  trail.PopLevel();
+  ExpectSnapshotsEqual(s1, Snap(b, rels));
+  trail.PopLevel();
+  ExpectSnapshotsEqual(s0, Snap(b, rels));
+}
+
+// --- Cross-engine verdict parity on the differential ontologies -----------
+
+Instance RandomInstance(SymbolsPtr sym, Rng& rng, int salt) {
+  Instance d(sym);
+  std::vector<ElemId> es;
+  int n = 2 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.3)) {
+      es.push_back(d.AddNull());
+    } else {
+      es.push_back(d.AddConstant("e" + std::to_string(salt) + "_" +
+                                 std::to_string(i)));
+    }
+  }
+  for (const char* u : {"A", "B", "C"}) {
+    uint32_t rel = sym->Rel(u, 1);
+    for (ElemId e : es) {
+      if (rng.Chance(0.4)) d.AddFact(rel, {e});
+    }
+  }
+  for (const char* bi : {"R", "S"}) {
+    uint32_t rel = sym->Rel(bi, 2);
+    for (ElemId x : es) {
+      for (ElemId y : es) {
+        if (rng.Chance(0.3)) d.AddFact(rel, {x, y});
+      }
+    }
+  }
+  return d;
+}
+
+const char* kOntologies[] = {
+    "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));",
+    "forall x . (A(x) -> exists y (R(x,y) & B(y)));",
+    "forall x . (A(x) -> B(x) | C(x)); forall x . (B(x) & C(x) -> false);",
+    "forall x . (A(x) -> forall y (R(x,y) -> B(y)));",
+    "forall x . (A(x) -> exists>=2 y (R(x,y))); "
+    "forall x . (B(x) -> exists<=1 y (R(x,y)));",
+};
+
+TEST(TableauTrailTest, TrailVerdictsMatchCowOnDifferentialOntologies) {
+  Rng rng(20260808);
+  for (const char* text : kOntologies) {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology(text, sym);
+    ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+    auto rules = NormalizeOntology(*onto);
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    TableauBudget cow_budget;
+    TableauBudget trail_budget;
+    trail_budget.engine = TableauEngine::kTrail;
+    for (int round = 0; round < 15; ++round) {
+      Instance d = RandomInstance(sym, rng, round);
+      Tableau cow(*rules, cow_budget);
+      Tableau trail(*rules, trail_budget);
+      EXPECT_EQ(trail.IsConsistent(d), cow.IsConsistent(d))
+          << text << " round=" << round;
+      EXPECT_EQ(trail.stats().cow_copies, 0u);
+    }
+  }
+}
+
+// --- Pigeonhole: nogood learning must prune ------------------------------
+
+// Same construction as the bench family: every pigeon picks one of `holes`
+// colors, D-linked pigeons must differ. A clique of holes+1 pigeons is
+// inconsistent; the rule set is merge-free and monotone, so nogood
+// learning is eligible.
+RuleSet PigeonholeRules(SymbolsPtr sym, uint32_t holes) {
+  RuleSet rules;
+  rules.symbols = sym;
+  GuardedRule choose;
+  choose.num_vars = 1;
+  choose.guard = Lit::Atom(sym->Rel("P", 1), {0});
+  for (uint32_t h = 0; h < holes; ++h) {
+    HeadAlt alt;
+    alt.lits.push_back(Lit::Atom(sym->Rel("H" + std::to_string(h), 1), {0}));
+    choose.head.push_back(alt);
+  }
+  rules.rules.push_back(choose);
+  for (uint32_t h = 0; h < holes; ++h) {
+    uint32_t rel_h = sym->Rel("H" + std::to_string(h), 1);
+    GuardedRule conflict;
+    conflict.num_vars = 2;
+    conflict.guard = Lit::Atom(sym->Rel("D", 2), {0, 1});
+    conflict.body.push_back(Lit::Atom(rel_h, {0}));
+    conflict.body.push_back(Lit::Atom(rel_h, {1}));
+    HeadAlt ff;
+    ff.is_false = true;
+    conflict.head.push_back(ff);
+    rules.rules.push_back(conflict);
+  }
+  return rules;
+}
+
+Instance PigeonClique(SymbolsPtr sym, uint32_t pigeons) {
+  Instance d(sym);
+  uint32_t rel_p = sym->Rel("P", 1);
+  uint32_t rel_d = sym->Rel("D", 2);
+  std::vector<ElemId> es;
+  for (uint32_t i = 0; i < pigeons; ++i) {
+    es.push_back(d.AddConstant("p" + std::to_string(i)));
+    d.AddFact(rel_p, {es.back()});
+  }
+  for (ElemId x : es) {
+    for (ElemId y : es) {
+      if (x != y) d.AddFact(rel_d, {x, y});
+    }
+  }
+  return d;
+}
+
+TableauBudget PigeonholeBudget() {
+  TableauBudget budget;
+  budget.max_steps = 5000000;
+  budget.max_branches = 1000000;
+  return budget;
+}
+
+TEST(TableauTrailTest, PigeonholeNogoodPruningRegression) {
+  SymbolsPtr sym = MakeSymbols();
+  constexpr uint32_t kPigeons = 6;
+  RuleSet rules = PigeonholeRules(sym, kPigeons - 1);
+  Instance clique = PigeonClique(sym, kPigeons);
+  Instance fits = PigeonClique(sym, kPigeons - 1);
+
+  TableauBudget cow_budget = PigeonholeBudget();
+  TableauBudget trail_budget = PigeonholeBudget();
+  trail_budget.engine = TableauEngine::kTrail;
+
+  Tableau cow(rules, cow_budget);
+  Tableau trail(rules, trail_budget);
+
+  // Verdicts unchanged...
+  EXPECT_EQ(cow.IsConsistent(clique), Certainty::kNo);
+  EXPECT_EQ(trail.IsConsistent(clique), Certainty::kNo);
+  // ...but the trail pass replays zero COW copies, learns conflict
+  // clauses, and prunes sibling colorings with them.
+  EXPECT_EQ(trail.stats().cow_copies, 0u);
+  EXPECT_GT(trail.stats().trail_entries, 0u);
+  EXPECT_GT(trail.stats().pop_levels, 0u);
+  EXPECT_GT(trail.stats().nogoods_learned, 0u);
+  EXPECT_GT(trail.stats().nogood_prunes, 0u);
+  EXPECT_FALSE(trail.learned_nogoods().empty());
+  // Pruning is real work saved: strictly fewer branch openings than the
+  // exhaustive COW exploration of the same inconsistent clique.
+  EXPECT_LT(trail.stats().branches_opened, cow.stats().branches_opened);
+
+  // The consistent sibling stays consistent under the trail engine.
+  EXPECT_EQ(trail.IsConsistent(fits), Certainty::kYes);
+  EXPECT_EQ(cow.IsConsistent(fits), Certainty::kYes);
+
+  // Learning off: same verdict, no clauses, no prunes.
+  TableauBudget off = trail_budget;
+  off.learn_nogoods = false;
+  Tableau no_learn(rules, off);
+  EXPECT_EQ(no_learn.IsConsistent(clique), Certainty::kNo);
+  EXPECT_EQ(no_learn.stats().nogoods_learned, 0u);
+  EXPECT_EQ(no_learn.stats().nogood_prunes, 0u);
+  EXPECT_TRUE(no_learn.learned_nogoods().empty());
+}
+
+// --- Learned-nogood soundness property -----------------------------------
+
+TEST(TableauTrailTest, LearnedNogoodsRefuteUnderForcedReplay) {
+  SymbolsPtr sym = MakeSymbols();
+  constexpr uint32_t kPigeons = 5;
+  RuleSet rules = PigeonholeRules(sym, kPigeons - 1);
+  Instance clique = PigeonClique(sym, kPigeons);
+
+  TableauBudget trail_budget = PigeonholeBudget();
+  trail_budget.engine = TableauEngine::kTrail;
+  Tableau trail(rules, trail_budget);
+  ASSERT_EQ(trail.IsConsistent(clique), Certainty::kNo);
+  ASSERT_FALSE(trail.learned_nogoods().empty());
+
+  size_t checked = 0;
+  for (const Nogood& ng : trail.learned_nogoods()) {
+    if (checked >= 50) break;  // property sample; replays are full searches
+    ++checked;
+    // Structural sanity of the recorded decisions.
+    for (const NogoodDecision& d : ng.decisions) {
+      ASSERT_LT(d.rule_index, rules.rules.size());
+      ASSERT_LT(d.alt_index, rules.rules[d.rule_index].head.size());
+      for (ElemId e : d.binding) ASSERT_LT(e, clique.NumElements());
+    }
+    // Soundness: forcing the nogood's choices closes the whole search.
+    Tableau replay(rules, PigeonholeBudget());
+    EXPECT_EQ(replay.RefutesWithForcedChoices(clique, ng), Certainty::kNo)
+        << "nogood with " << ng.decisions.size()
+        << " decisions at depth " << ng.depth << " did not refute";
+  }
+}
+
+// --- Body-driver join ordering (bouquet index_lookups regression) ---------
+
+// The bouquet workload shape: a huge guard relation R and a tiny body atom
+// B. Before the body-driver fix, FindObligation enumerated R wholesale
+// (relation scans only, `index_lookups: 0`); driving off B turns the guard
+// lookup into indexed (rel, pos, elem) probes.
+TEST(TableauTrailTest, BodyDriverServesGuardFromIndex) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(
+      "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));",
+      sym);
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  auto rules = NormalizeOntology(*onto);
+  ASSERT_TRUE(rules.ok());
+
+  Instance d(sym);
+  uint32_t rel_a = sym->Rel("A", 1);
+  uint32_t rel_r = sym->Rel("R", 2);
+  std::vector<ElemId> es;
+  for (int i = 0; i < 8; ++i) {
+    es.push_back(d.AddConstant("e" + std::to_string(i)));
+  }
+  d.AddFact(rel_a, {es[0]});  // exactly one seed for the tiny B chain
+  for (ElemId x : es) {
+    for (ElemId y : es) d.AddFact(rel_r, {x, y});  // dense guard relation
+  }
+
+  Tableau indexed(*rules);
+  EXPECT_EQ(indexed.IsConsistent(d), Certainty::kYes);
+  EXPECT_GT(indexed.stats().index_lookups, 0u)
+      << "guard matching fell back to relation scans only";
+
+  // The naive reference must agree on the verdict (it has no indexes, so
+  // no index_lookups assertion there).
+  Tableau naive(*rules, {}, /*naive_matching=*/true);
+  EXPECT_EQ(naive.IsConsistent(d), Certainty::kYes);
+}
+
+}  // namespace
+}  // namespace gfomq
