@@ -10,59 +10,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/json_util.h"
 #include "instance/instance.h"
 #include "logic/symbols.h"
 #include "reasoner/consistency_cache.h"
 #include "reasoner/tableau.h"
 
 namespace gfomq::bench {
-
-/// Minimal JSON object builder for the perf-trajectory files
-/// (BENCH_*.json). Keys are emitted in insertion order so the files diff
-/// cleanly across runs; ci.sh checks the key schema.
-class JsonObj {
- public:
-  JsonObj& Int(const std::string& key, uint64_t v) {
-    return Raw(key, std::to_string(v));
-  }
-  JsonObj& Num(const std::string& key, double v) {
-    std::ostringstream s;
-    s << v;
-    return Raw(key, s.str());
-  }
-  JsonObj& Str(const std::string& key, const std::string& v) {
-    return Raw(key, "\"" + v + "\"");
-  }
-  JsonObj& Raw(const std::string& key, const std::string& json) {
-    fields_.push_back("\"" + key + "\": " + json);
-    return *this;
-  }
-  std::string Done() const {
-    std::string out = "{";
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      if (i) out += ", ";
-      out += fields_[i];
-    }
-    return out + "}";
-  }
-
- private:
-  std::vector<std::string> fields_;
-};
-
-inline std::string JsonArr(const std::vector<std::string>& elems) {
-  std::string out = "[";
-  for (size_t i = 0; i < elems.size(); ++i) {
-    if (i) out += ",\n    ";
-    out += elems[i];
-  }
-  return out + "]";
-}
 
 /// One point of BENCH_tableau.json — shared by bench/meta_decision and
 /// bench/tiling_runfit so both emit the identical key schema pinned by
@@ -87,21 +44,12 @@ inline std::string TableauJsonRow(
     uint32_t tableau_threads, const ConsistencyCacheStats& cache,
     const TableauStats& tableau, const TableauStats& parallel_tableau,
     const TableauStats& trail_tableau) {
-  double speedup =
-      engine_micros == 0
-          ? 0.0
-          : static_cast<double>(naive_micros) /
-                static_cast<double>(engine_micros);
-  double parallel_speedup =
-      parallel_micros == 0
-          ? 0.0
-          : static_cast<double>(engine_micros) /
-                static_cast<double>(parallel_micros);
-  double trail_speedup =
-      trail_micros == 0
-          ? 0.0
-          : static_cast<double>(engine_micros) /
-                static_cast<double>(trail_micros);
+  double speedup = SafeRatio(static_cast<double>(naive_micros),
+                             static_cast<double>(engine_micros));
+  double parallel_speedup = SafeRatio(static_cast<double>(engine_micros),
+                                      static_cast<double>(parallel_micros));
+  double trail_speedup = SafeRatio(static_cast<double>(engine_micros),
+                                   static_cast<double>(trail_micros));
   return JsonObj()
       .Str("family", family)
       .Int("size", size)
@@ -137,12 +85,6 @@ inline std::string TableauJsonRow(
       .Int("nogood_prunes", trail_tableau.nogood_prunes)
       .Int("trail_cow_copies", trail_tableau.cow_copies)
       .Done();
-}
-
-inline void WriteJsonFile(const std::string& path, const std::string& json) {
-  std::ofstream f(path);
-  f << json << "\n";
-  std::fprintf(stdout, "wrote %s\n", path.c_str());
 }
 
 /// Worker threads requested via --threads=N (0 = one per hardware thread).

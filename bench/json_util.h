@@ -1,0 +1,129 @@
+#ifndef GFOMQ_BENCH_JSON_UTIL_H_
+#define GFOMQ_BENCH_JSON_UTIL_H_
+
+// Minimal JSON emission helpers shared by the bench binaries (the
+// BENCH_*.json perf-trajectory writers) and the serving driver's stats
+// line. Deliberately free of any google-benchmark dependency so unit
+// tests can include it directly (tests/bench_json_test.cc).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gfomq::bench {
+
+/// Escapes a string for inclusion inside a JSON string literal: quote,
+/// backslash and every control character below 0x20 (RFC 8259 §7). All
+/// other bytes pass through untouched (UTF-8 sequences survive intact).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Serializes a double as a JSON number token. Non-finite values (the
+/// inf/nan of a division by a zero-micros reference pass) have no JSON
+/// representation, so they become `null` — parsers then see a valid
+/// document instead of a bare `inf` token.
+inline std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips is overkill for a
+  // trajectory file; %g already avoids trailing zeros.
+  return buf;
+}
+
+/// num/den as a speedup ratio, 0.0 when the denominator is zero (a
+/// sub-microsecond reference pass must not poison the file with inf).
+inline double SafeRatio(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// Minimal JSON object builder for the perf-trajectory files
+/// (BENCH_*.json). Keys are emitted in insertion order so the files diff
+/// cleanly across runs; ci.sh checks the key schema. Keys are trusted
+/// identifiers; string *values* are escaped.
+class JsonObj {
+ public:
+  JsonObj& Int(const std::string& key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObj& Num(const std::string& key, double v) {
+    return Raw(key, JsonNum(v));
+  }
+  JsonObj& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + JsonEscape(v) + "\"");
+  }
+  JsonObj& Raw(const std::string& key, const std::string& json) {
+    fields_.push_back("\"" + key + "\": " + json);
+    return *this;
+  }
+  std::string Done() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += fields_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+inline std::string JsonArr(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (i) out += ",\n    ";
+    out += elems[i];
+  }
+  return out + "]";
+}
+
+inline void WriteJsonFile(const std::string& path, const std::string& json) {
+  std::ofstream f(path);
+  f << json << "\n";
+  std::fprintf(stdout, "wrote %s\n", path.c_str());
+}
+
+}  // namespace gfomq::bench
+
+#endif  // GFOMQ_BENCH_JSON_UTIL_H_

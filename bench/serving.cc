@@ -1,0 +1,305 @@
+// Serving layer — compiled-OMQ plans and incremental sessions. The table
+// (and BENCH_serving.json, the perf-trajectory file ci.sh schema-checks)
+// records three things:
+//
+//  - throughput: driver commands/sec with N concurrent sessions, each
+//    hammered by its own thread over the shared plan cache (N is the
+//    concurrency sweep; the per-session locks serialize only same-session
+//    commands, so qps scales with physical cores — single-core CI records
+//    a flat profile);
+//  - plan reuse: the plan-cache hit rate of the whole run (every session
+//    after the first resolves its ontology text to the already-compiled
+//    plan);
+//  - incremental maintenance: on a growing delta family, wall time of
+//    serving each delta from the session's maintained fixpoint
+//    (SaturateDelta / DRed) versus re-evaluating the rewriting from
+//    scratch per delta, with the answer sets differentially compared on
+//    every step (`answers_identical`).
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datalog/engine.h"
+#include "logic/parser.h"
+#include "serve/driver.h"
+#include "serve/plan.h"
+#include "serve/session.h"
+
+using namespace gfomq;
+using namespace gfomq::serve;
+using gfomq::bench::JsonObj;
+
+namespace {
+
+constexpr const char* kOntologyText =
+    "forall x, y (R(x,y) -> A(x)); forall x . (A(x) -> B(x)); "
+    "forall x, y (S(x,y) -> B(y));";
+
+uint64_t NowMicros(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+DriverOptions PinnedDatalog() {
+  DriverOptions o;
+  o.plan.force_backend = PlanBackend::kDatalogRewrite;
+  return o;
+}
+
+// --- Concurrency sweep: commands/sec at N sessions ----------------------
+
+struct QpsPoint {
+  int sessions;
+  uint64_t commands;
+  uint64_t wall_micros;
+  double qps;
+  double plan_cache_hit_rate;
+  uint64_t plan_cache_hits;
+  uint64_t errors;
+};
+
+QpsPoint RunQpsPoint(int sessions, int ops_per_session) {
+  ServeDriver drv(PinnedDatalog());
+  std::string r = drv.HandleLine(std::string("ontology O ") + kOntologyText);
+  if (r.rfind("ok ", 0) != 0) std::printf("serving: %s\n", r.c_str());
+  // Schema + sessions + queries register single-threaded (the Symbols
+  // contract: relation registration quiesces before parallel traffic).
+  for (int s = 0; s < sessions; ++s) {
+    std::string name = "s" + std::to_string(s);
+    drv.HandleLine("session " + name + " O");
+    drv.HandleLine("query " + name + " q q(x) :- B(x)");
+    drv.HandleLine("assert " + name + " R(seed0,seed1)");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&drv, s, ops_per_session]() {
+      std::string name = "s" + std::to_string(s);
+      for (int i = 0; i < ops_per_session; ++i) {
+        std::string c = "k" + std::to_string(i % 64);
+        drv.HandleLine("assert " + name + " A(" + c + ")");
+        drv.HandleLine("answers " + name + " q");
+        if (i % 4 == 3) drv.HandleLine("retract " + name + " A(" + c + ")");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t wall = NowMicros(t0);
+  QpsPoint p;
+  p.sessions = sessions;
+  // Only the timed (threaded) commands count toward throughput.
+  p.commands = static_cast<uint64_t>(sessions) *
+               (static_cast<uint64_t>(ops_per_session) * 2 +
+                static_cast<uint64_t>(ops_per_session) / 4);
+  p.wall_micros = wall;
+  p.qps = bench::SafeRatio(static_cast<double>(p.commands) * 1e6,
+                           static_cast<double>(wall));
+  p.plan_cache_hit_rate = drv.plans().stats().HitRate();
+  p.plan_cache_hits = drv.plans().stats().hits;
+  p.errors = drv.stats().errors;
+  return p;
+}
+
+// --- Delta family: incremental maintenance vs from-scratch --------------
+
+struct DeltaPoint {
+  int n;
+  uint64_t deltas;
+  uint64_t incremental_micros;
+  uint64_t scratch_micros;
+  double incremental_speedup;
+  bool answers_identical;
+  uint64_t full_evaluations;
+  uint64_t incremental_refreshes;
+  uint64_t dred_rounds;
+};
+
+DeltaPoint RunDeltaPoint(int n) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kOntologyText, sym);
+  PlanOptions popts;
+  popts.force_backend = PlanBackend::kDatalogRewrite;
+  auto plan = OmqPlan::Compile(*onto, popts);
+  auto q = ParseUcq("q(x) :- B(x)", sym);
+  auto compiled = (*plan)->CompileQuery(*q);
+
+  Session session(*plan);
+  session.RegisterQuery("q", *q);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  uint32_t S = static_cast<uint32_t>(sym->FindRel("S"));
+  std::vector<ElemId> es;
+  for (int i = 0; i < n; ++i) {
+    es.push_back(session.AddConstant("v" + std::to_string(n) + "_" +
+                                     std::to_string(i)));
+  }
+  Rng rng(static_cast<uint64_t>(n) * 31 + 7);
+  for (int i = 0; i < 4 * n; ++i) {
+    session.Assert(Fact{rng.Chance(0.5) ? R : S,
+                        {es[rng.Below(es.size())], es[rng.Below(es.size())]}});
+  }
+  session.Answers("q");  // pay the one full evaluation up front
+
+  DeltaPoint p;
+  p.n = n;
+  p.deltas = 0;
+  p.incremental_micros = 0;
+  p.scratch_micros = 0;
+  p.answers_identical = true;
+  const int kDeltas = 32;
+  for (int i = 0; i < kDeltas; ++i) {
+    Fact f{rng.Chance(0.5) ? R : S,
+           {es[rng.Below(es.size())], es[rng.Below(es.size())]}};
+    bool retract = rng.Chance(0.3);
+    auto t0 = std::chrono::steady_clock::now();
+    if (retract) {
+      session.Retract(f);
+    } else {
+      session.Assert(f);
+    }
+    auto incr = session.Answers("q");
+    p.incremental_micros += NowMicros(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    DatalogEngine scratch((*compiled)->program);
+    auto ref = scratch.GoalTuples(session.db());
+    p.scratch_micros += NowMicros(t0);
+    if (!incr.ok() || *incr != ref) p.answers_identical = false;
+    ++p.deltas;
+  }
+  p.incremental_speedup =
+      bench::SafeRatio(static_cast<double>(p.scratch_micros),
+                       static_cast<double>(p.incremental_micros));
+  p.full_evaluations = session.stats().full_evaluations;
+  p.incremental_refreshes = session.stats().incremental_refreshes;
+  p.dred_rounds = session.stats().dred_rounds;
+  return p;
+}
+
+void PrintTableAndJson() {
+  std::printf("serving layer — compiled plans, incremental sessions\n");
+  std::printf("%-9s %-10s %-12s %-10s %-14s %s\n", "sessions", "commands",
+              "wall_micros", "qps", "plan_hit_rate", "errors");
+  std::vector<std::string> rows;
+  const int kOps = 200;
+  for (int sessions : {1, 2, 4, 8}) {
+    QpsPoint p = RunQpsPoint(sessions, kOps);
+    std::printf("%-9d %-10llu %-12llu %-10.0f %-14.2f %llu\n", p.sessions,
+                static_cast<unsigned long long>(p.commands),
+                static_cast<unsigned long long>(p.wall_micros), p.qps,
+                p.plan_cache_hit_rate,
+                static_cast<unsigned long long>(p.errors));
+    rows.push_back(JsonObj()
+                       .Str("family", "serving_qps")
+                       .Int("sessions", static_cast<uint64_t>(p.sessions))
+                       .Int("commands", p.commands)
+                       .Int("wall_micros", p.wall_micros)
+                       .Num("qps", p.qps)
+                       .Num("plan_cache_hit_rate", p.plan_cache_hit_rate)
+                       .Int("plan_cache_hits", p.plan_cache_hits)
+                       .Int("errors", p.errors)
+                       .Done());
+  }
+
+  std::printf("\ndelta family — incremental session vs from-scratch\n");
+  std::printf("%-6s %-8s %-12s %-14s %-9s %s\n", "n", "deltas", "incr_micros",
+              "scratch_micros", "speedup", "identical");
+  for (int n : {16, 32, 64}) {
+    DeltaPoint p = RunDeltaPoint(n);
+    std::printf("%-6d %-8llu %-12llu %-14llu %-9.1f %s\n", p.n,
+                static_cast<unsigned long long>(p.deltas),
+                static_cast<unsigned long long>(p.incremental_micros),
+                static_cast<unsigned long long>(p.scratch_micros),
+                p.incremental_speedup, p.answers_identical ? "yes" : "NO");
+    rows.push_back(
+        JsonObj()
+            .Str("family", "delta_incremental")
+            .Int("n", static_cast<uint64_t>(p.n))
+            .Int("deltas", p.deltas)
+            .Int("incremental_micros", p.incremental_micros)
+            .Int("scratch_micros", p.scratch_micros)
+            .Num("incremental_speedup", p.incremental_speedup)
+            .Int("answers_identical", p.answers_identical ? 1 : 0)
+            .Int("full_evaluations", p.full_evaluations)
+            .Int("incremental_refreshes", p.incremental_refreshes)
+            .Int("dred_rounds", p.dred_rounds)
+            .Done());
+  }
+
+  std::string json = "{\n  \"bench\": \"serving\",\n"
+                     "  \"generated_by\": \"bench/serving.cc\",\n"
+                     "  \"families\": " + bench::JsonArr(rows) + "\n}";
+  bench::WriteJsonFile("BENCH_serving.json", json);
+  std::printf("\n");
+}
+
+// --- google-benchmark timings ------------------------------------------
+
+void BM_DriverAssertAnswer(benchmark::State& state) {
+  ServeDriver drv(PinnedDatalog());
+  drv.HandleLine(std::string("ontology O ") + kOntologyText);
+  drv.HandleLine("session s O");
+  drv.HandleLine("query s q q(x) :- B(x)");
+  int i = 0;
+  for (auto _ : state) {
+    std::string c = "b" + std::to_string(i++ % 128);
+    drv.HandleLine("assert s A(" + c + ")");
+    benchmark::DoNotOptimize(drv.HandleLine("answers s q"));
+  }
+}
+BENCHMARK(BM_DriverAssertAnswer);
+
+void BM_PlanCacheLookup(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kOntologyText, sym);
+  PlanOptions popts;
+  popts.force_backend = PlanBackend::kDatalogRewrite;
+  PlanCache cache(popts);
+  (void)cache.GetOrCompile(*onto);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetOrCompile(*onto));
+  }
+}
+BENCHMARK(BM_PlanCacheLookup);
+
+void BM_SessionIncrementalDelta(benchmark::State& state) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kOntologyText, sym);
+  PlanOptions popts;
+  popts.force_backend = PlanBackend::kDatalogRewrite;
+  auto plan = OmqPlan::Compile(*onto, popts);
+  auto q = ParseUcq("q(x) :- B(x)", sym);
+  Session session(*plan);
+  session.RegisterQuery("q", *q);
+  uint32_t R = static_cast<uint32_t>(sym->FindRel("R"));
+  int n = static_cast<int>(state.range(0));
+  std::vector<ElemId> es;
+  for (int i = 0; i < n; ++i) {
+    es.push_back(session.AddConstant("e" + std::to_string(i)));
+  }
+  Rng rng(9);
+  for (int i = 0; i < 3 * n; ++i) {
+    session.Assert(Fact{R, {es[rng.Below(es.size())],
+                            es[rng.Below(es.size())]}});
+  }
+  session.Answers("q");
+  for (auto _ : state) {
+    Fact f{R, {es[rng.Below(es.size())], es[rng.Below(es.size())]}};
+    if (!*session.Assert(f)) {
+      session.Retract(f);
+    }
+    benchmark::DoNotOptimize(session.Answers("q"));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SessionIncrementalDelta)->RangeMultiplier(2)->Range(16, 64)
+    ->Complexity();
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTableAndJson)

@@ -26,9 +26,15 @@
 # rate and every point required to report parallel and trail verdicts
 # identical to the serial engine's, and the pigeonhole rows additionally
 # required to show the trail engine's COW-copy elimination and nonzero
-# nogood pruning); and, when clang-tidy is installed, the modernize/
-# performance/bugprone profile in .clang-tidy runs over src/logic and
-# src/reasoner.
+# nogood pruning). BENCH_serving.json (the serving layer's trajectory
+# file) is regenerated and schema-checked too; its run doubles as the
+# release-tier smoke of the concurrent line-protocol driver and must show
+# zero protocol errors, a nonzero plan-cache hit rate, incremental-vs-
+# scratch speedup above 1, and differentially identical answers. The
+# serving suites (ServeSession/ServeDriver/BenchJson) re-run under asan,
+# and the concurrent driver hammer joins the tsan tier. Finally, when
+# clang-tidy is installed, the modernize/performance/bugprone profile in
+# .clang-tidy runs over src/logic and src/reasoner.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -51,7 +57,7 @@ ctest --preset release -j "$JOBS" -L fuzz
 
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache|ServeSession|ServeDriver|BenchJson'
 
 echo "=== perf trajectory: BENCH_datalog.json schema ==="
 (cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
@@ -148,6 +154,54 @@ if ! grep '"family": "pigeonhole"' build-release/BENCH_tableau.json \
            END { exit !(ok && n > 0) }'; then
   echo "BENCH_tableau.json: a pigeonhole trail pass pruned no branches —" \
        "nogood learning is not firing" >&2
+  exit 1
+fi
+
+echo "=== perf trajectory: BENCH_serving.json schema (serving) ==="
+(cd build-release && ./bench/serving --benchmark_filter=_none_ >/dev/null)
+keys_tmp="$(mktemp)"
+grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_serving.json \
+  | tr -d '":' | sort -u > "$keys_tmp"
+if ! diff -u bench/BENCH_serving.expected_keys "$keys_tmp"; then
+  echo "BENCH_serving.json key schema drifted;" \
+       "update bench/BENCH_serving.expected_keys" >&2
+  rm -f "$keys_tmp"
+  exit 1
+fi
+rm -f "$keys_tmp"
+# The serving run doubles as the release-tier smoke of the concurrent
+# driver: every point must finish with zero protocol errors, plans must
+# actually be reused across sessions, the incremental sessions must beat
+# per-delta from-scratch evaluation, and their answers must be
+# bit-identical to it on every delta.
+if ! grep -o '"errors": [0-9]*' build-release/BENCH_serving.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 0) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_serving.json: a serving sweep point recorded protocol" \
+       "errors — the concurrent driver smoke failed" >&2
+  exit 1
+fi
+if ! grep -o '"plan_cache_hit_rate": [0-9.e+-]*' \
+    build-release/BENCH_serving.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 <= 0) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_serving.json: a sweep point has zero plan-cache hit rate —" \
+       "sessions are recompiling instead of sharing compiled plans" >&2
+  exit 1
+fi
+if ! grep -o '"incremental_speedup": [0-9.e+-]*' \
+    build-release/BENCH_serving.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 <= 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_serving.json: incremental maintenance is not beating" \
+       "from-scratch evaluation on the delta family" >&2
+  exit 1
+fi
+if ! grep -o '"answers_identical": [01]' build-release/BENCH_serving.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_serving.json: incremental answers diverge from the" \
+       "from-scratch reference — SaturateDelta/DRed is unsound" >&2
   exit 1
 fi
 

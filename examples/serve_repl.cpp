@@ -1,0 +1,34 @@
+// Interactive front end for the serving layer: a line-protocol REPL over
+// ServeDriver (see src/serve/driver.h for the command set). Usage:
+//
+//   ./serve_repl [--tableau-unknown]
+//   > ontology O forall x . (A(x) -> B(x));
+//   > session s O
+//   > query s q q(x) :- B(x)
+//   > assert s A(alice)
+//   > answers s q
+//   > stats
+//   > quit
+//
+// By default unknown classifications fall back to the tableau backend;
+// pipe a script in for batch use: ./serve_repl < script.txt
+
+#include <cstring>
+#include <iostream>
+
+#include "serve/driver.h"
+
+int main(int argc, char** argv) {
+  gfomq::serve::DriverOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--datalog-unknown") == 0) {
+      // Serve unknown-classification ontologies from the Datalog rewriter
+      // (sound only inside the rewritable fragments — operator's choice).
+      options.plan.unknown_backend =
+          gfomq::serve::PlanBackend::kDatalogRewrite;
+    }
+  }
+  gfomq::serve::ServeDriver driver(options);
+  driver.Serve(std::cin, std::cout);
+  return 0;
+}

@@ -16,7 +16,8 @@ Result<OmqEngine> OmqEngine::Create(Ontology ontology, EngineOptions options) {
   return OmqEngine(std::move(ontology), std::move(*solver), options);
 }
 
-OmqVerdict OmqEngine::Classify() {
+const OmqVerdict& OmqEngine::Classify() {
+  if (verdict_) return *verdict_;
   OmqVerdict verdict;
   verdict.syntactic = ClassifyOntology(ontology_);
   if (options_.decide_ptime &&
@@ -31,7 +32,8 @@ OmqVerdict OmqEngine::Classify() {
     verdict.budget_exhausted = md.budget_exhausted;
     verdict.meta_stats = std::move(md.stats);
   }
-  return verdict;
+  verdict_ = std::move(verdict);
+  return *verdict_;
 }
 
 std::string OmqVerdict::Summary(const Symbols& symbols) const {

@@ -74,8 +74,11 @@ class OmqEngine {
     return solver_.CertainAnswers(input, q);
   }
 
-  /// The full classification pipeline.
-  OmqVerdict Classify();
+  /// The full classification pipeline. The verdict is memoized: the first
+  /// call runs the (possibly expensive) bouquet meta decision, later calls
+  /// return the stored result — "classify once" is the contract the
+  /// serving layer's plan compilation leans on.
+  const OmqVerdict& Classify();
 
   /// Datalog(≠) rewriting for an OMQ over this ontology.
   Result<RewriteResult> Rewrite(const Ucq& query) {
@@ -92,6 +95,7 @@ class OmqEngine {
   Ontology ontology_;
   CertainAnswerSolver solver_;
   EngineOptions options_;
+  std::optional<OmqVerdict> verdict_;  // memoized Classify result
 };
 
 }  // namespace gfomq

@@ -46,9 +46,28 @@ class DatalogEngine {
   Instance Evaluate(const Instance& input);
 
   /// Tuples of the goal relation in the fixpoint (empty set if no goal).
-  /// The last fixpoint is cached: a repeated call on an equal input (same
-  /// symbols, elements and fact set) reuses it instead of re-saturating.
+  /// The last fixpoint is cached: a repeated call on an unchanged input
+  /// (or an unmutated copy of it) reuses it instead of re-saturating. The
+  /// warm probe is an O(1) Instance::revision() compare — never a fact-set
+  /// scan; the old SameDatabase deep compare survives as a debug assert.
   std::set<std::vector<ElemId>> GoalTuples(const Instance& input);
+
+  /// Incremental-view maintenance entry point (the serving sessions):
+  /// continues a previously saturated fixpoint in place after `added`
+  /// facts were inserted into `db`, running semi-naive rounds seeded with
+  /// exactly that delta. `db` must already contain the added facts.
+  /// Stats accumulate on top of the last evaluation (no reset).
+  void SaturateDelta(Instance* db, const std::vector<Fact>& added);
+
+  /// DRed overdeletion: the set of facts in `db` (a fixpoint of the
+  /// program) transitively derivable through at least one fact of
+  /// `deleted` — the standard over-approximation of what a retraction can
+  /// invalidate. Facts present in `base` (the surviving external facts)
+  /// are never included: they hold regardless of derivations. `deleted`
+  /// facts themselves are included when still present in `db`.
+  std::set<Fact> OverdeleteClosure(const Instance& db,
+                                   const std::vector<Fact>& deleted,
+                                   const Instance& base);
 
   const DatalogStats& stats() const { return stats_; }
 
@@ -60,6 +79,10 @@ class DatalogEngine {
  private:
   Instance EvaluateIndexed(const Instance& input);
   Instance EvaluateNaive(const Instance& input);
+  /// The shared semi-naive loop: saturates `db` in place, seeded with
+  /// `delta` (facts grouped by relation, already present in `db`).
+  void RunSemiNaive(Instance* db,
+                    std::map<uint32_t, std::vector<Fact>> delta);
 
   const DatalogProgram& program_;
   DatalogEvalMode mode_;

@@ -1,6 +1,7 @@
 #include "instance/instance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -11,8 +12,19 @@ namespace {
 const std::vector<const Fact*> kNoFacts;
 }  // namespace
 
+uint64_t Instance::NextRevision() {
+  // Process-global stamp source: every mutation of any instance draws a
+  // distinct value, so a (revision) match across two instances can only
+  // arise through copying — the soundness argument behind revision().
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Instance::Touch() { revision_ = NextRevision(); }
+
 Instance::Instance(const Instance& other)
     : symbols_(other.symbols_),
+      revision_(other.revision_),
       elem_const_(other.elem_const_),
       facts_(other.facts_) {
   RebuildIndexes();
@@ -21,6 +33,7 @@ Instance::Instance(const Instance& other)
 Instance& Instance::operator=(const Instance& other) {
   if (this == &other) return *this;
   symbols_ = other.symbols_;
+  revision_ = other.revision_;
   elem_const_ = other.elem_const_;
   facts_ = other.facts_;
   RebuildIndexes();
@@ -34,12 +47,14 @@ ElemId Instance::AddConstant(const std::string& name) {
   }
   elem_const_.push_back(static_cast<int64_t>(cid));
   by_elem_.emplace_back();
+  Touch();
   return static_cast<ElemId>(elem_const_.size() - 1);
 }
 
 ElemId Instance::AddNull() {
   elem_const_.push_back(-1);
   by_elem_.emplace_back();
+  Touch();
   return static_cast<ElemId>(elem_const_.size() - 1);
 }
 
@@ -55,6 +70,7 @@ void Instance::RemoveLastElement() {
   }
   elem_const_.pop_back();
   by_elem_.pop_back();
+  Touch();
 }
 
 std::string Instance::ElemName(ElemId e) const {
@@ -111,7 +127,10 @@ void Instance::RebuildIndexes() {
 
 bool Instance::Insert(Fact f) {
   auto [it, fresh] = facts_.insert(std::move(f));
-  if (fresh) IndexFact(&*it);
+  if (fresh) {
+    IndexFact(&*it);
+    Touch();
+  }
   return fresh;
 }
 
@@ -140,6 +159,7 @@ bool Instance::RemoveFact(const Fact& f) {
   if (it == facts_.end()) return false;
   UnindexFact(&*it);
   facts_.erase(it);
+  Touch();
   return true;
 }
 

@@ -89,6 +89,17 @@ class Instance {
   const std::set<Fact>& facts() const { return facts_; }
   size_t NumFacts() const { return facts_.size(); }
 
+  /// Content-revision token. Every mutation (element added or removed,
+  /// fact added or removed) stamps the instance with a fresh value from a
+  /// process-global counter; copies keep the source's stamp. Hence two
+  /// instances carrying the same revision have identical content (one is
+  /// an unmutated copy of the other), which makes the revision an O(1)
+  /// cache-validity check: the Datalog goal cache and the serving-layer
+  /// sessions compare revisions instead of deep-comparing fact sets.
+  /// Equal content does NOT imply equal revisions (independently built
+  /// twins miss), costing at most a recompute, never a wrong hit.
+  uint64_t revision() const { return revision_; }
+
   const SymbolsPtr& symbols() const { return symbols_; }
 
   /// All facts of a given relation, in sorted order (copies; prefer
@@ -158,7 +169,13 @@ class Instance {
   void UnindexFact(const Fact* f);
   void RebuildIndexes();
 
+  /// Stamps this instance with a fresh global revision (called on every
+  /// successful mutation).
+  void Touch();
+  static uint64_t NextRevision();
+
   SymbolsPtr symbols_;
+  uint64_t revision_ = NextRevision();
   // elem_const_[e] = constant id in Symbols, or -1 for a null.
   std::vector<int64_t> elem_const_;
   std::set<Fact> facts_;

@@ -1,0 +1,272 @@
+#include "serve/driver.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "logic/parser.h"
+
+namespace gfomq::serve {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits "<word> <rest>" — rest may be empty.
+std::pair<std::string, std::string> SplitWord(const std::string& s) {
+  size_t sp = s.find_first_of(" \t");
+  if (sp == std::string::npos) return {s, ""};
+  return {s.substr(0, sp), Trim(s.substr(sp + 1))};
+}
+
+std::string Err(const std::string& msg) { return "err " + msg; }
+
+/// Parses "R(a, b)" into a relation name and argument names.
+Status ParseFactText(const std::string& text, std::string* rel,
+                     std::vector<std::string>* args) {
+  size_t open = text.find('(');
+  size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::InvalidArgument("expected R(a,...): '" + text + "'");
+  }
+  *rel = Trim(text.substr(0, open));
+  if (rel->empty()) {
+    return Status::InvalidArgument("missing relation name in '" + text + "'");
+  }
+  std::string inner = Trim(text.substr(open + 1, close - open - 1));
+  args->clear();
+  if (inner.empty()) return Status::Ok();
+  std::stringstream ss(inner);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    piece = Trim(piece);
+    if (piece.empty()) {
+      return Status::InvalidArgument("empty argument in '" + text + "'");
+    }
+    args->push_back(piece);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ServeDriver::ServeDriver(DriverOptions options)
+    : options_(options), symbols_(MakeSymbols()), plans_(options.plan) {}
+
+DriverStats ServeDriver::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ServeDriver::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<ServeDriver::SessionEntry> ServeDriver::FindSession(
+    const std::string& sname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sname);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::string ServeDriver::HandleLine(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lines;
+  }
+  std::string reply = Dispatch(line);
+  if (reply.rfind("err ", 0) == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  return reply;
+}
+
+std::string ServeDriver::Dispatch(const std::string& line) {
+  std::string text = Trim(line);
+  if (text.empty() || text[0] == '#') return "";
+  auto [cmd, rest] = SplitWord(text);
+  if (cmd == "quit") return "ok bye";
+  if (cmd == "stats") return CmdStats();
+  if (cmd == "ontology") {
+    auto [name, body] = SplitWord(rest);
+    if (name.empty() || body.empty()) {
+      return Err("usage: ontology <name> <sentences>");
+    }
+    return CmdOntology(name, body);
+  }
+  if (cmd == "session") {
+    auto [sname, oname] = SplitWord(rest);
+    if (sname.empty() || oname.empty()) {
+      return Err("usage: session <name> <ontology>");
+    }
+    return CmdSession(sname, oname);
+  }
+  if (cmd == "query") {
+    auto [sname, rest2] = SplitWord(rest);
+    auto [qname, body] = SplitWord(rest2);
+    if (sname.empty() || qname.empty() || body.empty()) {
+      return Err("usage: query <session> <name> <ucq>");
+    }
+    return CmdQuery(sname, qname, body);
+  }
+  if (cmd == "assert" || cmd == "retract") {
+    auto [sname, fact] = SplitWord(rest);
+    if (sname.empty() || fact.empty()) {
+      return Err("usage: " + cmd + " <session> R(a,...)");
+    }
+    return CmdFact(cmd == "assert", sname, fact);
+  }
+  if (cmd == "answers") {
+    auto [sname, qname] = SplitWord(rest);
+    if (sname.empty() || qname.empty()) {
+      return Err("usage: answers <session> <query>");
+    }
+    return CmdAnswers(sname, qname);
+  }
+  if (cmd == "close") {
+    if (rest.empty()) return Err("usage: close <session>");
+    return CmdClose(rest);
+  }
+  return Err("unknown command '" + cmd + "'");
+}
+
+std::string ServeDriver::CmdOntology(const std::string& name,
+                                     const std::string& text) {
+  Result<Ontology> onto = ParseOntology(text, symbols_);
+  if (!onto.ok()) return Err(onto.status().ToString());
+  Result<std::shared_ptr<OmqPlan>> plan = plans_.GetOrCompile(*onto);
+  if (!plan.ok()) return Err(plan.status().ToString());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ontologies_.insert_or_assign(name, std::move(*onto));
+  }
+  return "ok ontology " + name + " plan=" + std::to_string((*plan)->id()) +
+         " backend=" + BackendName((*plan)->backend());
+}
+
+std::string ServeDriver::CmdSession(const std::string& sname,
+                                    const std::string& oname) {
+  std::optional<Ontology> onto;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ontologies_.find(oname);
+    if (it != ontologies_.end()) onto = it->second;
+  }
+  if (!onto) return Err("no ontology named '" + oname + "'");
+  Result<std::shared_ptr<OmqPlan>> plan = plans_.GetOrCompile(*onto);
+  if (!plan.ok()) return Err(plan.status().ToString());
+  auto entry = std::make_shared<SessionEntry>(std::move(*plan));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.insert_or_assign(sname, std::move(entry));
+  }
+  return "ok session " + sname;
+}
+
+std::string ServeDriver::CmdQuery(const std::string& sname,
+                                  const std::string& qname,
+                                  const std::string& text) {
+  auto entry = FindSession(sname);
+  if (!entry) return Err("no session named '" + sname + "'");
+  Result<Ucq> q = ParseUcq(text, symbols_);
+  if (!q.ok()) return Err(q.status().ToString());
+  std::lock_guard<std::mutex> lock(entry->mu);
+  Status s = entry->session.RegisterQuery(qname, *q);
+  if (!s.ok()) return Err(s.ToString());
+  return "ok query " + qname + " arity=" + std::to_string(q->Arity());
+}
+
+std::string ServeDriver::CmdFact(bool is_assert, const std::string& sname,
+                                 const std::string& fact_text) {
+  auto entry = FindSession(sname);
+  if (!entry) return Err("no session named '" + sname + "'");
+  std::string rel_name;
+  std::vector<std::string> arg_names;
+  Status parsed = ParseFactText(fact_text, &rel_name, &arg_names);
+  if (!parsed.ok()) return Err(parsed.ToString());
+  int64_t rel = symbols_->FindRel(rel_name);
+  if (rel < 0) {
+    if (!is_assert) return "ok absent";
+    // First sight of a data relation: register it with the observed arity
+    // (schema setup should happen before concurrent traffic).
+    rel = symbols_->Rel(rel_name, static_cast<int>(arg_names.size()));
+  }
+  if (symbols_->RelArity(static_cast<uint32_t>(rel)) !=
+      static_cast<int>(arg_names.size())) {
+    return Err("arity mismatch: " + rel_name + "/" +
+               std::to_string(symbols_->RelArity(static_cast<uint32_t>(rel))) +
+               " applied to " + std::to_string(arg_names.size()) +
+               " arguments");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  Fact f{static_cast<uint32_t>(rel), {}};
+  for (const std::string& a : arg_names) {
+    if (!is_assert && symbols_->FindConst(a) < 0) return "ok absent";
+    f.args.push_back(entry->session.AddConstant(a));
+  }
+  Result<bool> r = is_assert ? entry->session.Assert(f)
+                             : entry->session.Retract(f);
+  if (!r.ok()) return Err(r.status().ToString());
+  return *r ? "ok" : "ok absent";
+}
+
+std::string ServeDriver::CmdAnswers(const std::string& sname,
+                                    const std::string& qname) {
+  auto entry = FindSession(sname);
+  if (!entry) return Err("no session named '" + sname + "'");
+  std::lock_guard<std::mutex> lock(entry->mu);
+  Result<std::set<std::vector<ElemId>>> answers =
+      entry->session.Answers(qname);
+  if (!answers.ok()) return Err(answers.status().ToString());
+  std::ostringstream out;
+  out << "ok answers " << qname << " n=" << answers->size();
+  for (const std::vector<ElemId>& tuple : *answers) {
+    out << " (";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i) out << ",";
+      out << entry->session.db().ElemName(tuple[i]);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+std::string ServeDriver::CmdStats() {
+  PlanCacheStats pc = plans_.stats();
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "ok stats lines=" << stats_.lines << " errors=" << stats_.errors
+      << " ontologies=" << ontologies_.size()
+      << " sessions=" << sessions_.size() << " plans=" << plans_.size()
+      << " plan_hits=" << pc.hits << " plan_misses=" << pc.misses
+      << " plan_hit_rate=" << pc.HitRate();
+  return out.str();
+}
+
+std::string ServeDriver::CmdClose(const std::string& sname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(sname) == 0) {
+    return Err("no session named '" + sname + "'");
+  }
+  return "ok closed " + sname;
+}
+
+void ServeDriver::Serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string reply = HandleLine(line);
+    if (!reply.empty()) out << reply << "\n";
+    out.flush();
+    if (reply == "ok bye") break;
+  }
+}
+
+}  // namespace gfomq::serve

@@ -1,0 +1,101 @@
+#ifndef GFOMQ_SERVE_DRIVER_H_
+#define GFOMQ_SERVE_DRIVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/plan.h"
+#include "serve/session.h"
+
+namespace gfomq::serve {
+
+/// Driver-level counters (lines processed, protocol errors).
+struct DriverStats {
+  uint64_t lines = 0;
+  uint64_t errors = 0;
+};
+
+struct DriverOptions {
+  PlanOptions plan;
+};
+
+/// Concurrent line-protocol front end multiplexing many sessions over the
+/// shared plan cache (and through it the shared ConsistencyCache, term
+/// store and tableau pools). One command per line, one reply line per
+/// command ("ok ..." / "err ..."):
+///
+///   ontology <name> <sentences>     register + compile (plan cache)
+///   session <sname> <ontology>      open a session on a compiled plan
+///   query <sname> <qname> <ucq>     register a query in a session
+///   assert <sname> R(a,b)           assert a base fact (constants auto-add)
+///   retract <sname> R(a,b)          retract a base fact
+///   answers <sname> <qname>         certain answers (incremental)
+///   stats                           plan-cache / session / line counters
+///   close <sname>                   drop a session
+///   quit                            end a Serve() loop
+///
+/// Thread-safety: HandleLine may be called from many threads. The
+/// registries are guarded by one mutex; each session carries its own lock,
+/// so commands against distinct sessions execute concurrently while
+/// commands against one session serialize. Relation symbols are
+/// registered while parsing `ontology`/`query`/first-`assert` lines; per
+/// the Symbols contract, register the schema before issuing concurrent
+/// reasoning traffic (the bench and tests set up, then fan out).
+class ServeDriver {
+ public:
+  explicit ServeDriver(DriverOptions options = {});
+
+  /// Executes one protocol line and returns the reply line (no trailing
+  /// newline). Empty lines and #-comments reply "".
+  std::string HandleLine(const std::string& line);
+
+  /// REPL loop: reads lines from `in`, writes one reply line each to
+  /// `out`, until EOF or `quit`.
+  void Serve(std::istream& in, std::ostream& out);
+
+  /// The shared symbol table all ontologies/sessions of this driver use
+  /// (ids must agree across them for plans to be shared).
+  const SymbolsPtr& symbols() const { return symbols_; }
+
+  PlanCache& plans() { return plans_; }
+  DriverStats stats() const;
+  size_t num_sessions() const;
+
+ private:
+  struct SessionEntry {
+    std::mutex mu;
+    Session session;
+    explicit SessionEntry(std::shared_ptr<OmqPlan> plan)
+        : session(std::move(plan)) {}
+  };
+
+  std::string Dispatch(const std::string& line);
+  std::string CmdOntology(const std::string& name, const std::string& text);
+  std::string CmdSession(const std::string& sname, const std::string& oname);
+  std::string CmdQuery(const std::string& sname, const std::string& qname,
+                       const std::string& text);
+  std::string CmdFact(bool is_assert, const std::string& sname,
+                      const std::string& fact_text);
+  std::string CmdAnswers(const std::string& sname, const std::string& qname);
+  std::string CmdStats();
+  std::string CmdClose(const std::string& sname);
+
+  std::shared_ptr<SessionEntry> FindSession(const std::string& sname);
+
+  DriverOptions options_;
+  SymbolsPtr symbols_;
+  PlanCache plans_;
+
+  mutable std::mutex mu_;  // registries + stats
+  std::map<std::string, Ontology> ontologies_;
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  DriverStats stats_;
+};
+
+}  // namespace gfomq::serve
+
+#endif  // GFOMQ_SERVE_DRIVER_H_

@@ -1,0 +1,151 @@
+#include "serve/plan.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "datalog/rewriter.h"
+#include "logic/printer.h"
+
+namespace gfomq::serve {
+
+namespace {
+std::atomic<uint64_t> g_next_plan_id{1};
+}  // namespace
+
+const char* BackendName(PlanBackend b) {
+  switch (b) {
+    case PlanBackend::kDatalogRewrite:
+      return "datalog";
+    case PlanBackend::kTableau:
+      return "tableau";
+  }
+  return "?";
+}
+
+OmqPlan::OmqPlan(OmqEngine engine, PlanOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      id_(g_next_plan_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Result<std::shared_ptr<OmqPlan>> OmqPlan::Compile(Ontology ontology,
+                                                  PlanOptions options) {
+  auto t0 = std::chrono::steady_clock::now();
+  Result<OmqEngine> engine =
+      OmqEngine::Create(std::move(ontology), options.engine);
+  if (!engine.ok()) return engine.status();
+  std::shared_ptr<OmqPlan> plan(
+      new OmqPlan(std::move(*engine), options));
+  if (options.force_backend) {
+    // The classification is skipped entirely under the override: the
+    // caller has pinned the side, and the meta decision is the expensive
+    // part of a compile.
+    plan->backend_ = *options.force_backend;
+    plan->verdict_.syntactic = ClassifyOntology(plan->ontology());
+  } else {
+    plan->verdict_ = plan->engine_.Classify();
+    switch (plan->verdict_.ptime) {
+      case Certainty::kYes:
+        plan->backend_ = PlanBackend::kDatalogRewrite;
+        break;
+      case Certainty::kNo:
+        plan->backend_ = PlanBackend::kTableau;
+        break;
+      case Certainty::kUnknown:
+        plan->backend_ = options.unknown_backend;
+        break;
+    }
+  }
+  plan->compile_micros_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return plan;
+}
+
+Result<std::shared_ptr<const CompiledQuery>> OmqPlan::CompileQuery(
+    const Ucq& query) {
+  Status v = query.Validate();
+  if (!v.ok()) return v;
+  std::string key = query.ToString();
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(key);
+    if (it != queries_.end()) {
+      query_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compile outside the memo lock (rewriting may chase for a while); a
+  // concurrent duplicate compile is wasted work, not a correctness issue —
+  // the first insert wins below.
+  auto compiled = std::make_shared<CompiledQuery>();
+  compiled->query = query;
+  compiled->backend = backend_;
+  if (backend_ == PlanBackend::kDatalogRewrite) {
+    RewriterOptions ropts = options_.engine.rewriter;
+    ropts.certain = options_.engine.certain;
+    Result<RewriteResult> rewrite =
+        RewriteToDatalog(ontology(), query, ropts);
+    if (!rewrite.ok()) return rewrite.status();
+    compiled->program = std::move(rewrite->program);
+    compiled->configurations_explored = rewrite->configurations_explored;
+    compiled->truncated = rewrite->truncated;
+  }
+  query_compilations_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  auto [it, fresh] = queries_.emplace(std::move(key), std::move(compiled));
+  (void)fresh;
+  return it->second;
+}
+
+std::string OmqPlan::Summary() const {
+  std::ostringstream out;
+  out << "plan " << id_ << ": backend=" << BackendName(backend_)
+      << " band=" << StatusName(verdict_.syntactic.verdict)
+      << " compile_micros=" << compile_micros_
+      << " query_compilations=" << query_compilations()
+      << " query_cache_hits=" << query_cache_hits();
+  return out.str();
+}
+
+std::string PlanCache::Fingerprint(const Ontology& ontology) {
+  // Symbol-table identity first: rel ids in compiled programs are
+  // symbol-table-relative, so plans must never be shared across tables
+  // even for textually identical ontologies.
+  std::ostringstream key;
+  key << static_cast<const void*>(ontology.symbols.get()) << "|"
+      << OntologyToString(ontology);
+  return key.str();
+}
+
+Result<std::shared_ptr<OmqPlan>> PlanCache::GetOrCompile(
+    const Ontology& ontology) {
+  std::string key = Fingerprint(ontology);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  // Compiled under the registry lock: concurrent first-compiles of one
+  // ontology would otherwise race the (expensive) meta decision; the lock
+  // serializes them into one compile plus hits, which is the semantics
+  // the plan-cache hit rate reports.
+  Result<std::shared_ptr<OmqPlan>> plan = OmqPlan::Compile(ontology, options_);
+  if (!plan.ok()) return plan.status();
+  ++stats_.misses;
+  plans_.emplace(std::move(key), *plan);
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace gfomq::serve

@@ -1,0 +1,148 @@
+#ifndef GFOMQ_SERVE_PLAN_H_
+#define GFOMQ_SERVE_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "datalog/program.h"
+#include "query/cq.h"
+
+namespace gfomq::serve {
+
+/// Which side of the dichotomy a plan serves its queries on. The paper's
+/// Theorem 13 guarantees every dichotomy-fragment ontology lands on
+/// exactly one side: PTIME ontologies are Datalog(≠)-rewritable (answers
+/// come from a materialized fixpoint, maintained incrementally by the
+/// sessions), coNP ontologies need the tableau (answers come from the
+/// cached chase, memoized in the shared ConsistencyCache).
+enum class PlanBackend { kDatalogRewrite, kTableau };
+
+const char* BackendName(PlanBackend b);
+
+/// A per-(ontology, query) compiled artifact, interned inside its plan and
+/// shared (immutable) across every session serving that OMQ.
+struct CompiledQuery {
+  Ucq query;
+  PlanBackend backend;
+  /// Valid when backend == kDatalogRewrite: the Datalog(≠) rewriting whose
+  /// goal relation holds exactly the certain answers.
+  DatalogProgram program;
+  size_t configurations_explored = 0;
+  bool truncated = false;
+};
+
+/// Options for plan compilation.
+struct PlanOptions {
+  EngineOptions engine;
+  /// Operator override: skip the classification-driven backend choice and
+  /// pin one side (tests pin kDatalogRewrite to exercise incremental
+  /// maintenance without paying a meta decision per random ontology).
+  std::optional<PlanBackend> force_backend;
+  /// Backend when the meta decision answers kUnknown (budget exhausted or
+  /// outside the dichotomy fragments): the tableau is always complete, so
+  /// it is the safe default.
+  PlanBackend unknown_backend = PlanBackend::kTableau;
+};
+
+/// The compiled serving artifact for one ontology: classified exactly once
+/// (OmqEngine::Classify memoizes the Theorem 13 meta decision), pinned to
+/// a backend, owning the shared tableau solver (and through it the
+/// process-wide ConsistencyCache traffic of its sessions), and interning
+/// every compiled query rewriting. Plans are immutable after compilation
+/// except for the query-compilation memo, which is internally synchronized
+/// — many driver threads compile and share queries concurrently.
+class OmqPlan {
+ public:
+  static Result<std::shared_ptr<OmqPlan>> Compile(Ontology ontology,
+                                                  PlanOptions options = {});
+
+  uint64_t id() const { return id_; }
+  PlanBackend backend() const { return backend_; }
+  const Ontology& ontology() const { return engine_.ontology(); }
+  const OmqVerdict& verdict() const { return verdict_; }
+  const PlanOptions& options() const { return options_; }
+  uint64_t compile_micros() const { return compile_micros_; }
+
+  /// The shared certain-answer solver (thread-safe; backs every session's
+  /// tableau evaluation and consistency probes).
+  CertainAnswerSolver& solver() { return engine_.solver(); }
+
+  /// Returns the compiled artifact for `query`, compiling it on first use
+  /// (memoized by query text; thread-safe).
+  Result<std::shared_ptr<const CompiledQuery>> CompileQuery(const Ucq& query);
+
+  /// Query-memo observability: rewritings built / served from the memo.
+  uint64_t query_compilations() const {
+    return query_compilations_.load(std::memory_order_relaxed);
+  }
+  uint64_t query_cache_hits() const {
+    return query_cache_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line plan summary for the driver's `stats` command.
+  std::string Summary() const;
+
+ private:
+  OmqPlan(OmqEngine engine, PlanOptions options);
+
+  OmqEngine engine_;
+  PlanOptions options_;
+  OmqVerdict verdict_;
+  PlanBackend backend_ = PlanBackend::kTableau;
+  uint64_t id_ = 0;
+  uint64_t compile_micros_ = 0;
+
+  std::mutex queries_mu_;
+  std::map<std::string, std::shared_ptr<const CompiledQuery>> queries_;
+  std::atomic<uint64_t> query_compilations_{0};
+  std::atomic<uint64_t> query_cache_hits_{0};
+};
+
+/// Stats of a PlanCache (hit rate is the serving bench's plan-reuse
+/// metric).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t Lookups() const { return hits + misses; }
+  double HitRate() const {
+    return Lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(Lookups());
+  }
+};
+
+/// Process-wide registry of compiled plans, keyed by ontology identity
+/// (symbol-table identity + canonical ontology text — the term store
+/// already hash-conses the formulas, so serialization is cheap and two
+/// textually identical ontologies over one symbol table share a plan).
+/// Thread-safe; concurrent GetOrCompile calls for the same ontology
+/// compile once (first wins) — later callers block on the registry mutex
+/// and hit.
+class PlanCache {
+ public:
+  explicit PlanCache(PlanOptions options = {}) : options_(options) {}
+
+  Result<std::shared_ptr<OmqPlan>> GetOrCompile(const Ontology& ontology);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+
+  /// The cache key used for `ontology` (exposed for tests).
+  static std::string Fingerprint(const Ontology& ontology);
+
+ private:
+  PlanOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<OmqPlan>> plans_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace gfomq::serve
+
+#endif  // GFOMQ_SERVE_PLAN_H_

@@ -1,0 +1,91 @@
+#include "bench/json_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gfomq::bench {
+namespace {
+
+TEST(BenchJson, EscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(BenchJson, EscapeQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(BenchJson, EscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+  std::string ctrl1 = "a";
+  ctrl1 += '\x01';
+  ctrl1 += 'b';
+  EXPECT_EQ(JsonEscape(ctrl1), "a\\u0001b");
+  std::string nul = "a";
+  nul += '\0';
+  nul += 'b';
+  EXPECT_EQ(JsonEscape(nul), "a\\u0000b");
+  std::string ctrl31 = "a";
+  ctrl31 += '\x1f';
+  ctrl31 += 'b';
+  EXPECT_EQ(JsonEscape(ctrl31), "a\\u001fb");
+}
+
+TEST(BenchJson, EscapeLeavesUtf8Intact) {
+  // Multi-byte sequences are above 0x20 bytewise and must not be touched.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(BenchJson, StrFieldEscapesValue) {
+  // The original bug: ontology text with quotes/newlines emitted raw,
+  // producing an unparseable BENCH_*.json.
+  std::string doc =
+      JsonObj().Str("name", "forall x \"A\"(x);\nline2").Done();
+  EXPECT_EQ(doc, "{\"name\": \"forall x \\\"A\\\"(x);\\nline2\"}");
+}
+
+TEST(BenchJson, NumSerializesFiniteValues) {
+  EXPECT_EQ(JsonNum(0.0), "0");
+  EXPECT_EQ(JsonNum(1.5), "1.5");
+  EXPECT_EQ(JsonNum(-2.0), "-2");
+}
+
+TEST(BenchJson, NonFiniteBecomesNull) {
+  // The original bug: a zero-micros reference pass produced speedup=inf,
+  // and %g wrote a bare `inf` token — invalid JSON.
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNum(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNum(std::nan("")), "null");
+  std::string doc =
+      JsonObj().Num("speedup", std::numeric_limits<double>::infinity()).Done();
+  EXPECT_EQ(doc, "{\"speedup\": null}");
+}
+
+TEST(BenchJson, SafeRatioGuardsZeroDenominator) {
+  EXPECT_DOUBLE_EQ(SafeRatio(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(SafeRatio(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeRatio(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isfinite(SafeRatio(1e300, 1e-300)) ||
+              JsonNum(SafeRatio(1e300, 1e-300)) == "null");
+}
+
+TEST(BenchJson, ObjectKeepsInsertionOrder) {
+  std::string doc = JsonObj().Int("b", 2).Int("a", 1).Done();
+  EXPECT_EQ(doc, "{\"b\": 2, \"a\": 1}");
+}
+
+TEST(BenchJson, ArrayJoinsElements) {
+  EXPECT_EQ(JsonArr({}), "[]");
+  EXPECT_EQ(JsonArr({"1", "2"}), "[1,\n    2]");
+}
+
+}  // namespace
+}  // namespace gfomq::bench

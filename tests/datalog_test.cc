@@ -262,6 +262,54 @@ TEST(DatalogTest, GoalTuplesCachesLastEvaluation) {
   EXPECT_EQ(engine.evaluations(), 3u);
 }
 
+TEST(DatalogTest, GoalCacheWarmProbeIsRevisionCompareNotScan) {
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog("goal(x) :- B(x);", sym);
+  ASSERT_TRUE(prog.ok());
+  uint32_t B = static_cast<uint32_t>(sym->FindRel("B"));
+  Instance d(sym);
+  for (int i = 0; i < 50; ++i) {
+    d.AddFact(B, {d.AddConstant("e" + std::to_string(i))});
+  }
+  DatalogEngine engine(*prog);
+  engine.GoalTuples(d);
+  // The warm probe keys on Instance::revision(), the O(1) validity token —
+  // a hit must leave the engine's match counters untouched (the old
+  // SameDatabase probe walked both fact sets on every call).
+  uint64_t lookups = engine.stats().match.index_lookups;
+  uint64_t scans = engine.stats().match.relation_scans;
+  uint64_t iterations = engine.stats().iterations;
+  for (int i = 0; i < 10; ++i) engine.GoalTuples(d);
+  EXPECT_EQ(engine.goal_cache_hits(), 10u);
+  EXPECT_EQ(engine.stats().match.index_lookups, lookups);
+  EXPECT_EQ(engine.stats().match.relation_scans, scans);
+  EXPECT_EQ(engine.stats().iterations, iterations);
+  EXPECT_EQ(engine.evaluations(), 1u);
+}
+
+TEST(DatalogTest, GoalCacheDetectsDivergentCopies) {
+  // Regression for the revision-token design: d2 starts as a copy of d
+  // (same stamp), then BOTH mutate. A per-instance counter could restamp
+  // them to the same value; the global counter cannot.
+  SymbolsPtr sym = MakeSymbols();
+  auto prog = ParseDatalog("goal(x) :- B(x);", sym);
+  ASSERT_TRUE(prog.ok());
+  uint32_t B = static_cast<uint32_t>(sym->FindRel("B"));
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  ElemId b = d.AddConstant("b");
+  Instance d2 = d;
+  d.AddFact(B, {a});
+  d2.AddFact(B, {b});
+  DatalogEngine engine(*prog);
+  auto first = engine.GoalTuples(d);
+  EXPECT_EQ(first, std::set<std::vector<ElemId>>{{a}});
+  auto second = engine.GoalTuples(d2);
+  EXPECT_EQ(second, std::set<std::vector<ElemId>>{{b}});
+  EXPECT_EQ(engine.evaluations(), 2u);
+  EXPECT_EQ(engine.goal_cache_hits(), 0u);
+}
+
 TEST(DatalogTest, RewriterHornSubsumptionChain) {
   SymbolsPtr sym = MakeSymbols();
   auto onto = ParseOntology(

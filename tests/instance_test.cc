@@ -258,6 +258,53 @@ TEST_F(InstanceTest, CheckFactValidatesWithoutMutating) {
   EXPECT_EQ(d.NumFacts(), 0u);
 }
 
+TEST_F(InstanceTest, RevisionStampsEveryMutation) {
+  Instance d(sym);
+  uint64_t r0 = d.revision();
+  ElemId a = d.AddConstant("a");
+  EXPECT_NE(d.revision(), r0);
+  uint64_t r1 = d.revision();
+  d.AddFact(A, {a});
+  EXPECT_NE(d.revision(), r1);
+  uint64_t r2 = d.revision();
+  // No-op mutations must not invalidate caches keyed on the revision.
+  EXPECT_FALSE(d.AddFact(A, {a}));
+  EXPECT_FALSE(d.RemoveFact(Fact{R, {a, a}}));
+  EXPECT_EQ(d.AddConstant("a"), a);
+  EXPECT_EQ(d.revision(), r2);
+  EXPECT_TRUE(d.RemoveFact(Fact{A, {a}}));
+  EXPECT_NE(d.revision(), r2);
+}
+
+TEST_F(InstanceTest, RevisionSharedByCopiesUntilTheyDiverge) {
+  Instance d(sym);
+  ElemId a = d.AddConstant("a");
+  d.AddFact(A, {a});
+  // An unmutated copy carries the same stamp (that is the cache-hit case)…
+  Instance copy = d;
+  EXPECT_EQ(copy.revision(), d.revision());
+  Instance assigned(sym);
+  assigned = d;
+  EXPECT_EQ(assigned.revision(), d.revision());
+  // …but as soon as either side mutates, the stamps split — even when both
+  // sides mutate "in parallel", because revisions come from one global
+  // counter (per-copy ++ would alias divergent twins).
+  copy.AddFact(R, {a, a});
+  d.AddFact(A, {d.AddConstant("b")});
+  EXPECT_NE(copy.revision(), d.revision());
+  EXPECT_NE(copy.revision(), assigned.revision());
+}
+
+TEST_F(InstanceTest, RevisionDistinguishesIndependentTwins) {
+  // Equal content built independently gets distinct revisions: a cache
+  // MISS (a recompute), never a wrong hit.
+  Instance d1(sym), d2(sym);
+  d1.AddFact(A, {d1.AddConstant("a")});
+  d2.AddFact(A, {d2.AddConstant("a")});
+  EXPECT_EQ(d1.facts(), d2.facts());
+  EXPECT_NE(d1.revision(), d2.revision());
+}
+
 // The arity/range check must hold in release builds too (it used to be
 // assert-only, silently admitting index-corrupting facts under NDEBUG).
 using InstanceDeathTest = InstanceTest;

@@ -1,0 +1,163 @@
+#include "serve/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gfomq::serve {
+namespace {
+
+DriverOptions PinnedDatalog() {
+  DriverOptions o;
+  o.plan.force_backend = PlanBackend::kDatalogRewrite;
+  return o;
+}
+
+TEST(ServeDriverTest, ProtocolHappyPath) {
+  ServeDriver drv(PinnedDatalog());
+  EXPECT_EQ(drv.HandleLine(""), "");
+  EXPECT_EQ(drv.HandleLine("   "), "");
+  EXPECT_EQ(drv.HandleLine("# a comment"), "");
+
+  std::string r = drv.HandleLine("ontology O forall x . (A(x) -> B(x));");
+  EXPECT_EQ(r.rfind("ok ontology O", 0), 0u) << r;
+  EXPECT_NE(r.find("backend=datalog"), std::string::npos) << r;
+
+  EXPECT_EQ(drv.HandleLine("session s1 O"), "ok session s1");
+  EXPECT_EQ(drv.HandleLine("query s1 q q(x) :- B(x)"), "ok query q arity=1");
+  EXPECT_EQ(drv.HandleLine("assert s1 A(alice)"), "ok");
+  EXPECT_EQ(drv.HandleLine("assert s1 A(alice)"), "ok absent");
+  EXPECT_EQ(drv.HandleLine("assert s1 B(bob)"), "ok");
+  EXPECT_EQ(drv.HandleLine("answers s1 q"),
+            "ok answers q n=2 (alice) (bob)");
+  EXPECT_EQ(drv.HandleLine("retract s1 B(bob)"), "ok");
+  EXPECT_EQ(drv.HandleLine("answers s1 q"), "ok answers q n=1 (alice)");
+  EXPECT_EQ(drv.HandleLine("retract s1 B(bob)"), "ok absent");
+  EXPECT_EQ(drv.HandleLine("retract s1 Z(nobody)"), "ok absent");
+  EXPECT_EQ(drv.HandleLine("close s1"), "ok closed s1");
+  EXPECT_EQ(drv.num_sessions(), 0u);
+  EXPECT_EQ(drv.stats().errors, 0u);
+}
+
+TEST(ServeDriverTest, ProtocolErrors) {
+  ServeDriver drv(PinnedDatalog());
+  EXPECT_EQ(drv.HandleLine("bogus"),
+            "err unknown command 'bogus'");
+  EXPECT_EQ(drv.HandleLine("session s1 missing").rfind("err ", 0), 0u);
+  EXPECT_EQ(drv.HandleLine("assert nosuch A(a)").rfind("err ", 0), 0u);
+  ASSERT_EQ(drv.HandleLine("ontology O forall x . (A(x) -> B(x));")
+                .rfind("ok ", 0),
+            0u);
+  ASSERT_EQ(drv.HandleLine("session s1 O"), "ok session s1");
+  EXPECT_EQ(drv.HandleLine("answers s1 q").rfind("err ", 0), 0u);
+  EXPECT_EQ(drv.HandleLine("assert s1 noparens").rfind("err ", 0), 0u);
+  EXPECT_EQ(drv.HandleLine("assert s1 A(a,b)").rfind("err ", 0), 0u)
+      << "arity mismatch must be an error, not an abort";
+  EXPECT_EQ(drv.HandleLine("ontology Bad forall x . (").rfind("err ", 0), 0u);
+  EXPECT_EQ(drv.HandleLine("query s1 q notaquery").rfind("err ", 0), 0u);
+  EXPECT_GT(drv.stats().errors, 0u);
+}
+
+TEST(ServeDriverTest, PlanCacheSharedAcrossOntologyNames) {
+  ServeDriver drv(PinnedDatalog());
+  std::string r1 = drv.HandleLine("ontology O1 forall x . (A(x) -> B(x));");
+  std::string r2 = drv.HandleLine("ontology O2 forall x . (A(x) -> B(x));");
+  ASSERT_EQ(r1.rfind("ok ", 0), 0u);
+  ASSERT_EQ(r2.rfind("ok ", 0), 0u);
+  // Same text, same driver-wide symbol table: one compiled plan.
+  std::string p1 = r1.substr(r1.find("plan="));
+  std::string p2 = r2.substr(r2.find("plan="));
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(drv.plans().size(), 1u);
+  EXPECT_EQ(drv.plans().stats().hits, 1u);
+  // Opening sessions hits the cache again.
+  EXPECT_EQ(drv.HandleLine("session s1 O1"), "ok session s1");
+  EXPECT_EQ(drv.HandleLine("session s2 O2"), "ok session s2");
+  EXPECT_EQ(drv.plans().stats().hits, 3u);
+  EXPECT_GT(drv.plans().stats().HitRate(), 0.0);
+}
+
+TEST(ServeDriverTest, ServeLoopReadsUntilQuit) {
+  ServeDriver drv(PinnedDatalog());
+  std::istringstream in(
+      "ontology O forall x . (A(x) -> B(x));\n"
+      "session s O\n"
+      "query s q q(x) :- B(x)\n"
+      "assert s A(a)\n"
+      "answers s q\n"
+      "quit\n"
+      "assert s A(b)\n");  // after quit: never read
+  std::ostringstream out;
+  drv.Serve(in, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("ok answers q n=1 (a)"), std::string::npos) << text;
+  EXPECT_NE(text.find("ok bye"), std::string::npos);
+  EXPECT_EQ(text.find("assert"), std::string::npos);
+  EXPECT_EQ(drv.stats().lines, 6u);
+}
+
+// Many threads hammer the driver concurrently: distinct sessions proceed
+// in parallel, threads sharing a session serialize on its lock, and every
+// session must end in a consistent state. Schema (ontology + queries +
+// relation ids) is registered single-threaded first, per the Symbols
+// contract.
+TEST(ServeDriverTest, ConcurrentSessionsKeepConsistentAnswers) {
+  ServeDriver drv(PinnedDatalog());
+  ASSERT_EQ(drv.HandleLine(
+                    "ontology O forall x, y (R(x,y) -> A(x)); "
+                    "forall x . (A(x) -> B(x));")
+                .rfind("ok ", 0),
+            0u);
+  const int kSessions = 4;
+  const int kThreadsPerSession = 2;
+  const int kOpsPerThread = 25;
+  for (int s = 0; s < kSessions; ++s) {
+    std::string name = "s" + std::to_string(s);
+    ASSERT_EQ(drv.HandleLine("session " + name + " O"), "ok session " + name);
+    ASSERT_EQ(drv.HandleLine("query " + name + " q q(x) :- B(x)"),
+              "ok query q arity=1");
+    // Register every constant + data relation id before fanning out.
+    ASSERT_EQ(drv.HandleLine("assert " + name + " R(seed0,seed1)"), "ok");
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    for (int t = 0; t < kThreadsPerSession; ++t) {
+      threads.emplace_back([&drv, &failures, s, t]() {
+        std::string name = "s" + std::to_string(s);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          std::string c = "c" + std::to_string(t) + "_" + std::to_string(i);
+          if (drv.HandleLine("assert " + name + " A(" + c + ")") != "ok") {
+            ++failures;
+          }
+          std::string ans = drv.HandleLine("answers " + name + " q");
+          if (ans.rfind("ok answers q n=", 0) != 0) ++failures;
+          if (i % 3 == 0 &&
+              drv.HandleLine("retract " + name + " A(" + c + ")") != "ok") {
+            ++failures;
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(drv.stats().errors, 0u);
+  // Post-hoc: every session's final answer set matches the retained facts:
+  // per thread, the constants with i % 3 != 0 survive, plus seed0.
+  const int kSurvivors = 1 + kThreadsPerSession * (kOpsPerThread -
+                                                   (kOpsPerThread + 2) / 3);
+  for (int s = 0; s < kSessions; ++s) {
+    std::string name = "s" + std::to_string(s);
+    std::string ans = drv.HandleLine("answers " + name + " q");
+    std::string prefix = "ok answers q n=" + std::to_string(kSurvivors) + " ";
+    EXPECT_EQ(ans.rfind(prefix, 0), 0u) << ans.substr(0, 60);
+  }
+}
+
+}  // namespace
+}  // namespace gfomq::serve
