@@ -1,0 +1,339 @@
+// Scheduler contention — every layer on one pool. The unified Scheduler
+// replaced the per-layer pools (pool-per-scan bouquet, Tableau owned
+// pools, the corpus census pool, synchronous serving), so the interesting
+// question is what happens when the layers actually collide: a bouquet
+// meta scan, an or-parallel tableau workload and serving-driver traffic
+// all saturating the same workers at once.
+//
+// The table (and BENCH_scheduler.json, schema-checked by ci.sh against
+// bench/BENCH_scheduler.expected_keys) records:
+//
+//  - per-layer throughput, isolated (the layer alone on the scheduler)
+//    versus shared (all three at once) — the contention cost;
+//  - the scheduler's own counters over the shared run: occupancy-gate
+//    decisions (spawn_allowed / spawn_denied — the signal that replaced
+//    spawn_cutoff_depth), pool steals, tasks submitted;
+//  - an occupancy histogram sampled during the shared run (in-flight
+//    tasks bucketed per sample);
+//  - the correctness gates ci.sh enforces: verdicts_identical=1 (every
+//    parallel verdict under contention equals the serial reference) and
+//    serve_errors=0 (no protocol errors under concurrent traffic).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/scheduler.h"
+#include "common/task_group.h"
+#include "logic/parser.h"
+#include "reasoner/bouquet.h"
+#include "reasoner/certain.h"
+#include "serve/driver.h"
+
+using namespace gfomq;
+using gfomq::bench::JsonObj;
+
+namespace {
+
+uint64_t NowMicros(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// --- Layer workloads -----------------------------------------------------
+// Each returns ops completed; `ok` accumulates verdict agreement with the
+// serial reference computed once up front.
+
+constexpr const char* kDisjunctive = "forall x . (A(x) -> B1(x) | B2(x));";
+constexpr const char* kHorn =
+    "forall x . (A(x) -> B(x)); forall x, y (R(x,y) -> (B(x) -> B(y)));";
+
+struct LayerResult {
+  uint64_t ops = 0;
+  uint64_t wall_micros = 0;
+  bool verdicts_ok = true;
+  uint64_t serve_errors = 0;
+};
+
+// Bouquet meta scan: repeat the full decision; the verdict must stay the
+// serial kNo-with-witness every round, contention or not.
+LayerResult RunBouquetLayer(Scheduler* sched, int rounds) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kDisjunctive, sym);
+  CertainOptions copts;
+  copts.scheduler = sched;
+  auto solver = CertainAnswerSolver::Create(*onto, copts);
+  BouquetOptions serial;
+  serial.max_outdegree = 1;
+  MetaDecision ref =
+      DecidePtimeByBouquets(*solver, sym, onto->Signature(), serial);
+  LayerResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    BouquetOptions opts = serial;
+    opts.num_threads = 4;
+    opts.scheduler = sched;
+    MetaDecision md =
+        DecidePtimeByBouquets(*solver, sym, onto->Signature(), opts);
+    if (md.ptime != ref.ptime ||
+        md.bouquets_checked != ref.bouquets_checked ||
+        md.violation.has_value() != ref.violation.has_value()) {
+      r.verdicts_ok = false;
+    }
+    ++r.ops;
+  }
+  r.wall_micros = NowMicros(t0);
+  return r;
+}
+
+// Or-parallel tableau: consistency probes on growing disjunctive
+// instances, via TableauIsConsistent (no ground-solver fast path, so every
+// probe is real or-parallel tableau work, forks consulting ShouldSpawn)
+// and with the cache off; each parallel verdict is compared to the serial
+// engine's on the same instance.
+LayerResult RunTableauLayer(Scheduler* sched, int rounds) {
+  SymbolsPtr sym = MakeSymbols();
+  auto onto = ParseOntology(kDisjunctive, sym);
+  CertainOptions serial_opts;
+  serial_opts.consistency_cache = false;
+  auto serial = CertainAnswerSolver::Create(*onto, serial_opts);
+  CertainOptions par_opts;
+  par_opts.consistency_cache = false;
+  par_opts.scheduler = sched;
+  auto parallel = CertainAnswerSolver::Create(*onto, par_opts);
+  TableauBudget serial_budget;
+  TableauBudget par_budget;
+  par_budget.tableau_threads = 8;
+  LayerResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    Instance d(sym);
+    uint32_t A = sym->Rel("A", 1);
+    for (int k = 0; k <= i % 5; ++k) {
+      d.AddFact(A, {d.AddConstant("c" + std::to_string(k))});
+    }
+    if (parallel->TableauIsConsistent(d, par_budget) !=
+        serial->TableauIsConsistent(d, serial_budget)) {
+      r.verdicts_ok = false;
+    }
+    ++r.ops;
+  }
+  r.wall_micros = NowMicros(t0);
+  return r;
+}
+
+// Serving traffic: one driver, assert/answers/retract over strand-ordered
+// sessions, all strand tasks landing on the shared pool.
+LayerResult RunServeLayer(Scheduler* sched, int rounds) {
+  serve::DriverOptions dopts;
+  dopts.scheduler = sched;
+  dopts.plan.engine.scheduler = sched;
+  dopts.plan.force_backend = serve::PlanBackend::kDatalogRewrite;
+  serve::ServeDriver drv(dopts);
+  drv.HandleLine(std::string("ontology O ") + kHorn);
+  drv.HandleLine("session s O");
+  drv.HandleLine("query s q q(x) :- B(x)");
+  LayerResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    std::string c = "k" + std::to_string(i % 32);
+    drv.HandleLine("assert s A(" + c + ")");
+    drv.HandleLine("answers s q");
+    if (i % 4 == 3) drv.HandleLine("retract s A(" + c + ")");
+    r.ops += (i % 4 == 3) ? 3 : 2;
+  }
+  r.wall_micros = NowMicros(t0);
+  r.serve_errors = drv.stats().errors;
+  return r;
+}
+
+// --- Occupancy sampler ---------------------------------------------------
+
+constexpr int kOccupancyBuckets = 9;  // 0..7 and 8+
+
+struct OccupancyHistogram {
+  uint64_t counts[kOccupancyBuckets] = {0};
+  void Record(int64_t in_flight) {
+    int b = in_flight < 0 ? 0 : static_cast<int>(in_flight);
+    if (b >= kOccupancyBuckets) b = kOccupancyBuckets - 1;
+    ++counts[b];
+  }
+};
+
+// --- The bench -----------------------------------------------------------
+
+struct Throughput {
+  const char* layer;
+  const char* mode;
+  LayerResult result;
+  double ops_per_sec() const {
+    return bench::SafeRatio(static_cast<double>(result.ops) * 1e6,
+                            static_cast<double>(result.wall_micros));
+  }
+};
+
+void PrintTableAndJson() {
+  const int kBouquetRounds = 6;
+  const int kTableauRounds = 24;
+  const int kServeRounds = 120;
+
+  std::vector<Throughput> rows;
+  bool verdicts_ok = true;
+  uint64_t serve_errors = 0;
+
+  // Isolated: each layer alone on its own scheduler (fresh pool, no
+  // cross-layer traffic) — the no-sharing baseline.
+  {
+    Scheduler sched;
+    rows.push_back({"bouquet", "isolated",
+                    RunBouquetLayer(&sched, kBouquetRounds)});
+  }
+  {
+    Scheduler sched;
+    rows.push_back({"tableau", "isolated",
+                    RunTableauLayer(&sched, kTableauRounds)});
+  }
+  {
+    Scheduler sched;
+    rows.push_back({"serve", "isolated", RunServeLayer(&sched, kServeRounds)});
+  }
+
+  // Shared: all three layers at once on ONE scheduler, with an occupancy
+  // sampler riding along.
+  Scheduler shared;
+  SchedulerStats before = [&] {
+    shared.pool();  // create the pool so `before` counters are live
+    return shared.stats();
+  }();
+  OccupancyHistogram hist;
+  std::atomic<bool> sampling{true};
+  LayerResult bouquet_shared, tableau_shared, serve_shared;
+  auto shared_t0 = std::chrono::steady_clock::now();
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      hist.Record(shared.stats().in_flight);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::thread tb([&] { bouquet_shared = RunBouquetLayer(&shared,
+                                                        kBouquetRounds); });
+  std::thread tt([&] { tableau_shared = RunTableauLayer(&shared,
+                                                        kTableauRounds); });
+  std::thread ts([&] { serve_shared = RunServeLayer(&shared, kServeRounds); });
+  tb.join();
+  tt.join();
+  ts.join();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+  uint64_t shared_wall = NowMicros(shared_t0);
+  SchedulerStats after = shared.stats();
+  rows.push_back({"bouquet", "shared", bouquet_shared});
+  rows.push_back({"tableau", "shared", tableau_shared});
+  rows.push_back({"serve", "shared", serve_shared});
+
+  std::vector<std::string> json_rows;
+  std::printf("scheduler contention — every layer on one pool\n");
+  std::printf("%-9s %-9s %-7s %-12s %s\n", "layer", "mode", "ops",
+              "wall_micros", "ops_per_sec");
+  for (const Throughput& t : rows) {
+    verdicts_ok = verdicts_ok && t.result.verdicts_ok;
+    serve_errors += t.result.serve_errors;
+    std::printf("%-9s %-9s %-7llu %-12llu %.0f\n", t.layer, t.mode,
+                static_cast<unsigned long long>(t.result.ops),
+                static_cast<unsigned long long>(t.result.wall_micros),
+                t.ops_per_sec());
+    json_rows.push_back(JsonObj()
+                            .Str("family", "layer_throughput")
+                            .Str("layer", t.layer)
+                            .Str("mode", t.mode)
+                            .Int("ops", t.result.ops)
+                            .Int("wall_micros", t.result.wall_micros)
+                            .Num("ops_per_sec", t.ops_per_sec())
+                            .Done());
+  }
+
+  std::printf("\nshared-run scheduler counters (pool of %u workers)\n",
+              after.num_workers);
+  std::printf("  spawn_allowed=%llu spawn_denied=%llu steals=%llu "
+              "tasks_submitted=%llu\n",
+              static_cast<unsigned long long>(after.spawn_allowed -
+                                              before.spawn_allowed),
+              static_cast<unsigned long long>(after.spawn_denied -
+                                              before.spawn_denied),
+              static_cast<unsigned long long>(after.steals - before.steals),
+              static_cast<unsigned long long>(after.tasks_submitted -
+                                              before.tasks_submitted));
+  json_rows.push_back(
+      JsonObj()
+          .Str("family", "scheduler_counters")
+          .Int("num_workers", after.num_workers)
+          .Int("pools_created", after.pools_created)
+          .Int("spawn_allowed", after.spawn_allowed - before.spawn_allowed)
+          .Int("spawn_denied", after.spawn_denied - before.spawn_denied)
+          .Int("steals", after.steals - before.steals)
+          .Int("tasks_submitted",
+               after.tasks_submitted - before.tasks_submitted)
+          .Int("shared_wall_micros", shared_wall)
+          .Done());
+
+  std::printf("\noccupancy histogram (in-flight tasks per sample)\n  ");
+  for (int b = 0; b < kOccupancyBuckets; ++b) {
+    std::printf("[%d%s]=%llu ", b, b == kOccupancyBuckets - 1 ? "+" : "",
+                static_cast<unsigned long long>(hist.counts[b]));
+    json_rows.push_back(JsonObj()
+                            .Str("family", "occupancy")
+                            .Int("bucket", static_cast<uint64_t>(b))
+                            .Int("count", hist.counts[b])
+                            .Done());
+  }
+  std::printf("\n\nverdicts_identical=%d serve_errors=%llu\n",
+              verdicts_ok ? 1 : 0,
+              static_cast<unsigned long long>(serve_errors));
+  json_rows.push_back(JsonObj()
+                          .Str("family", "summary")
+                          .Int("verdicts_identical", verdicts_ok ? 1 : 0)
+                          .Int("serve_errors", serve_errors)
+                          .Done());
+
+  std::string json = "{\n  \"bench\": \"scheduler\",\n"
+                     "  \"generated_by\": \"bench/scheduler_contention.cc\",\n"
+                     "  \"families\": " + bench::JsonArr(json_rows) + "\n}";
+  bench::WriteJsonFile("BENCH_scheduler.json", json);
+  std::printf("\n");
+}
+
+// --- google-benchmark timings ------------------------------------------
+
+void BM_ShouldSpawn(benchmark::State& state) {
+  Scheduler sched(2);
+  sched.pool();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.ShouldSpawn());
+  }
+}
+BENCHMARK(BM_ShouldSpawn);
+
+void BM_TaskGroupSpawnDrain(benchmark::State& state) {
+  Scheduler sched(2);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TaskGroup group(&sched);
+    std::atomic<int> done{0};
+    for (int i = 0; i < n; ++i) {
+      group.Spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+    benchmark::DoNotOptimize(done.load());
+  }
+}
+BENCHMARK(BM_TaskGroupSpawnDrain)->Arg(8)->Arg(64);
+
+}  // namespace
+
+GFOMQ_BENCH_MAIN(PrintTableAndJson)

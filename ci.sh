@@ -32,9 +32,16 @@
 # zero protocol errors, a nonzero plan-cache hit rate, incremental-vs-
 # scratch speedup above 1, and differentially identical answers. The
 # serving suites (ServeSession/ServeDriver/BenchJson) re-run under asan,
-# and the concurrent driver hammer joins the tsan tier. Finally, when
-# clang-tidy is installed, the modernize/performance/bugprone profile in
-# .clang-tidy runs over src/logic and src/reasoner.
+# and the concurrent driver hammer joins the tsan tier. The unified
+# scheduler gets its own gates: the Scheduler suite (nested task-group
+# drains, the same-group-Wait regression, the exactly-one-pool acceptance
+# test) runs in the asan batch, under tsan, and as its own release tier
+# (ctest -L scheduler); BENCH_scheduler.json — the cross-layer contention
+# bench — is regenerated and schema-checked, and must report
+# verdicts_identical=1, zero serve protocol errors, and exactly one pool
+# per scheduler. Finally, when clang-tidy is installed, the
+# modernize/performance/bugprone profile in .clang-tidy runs over
+# src/logic and src/reasoner.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,7 +64,10 @@ ctest --preset release -j "$JOBS" -L fuzz
 
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache|ServeSession|ServeDriver|BenchJson'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache|ServeSession|ServeDriver|BenchJson|Scheduler'
+
+echo "=== [release] scheduler tier (ctest -L scheduler) ==="
+ctest --preset release -j "$JOBS" -L scheduler
 
 echo "=== perf trajectory: BENCH_datalog.json schema ==="
 (cd build-release && ./bench/datalog_rewriting --benchmark_filter=_none_ >/dev/null)
@@ -202,6 +212,46 @@ if ! grep -o '"answers_identical": [01]' build-release/BENCH_serving.json \
            END { exit !(ok && n > 0) }'; then
   echo "BENCH_serving.json: incremental answers diverge from the" \
        "from-scratch reference — SaturateDelta/DRed is unsound" >&2
+  exit 1
+fi
+
+echo "=== perf trajectory: BENCH_scheduler.json schema (scheduler_contention) ==="
+(cd build-release && ./bench/scheduler_contention --benchmark_filter=_none_ >/dev/null)
+keys_tmp="$(mktemp)"
+grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_scheduler.json \
+  | tr -d '":' | sort -u > "$keys_tmp"
+if ! diff -u bench/BENCH_scheduler.expected_keys "$keys_tmp"; then
+  echo "BENCH_scheduler.json key schema drifted;" \
+       "update bench/BENCH_scheduler.expected_keys" >&2
+  rm -f "$keys_tmp"
+  exit 1
+fi
+rm -f "$keys_tmp"
+# The contention run is the release-tier proof that sharing one pool is
+# safe: every parallel verdict computed under cross-layer contention must
+# equal the serial reference, and the serving traffic must finish with
+# zero protocol errors.
+if ! grep -o '"verdicts_identical": [01]' build-release/BENCH_scheduler.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_scheduler.json: verdicts under cross-layer contention" \
+       "diverge from the serial reference" >&2
+  exit 1
+fi
+if ! grep -o '"serve_errors": [0-9]*' build-release/BENCH_scheduler.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 0) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_scheduler.json: serving traffic recorded protocol errors" \
+       "while sharing the pool with the reasoning layers" >&2
+  exit 1
+fi
+# At least one pool must have been created and exactly one per scheduler:
+# a pools_created != 1 here means a layer snuck a private pool back in.
+if ! grep -o '"pools_created": [0-9]*' build-release/BENCH_scheduler.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_scheduler.json: the shared scheduler reports a pool count" \
+       "other than one" >&2
   exit 1
 fi
 

@@ -1,0 +1,72 @@
+#include "common/scheduler.h"
+
+#include <utility>
+
+namespace gfomq {
+
+Scheduler::Scheduler(uint32_t num_threads)
+    : configured_threads_(num_threads) {}
+
+Scheduler* Scheduler::Global() {
+  // Leaked: worker threads must outlive every static destructor that might
+  // still be running reasoning work at exit.
+  static Scheduler* global = new Scheduler(0);
+  return global;
+}
+
+ThreadPool& Scheduler::pool() {
+  ThreadPool* p = pool_ptr_.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(configured_threads_);
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
+  });
+  return *pool_ptr_.load(std::memory_order_acquire);
+}
+
+uint32_t Scheduler::num_workers() const {
+  return ThreadPool::EffectiveThreads(configured_threads_);
+}
+
+bool Scheduler::ShouldSpawn() {
+  ThreadPool& p = pool();
+  // Spare capacity = fewer tasks in flight than two per worker: one
+  // running plus one queued keeps every worker fed through a steal without
+  // building deep deques of tasks nobody is idle to take.
+  bool spawn =
+      p.in_flight() < 2 * static_cast<int64_t>(p.num_workers());
+  (spawn ? spawn_allowed_ : spawn_denied_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return spawn;
+}
+
+void Scheduler::Submit(std::function<void()> fn) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  pool().Submit(std::move(fn));
+}
+
+Status Scheduler::ParallelFor(uint64_t n,
+                              const std::function<void(uint64_t)>& fn,
+                              CancellationToken* token, uint64_t chunk) {
+  return pool().ParallelFor(n, fn, token, chunk);
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats out;
+  out.spawn_allowed = spawn_allowed_.load(std::memory_order_relaxed);
+  out.spawn_denied = spawn_denied_.load(std::memory_order_relaxed);
+  out.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  // Passive observation: never forces pool creation; a racing first
+  // creation at worst reads nullptr and reports the pre-pool state.
+  const ThreadPool* p = pool_ptr_.load(std::memory_order_acquire);
+  if (p != nullptr) {
+    out.pools_created = 1;
+    out.steals = p->TotalSteals();
+    out.queue_depth = p->queue_depth();
+    out.in_flight = p->in_flight();
+    out.num_workers = p->num_workers();
+  }
+  return out;
+}
+
+}  // namespace gfomq

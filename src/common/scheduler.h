@@ -1,0 +1,103 @@
+#ifndef GFOMQ_COMMON_SCHEDULER_H_
+#define GFOMQ_COMMON_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace gfomq {
+
+/// Snapshot of a scheduler's activity, for the contention bench and the
+/// scheduler-stats tests. Counters are relaxed atomics (diagnostics, not
+/// synchronization); the occupancy fields are instantaneous snapshots.
+struct SchedulerStats {
+  uint64_t pools_created = 0;    // 0 before first parallel work, then 1
+  uint64_t spawn_allowed = 0;    // ShouldSpawn() calls that said spawn
+  uint64_t spawn_denied = 0;     // ShouldSpawn() calls that said inline
+  uint64_t tasks_submitted = 0;  // Submit() calls through this scheduler
+  uint64_t steals = 0;           // pool-level task steals (lifetime)
+  int64_t queue_depth = 0;       // tasks queued, not yet running
+  int64_t in_flight = 0;         // queued + currently running
+  uint32_t num_workers = 0;      // 0 until the pool exists
+};
+
+/// One scheduler for every layer: a process-wide wrapper owning the single
+/// work-stealing ThreadPool that the bouquet meta scan, the or-parallel
+/// tableau, the corpus census and the serving driver all share. Replaces
+/// the per-layer pools (pool-per-scan in bouquet.cc, the lazy pool in
+/// CertainAnswerSolver::SharedState, Tableau::owned_pool_, the private pool
+/// in AnalyzeCorpus) that existed only to dodge nested-Wait deadlock —
+/// TaskGroup now drains cooperatively, so nesting is safe on one pool.
+///
+/// The pool is created lazily on first use, so purely serial workloads
+/// never start a worker thread. `Scheduler::Global()` is the process-wide
+/// default every layer resolves to when no scheduler is passed explicitly;
+/// tests and benches construct local schedulers to control worker counts.
+///
+/// Occupancy feedback: `ShouldSpawn()` is the atomic queue-depth/idle-
+/// worker signal that replaced the fixed `TableauBudget::spawn_cutoff_depth`
+/// heuristic. It answers "is there spare capacity for another task?" —
+/// true while the pool's in-flight count is below twice the worker count
+/// (one task running plus one queued per worker keeps every worker busy
+/// without flooding the deques). Or-parallel tableau forks consult it per
+/// fork, so a tableau sharing the pool with a saturating bouquet scan
+/// automatically stays serial instead of queueing tasks nobody will steal.
+///
+/// Thread-safe: all methods may be called concurrently.
+class Scheduler {
+ public:
+  /// `num_threads` sizes the lazily created pool: 0 = hardware
+  /// concurrency, n = exactly n workers.
+  explicit Scheduler(uint32_t num_threads = 0);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// The process-wide default scheduler (leaked singleton; its workers live
+  /// for the process). Every layer resolves a null Scheduler* to this.
+  static Scheduler* Global();
+
+  /// `s` if non-null, else Global().
+  static Scheduler* Resolve(Scheduler* s) { return s != nullptr ? s : Global(); }
+
+  /// The shared pool, created on first call.
+  ThreadPool& pool();
+
+  /// Worker count of the (possibly not-yet-created) pool.
+  uint32_t num_workers() const;
+
+  /// The occupancy signal: true iff the pool has spare capacity for
+  /// another task (in_flight < 2 * workers). Records the decision in the
+  /// spawn_allowed / spawn_denied counters.
+  bool ShouldSpawn();
+
+  /// Fire-and-forget task on the shared pool (exceptions land in the
+  /// pool's sticky status, as with ThreadPool::Submit).
+  void Submit(std::function<void()> fn);
+
+  /// ParallelFor on the shared pool (see ThreadPool::ParallelFor).
+  Status ParallelFor(uint64_t n, const std::function<void(uint64_t)>& fn,
+                     CancellationToken* token = nullptr, uint64_t chunk = 0);
+
+  SchedulerStats stats() const;
+
+ private:
+  const uint32_t configured_threads_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  // Published after creation so stats() can observe the pool without
+  // racing the call_once (and without forcing creation).
+  mutable std::atomic<ThreadPool*> pool_ptr_{nullptr};
+  std::atomic<uint64_t> spawn_allowed_{0};
+  std::atomic<uint64_t> spawn_denied_{0};
+  std::atomic<uint64_t> tasks_submitted_{0};
+};
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_COMMON_SCHEDULER_H_

@@ -1,38 +1,112 @@
 #include "common/task_group.h"
 
+#include <exception>
+#include <thread>
 #include <utility>
+#include <vector>
 
 namespace gfomq {
+
+namespace {
+
+// Stack of groups whose member tasks are executing on this thread,
+// innermost last. Grows when a member starts (possibly re-entrantly: a
+// draining Wait() can pick up another member of the same group) and
+// shrinks when it retires. Wait() consults it to recognize same-group
+// calls.
+thread_local std::vector<TaskGroup*> tls_group_stack;
+
+}  // namespace
 
 void TaskGroup::Spawn(std::function<void()> fn) {
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   spawned_.fetch_add(1, std::memory_order_relaxed);
-  pool_->Submit([this, fn = std::move(fn)] {
-    // Decrement on every exit path: if fn throws, Submit's wrapper records
-    // the exception into the pool status and the guard still runs during
-    // unwinding, so Wait() can never hang on a throwing member.
+  scheduler_->Submit([this, fn = std::move(fn)] {
+    tls_group_stack.push_back(this);
+    // Unwind on every exit path: if fn throws, the error is recorded into
+    // the group's sticky status and the guard still pops the frame and
+    // decrements the count during unwinding, so Wait() can never hang on a
+    // throwing member.
     struct Guard {
       TaskGroup* group;
-      ~Guard() { group->Done(); }
+      ~Guard() {
+        tls_group_stack.pop_back();
+        group->Done();
+      }
     } guard{this};
-    fn();
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      RecordError(
+          Status::Internal(std::string("task group member threw: ") +
+                           e.what()));
+    } catch (...) {
+      RecordError(Status::Internal("task group member threw"));
+    }
   });
 }
 
+void TaskGroup::RecordError(Status st) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (status_.ok()) status_ = std::move(st);
+}
+
 void TaskGroup::Done() {
+  // The decrement happens inside the mutex: a drain-path waiter observes
+  // the count reach its target through the atomic alone, so it must be
+  // able to order the group's destruction after this critical section by
+  // taking the mutex once (see the tail of Wait()). Decrementing outside
+  // the lock would let the waiter free the group between our fetch_sub and
+  // the notify below.
+  std::lock_guard<std::mutex> lk(mu_);
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Taking the mutex orders the notify against a waiter that just
-    // evaluated the predicate as false and is about to sleep.
-    std::lock_guard<std::mutex> lk(mu_);
     cv_.notify_all();
   }
 }
 
+uint64_t TaskGroup::SelfFrames() const {
+  uint64_t n = 0;
+  for (TaskGroup* g : tls_group_stack) {
+    if (g == this) ++n;
+  }
+  return n;
+}
+
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [this] {
-    return outstanding_.load(std::memory_order_acquire) == 0;
-  });
+  // A member waiting on its own group can never see outstanding == 0 (it
+  // is itself outstanding): the frames executing on this thread are
+  // excluded from the target, turning the former silent deadlock into
+  // "wait for everyone else".
+  const uint64_t self = SelfFrames();
+  // Nothing was ever spawned: no member can be inside Done(), so there is
+  // nothing to synchronize with (and no reason to create the pool).
+  if (spawned_.load(std::memory_order_acquire) == 0) return;
+  if (outstanding_.load(std::memory_order_acquire) > self) {
+    ThreadPool& pool = scheduler_->pool();
+    if (pool.OnWorkerThread() || self > 0) {
+      // Cooperative drain: run queued tasks — members of this group, of
+      // child groups, or of unrelated families sharing the pool — instead
+      // of blocking a worker. This is what makes nested groups safe on one
+      // shared pool at any worker count (including one).
+      while (outstanding_.load(std::memory_order_acquire) > self) {
+        if (!pool.Help()) std::this_thread::yield();
+      }
+    } else {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+      // The final Done() broadcast and released the mutex before our wait
+      // returned, so the group may be destroyed immediately.
+      return;
+    }
+  }
+  // The member that performed the releasing decrement may still be inside
+  // Done()'s critical section. Taking the mutex once orders that section
+  // (and, through the mutex's total order, every earlier member's
+  // retirement) before our return, so the caller may destroy the group the
+  // moment Wait() comes back.
+  std::lock_guard<std::mutex> lk(mu_);
 }
 
 }  // namespace gfomq

@@ -7,13 +7,14 @@
 #include <functional>
 #include <mutex>
 
+#include "common/scheduler.h"
 #include "common/thread_pool.h"
 
 namespace gfomq {
 
-/// Tracks a family of tasks submitted to a ThreadPool so that one caller
-/// can block until every member — including tasks spawned by other members
-/// — has finished. This is the completion-tracking companion of
+/// Tracks a family of tasks on the shared scheduler so that one caller can
+/// block until every member — including tasks spawned by other members —
+/// has finished. This is the completion-tracking companion of
 /// CancellationToken: the token says "stop early", the group says "all
 /// stopped". Unlike ThreadPool::Wait (which waits for the whole pool and
 /// so cannot be used by concurrent independent searches sharing one pool),
@@ -21,43 +22,99 @@ namespace gfomq {
 /// drain over the same workers at once.
 ///
 /// Usage pattern (the or-parallel tableau, the original client):
-///   TaskGroup group(&pool);
+///   TaskGroup group(scheduler);
 ///   ... do root work inline, calling group.Spawn(...) at fork points;
 ///   ... spawned tasks may themselves call group.Spawn(...);
 ///   group.Wait();   // every spawned task has returned
 ///
-/// Wait() may be called from any thread that is not itself a member task
-/// (a member waiting on its own group would deadlock the count). Tasks
-/// must not outlive the group: the destructor waits.
+/// Nested-drain protocol: Wait() called from a pool worker does not block
+/// the worker — it cooperatively drains, running queued tasks (of any
+/// group) until this group's members have retired. A member task may
+/// therefore open a *child* group and Wait() on it: the worker helps run
+/// the child's tasks (and unrelated siblings) instead of starving the
+/// pool, which is what lets every layer share one pool where the old code
+/// needed a pool per layer to dodge deadlock.
+///
+/// Same-group Wait: a member calling Wait() on its *own* group used to
+/// deadlock silently (its own outstanding count can never reach zero).
+/// Wait() now detects membership via a thread-local stack of executing
+/// groups and drains until the only members left are the callers
+/// themselves.
+///
+/// Cancellation chains parent→child: a group constructed with a parent is
+/// cancelled whenever any ancestor is. Exceptions thrown by members are
+/// captured into the group's sticky status() (never the pool's), and the
+/// completion count is decremented even on throw, so a throwing member can
+/// never hang Wait().
+///
+/// Tasks must not outlive the group: the destructor waits.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  /// `scheduler` may be null (resolves to Scheduler::Global()). `parent`
+  /// chains cancellation: this group reports cancelled() whenever any
+  /// ancestor does.
+  explicit TaskGroup(Scheduler* scheduler, TaskGroup* parent = nullptr)
+      : scheduler_(Scheduler::Resolve(scheduler)), parent_(parent) {}
   ~TaskGroup() { Wait(); }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Enqueues one member task. The completion count is decremented even if
-  /// `fn` throws (the pool's sticky status records the exception), so a
-  /// throwing member can never hang Wait().
+  /// Enqueues one member task on the shared pool. The completion count is
+  /// decremented even if `fn` throws (the group's sticky status records
+  /// the exception), so a throwing member can never hang Wait().
   void Spawn(std::function<void()> fn);
 
-  /// Blocks until every spawned member has finished.
+  /// Blocks until every spawned member has finished — cooperatively
+  /// draining pool tasks when called from a pool worker (including from a
+  /// member of this very group), blocking on a condition variable
+  /// otherwise.
   void Wait();
+
+  /// Requests cooperative cancellation of this group (and, through the
+  /// parent chain, of every descendant constructed over it). Tasks poll
+  /// cancelled() at natural checkpoints; Cancel never interrupts a running
+  /// task.
+  void Cancel() { token_.Cancel(); }
+
+  /// True iff this group or any ancestor was cancelled.
+  bool cancelled() const {
+    for (const TaskGroup* g = this; g != nullptr; g = g->parent_) {
+      if (g->token_.cancelled()) return true;
+    }
+    return false;
+  }
+
+  /// First exception captured from a member (sticky, per group — member
+  /// failures never pollute the shared pool's status).
+  Status status() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return status_;
+  }
 
   /// Total members spawned over the group's lifetime.
   uint64_t spawned() const {
     return spawned_.load(std::memory_order_relaxed);
   }
 
+  Scheduler* scheduler() const { return scheduler_; }
+
  private:
   void Done();
+  void RecordError(Status st);
+  /// How many frames of the calling thread's execution stack are members
+  /// of this group (0 from outside; >0 when a member calls Wait on its own
+  /// group, possibly through re-entrant helping).
+  uint64_t SelfFrames() const;
 
-  ThreadPool* pool_;
+  Scheduler* scheduler_;
+  TaskGroup* parent_;
+  CancellationToken token_;
   std::atomic<uint64_t> outstanding_{0};
   std::atomic<uint64_t> spawned_{0};
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  Status status_;
 };
 
 }  // namespace gfomq

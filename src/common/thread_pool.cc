@@ -12,7 +12,19 @@ namespace {
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local uint32_t tls_index = 0;
 
+std::atomic<uint64_t> g_pools_constructed{0};
+
 }  // namespace
+
+uint64_t ThreadPool::total_constructed() {
+  return g_pools_constructed.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_pool == this; }
+
+bool ThreadPool::Help() {
+  return RunOne(tls_pool == this ? tls_index : kExternal);
+}
 
 uint32_t ThreadPool::EffectiveThreads(uint32_t requested) {
   if (requested == 0) {
@@ -23,6 +35,7 @@ uint32_t ThreadPool::EffectiveThreads(uint32_t requested) {
 }
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
+  g_pools_constructed.fetch_add(1, std::memory_order_relaxed);
   uint32_t n = EffectiveThreads(num_threads);
   workers_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {

@@ -70,6 +70,31 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Count of ThreadPool objects ever constructed in this process. The
+  /// scheduler's "exactly one pool" contract is asserted against deltas of
+  /// this counter (see tests/scheduler_test.cc).
+  static uint64_t total_constructed();
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  /// Runs one queued task on the calling thread (own deque first when
+  /// called from a worker, stealing otherwise). Returns false if no task
+  /// was available. This is the cooperative-drain primitive TaskGroup::Wait
+  /// uses so a member task waiting on a child group helps run sibling and
+  /// child tasks instead of blocking a worker.
+  bool Help();
+
+  /// Occupancy snapshots (relaxed; diagnostics and spawn heuristics, not
+  /// synchronization): tasks queued but not yet running, and queued +
+  /// currently running.
+  int64_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Resolves a user-facing thread-count option: 0 → hardware concurrency,
   /// otherwise the request itself (minimum 1).
   static uint32_t EffectiveThreads(uint32_t requested);

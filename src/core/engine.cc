@@ -10,6 +10,14 @@ Result<OmqEngine> OmqEngine::Create(Ontology ontology, EngineOptions options) {
   if (options.tableau_threads != 1) {
     options.certain.tableau.tableau_threads = options.tableau_threads;
   }
+  if (options.scheduler != nullptr) {
+    if (options.certain.scheduler == nullptr) {
+      options.certain.scheduler = options.scheduler;
+    }
+    if (options.bouquet.scheduler == nullptr) {
+      options.bouquet.scheduler = options.scheduler;
+    }
+  }
   Result<CertainAnswerSolver> solver =
       CertainAnswerSolver::Create(ontology, options.certain);
   if (!solver.ok()) return solver.status();

@@ -49,6 +49,11 @@ struct EngineOptions {
   /// certain.tableau.tableau_threads when != 1; verdicts are identical for
   /// every value, and consistency-cache entries are shared across values.
   uint32_t tableau_threads = 1;
+  /// Scheduler supplying workers for every parallel layer this engine
+  /// touches — the bouquet meta scan and the or-parallel tableau (null =
+  /// Scheduler::Global()). Copied into certain.scheduler and
+  /// bouquet.scheduler by Create unless those are already set.
+  Scheduler* scheduler = nullptr;
   RewriterOptions rewriter;
 };
 

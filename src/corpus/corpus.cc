@@ -205,7 +205,7 @@ void MergeReports(CorpusReport* into, const CorpusReport& from) {
 }  // namespace
 
 CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus,
-                           uint32_t num_threads) {
+                           uint32_t num_threads, Scheduler* scheduler) {
   CorpusReport report;
   report.total = static_cast<int>(corpus.size());
   uint32_t threads = ThreadPool::EffectiveThreads(num_threads);
@@ -213,13 +213,13 @@ CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus,
     for (const DlOntology& onto : corpus) CensusOne(onto, &report);
     return report;
   }
-  // Sharded fan-out: worker w censuses ontologies i ≡ w (mod threads) into
-  // a private partial report; partials are merged in shard order. Every
-  // field is a commutative count, so the merged report is identical to the
-  // sequential one for any thread count.
+  // Sharded fan-out on the shared scheduler's pool: shard w censuses
+  // ontologies i ≡ w (mod threads) into a private partial report;
+  // partials are merged in shard order. Every field is a commutative
+  // count, so the merged report is identical to the sequential one for
+  // any thread count.
   std::vector<CorpusReport> partial(threads);
-  ThreadPool pool(threads);
-  pool.ParallelFor(
+  Scheduler::Resolve(scheduler)->ParallelFor(
       threads,
       [&](uint64_t w) {
         for (size_t i = w; i < corpus.size(); i += threads) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/scheduler.h"
 #include "dl/tbox.h"
 #include "fragments/fragments.h"
 
@@ -57,11 +58,13 @@ struct CorpusReport {
 };
 
 /// Runs the census. With num_threads != 1 the per-ontology loop fans out
-/// over a work-stealing pool (1 = sequential, 0 = hardware concurrency);
-/// partial reports are merged in shard order, so the result is identical
-/// for every thread count.
+/// as shards on the shared scheduler's pool (1 = sequential, 0 = hardware
+/// concurrency; `scheduler` null = Scheduler::Global()); partial reports
+/// are merged in shard order, so the result is identical for every thread
+/// count.
 CorpusReport AnalyzeCorpus(const std::vector<DlOntology>& corpus,
-                           uint32_t num_threads = 1);
+                           uint32_t num_threads = 1,
+                           Scheduler* scheduler = nullptr);
 
 }  // namespace gfomq
 

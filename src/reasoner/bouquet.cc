@@ -5,7 +5,7 @@
 #include <chrono>
 #include <mutex>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 
 namespace gfomq {
 
@@ -243,7 +243,12 @@ MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
     std::atomic<uint64_t> total_enumerated{0};
     std::vector<MetaWorkerStats> per_worker(threads);
 
-    ThreadPool pool(threads);
+    // Shards run on the shared scheduler's pool (one pool for every
+    // layer), not a pool-per-scan: repeated decisions amortize thread
+    // startup and concurrent scans interleave instead of oversubscribing.
+    Scheduler* scheduler = Scheduler::Resolve(options.scheduler);
+    ThreadPool& pool = scheduler->pool();
+    const uint64_t steals_before = pool.TotalSteals();
     Status st = pool.ParallelFor(
         threads,
         [&](uint64_t w) {
@@ -293,13 +298,15 @@ MetaDecision DecidePtimeByBouquets(CertainAnswerSolver& solver,
         /*token=*/nullptr, /*chunk=*/1);
     (void)st;  // shard bodies don't throw; Status is for user tasks
 
-    std::vector<WorkerStats> pool_stats = pool.Stats();
     for (uint32_t w = 0; w < threads; ++w) {
-      per_worker[w].steals = pool_stats[w].steals;
       out.stats.bouquets_probed += per_worker[w].bouquets_probed;
       out.stats.violations_found += per_worker[w].violations_found;
-      out.stats.steals += per_worker[w].steals;
     }
+    // Pool-wide steal delta over the scan: per-shard attribution is gone
+    // with the shared pool (other layers' tasks interleave on the same
+    // workers), so this is a diagnostic of the whole scheduler during the
+    // scan, not of this scan alone.
+    out.stats.steals = pool.TotalSteals() - steals_before;
     out.stats.per_worker = std::move(per_worker);
 
     bool have_best = best.has_value();

@@ -16,10 +16,13 @@ struct BouquetOptions {
   uint32_t max_outdegree = 3;
   bool irreflexive = false;      // ALCHIQ case: irreflexive bouquets suffice
   uint64_t max_bouquets = 200000;
-  /// Worker threads for DecidePtimeByBouquets: 1 = sequential (default),
+  /// Worker shards for DecidePtimeByBouquets: 1 = sequential (default),
   /// 0 = one per hardware thread, n = exactly n. Results are bit-identical
-  /// for every value — see MetaDecision.
+  /// for every value — see MetaDecision. Shards run on the shared
+  /// scheduler's pool, so this sizes the decomposition, not a pool.
   uint32_t num_threads = 1;
+  /// Scheduler supplying the workers (null = Scheduler::Global()).
+  Scheduler* scheduler = nullptr;
   ProbeOptions probe;
 };
 
@@ -55,11 +58,14 @@ BouquetScan ForEachBouquetShard(
     const BouquetOptions& options, uint32_t shard, uint32_t num_shards,
     const std::function<bool(uint64_t, const Instance&)>& fn);
 
-/// Per-worker accounting of one parallel meta-decision run.
+/// Per-shard accounting of one parallel meta-decision run.
 struct MetaWorkerStats {
-  uint64_t bouquets_probed = 0;   // probes actually executed by this worker
-  uint64_t violations_found = 0;  // violations this worker hit (pre-tiebreak)
-  uint64_t steals = 0;            // pool-level task steals by this worker
+  uint64_t bouquets_probed = 0;   // probes actually executed by this shard
+  uint64_t violations_found = 0;  // violations this shard hit (pre-tiebreak)
+  /// Always 0 since the shared-scheduler refactor: shards are tasks on the
+  /// process-wide pool, so steals are no longer attributable per shard —
+  /// MetaSearchStats::steals reports the pool-wide delta instead.
+  uint64_t steals = 0;
 };
 
 /// Aggregate search statistics. Unlike MetaDecision's verdict fields these

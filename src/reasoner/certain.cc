@@ -97,15 +97,6 @@ std::string CertainAnswerSolver::ProbeKey(
   return key;
 }
 
-ThreadPool* CertainAnswerSolver::TableauPool(uint32_t tableau_threads) {
-  uint32_t threads = ThreadPool::EffectiveThreads(tableau_threads);
-  if (threads <= 1) return nullptr;
-  std::call_once(shared_->pool_once, [this, threads] {
-    shared_->pool = std::make_unique<ThreadPool>(threads);
-  });
-  return shared_->pool.get();
-}
-
 Certainty CertainAnswerSolver::IsConsistent(const Instance& input) {
   return ConsistencyImpl(input, options_.tableau, options_.ground_extra_nulls);
 }
@@ -147,7 +138,7 @@ Certainty CertainAnswerSolver::ConsistencyImpl(const Instance& input,
   if (!decided) {
     // Only the tableau can prove inconsistency (all branches close).
     Tableau tableau(rules_, budget, options_.naive_matching,
-                    TableauPool(budget.tableau_threads));
+                    options_.scheduler);
     verdict = tableau.IsConsistent(input);
     AccumulateStats(tableau.stats());
   }
@@ -176,7 +167,7 @@ Certainty CertainAnswerSolver::IsCertain(const Instance& input,
   }
   Certainty verdict = Certainty::kUnknown;
   Tableau tableau(rules_, options_.tableau, options_.naive_matching,
-                  TableauPool(options_.tableau.tableau_threads));
+                  options_.scheduler);
   Certainty counter = tableau.FindModelWhere(
       input,
       [&](const Instance& model) { return !query.HasAnswer(model, tuple); },
@@ -247,7 +238,7 @@ Certainty CertainAnswerSolver::HasDisjunctionViolation(
     all_fail = *cached;
   } else {
     Tableau tableau(rules_, options_.tableau, options_.naive_matching,
-                    TableauPool(options_.tableau.tableau_threads));
+                    options_.scheduler);
     all_fail = tableau.FindModelWhere(
         input,
         [&](const Instance& m) {

@@ -41,6 +41,9 @@ struct CertainOptions {
   /// outdegree-3 bouquet scan (~10^5 keys): an LRU that is smaller than
   /// one scan's working set degenerates to zero hits on repeated scans.
   size_t cache_capacity = 1u << 19;
+  /// Scheduler supplying the workers for or-parallel tableau runs (null =
+  /// Scheduler::Global()). All layers share the scheduler's single pool.
+  Scheduler* scheduler = nullptr;
 };
 
 /// Front end for OMQ semantics: consistency and certain answers of UCQs
@@ -121,15 +124,10 @@ class CertainAnswerSolver {
     ConsistencyCache cache;
     mutable std::mutex stats_mu;
     TableauStats tableau_totals;
-    // Lazily created worker pool for the or-parallel tableau, shared by
-    // all copies of the solver so repeated probes amortize thread startup.
-    std::once_flag pool_once;
-    std::unique_ptr<ThreadPool> pool;
+    // The solver no longer owns a worker pool: or-parallel tableau runs
+    // draw workers from the shared Scheduler (options.scheduler, default
+    // Scheduler::Global()), so every layer shares one pool.
   };
-
-  // Returns the shared tableau pool (created on first use), or nullptr
-  // when `tableau_threads` resolves to a serial run.
-  ThreadPool* TableauPool(uint32_t tableau_threads);
 
   Certainty ConsistencyImpl(const Instance& input, const TableauBudget& budget,
                             uint32_t ground_extra_nulls);

@@ -101,8 +101,11 @@ bool ForEachGuardMatchNaive(
 // --- Construction --------------------------------------------------------------
 
 Tableau::Tableau(const RuleSet& rules, TableauBudget budget,
-                 bool naive_matching, ThreadPool* pool)
-    : rules_(rules), budget_(budget), naive_(naive_matching), pool_(pool) {
+                 bool naive_matching, Scheduler* scheduler)
+    : rules_(rules),
+      budget_(budget),
+      naive_(naive_matching),
+      scheduler_(Scheduler::Resolve(scheduler)) {
   // Precompute every environment size once: the hot loops then allocate
   // exactly-sized environments instead of re-deriving max-vars and
   // resizing per obligation (the old EnsureEnv churn).
@@ -1424,8 +1427,9 @@ bool Tableau::ExploreTrail(Branch* branch, BranchTrail* trail, NogoodCtx* ng,
 // (so the user callback and last_model_ writes never race); stats_mu
 // guards merging per-task stats into stats_ as tasks retire.
 struct Tableau::ParallelCtx {
-  explicit ParallelCtx(ThreadPool* pool) : group(pool) {}
+  explicit ParallelCtx(Scheduler* s) : scheduler(s), group(s) {}
 
+  Scheduler* scheduler;
   const std::function<bool(const Instance&)>* fn = nullptr;
   CancellationToken cancel;
   TaskGroup group;
@@ -1433,7 +1437,13 @@ struct Tableau::ParallelCtx {
   std::mutex stats_mu;
   std::atomic<uint32_t> live_tasks{0};
   std::atomic<uint32_t> peak_live{0};
+  // 0 = occupancy-driven spawning (Scheduler::ShouldSpawn per fork);
+  // nonzero = the deprecated fixed-depth override.
   uint64_t spawn_cutoff = 0;
+
+  bool SpawnHere(uint64_t depth) {
+    return spawn_cutoff > 0 ? depth < spawn_cutoff : scheduler->ShouldSpawn();
+  }
 };
 
 void Tableau::ExploreTask(Branch branch, uint64_t depth, ParallelCtx* ctx,
@@ -1491,11 +1501,12 @@ void Tableau::ExploreTask(Branch branch, uint64_t depth, ParallelCtx* ctx,
       branch = std::move(successors[0]);
       continue;
     }
-    // A genuine disjunctive fork. Above the cutoff depth the siblings
-    // become pool tasks (or-parallelism); below it the subtree is small
-    // enough that task-spawn overhead would dominate, so it stays serial
-    // inside this task.
-    if (depth >= ctx->spawn_cutoff) {
+    // A genuine disjunctive fork. Siblings become pool tasks while the
+    // shared pool has spare capacity (or, under the deprecated fixed
+    // cutoff, above the cutoff depth); otherwise the subtree stays serial
+    // inside this task — under cross-layer contention the occupancy signal
+    // keeps task-spawn overhead off work nobody is idle to steal.
+    if (!ctx->SpawnHere(depth)) {
       ++stats->sequential_cutoff_hits;
       for (size_t i = 1; i < successors.size(); ++i) {
         if (ctx->cancel.cancelled()) {
@@ -1538,7 +1549,7 @@ void Tableau::ExploreTask(Branch branch, uint64_t depth, ParallelCtx* ctx,
 
 void Tableau::ExploreParallel(Branch root,
                               const std::function<bool(const Instance&)>& fn) {
-  ParallelCtx ctx(pool_);
+  ParallelCtx ctx(scheduler_);
   ctx.fn = &fn;
   ctx.spawn_cutoff = budget_.spawn_cutoff_depth;
   // The calling thread runs the root subtree inline (it counts as a live
@@ -1590,10 +1601,6 @@ bool Tableau::ForEachModel(const Instance& input,
     bool complete = Explore(std::move(root), 0, fn, &stop);
     if (stats_.budget_hit) complete = false;
     return complete;
-  }
-  if (pool_ == nullptr) {
-    owned_pool_ = std::make_unique<ThreadPool>(threads);
-    pool_ = owned_pool_.get();
   }
   ExploreParallel(std::move(root), fn);
   // Completeness has the same meaning as in the serial engine: some part

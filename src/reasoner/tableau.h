@@ -10,7 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "instance/instance.h"
 #include "logic/rules.h"
 
@@ -54,11 +54,16 @@ struct TableauBudget {
   /// hits a shared step/branch limit first can differ near the budget
   /// boundary, and then every value still answers kUnknown-or-correct.
   uint32_t tableau_threads = 1;
-  /// Disjunctive-nesting depth up to which Expand-produced successor
-  /// branches are handed to the work-stealing pool; forks deeper than this
-  /// stay serial inside their task, keeping task-spawn overhead off the
-  /// small subtrees near the leaves.
-  uint64_t spawn_cutoff_depth = 8;
+  /// DEPRECATED fixed-depth override of the occupancy-driven spawn
+  /// decision. 0 (the default) = consult Scheduler::ShouldSpawn() per fork
+  /// — successor branches become pool tasks only while the shared pool has
+  /// spare capacity, so a tableau racing other layers for the same workers
+  /// automatically stays serial. A nonzero value restores the legacy
+  /// heuristic: forks at disjunctive nesting depth < the cutoff spawn,
+  /// deeper ones stay serial inside their task. Kept so old bench flags
+  /// remain valid; like every execution-strategy field it is excluded from
+  /// cache keys (BudgetKey), so probes at different cutoffs share entries.
+  uint64_t spawn_cutoff_depth = 0;
   /// Branch-exploration engine (see TableauEngine).
   TableauEngine engine = TableauEngine::kCow;
   /// Under the trail engine: learn a conflict clause from every logically
@@ -87,7 +92,7 @@ struct TableauStats {
   uint64_t peak_branch_depth = 0;    // deepest disjunctive nesting explored
   uint64_t tasks_spawned = 0;        // branches handed to the pool
   uint64_t cancelled_branches = 0;   // abandoned by cooperative cancellation
-  uint64_t sequential_cutoff_hits = 0;  // forks kept serial by the cutoff
+  uint64_t sequential_cutoff_hits = 0;  // forks kept serial (occupancy/cutoff)
   uint64_t peak_live_tasks = 0;      // max concurrently live explorations
   uint64_t trail_entries = 0;        // typed undo entries recorded (trail)
   uint64_t pop_levels = 0;           // trail levels popped (backtracks)
@@ -238,22 +243,25 @@ struct Nogood {
 /// `naive_matching` selects the full-scan reference path instead (used by
 /// differential tests and the before/after benches).
 ///
-/// With budget.tableau_threads > 1 the branch tree is explored
-/// or-parallel: disjunctive successors above spawn_cutoff_depth become
-/// work-stealing pool tasks, the first accepted model cancels all live
+/// With budget.tableau_threads != 1 the branch tree is explored
+/// or-parallel on the shared scheduler's pool: disjunctive successors
+/// become work-stealing tasks while the pool has spare capacity (the
+/// occupancy signal; or below the fixed spawn_cutoff_depth when that
+/// deprecated override is set), the first accepted model cancels all live
 /// siblings through a cooperative flag checked at obligation granularity,
 /// and the step/branch budgets are shared relaxed atomics, so hitting a
 /// limit still yields kUnknown and never a wrong verdict. The serial path
 /// (tableau_threads == 1) is retained verbatim as the differential
-/// reference. `pool`, when non-null, supplies the workers (so callers such
-/// as CertainAnswerSolver amortize one pool across many probes); otherwise
-/// the tableau lazily creates its own. Callbacks handed to FindModelWhere
-/// with reject_antimonotone must be thread-safe under parallel
-/// exploration — they are invoked concurrently from branch tasks.
+/// reference. `scheduler`, when null, resolves to Scheduler::Global() —
+/// exactly one ThreadPool exists per scheduler no matter how many tableaux
+/// run. Callbacks handed to FindModelWhere with reject_antimonotone must
+/// be thread-safe under parallel exploration — they are invoked
+/// concurrently from branch tasks.
 class Tableau {
  public:
   explicit Tableau(const RuleSet& rules, TableauBudget budget = {},
-                   bool naive_matching = false, ThreadPool* pool = nullptr);
+                   bool naive_matching = false,
+                   Scheduler* scheduler = nullptr);
 
   /// Enumerates saturated branches (models). The callback returns true to
   /// stop the search early (reports are serialized under a lock in the
@@ -457,10 +465,10 @@ class Tableau {
   // budget the serial engine enforces.
   std::atomic<uint64_t> steps_used_{0};
   std::atomic<uint64_t> branch_terminations_{0};  // closed+saturated+pruned
-  // Worker pool for the or-parallel engine: `pool_` when the caller
-  // supplied one, else a lazily created owned pool (cached across runs).
-  ThreadPool* pool_ = nullptr;
-  std::unique_ptr<ThreadPool> owned_pool_;
+  // The shared scheduler the or-parallel engine spawns through (never
+  // null after construction; resolves to Scheduler::Global()). Its single
+  // pool is created lazily on the first parallel run.
+  Scheduler* scheduler_;
   // Precomputed environment sizes: per rule (keyed by GuardedRule*, the
   // size covering every variable of the rule incl. quantified units) and
   // per unit (keyed by ExistsUnit*/ForallUnit*/CountUnit*).

@@ -1,8 +1,12 @@
 #include "serve/driver.h"
 
+#include <chrono>
+#include <deque>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "logic/parser.h"
 
@@ -57,7 +61,10 @@ Status ParseFactText(const std::string& text, std::string* rel,
 }  // namespace
 
 ServeDriver::ServeDriver(DriverOptions options)
-    : options_(options), symbols_(MakeSymbols()), plans_(options.plan) {}
+    : options_(options),
+      scheduler_(Scheduler::Resolve(options.scheduler)),
+      symbols_(MakeSymbols()),
+      plans_(options.plan) {}
 
 DriverStats ServeDriver::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -76,17 +83,100 @@ std::shared_ptr<ServeDriver::SessionEntry> ServeDriver::FindSession(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
-std::string ServeDriver::HandleLine(const std::string& line) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.lines;
-  }
+std::string ServeDriver::DispatchCounted(const std::string& line) {
   std::string reply = Dispatch(line);
   if (reply.rfind("err ", 0) == 0) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.errors;
   }
   return reply;
+}
+
+void ServeDriver::EnqueueOnStrand(std::shared_ptr<SessionEntry> entry,
+                                  std::function<void()> task) {
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->strand_mu);
+    entry->strand.push_back(std::move(task));
+    if (!entry->strand_running) {
+      entry->strand_running = true;
+      start = true;
+    }
+  }
+  // At most one drainer per strand is in flight, so commands against one
+  // session execute in submission order even though they run on whichever
+  // pool worker picks the drainer up.
+  if (start) {
+    scheduler_->Submit([this, entry = std::move(entry)] { RunStrand(entry); });
+  }
+}
+
+void ServeDriver::RunStrand(const std::shared_ptr<SessionEntry>& entry) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(entry->strand_mu);
+      if (entry->strand.empty()) {
+        entry->strand_running = false;
+        return;
+      }
+      task = std::move(entry->strand.front());
+      entry->strand.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<std::string> ServeDriver::SubmitLine(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lines;
+  }
+  std::string text = Trim(line);
+  if (!text.empty() && text[0] != '#') {
+    auto [cmd, rest] = SplitWord(text);
+    if (cmd == "query" || cmd == "assert" || cmd == "retract" ||
+        cmd == "answers" || cmd == "close") {
+      // Session data command: route through the named session's strand so
+      // it executes asynchronously, ordered after every earlier command on
+      // that session. `close` goes through the strand too — it must not
+      // overtake the data commands queued before it.
+      std::string sname = SplitWord(rest).first;
+      std::shared_ptr<SessionEntry> entry = FindSession(sname);
+      if (entry != nullptr) {
+        // packaged_task is move-only; std::function requires copyable, so
+        // the strand holds it via shared_ptr.
+        auto task = std::make_shared<std::packaged_task<std::string()>>(
+            [this, line] { return DispatchCounted(line); });
+        std::future<std::string> reply = task->get_future();
+        EnqueueOnStrand(std::move(entry), [task] { (*task)(); });
+        return reply;
+      }
+      // Unknown session: fall through to the inline error reply.
+    }
+  }
+  // Control commands (ontology/session/stats/quit), blanks, comments and
+  // errors execute at submit time on the calling thread.
+  std::promise<std::string> ready;
+  ready.set_value(DispatchCounted(line));
+  return ready.get_future();
+}
+
+std::string ServeDriver::HandleLine(const std::string& line) {
+  std::future<std::string> reply = SubmitLine(line);
+  if (reply.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    // A caller already on a pool worker (e.g. protocol traffic issued from
+    // inside a scheduler task) helps drain the pool instead of blocking
+    // the worker its own strand task may need.
+    ThreadPool& pool = scheduler_->pool();
+    if (pool.OnWorkerThread()) {
+      while (reply.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!pool.Help()) std::this_thread::yield();
+      }
+    }
+  }
+  return reply.get();
 }
 
 std::string ServeDriver::Dispatch(const std::string& line) {
@@ -247,6 +337,7 @@ std::string ServeDriver::CmdStats() {
       << " ontologies=" << ontologies_.size()
       << " sessions=" << sessions_.size() << " plans=" << plans_.size()
       << " plan_hits=" << pc.hits << " plan_misses=" << pc.misses
+      << " plan_evictions=" << pc.evictions
       << " plan_hit_rate=" << pc.HitRate();
   return out.str();
 }
@@ -260,13 +351,30 @@ std::string ServeDriver::CmdClose(const std::string& sname) {
 }
 
 void ServeDriver::Serve(std::istream& in, std::ostream& out) {
+  // Pipelined loop: lines keep being read and submitted while earlier
+  // replies compute on the pool; replies flush strictly in submission
+  // order so the wire protocol is unchanged.
+  std::deque<std::future<std::string>> pending;
+  auto flush = [&](bool block) {
+    while (!pending.empty() &&
+           (block || pending.front().wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready)) {
+      std::string reply = pending.front().get();
+      pending.pop_front();
+      if (!reply.empty()) out << reply << "\n";
+      out.flush();
+    }
+  };
   std::string line;
   while (std::getline(in, line)) {
-    std::string reply = HandleLine(line);
-    if (!reply.empty()) out << reply << "\n";
-    out.flush();
-    if (reply == "ok bye") break;
+    bool is_quit = SplitWord(Trim(line)).first == "quit";
+    pending.push_back(SubmitLine(line));
+    // Stop consuming input once quit is submitted — anything after it on
+    // the stream is never read (the legacy synchronous contract).
+    if (is_quit) break;
+    flush(/*block=*/false);
   }
+  flush(/*block=*/true);
 }
 
 }  // namespace gfomq::serve

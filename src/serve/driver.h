@@ -2,12 +2,16 @@
 #define GFOMQ_SERVE_DRIVER_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/scheduler.h"
 #include "serve/plan.h"
 #include "serve/session.h"
 
@@ -21,12 +25,16 @@ struct DriverStats {
 
 struct DriverOptions {
   PlanOptions plan;
+  /// Scheduler whose shared pool executes session commands (null =
+  /// Scheduler::Global()) — the same pool the bouquet scan, the tableau
+  /// and the corpus census run on.
+  Scheduler* scheduler = nullptr;
 };
 
 /// Concurrent line-protocol front end multiplexing many sessions over the
 /// shared plan cache (and through it the shared ConsistencyCache, term
-/// store and tableau pools). One command per line, one reply line per
-/// command ("ok ..." / "err ..."):
+/// store and the process-wide scheduler). One command per line, one reply
+/// line per command ("ok ..." / "err ..."):
 ///
 ///   ontology <name> <sentences>     register + compile (plan cache)
 ///   session <sname> <ontology>      open a session on a compiled plan
@@ -38,13 +46,24 @@ struct DriverOptions {
 ///   close <sname>                   drop a session
 ///   quit                            end a Serve() loop
 ///
-/// Thread-safety: HandleLine may be called from many threads. The
-/// registries are guarded by one mutex; each session carries its own lock,
-/// so commands against distinct sessions execute concurrently while
-/// commands against one session serialize. Relation symbols are
-/// registered while parsing `ontology`/`query`/first-`assert` lines; per
-/// the Symbols contract, register the schema before issuing concurrent
-/// reasoning traffic (the bench and tests set up, then fan out).
+/// Execution model (async/pipelined): SubmitLine routes session data
+/// commands (query/assert/retract/answers/close) to the named session's
+/// *strand* — a per-session FIFO drained by at most one scheduler task at
+/// a time — and returns a future for the reply; control commands
+/// (ontology/session/stats/quit) execute inline at submit time. Commands
+/// against one session therefore execute in submission order while
+/// distinct sessions proceed concurrently on the shared pool. HandleLine
+/// is the synchronous wrapper (submit + wait, helping drain pool tasks
+/// when called from a pool worker), and Serve() pipelines: it keeps
+/// reading lines while replies compute, flushing them in submission
+/// order. Re-registering a session name while commands are in flight
+/// rebinds the name for later submissions; already-queued commands finish
+/// against the session object they were routed to.
+///
+/// Relation symbols are registered while parsing `ontology`/`query`/
+/// first-`assert` lines; per the Symbols contract, register the schema
+/// before issuing concurrent reasoning traffic (the bench and tests set
+/// up, then fan out).
 class ServeDriver {
  public:
   explicit ServeDriver(DriverOptions options = {});
@@ -53,8 +72,14 @@ class ServeDriver {
   /// newline). Empty lines and #-comments reply "".
   std::string HandleLine(const std::string& line);
 
+  /// Asynchronous submission: enqueues the line (per-session ordering via
+  /// the strand) and returns the reply future. The reply for a session
+  /// data command is computed on the shared scheduler's pool.
+  std::future<std::string> SubmitLine(const std::string& line);
+
   /// REPL loop: reads lines from `in`, writes one reply line each to
-  /// `out`, until EOF or `quit`.
+  /// `out` in submission order, until EOF or `quit`. Pipelined — lines
+  /// keep being read and dispatched while earlier replies compute.
   void Serve(std::istream& in, std::ostream& out);
 
   /// The shared symbol table all ontologies/sessions of this driver use
@@ -62,6 +87,7 @@ class ServeDriver {
   const SymbolsPtr& symbols() const { return symbols_; }
 
   PlanCache& plans() { return plans_; }
+  Scheduler* scheduler() const { return scheduler_; }
   DriverStats stats() const;
   size_t num_sessions() const;
 
@@ -69,11 +95,22 @@ class ServeDriver {
   struct SessionEntry {
     std::mutex mu;
     Session session;
+    // Strand state: pending commands for this session, drained FIFO by at
+    // most one scheduler task at a time (strand_running guards that).
+    std::mutex strand_mu;
+    std::deque<std::function<void()>> strand;
+    bool strand_running = false;
     explicit SessionEntry(std::shared_ptr<OmqPlan> plan)
         : session(std::move(plan)) {}
   };
 
   std::string Dispatch(const std::string& line);
+  /// Dispatch + protocol-error accounting (shared by the inline and the
+  /// strand execution paths).
+  std::string DispatchCounted(const std::string& line);
+  void EnqueueOnStrand(std::shared_ptr<SessionEntry> entry,
+                       std::function<void()> task);
+  void RunStrand(const std::shared_ptr<SessionEntry>& entry);
   std::string CmdOntology(const std::string& name, const std::string& text);
   std::string CmdSession(const std::string& sname, const std::string& oname);
   std::string CmdQuery(const std::string& sname, const std::string& qname,
@@ -87,6 +124,7 @@ class ServeDriver {
   std::shared_ptr<SessionEntry> FindSession(const std::string& sname);
 
   DriverOptions options_;
+  Scheduler* scheduler_;
   SymbolsPtr symbols_;
   PlanCache plans_;
 

@@ -122,10 +122,12 @@ Result<std::shared_ptr<OmqPlan>> PlanCache::GetOrCompile(
     const Ontology& ontology) {
   std::string key = Fingerprint(ontology);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
     ++stats_.hits;
-    return it->second;
+    // Refresh recency: move the entry to the LRU front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
   }
   // Compiled under the registry lock: concurrent first-compiles of one
   // ontology would otherwise race the (expensive) meta decision; the lock
@@ -134,7 +136,16 @@ Result<std::shared_ptr<OmqPlan>> PlanCache::GetOrCompile(
   Result<std::shared_ptr<OmqPlan>> plan = OmqPlan::Compile(ontology, options_);
   if (!plan.ok()) return plan.status();
   ++stats_.misses;
-  plans_.emplace(std::move(key), *plan);
+  lru_.push_front(Entry{key, *plan});
+  index_.emplace(std::move(key), lru_.begin());
+  const size_t cap = options_.plan_capacity == 0 ? 1 : options_.plan_capacity;
+  while (index_.size() > cap) {
+    // Evict the least recently used plan. Sessions holding the shared_ptr
+    // keep the object alive; the cache just forgets the mapping.
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
   return plan;
 }
 
@@ -145,7 +156,11 @@ PlanCacheStats PlanCache::stats() const {
 
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return plans_.size();
+  return index_.size();
+}
+
+size_t PlanCache::capacity() const {
+  return options_.plan_capacity == 0 ? 1 : options_.plan_capacity;
 }
 
 }  // namespace gfomq::serve

@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "core/engine.h"
 #include "datalog/program.h"
@@ -48,6 +50,12 @@ struct PlanOptions {
   /// outside the dichotomy fragments): the tableau is always complete, so
   /// it is the safe default.
   PlanBackend unknown_backend = PlanBackend::kTableau;
+  /// Entry bound of the PlanCache (LRU; generous by default — a plan is a
+  /// classified-and-compiled ontology, so a serving process rarely needs
+  /// more live plans than it has distinct ontologies in flight). Evicted
+  /// plans stay alive while sessions hold them; re-registering the
+  /// ontology recompiles. Minimum 1.
+  size_t plan_capacity = 256;
 };
 
 /// The compiled serving artifact for one ontology: classified exactly once
@@ -105,10 +113,12 @@ class OmqPlan {
 };
 
 /// Stats of a PlanCache (hit rate is the serving bench's plan-reuse
-/// metric).
+/// metric; evictions count LRU displacements once the capacity bound is
+/// hit — all three are surfaced by the driver's `stats` command).
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t evictions = 0;
   uint64_t Lookups() const { return hits + misses; }
   double HitRate() const {
     return Lookups() == 0
@@ -121,9 +131,13 @@ struct PlanCacheStats {
 /// (symbol-table identity + canonical ontology text — the term store
 /// already hash-conses the formulas, so serialization is cheap and two
 /// textually identical ontologies over one symbol table share a plan).
-/// Thread-safe; concurrent GetOrCompile calls for the same ontology
-/// compile once (first wins) — later callers block on the registry mutex
-/// and hit.
+/// Bounded: a doubly-linked LRU list plus a key index (the
+/// ConsistencyCache discipline), capped at options.plan_capacity entries —
+/// hits refresh recency, inserts past the cap evict the least recently
+/// used plan (sessions holding the shared_ptr keep it alive; the cache
+/// merely forgets it). Thread-safe; concurrent GetOrCompile calls for the
+/// same ontology compile once (first wins) — later callers block on the
+/// registry mutex and hit.
 class PlanCache {
  public:
   explicit PlanCache(PlanOptions options = {}) : options_(options) {}
@@ -132,14 +146,21 @@ class PlanCache {
 
   PlanCacheStats stats() const;
   size_t size() const;
+  size_t capacity() const;
 
   /// The cache key used for `ontology` (exposed for tests).
   static std::string Fingerprint(const Ontology& ontology);
 
  private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<OmqPlan> plan;
+  };
+
   PlanOptions options_;
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<OmqPlan>> plans_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   PlanCacheStats stats_;
 };
 

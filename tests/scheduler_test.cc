@@ -1,0 +1,247 @@
+// The one-scheduler contract: nested task groups drain cooperatively on a
+// single shared pool (at any worker count, including one), cancellation
+// chains parent→child, member exceptions stay in their group, occupancy
+// feedback saturates and recovers — and, the acceptance test of the
+// refactor, driving every parallel layer (bouquet meta scan, or-parallel
+// tableau, corpus census, serving driver) through one Scheduler constructs
+// exactly one ThreadPool. Runs under the tsan preset and the asan batch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/scheduler.h"
+#include "common/task_group.h"
+#include "common/thread_pool.h"
+#include "corpus/corpus.h"
+#include "logic/parser.h"
+#include "reasoner/bouquet.h"
+#include "reasoner/certain.h"
+#include "serve/driver.h"
+
+namespace gfomq {
+namespace {
+
+TEST(SchedulerTest, StatsArePassiveUntilFirstUse) {
+  const uint64_t before = ThreadPool::total_constructed();
+  Scheduler sched(2);
+  SchedulerStats idle = sched.stats();
+  EXPECT_EQ(idle.pools_created, 0u);
+  EXPECT_EQ(idle.num_workers, 0u);
+  EXPECT_EQ(ThreadPool::total_constructed(), before)
+      << "stats() must never force pool creation";
+  // First real use creates the pool, sized as configured.
+  EXPECT_EQ(sched.pool().num_workers(), 2u);
+  SchedulerStats live = sched.stats();
+  EXPECT_EQ(live.pools_created, 1u);
+  EXPECT_EQ(live.num_workers, 2u);
+  EXPECT_EQ(ThreadPool::total_constructed(), before + 1);
+}
+
+TEST(SchedulerTest, NestedChildGroupDrainsInsideMember) {
+  for (uint32_t workers : {1u, 2u, 8u}) {
+    Scheduler sched(workers);
+    std::atomic<int> child_work{0};
+    std::atomic<int> members_done{0};
+    constexpr int kMembers = 4;
+    constexpr int kChildTasks = 8;
+    TaskGroup parent(&sched);
+    for (int m = 0; m < kMembers; ++m) {
+      parent.Spawn([&sched, &parent, &child_work, &members_done] {
+        // A member opens a child group and Waits on it: the worker must
+        // drain (run the child's tasks itself if nobody else will) rather
+        // than block — with one worker, blocking would deadlock forever.
+        TaskGroup child(&sched, &parent);
+        for (int t = 0; t < kChildTasks; ++t) {
+          child.Spawn([&child_work] {
+            child_work.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        child.Wait();
+        members_done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    parent.Wait();
+    EXPECT_EQ(child_work.load(), kMembers * kChildTasks)
+        << "workers=" << workers;
+    EXPECT_EQ(members_done.load(), kMembers) << "workers=" << workers;
+    EXPECT_TRUE(parent.status().ok()) << "workers=" << workers;
+  }
+}
+
+TEST(SchedulerTest, SameGroupWaitFromMemberDoesNotDeadlock) {
+  // Regression: a member calling Wait() on its *own* group used to spin on
+  // an outstanding count that could never reach zero (it is itself
+  // outstanding). One worker is the hardest configuration.
+  for (uint32_t workers : {1u, 2u}) {
+    Scheduler sched(workers);
+    std::atomic<int> siblings_done{0};
+    std::atomic<bool> inner_wait_returned{false};
+    TaskGroup group(&sched);
+    group.Spawn([&group, &siblings_done, &inner_wait_returned] {
+      constexpr int kSiblings = 4;
+      for (int s = 0; s < kSiblings; ++s) {
+        group.Spawn([&siblings_done] {
+          siblings_done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      group.Wait();  // waits for everyone *else* in the group
+      EXPECT_EQ(siblings_done.load(), kSiblings);
+      inner_wait_returned.store(true, std::memory_order_release);
+    });
+    group.Wait();
+    EXPECT_TRUE(inner_wait_returned.load(std::memory_order_acquire))
+        << "workers=" << workers;
+    EXPECT_EQ(siblings_done.load(), 4) << "workers=" << workers;
+  }
+}
+
+TEST(SchedulerTest, CancellationPropagatesParentToChildOnly) {
+  Scheduler sched(1);
+  TaskGroup parent(&sched);
+  TaskGroup child(&sched, &parent);
+  TaskGroup grandchild(&sched, &child);
+  TaskGroup unrelated(&sched);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+  EXPECT_FALSE(unrelated.cancelled());
+
+  // The chain is one-way: cancelling a child never cancels its parent.
+  TaskGroup parent2(&sched);
+  TaskGroup child2(&sched, &parent2);
+  child2.Cancel();
+  EXPECT_TRUE(child2.cancelled());
+  EXPECT_FALSE(parent2.cancelled());
+}
+
+TEST(SchedulerTest, MemberExceptionNeverHangsWaitOrPollutesPool) {
+  Scheduler sched(2);
+  TaskGroup group(&sched);
+  std::atomic<int> survivors{0};
+  group.Spawn([] { throw std::runtime_error("member boom"); });
+  for (int i = 0; i < 4; ++i) {
+    group.Spawn(
+        [&survivors] { survivors.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();  // must return despite the throw
+  EXPECT_EQ(survivors.load(), 4);
+  Status st = group.status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("member boom"), std::string::npos);
+  // The failure is the group's, not the pool's: the shared pool keeps a
+  // clean status and keeps running other families' tasks.
+  EXPECT_TRUE(sched.pool().status().ok());
+  TaskGroup after(&sched);
+  std::atomic<bool> ran{false};
+  after.Spawn([&ran] { ran.store(true, std::memory_order_relaxed); });
+  after.Wait();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(after.status().ok());
+}
+
+TEST(SchedulerTest, OccupancySignalSaturatesAndRecovers) {
+  Scheduler sched(1);
+  // Idle pool: spare capacity, spawns allowed.
+  EXPECT_TRUE(sched.ShouldSpawn());
+  EXPECT_EQ(sched.stats().spawn_allowed, 1u);
+
+  // Fill the pool past 2 * workers with tasks parked on a latch: the
+  // signal must flip to "inline it yourself".
+  std::promise<void> latch;
+  std::shared_future<void> release = latch.get_future().share();
+  TaskGroup group(&sched);
+  for (int i = 0; i < 3; ++i) {
+    group.Spawn([release] { release.wait(); });
+  }
+  EXPECT_FALSE(sched.ShouldSpawn());
+  EXPECT_GE(sched.stats().spawn_denied, 1u);
+
+  latch.set_value();
+  group.Wait();
+  // Drained: capacity is back.
+  EXPECT_TRUE(sched.ShouldSpawn());
+  SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.spawn_allowed, 2u);
+  EXPECT_EQ(stats.tasks_submitted, 3u);
+  EXPECT_EQ(stats.pools_created, 1u);
+}
+
+TEST(SchedulerTest, ExactlyOnePoolAcrossAllLayers) {
+  const uint64_t pools_before = ThreadPool::total_constructed();
+  Scheduler sched(4);
+
+  // Layer 1: bouquet meta scan (formerly pool-per-scan in bouquet.cc).
+  {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology("forall x . (A(x) -> B1(x) | B2(x));", sym);
+    ASSERT_TRUE(onto.ok());
+    CertainOptions copts;
+    copts.scheduler = &sched;
+    auto solver = CertainAnswerSolver::Create(*onto, copts);
+    ASSERT_TRUE(solver.ok());
+    BouquetOptions bopts;
+    bopts.max_outdegree = 1;
+    bopts.num_threads = 4;
+    bopts.scheduler = &sched;
+    MetaDecision md =
+        DecidePtimeByBouquets(*solver, sym, onto->Signature(), bopts);
+    EXPECT_EQ(md.ptime, Certainty::kNo);
+  }
+
+  // Layer 2: or-parallel tableau (formerly Tableau::owned_pool_ / the lazy
+  // pool in CertainAnswerSolver::SharedState).
+  {
+    SymbolsPtr sym = MakeSymbols();
+    auto onto = ParseOntology("forall x . (A(x) -> B1(x) | B2(x));", sym);
+    ASSERT_TRUE(onto.ok());
+    CertainOptions copts;
+    copts.tableau.tableau_threads = 8;
+    copts.scheduler = &sched;
+    auto solver = CertainAnswerSolver::Create(*onto, copts);
+    ASSERT_TRUE(solver.ok());
+    Instance d(sym);
+    d.AddFact(sym->Rel("A", 1), {d.AddConstant("a")});
+    EXPECT_EQ(solver->IsConsistent(d), Certainty::kYes);
+  }
+
+  // Layer 3: corpus census (formerly a private pool in AnalyzeCorpus).
+  {
+    CorpusProfile profile;
+    profile.num_concept_names = 3;
+    profile.num_role_names = 2;
+    auto corpus = GenerateCorpus(/*seed=*/7, /*count=*/8, profile);
+    CorpusReport report = AnalyzeCorpus(corpus, /*num_threads=*/4, &sched);
+    EXPECT_EQ(report.total, 8);
+  }
+
+  // Layer 4: serving driver (strand tasks execute on the shared pool).
+  {
+    serve::DriverOptions dopts;
+    dopts.scheduler = &sched;
+    dopts.plan.engine.scheduler = &sched;
+    dopts.plan.force_backend = serve::PlanBackend::kDatalogRewrite;
+    serve::ServeDriver drv(dopts);
+    std::string onto_reply =
+        drv.HandleLine("ontology O forall x . (A(x) -> B(x));");
+    EXPECT_EQ(onto_reply.rfind("ok ontology O", 0), 0u) << onto_reply;
+    EXPECT_EQ(drv.HandleLine("session s O"), "ok session s");
+    EXPECT_EQ(drv.HandleLine("query s q q(x) :- B(x)"), "ok query q arity=1");
+    EXPECT_EQ(drv.HandleLine("assert s A(a)"), "ok");
+    std::string answers = drv.HandleLine("answers s q");
+    EXPECT_EQ(answers.rfind("ok answers q", 0), 0u) << answers;
+    EXPECT_EQ(drv.stats().errors, 0u);
+  }
+
+  EXPECT_EQ(ThreadPool::total_constructed() - pools_before, 1u)
+      << "every layer must share the scheduler's single pool";
+}
+
+}  // namespace
+}  // namespace gfomq

@@ -81,6 +81,40 @@ TEST(ServeDriverTest, PlanCacheSharedAcrossOntologyNames) {
   EXPECT_GT(drv.plans().stats().HitRate(), 0.0);
 }
 
+TEST(ServeDriverTest, PlanCacheEvictsLruAndSurfacesCounters) {
+  DriverOptions opts = PinnedDatalog();
+  opts.plan.plan_capacity = 2;
+  ServeDriver drv(opts);
+  ASSERT_EQ(drv.plans().capacity(), 2u);
+  ASSERT_EQ(drv.HandleLine("ontology O1 forall x . (A(x) -> B(x));")
+                .rfind("ok ", 0),
+            0u);
+  ASSERT_EQ(drv.HandleLine("ontology O2 forall x . (A(x) -> C(x));")
+                .rfind("ok ", 0),
+            0u);
+  EXPECT_EQ(drv.plans().size(), 2u);
+  EXPECT_EQ(drv.plans().stats().evictions, 0u);
+  // Touch O1 so O2 becomes the LRU entry, then overflow the cache: the
+  // third distinct plan must displace O2, not O1.
+  ASSERT_EQ(drv.HandleLine("session s1 O1"), "ok session s1");
+  ASSERT_EQ(drv.HandleLine("ontology O3 forall x . (A(x) -> D(x));")
+                .rfind("ok ", 0),
+            0u);
+  EXPECT_EQ(drv.plans().size(), 2u);
+  EXPECT_EQ(drv.plans().stats().evictions, 1u);
+  // O1 survived (hit); O2 was evicted (recompiles as a miss).
+  uint64_t misses_before = drv.plans().stats().misses;
+  ASSERT_EQ(drv.HandleLine("session s1b O1"), "ok session s1b");
+  EXPECT_EQ(drv.plans().stats().misses, misses_before);
+  ASSERT_EQ(drv.HandleLine("session s2 O2"), "ok session s2");
+  EXPECT_EQ(drv.plans().stats().misses, misses_before + 1);
+  // All three counters surface through the stats command.
+  std::string stats = drv.HandleLine("stats");
+  EXPECT_NE(stats.find("plan_hits="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("plan_misses="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("plan_evictions=2"), std::string::npos) << stats;
+}
+
 TEST(ServeDriverTest, ServeLoopReadsUntilQuit) {
   ServeDriver drv(PinnedDatalog());
   std::istringstream in(
