@@ -39,9 +39,16 @@
 # (ctest -L scheduler); BENCH_scheduler.json — the cross-layer contention
 # bench — is regenerated and schema-checked, and must report
 # verdicts_identical=1, zero serve protocol errors, and exactly one pool
-# per scheduler. Finally, when clang-tidy is installed, the
-# modernize/performance/bugprone profile in .clang-tidy runs over
-# src/logic and src/reasoner.
+# per scheduler. BENCH_planner.json (the cost-based multi-backend planner
+# bench) is regenerated and schema-checked; every row must report answers
+# bit-identical to its family's differential reference, every family must
+# show the planner beating the worst pinned backend, the FO fast path must
+# beat the datalog fixpoint on the lookup family, and the planner must
+# choose at least three distinct backends across the families. The planner
+# suites (FoRewriter/CompiledUcq/CspSat/Planner*) join the asan batch and
+# PlannerConcurrency joins the tsan filter. Finally, when clang-tidy is
+# installed, the modernize/performance/bugprone profile in .clang-tidy
+# runs over src/logic and src/reasoner.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -64,7 +71,7 @@ ctest --preset release -j "$JOBS" -L fuzz
 
 echo "=== [asan] differential suite (indexed vs naive reference) ==="
 ctest --preset asan -j "$JOBS" \
-  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache|ServeSession|ServeDriver|BenchJson|Scheduler'
+  -R 'IndexedMatchesNaive|IndexedEngineMatchesNaive|RandomizedIndexMaintenance|SemiNaiveMatchesNaive|TableauDifferential|TableauParallel|TableauTrail|TableauFuzzTsan|ConsistencyCache|ServeSession|ServeDriver|BenchJson|Scheduler|FoRewriter|CompiledUcq|CspSat|Planner'
 
 echo "=== [release] scheduler tier (ctest -L scheduler) ==="
 ctest --preset release -j "$JOBS" -L scheduler
@@ -252,6 +259,53 @@ if ! grep -o '"pools_created": [0-9]*' build-release/BENCH_scheduler.json \
            END { exit !(ok && n > 0) }'; then
   echo "BENCH_scheduler.json: the shared scheduler reports a pool count" \
        "other than one" >&2
+  exit 1
+fi
+
+echo "=== perf trajectory: BENCH_planner.json schema (planner) ==="
+(cd build-release && ./bench/planner --benchmark_filter=_none_ >/dev/null)
+keys_tmp="$(mktemp)"
+grep -o '"[A-Za-z_][A-Za-z0-9_]*":' build-release/BENCH_planner.json \
+  | tr -d '":' | sort -u > "$keys_tmp"
+if ! diff -u bench/BENCH_planner.expected_keys "$keys_tmp"; then
+  echo "BENCH_planner.json key schema drifted;" \
+       "update bench/BENCH_planner.expected_keys" >&2
+  rm -f "$keys_tmp"
+  exit 1
+fi
+rm -f "$keys_tmp"
+# The planner run is the release-tier proof of the backend lattice: every
+# backend's answers on every family must be bit-identical to the family's
+# reference run, the planner must beat the worst pinned backend on every
+# family, the FO fast path must beat the datalog fixpoint it replaces on
+# the lookup family, and the planner must actually exercise the lattice
+# (at least three distinct backends chosen across the families).
+if ! grep -o '"answers_identical": [01]' build-release/BENCH_planner.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_planner.json: a backend's answers diverge from the" \
+       "family's differential reference" >&2
+  exit 1
+fi
+if ! grep -o '"planner_speedup": [0-9.e+-]*' build-release/BENCH_planner.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 <= 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_planner.json: the planner is not beating the worst pinned" \
+       "backend on every family" >&2
+  exit 1
+fi
+if ! grep -o '"fo_beats_datalog": [01]' build-release/BENCH_planner.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 != 1) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_planner.json: the FO fast path is not beating the datalog" \
+       "fixpoint on the lookup family" >&2
+  exit 1
+fi
+if ! grep -o '"distinct_backends": [0-9]*' build-release/BENCH_planner.json \
+    | awk 'BEGIN { ok = 1; n = 0 } { n++; if ($2 < 3) ok = 0 } \
+           END { exit !(ok && n > 0) }'; then
+  echo "BENCH_planner.json: the planner chose fewer than three distinct" \
+       "backends — the lattice is not being exercised" >&2
   exit 1
 fi
 

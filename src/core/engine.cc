@@ -24,6 +24,26 @@ Result<OmqEngine> OmqEngine::Create(Ontology ontology, EngineOptions options) {
   return OmqEngine(std::move(ontology), std::move(*solver), options);
 }
 
+Result<FoRewriteResult> OmqEngine::RewriteFo(const Ucq& query) {
+  Result<RewriteResult> rewrite = Rewrite(query);
+  if (!rewrite.ok()) return rewrite.status();
+  if (rewrite->truncated) {
+    // A truncated program may be incomplete; its unfolding would inherit
+    // that, so the fast path refuses outright.
+    FoRewriteResult bail;
+    bail.bail = FoRewriteResult::Bail::kTooLarge;
+    return bail;
+  }
+  std::set<uint32_t> edb;
+  for (uint32_t r : ontology_.Signature()) edb.insert(r);
+  for (const Cq& d : query.disjuncts) {
+    for (const CqAtom& a : d.atoms) edb.insert(a.rel);
+  }
+  return RewriteToUcq(rewrite->program,
+                      std::vector<uint32_t>(edb.begin(), edb.end()),
+                      options_.rewriter.fo);
+}
+
 const OmqVerdict& OmqEngine::Classify() {
   if (verdict_) return *verdict_;
   OmqVerdict verdict;

@@ -90,6 +90,12 @@ class OmqEngine {
     return RewriteToDatalog(ontology_, query, options_.rewriter);
   }
 
+  /// The FO-rewritability fast path: Datalog rewriting followed by the
+  /// non-recursive UCQ unfolding (RewriteToUcq). Bails (ok == false) when
+  /// the rewriting is truncated, recursive, carries ≠, or unfolds past
+  /// the options' bounds — callers then stay on the fixpoint or tableau.
+  Result<FoRewriteResult> RewriteFo(const Ucq& query);
+
  private:
   OmqEngine(Ontology ontology, CertainAnswerSolver solver,
             EngineOptions options)

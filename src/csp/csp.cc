@@ -10,6 +10,42 @@ bool SolveCsp(const Instance& input, const Instance& templ) {
   return FindHomomorphism(input, templ, {}).has_value();
 }
 
+CspTemplateIndex::CspTemplateIndex(const Instance& templ)
+    : n_(templ.NumElements()) {
+  const SymbolsPtr& sym = templ.symbols();
+  for (uint32_t rel : templ.Signature()) {
+    if (sym->RelArity(rel) == 1) {
+      unary_allowed_[rel].assign(n_, 0);
+    } else if (sym->RelArity(rel) == 2) {
+      binary_allowed_[rel].assign(n_ * n_, 0);
+    }
+  }
+  for (const Fact& f : templ.facts()) {
+    ++num_facts_;
+    if (f.args.size() == 1) {
+      unary_allowed_[f.rel][f.args[0]] = 1;
+    } else if (f.args.size() == 2) {
+      binary_allowed_[f.rel][f.args[0] * n_ + f.args[1]] = 1;
+    }
+  }
+}
+
+std::shared_ptr<const CspTemplateIndex> CspEncoding::Index() const {
+  std::lock_guard<std::mutex> lock(index_holder_->mu);
+  if (!index_holder_->index) {
+    index_holder_->index = std::make_shared<const CspTemplateIndex>(templ);
+    ++index_holder_->builds;
+  } else {
+    ++index_holder_->reuses;
+  }
+  return index_holder_->index;
+}
+
+CspIndexStats CspEncoding::index_stats() const {
+  std::lock_guard<std::mutex> lock(index_holder_->mu);
+  return CspIndexStats{index_holder_->builds, index_holder_->reuses};
+}
+
 Instance AddPrecoloring(const Instance& templ,
                         std::map<ElemId, uint32_t>* precolor_rels) {
   Instance out = templ;

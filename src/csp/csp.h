@@ -1,8 +1,12 @@
 #ifndef GFOMQ_CSP_CSP_H_
 #define GFOMQ_CSP_CSP_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
 #include "instance/instance.h"
@@ -14,6 +18,46 @@ namespace gfomq {
 /// finite structures over a shared symbol table (relations of arity ≤ 2,
 /// per the paper's w.l.o.g. assumption).
 bool SolveCsp(const Instance& input, const Instance& templ);
+
+/// Template-side preprocessing shared by every per-input solve against one
+/// template: per-unary candidate sets (which template elements carry each
+/// unary relation — precolouring facts are unaries with singleton sets, so
+/// precolour unit pruning falls out of the same tables) and per-binary
+/// allowed-pair matrices. Built once per template; inputs only ever read
+/// it. Relations of arity > 2 are rejected upstream by EncodeTemplate.
+class CspTemplateIndex {
+ public:
+  explicit CspTemplateIndex(const Instance& templ);
+
+  size_t num_elements() const { return n_; }
+  size_t num_facts() const { return num_facts_; }
+
+  /// Does the template know this relation at all? An input fact over an
+  /// unknown relation admits no homomorphism.
+  bool HasUnary(uint32_t rel) const { return unary_allowed_.count(rel) > 0; }
+  bool HasBinary(uint32_t rel) const { return binary_allowed_.count(rel) > 0; }
+
+  /// May an element coloured `a` carry unary `rel` / may a pair (a, b)
+  /// carry binary `rel`? Precondition: HasUnary/HasBinary.
+  bool UnaryAllows(uint32_t rel, ElemId a) const {
+    return unary_allowed_.at(rel)[a] != 0;
+  }
+  bool BinaryAllows(uint32_t rel, ElemId a, ElemId b) const {
+    return binary_allowed_.at(rel)[a * n_ + b] != 0;
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t num_facts_ = 0;
+  std::map<uint32_t, std::vector<char>> unary_allowed_;   // rel → n flags
+  std::map<uint32_t, std::vector<char>> binary_allowed_;  // rel → n×n flags
+};
+
+/// Reuse counters of one encoding's cached template index.
+struct CspIndexStats {
+  uint64_t builds = 0;  // index constructions (1 after the first Index())
+  uint64_t reuses = 0;  // Index() calls served from the cache
+};
 
 /// Adds precolouring: for each template element a, a fresh unary relation
 /// P_a with P_a(b) iff b = a (the paper's "template admits precolouring").
@@ -49,6 +93,22 @@ struct CspEncoding {
   /// OMQ → coCSP direction: reduces consistency of an arbitrary instance D
   /// w.r.t. the ontology to a CSP question D• → A (proof of Theorem 8).
   Instance DecodeToCspInput(const Instance& input) const;
+
+  /// The cached template index: built lazily on first use, then shared by
+  /// every subsequent solve (and by copies of this encoding — the holder is
+  /// a shared_ptr, so EncodeInput/solve cycles never re-derive the
+  /// template-side tables). Thread-safe.
+  std::shared_ptr<const CspTemplateIndex> Index() const;
+  CspIndexStats index_stats() const;
+
+ private:
+  struct IndexHolder {
+    std::mutex mu;
+    std::shared_ptr<const CspTemplateIndex> index;
+    uint64_t builds = 0;
+    uint64_t reuses = 0;
+  };
+  std::shared_ptr<IndexHolder> index_holder_ = std::make_shared<IndexHolder>();
 };
 
 /// Builds the encoding for a template over unary/binary relations.

@@ -1,0 +1,109 @@
+#include "csp/csp_sat.h"
+
+#include <utility>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace gfomq {
+
+CspSatSolver::CspSatSolver(std::shared_ptr<const CspTemplateIndex> index)
+    : index_(std::move(index)) {}
+
+bool CspSatSolver::Solve(const Instance& input) const {
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  const CspTemplateIndex& idx = *index_;
+  const size_t n_in = input.NumElements();
+  const size_t n_t = idx.num_elements();
+  auto decide = [&](bool sat, bool shortcut) {
+    (sat ? sat_ : unsat_).fetch_add(1, std::memory_order_relaxed);
+    if (shortcut) shortcuts_.fetch_add(1, std::memory_order_relaxed);
+    return sat;
+  };
+  if (n_in == 0) return decide(true, true);
+  if (n_t == 0) return decide(false, true);
+
+  // Candidate colours per input element: unary facts (and precolouring,
+  // which is just more unaries) prune through the cached template tables
+  // before any clause exists.
+  std::vector<std::vector<char>> alive(n_in, std::vector<char>(n_t, 1));
+  std::vector<const Fact*> binaries;
+  for (const Fact& f : input.facts()) {
+    if (f.args.size() == 1) {
+      if (!idx.HasUnary(f.rel)) return decide(false, true);
+      std::vector<char>& row = alive[f.args[0]];
+      for (ElemId a = 0; a < n_t; ++a) {
+        if (!idx.UnaryAllows(f.rel, a)) row[a] = 0;
+      }
+    } else if (f.args.size() == 2) {
+      if (!idx.HasBinary(f.rel)) return decide(false, true);
+      binaries.push_back(&f);
+    } else {
+      // The template has no relation of arity > 2 (EncodeTemplate rejects
+      // them), so such a fact admits no homomorphism.
+      return decide(false, true);
+    }
+  }
+
+  Cnf cnf;
+  // cand[d] = (colour, CNF variable) pairs; var[d*n_t + a] for lookup.
+  std::vector<std::vector<std::pair<ElemId, uint32_t>>> cand(n_in);
+  std::vector<int64_t> var_of(n_in * n_t, -1);
+  for (size_t d = 0; d < n_in; ++d) {
+    std::vector<SatLit> at_least_one;
+    for (ElemId a = 0; a < n_t; ++a) {
+      if (!alive[d][a]) continue;
+      uint32_t v = cnf.NewVar();
+      cand[d].emplace_back(a, v);
+      var_of[d * n_t + a] = v;
+      at_least_one.push_back(SatLit::Pos(v));
+    }
+    if (at_least_one.empty()) return decide(false, true);
+    cnf.AddClause(std::move(at_least_one));
+  }
+  // One clause per input fact and disallowed colour pair. No at-most-one:
+  // see the class comment for why any per-element pick from a model is a
+  // homomorphism.
+  for (const Fact* f : binaries) {
+    const ElemId d = f->args[0];
+    const ElemId e = f->args[1];
+    for (const auto& [a, va] : cand[d]) {
+      for (const auto& [b, vb] : cand[e]) {
+        if (idx.BinaryAllows(f->rel, a, b)) continue;
+        if (va == vb) {
+          cnf.AddUnit(SatLit::Neg(va));
+        } else {
+          cnf.AddBinary(SatLit::Neg(va), SatLit::Neg(vb));
+        }
+      }
+    }
+  }
+
+  vars_.fetch_add(cnf.num_vars(), std::memory_order_relaxed);
+  clauses_.fetch_add(cnf.NumClauses(), std::memory_order_relaxed);
+  SatSolver solver(cnf);
+  SatResult r = solver.Solve();
+  conflicts_.fetch_add(solver.conflicts(), std::memory_order_relaxed);
+  propagations_.fetch_add(solver.propagations(), std::memory_order_relaxed);
+  return decide(r == SatResult::kSat, false);
+}
+
+CspSatStats CspSatSolver::stats() const {
+  CspSatStats s;
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.sat = sat_.load(std::memory_order_relaxed);
+  s.unsat = unsat_.load(std::memory_order_relaxed);
+  s.empty_candidate_shortcuts = shortcuts_.load(std::memory_order_relaxed);
+  s.sat_vars = vars_.load(std::memory_order_relaxed);
+  s.sat_clauses = clauses_.load(std::memory_order_relaxed);
+  s.conflicts = conflicts_.load(std::memory_order_relaxed);
+  s.propagations = propagations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool SolveCspSat(const Instance& input, const CspEncoding& enc) {
+  CspSatSolver solver(enc.Index());
+  return solver.Solve(input);
+}
+
+}  // namespace gfomq

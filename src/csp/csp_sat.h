@@ -1,0 +1,77 @@
+#ifndef GFOMQ_CSP_CSP_SAT_H_
+#define GFOMQ_CSP_CSP_SAT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "csp/csp.h"
+#include "instance/instance.h"
+
+namespace gfomq {
+
+/// Counters of a CspSatSolver (monotone; snapshot via stats()).
+struct CspSatStats {
+  uint64_t solves = 0;
+  uint64_t sat = 0;    // homomorphism exists
+  uint64_t unsat = 0;  // no homomorphism
+  uint64_t empty_candidate_shortcuts = 0;  // decided before building CNF
+  uint64_t sat_vars = 0;      // CNF variables, summed over solves
+  uint64_t sat_clauses = 0;   // CNF clauses, summed over solves
+  uint64_t conflicts = 0;     // CDCL conflicts, summed over solves
+  uint64_t propagations = 0;  // unit propagations, summed over solves
+};
+
+/// Decides CSP(input → template) by a direct CNF of the homomorphism
+/// constraints, dispatched to the in-repo CDCL solver:
+///
+///   - one Boolean x_{d,a} per input element d and *candidate* colour a —
+///     candidates are pre-pruned through the encoding's cached
+///     CspTemplateIndex (unary constraints and precolouring act as unit
+///     pruning before any clause is emitted);
+///   - an at-least-one clause per input element;
+///   - a binary clause ¬x_{d,a} ∨ ¬x_{e,b} per input fact R(d,e) and
+///     template-disallowed pair (a,b).
+///
+/// At-most-one is intentionally omitted: if a model sets several colours
+/// on one element, *every* chosen colour of d is pairwise compatible with
+/// every chosen colour of its neighbours (the pair clauses quantify over
+/// all candidate pairs, including same-element pairs for loops), so any
+/// per-element pick is a homomorphism. Conversely a homomorphism yields
+/// the one-hot model. Hence SAT ⟺ input → template.
+///
+/// The template-side tables are computed once (CspEncoding::Index) and
+/// reused verbatim across inputs; only the input-proportional clause set
+/// is rebuilt per solve. Thread-safe: concurrent Solve calls share the
+/// immutable index and keep their search state on the stack.
+class CspSatSolver {
+ public:
+  explicit CspSatSolver(std::shared_ptr<const CspTemplateIndex> index);
+
+  /// Is there a homomorphism `input` → the indexed template? `input` must
+  /// use relations of arity ≤ 2 (facts over relations the template does
+  /// not mention make the answer false, as in the naive solver).
+  bool Solve(const Instance& input) const;
+
+  CspSatStats stats() const;
+
+ private:
+  std::shared_ptr<const CspTemplateIndex> index_;
+  mutable std::atomic<uint64_t> solves_{0};
+  mutable std::atomic<uint64_t> sat_{0};
+  mutable std::atomic<uint64_t> unsat_{0};
+  mutable std::atomic<uint64_t> shortcuts_{0};
+  mutable std::atomic<uint64_t> vars_{0};
+  mutable std::atomic<uint64_t> clauses_{0};
+  mutable std::atomic<uint64_t> conflicts_{0};
+  mutable std::atomic<uint64_t> propagations_{0};
+};
+
+/// Convenience wrapper: solve one input against the encoding's cached
+/// template index (equivalent to SolveCsp(input, enc.templ), decided by
+/// SAT instead of backtracking search).
+bool SolveCspSat(const Instance& input, const CspEncoding& enc);
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_CSP_CSP_SAT_H_

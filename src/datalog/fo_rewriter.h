@@ -1,0 +1,71 @@
+#ifndef GFOMQ_DATALOG_FO_REWRITER_H_
+#define GFOMQ_DATALOG_FO_REWRITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/program.h"
+#include "query/cq.h"
+
+namespace gfomq {
+
+/// Bounds for the UCQ unfolding (all three guard against ontologies whose
+/// non-recursive rewriting is nevertheless large; exceeding any of them is
+/// a bail, never an incomplete result).
+struct FoRewriteOptions {
+  size_t max_disjuncts = 512;
+  size_t max_atoms_per_disjunct = 24;
+  size_t max_expansions = 20000;
+  /// Drop disjuncts subsumed by a more general one (CQ-containment test
+  /// per pair). Purely an evaluation-speed optimization; sound either way.
+  bool minimize = true;
+};
+
+/// Result of an FO-rewriting attempt.
+struct FoRewriteResult {
+  /// Why the program is not (detectably) FO-rewritable.
+  enum class Bail {
+    kNone,       // ok == true
+    kRecursive,  // a goal-reachable derived relation depends on itself
+    kNeq,        // a reachable rule carries ≠ (UCQs have no inequalities)
+    kTooLarge,   // unfolding exceeded a FoRewriteOptions bound
+    kNoGoal,     // the program has no designated goal relation
+  };
+
+  bool ok = false;
+  Bail bail = Bail::kNone;
+  /// Valid when ok: a non-recursive UCQ equivalent to the program's goal
+  /// relation on every database over the EDB signature.
+  Ucq ucq;
+  size_t expansions = 0;          // partial CQs processed by the unfolding
+  size_t pruned_rules = 0;        // redundant rules dropped before the check
+  size_t disjuncts_before_min = 0;
+  size_t subsumed_disjuncts = 0;  // removed by the containment pass
+};
+
+/// FO-rewritability fast path (Barceló–Berger–Lutz–Pieris): when the
+/// configuration-sweep Datalog rewriting is *non-recursive* — the goal is
+/// reachable only through an acyclic derived-relation dependency graph —
+/// the fixpoint collapses into a finite union of conjunctive queries, and
+/// the OMQ is answered by pure indexed homomorphism matching: no chase, no
+/// semi-naive maintenance, nothing to update on retraction.
+///
+/// `edb_rels` lists the relations a database may mention (ontology
+/// signature plus query relations); atoms over them unfold into both a
+/// base case ("the fact is in the database") and one branch per defining
+/// rule, while internal relations (goal, elem#, incons#) only unfold
+/// through their rules. Head-variable repetition merges query variables,
+/// matching the rule's implied equality.
+///
+/// The result is equivalent to the program, hence exactly as complete as
+/// the datalog backend it replaces (sound always; complete whenever the
+/// rewriting is, per RewriteToDatalog's contract). Programs that are
+/// recursive, carry ≠, or unfold past the bounds bail out — callers fall
+/// back to the fixpoint engine.
+FoRewriteResult RewriteToUcq(const DatalogProgram& program,
+                             const std::vector<uint32_t>& edb_rels,
+                             FoRewriteOptions options = {});
+
+}  // namespace gfomq
+
+#endif  // GFOMQ_DATALOG_FO_REWRITER_H_

@@ -2,6 +2,7 @@
 #define GFOMQ_DATALOG_REWRITER_H_
 
 #include "common/status.h"
+#include "datalog/fo_rewriter.h"
 #include "datalog/program.h"
 #include "logic/ontology.h"
 #include "query/cq.h"
@@ -19,6 +20,9 @@ struct RewriterOptions {
   /// always included.
   bool binary_decorations = true;
   CertainOptions certain;
+  /// Bounds for the follow-on UCQ unfolding (RewriteToUcq) when a caller
+  /// probes the FO-rewritability fast path.
+  FoRewriteOptions fo;
 };
 
 /// Result of a rewriting construction.

@@ -161,6 +161,57 @@ std::set<std::vector<ElemId>> Ucq::AllAnswers(const Instance& interp) const {
   return out;
 }
 
+CompiledUcq::CompiledUcq(Ucq query) : query_(std::move(query)) {
+  disjuncts_.reserve(query_.disjuncts.size());
+  for (const Cq& q : query_.disjuncts) {
+    Disjunct d;
+    d.pattern = q.Pattern();
+    d.num_vars = q.num_vars;
+    d.answer_vars = q.answer_vars;
+    disjuncts_.push_back(std::move(d));
+  }
+}
+
+std::set<std::vector<ElemId>> CompiledUcq::AllAnswers(
+    const Instance& interp, MatchStats* stats) const {
+  std::set<std::vector<ElemId>> out;
+  std::vector<ElemId> tuple;
+  for (const Disjunct& d : disjuncts_) {
+    std::vector<int64_t> fixed(d.num_vars, -1);
+    ForEachMatch(d.pattern, d.num_vars, interp, fixed,
+                 [&](const std::vector<int64_t>& assign) {
+                   tuple.clear();
+                   for (uint32_t v : d.answer_vars) {
+                     tuple.push_back(static_cast<ElemId>(assign[v]));
+                   }
+                   out.insert(tuple);
+                   return false;
+                 },
+                 stats);
+  }
+  return out;
+}
+
+bool CompiledUcq::HasAnswer(const Instance& interp,
+                            const std::vector<ElemId>& tuple) const {
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    const Disjunct& d = disjuncts_[i];
+    std::vector<int64_t> fixed(d.num_vars, -1);
+    bool contradictory = false;
+    for (size_t j = 0; j < d.answer_vars.size(); ++j) {
+      uint32_t v = d.answer_vars[j];
+      if (fixed[v] >= 0 && fixed[v] != static_cast<int64_t>(tuple[j])) {
+        contradictory = true;
+        break;
+      }
+      fixed[v] = static_cast<int64_t>(tuple[j]);
+    }
+    if (contradictory) continue;
+    if (MatchAtoms(d.pattern, d.num_vars, interp, fixed)) return true;
+  }
+  return false;
+}
+
 std::string Ucq::ToString() const {
   std::ostringstream out;
   for (size_t i = 0; i < disjuncts.size(); ++i) {

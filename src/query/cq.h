@@ -88,6 +88,38 @@ struct Ucq {
   }
 };
 
+/// A UCQ compiled for repeated evaluation: the per-disjunct matcher
+/// patterns, variable counts and answer projections are precomputed once
+/// (Cq::Pattern rebuilds them on every call), so a serving-layer view can
+/// evaluate by pure indexed homomorphism matching with zero per-call
+/// setup. Immutable after construction; safe to share across threads.
+class CompiledUcq {
+ public:
+  explicit CompiledUcq(Ucq query);
+
+  const Ucq& query() const { return query_; }
+  size_t Arity() const { return query_.Arity(); }
+
+  /// All answers over `interp`, deduplicated across disjuncts; identical
+  /// to query().AllAnswers(interp).
+  std::set<std::vector<ElemId>> AllAnswers(const Instance& interp,
+                                           MatchStats* stats = nullptr) const;
+
+  /// Does `tuple` answer any disjunct? (Boolean queries pass {}.)
+  bool HasAnswer(const Instance& interp,
+                 const std::vector<ElemId>& tuple) const;
+
+ private:
+  struct Disjunct {
+    std::vector<PatternAtom> pattern;
+    uint32_t num_vars = 0;
+    std::vector<uint32_t> answer_vars;
+  };
+
+  Ucq query_;
+  std::vector<Disjunct> disjuncts_;
+};
+
 /// Parses a CQ written as `q(x,y) :- R(x,y), A(x)`; a Boolean query is
 /// `q() :- ...`. Relation arities are inferred/checked against `symbols`.
 Result<Cq> ParseCq(const std::string& text, SymbolsPtr symbols);

@@ -180,6 +180,7 @@ bool SatSolver::Enqueue(SatLit l, int reason) {
 int SatSolver::Propagate() {
   while (prop_head_ < trail_.size()) {
     SatLit p = trail_[prop_head_++];
+    ++propagations_;
     // Clauses watching ~p need attention.
     SatLit not_p = p.Flip();
     std::vector<uint32_t>& watch_list = watches_[not_p.code];
@@ -412,6 +413,7 @@ SatResult SatSolver::Solve(uint64_t max_conflicts) {
       return SatResult::kSat;
     }
     trail_lim_.push_back(trail_.size());
+    ++decisions_;
     uint32_t var = static_cast<uint32_t>(v);
     Enqueue(saved_phase_[var] ? SatLit::Pos(var) : SatLit::Neg(var), -1);
   }

@@ -84,6 +84,8 @@ class SatSolver {
   const std::vector<bool>& model() const { return model_; }
 
   uint64_t conflicts() const { return conflicts_; }
+  uint64_t propagations() const { return propagations_; }
+  uint64_t decisions() const { return decisions_; }
 
  private:
   enum : int8_t { kUndef = -1, kFalse = 0, kTrue = 1 };
@@ -120,6 +122,8 @@ class SatSolver {
 
   std::vector<bool> model_;
   uint64_t conflicts_ = 0;
+  uint64_t propagations_ = 0;  // literals processed by unit propagation
+  uint64_t decisions_ = 0;     // branch variables picked
   bool contradiction_ = false;  // empty clause present
 };
 

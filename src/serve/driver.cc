@@ -331,6 +331,7 @@ std::string ServeDriver::CmdAnswers(const std::string& sname,
 
 std::string ServeDriver::CmdStats() {
   PlanCacheStats pc = plans_.stats();
+  PlannerStats planner = plans_.PlannerTotals();
   std::ostringstream out;
   std::lock_guard<std::mutex> lock(mu_);
   out << "ok stats lines=" << stats_.lines << " errors=" << stats_.errors
@@ -339,6 +340,14 @@ std::string ServeDriver::CmdStats() {
       << " plan_hits=" << pc.hits << " plan_misses=" << pc.misses
       << " plan_evictions=" << pc.evictions
       << " plan_hit_rate=" << pc.HitRate();
+  for (size_t i = 0; i < kNumPlanBackends; ++i) {
+    out << " backend_" << BackendName(static_cast<PlanBackend>(i)) << "="
+        << planner.chosen[i];
+  }
+  out << " truncated_fallbacks=" << planner.truncated_fallbacks
+      << " fo_built=" << planner.fo_built
+      << " fo_bailed=" << planner.fo_bailed
+      << " csp_solves=" << planner.csp_solves;
   return out.str();
 }
 

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <sstream>
+#include <utility>
 
+#include "datalog/fo_rewriter.h"
 #include "datalog/rewriter.h"
 #include "logic/printer.h"
 
@@ -12,19 +14,22 @@ namespace {
 std::atomic<uint64_t> g_next_plan_id{1};
 }  // namespace
 
-const char* BackendName(PlanBackend b) {
-  switch (b) {
-    case PlanBackend::kDatalogRewrite:
-      return "datalog";
-    case PlanBackend::kTableau:
-      return "tableau";
+PlannerStats& PlannerStats::operator+=(const PlannerStats& o) {
+  for (size_t i = 0; i < kNumPlanBackends; ++i) {
+    chosen[i] += o.chosen[i];
+    latency_samples[i] += o.latency_samples[i];
   }
-  return "?";
+  truncated_fallbacks += o.truncated_fallbacks;
+  fo_built += o.fo_built;
+  fo_bailed += o.fo_bailed;
+  csp_solves += o.csp_solves;
+  csp_inconsistent += o.csp_inconsistent;
+  return *this;
 }
 
 OmqPlan::OmqPlan(OmqEngine engine, PlanOptions options)
     : engine_(std::move(engine)),
-      options_(options),
+      options_(std::move(options)),
       id_(g_next_plan_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Result<std::shared_ptr<OmqPlan>> OmqPlan::Compile(Ontology ontology,
@@ -34,16 +39,29 @@ Result<std::shared_ptr<OmqPlan>> OmqPlan::Compile(Ontology ontology,
       OmqEngine::Create(std::move(ontology), options.engine);
   if (!engine.ok()) return engine.status();
   std::shared_ptr<OmqPlan> plan(
-      new OmqPlan(std::move(*engine), options));
-  if (options.force_backend) {
+      new OmqPlan(std::move(*engine), std::move(options)));
+  const PlanOptions& opts = plan->options_;
+  if (opts.force_backend) {
     // The classification is skipped entirely under the override: the
     // caller has pinned the side, and the meta decision is the expensive
     // part of a compile.
-    plan->backend_ = *options.force_backend;
+    plan->backend_ = *opts.force_backend;
     plan->verdict_.syntactic = ClassifyOntology(plan->ontology());
+    if (opts.assume_ptime) {
+      plan->ptime_ = *opts.assume_ptime;
+      plan->verdict_.ptime = *opts.assume_ptime;
+    }
   } else {
-    plan->verdict_ = plan->engine_.Classify();
-    switch (plan->verdict_.ptime) {
+    if (opts.assume_ptime) {
+      // Caller-supplied verdict: trusted as if Classify had produced it,
+      // with the planner still free per query.
+      plan->verdict_.syntactic = ClassifyOntology(plan->ontology());
+      plan->verdict_.ptime = *opts.assume_ptime;
+    } else {
+      plan->verdict_ = plan->engine_.Classify();
+    }
+    plan->ptime_ = plan->verdict_.ptime;
+    switch (plan->ptime_) {
       case Certainty::kYes:
         plan->backend_ = PlanBackend::kDatalogRewrite;
         break;
@@ -51,8 +69,22 @@ Result<std::shared_ptr<OmqPlan>> OmqPlan::Compile(Ontology ontology,
         plan->backend_ = PlanBackend::kTableau;
         break;
       case Certainty::kUnknown:
-        plan->backend_ = options.unknown_backend;
+        plan->backend_ = opts.unknown_backend;
         break;
+    }
+  }
+  for (uint32_t r : plan->ontology().Signature()) {
+    plan->ontology_sig_.insert(r);
+  }
+  if (opts.csp_encoding) {
+    // A mismatched encoding would silently answer for the wrong ontology;
+    // fingerprint-check once and refuse eligibility on mismatch.
+    plan->csp_encoding_matches_ =
+        OntologyToString(opts.csp_encoding->ontology) ==
+        OntologyToString(plan->ontology());
+    if (plan->csp_encoding_matches_) {
+      plan->csp_sat_ =
+          std::make_unique<CspSatSolver>(opts.csp_encoding->Index());
     }
   }
   plan->compile_micros_ = static_cast<uint64_t>(
@@ -60,6 +92,138 @@ Result<std::shared_ptr<OmqPlan>> OmqPlan::Compile(Ontology ontology,
           std::chrono::steady_clock::now() - t0)
           .count());
   return plan;
+}
+
+std::vector<uint32_t> OmqPlan::EdbRels(const Ucq& query) const {
+  std::set<uint32_t> edb = ontology_sig_;
+  for (const Cq& d : query.disjuncts) {
+    for (const CqAtom& a : d.atoms) edb.insert(a.rel);
+  }
+  return {edb.begin(), edb.end()};
+}
+
+bool OmqPlan::CspEligible(const Ucq& query) const {
+  if (!csp_sat_) return false;
+  for (const Cq& d : query.disjuncts) {
+    for (const CqAtom& a : d.atoms) {
+      if (ontology_sig_.count(a.rel)) return false;
+    }
+  }
+  return true;
+}
+
+Status OmqPlan::BuildRewrite(const Ucq& query, CompiledQuery* compiled) {
+  RewriterOptions ropts = options_.engine.rewriter;
+  ropts.certain = options_.engine.certain;
+  Result<RewriteResult> rewrite = RewriteToDatalog(ontology(), query, ropts);
+  if (!rewrite.ok()) return rewrite.status();
+  compiled->program = std::move(rewrite->program);
+  compiled->configurations_explored = rewrite->configurations_explored;
+  compiled->truncated = rewrite->truncated;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const CompiledQuery>> OmqPlan::BuildQuery(
+    const Ucq& query) {
+  auto compiled = std::make_shared<CompiledQuery>();
+  compiled->query = query;
+
+  if (options_.force_backend) {
+    compiled->backend = *options_.force_backend;
+    switch (compiled->backend) {
+      case PlanBackend::kDatalogRewrite: {
+        // Operator escape hatch: a pinned datalog backend serves even a
+        // truncated (possibly incomplete) rewriting — the planner itself
+        // never does.
+        Status s = BuildRewrite(query, compiled.get());
+        if (!s.ok()) return s;
+        break;
+      }
+      case PlanBackend::kFoRewrite: {
+        Status s = BuildRewrite(query, compiled.get());
+        if (!s.ok()) return s;
+        if (compiled->truncated) {
+          return Status::InvalidArgument(
+              "rewriting was truncated; FO backend refuses incomplete "
+              "programs");
+        }
+        FoRewriteResult fo = RewriteToUcq(compiled->program, EdbRels(query),
+                                          options_.engine.rewriter.fo);
+        if (!fo.ok) {
+          fo_bailed_.fetch_add(1, std::memory_order_relaxed);
+          return Status::InvalidArgument(
+              "query is not FO-rewritable (recursive, uses ~=, or too "
+              "large)");
+        }
+        fo_built_.fetch_add(1, std::memory_order_relaxed);
+        compiled->fo_disjuncts = fo.ucq.disjuncts.size();
+        compiled->fo_compiled =
+            std::make_shared<const CompiledUcq>(std::move(fo.ucq));
+        break;
+      }
+      case PlanBackend::kCspSat: {
+        if (!CspEligible(query)) {
+          return Status::InvalidArgument(
+              "query is not CSP/SAT-eligible (no matching encoding, or a "
+              "query relation is constrained by the ontology)");
+        }
+        compiled->base_matcher = std::make_shared<const CompiledUcq>(query);
+        break;
+      }
+      case PlanBackend::kTableau:
+        break;
+    }
+    chosen_[static_cast<size_t>(compiled->backend)].fetch_add(
+        1, std::memory_order_relaxed);
+    return std::shared_ptr<const CompiledQuery>(std::move(compiled));
+  }
+
+  // Cost-based choice among the complete candidates.
+  PlannerInputs in;
+  in.ontology_sentences = ontology().sentences.size();
+  in.ptime_complete = ptime_ == Certainty::kYes;
+  FoRewriteResult fo;
+  if (in.ptime_complete) {
+    Status s = BuildRewrite(query, compiled.get());
+    if (!s.ok()) return s;
+    in.rewrite_rules = compiled->program.rules.size();
+    in.configurations_explored = compiled->configurations_explored;
+    in.rewrite_truncated = compiled->truncated;
+    if (!compiled->truncated) {
+      fo = RewriteToUcq(compiled->program, EdbRels(query),
+                        options_.engine.rewriter.fo);
+      if (fo.ok) {
+        fo_built_.fetch_add(1, std::memory_order_relaxed);
+        in.fo_ok = true;
+        in.fo_disjuncts = fo.ucq.disjuncts.size();
+        for (const Cq& d : fo.ucq.disjuncts) in.fo_atoms += d.atoms.size();
+      } else {
+        fo_bailed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  in.csp_eligible = CspEligible(query);
+  if (in.csp_eligible) {
+    in.template_elements = options_.csp_encoding->templ.NumElements();
+    in.template_facts = options_.csp_encoding->templ.NumFacts();
+  }
+
+  PlannerDecision decision = ChooseBackend(in, cost_model_);
+  if (decision.truncated_fallback) {
+    truncated_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  compiled->backend = decision.backend;
+  compiled->planner_cost = decision.score;
+  if (decision.backend == PlanBackend::kFoRewrite) {
+    compiled->fo_disjuncts = fo.ucq.disjuncts.size();
+    compiled->fo_compiled =
+        std::make_shared<const CompiledUcq>(std::move(fo.ucq));
+  } else if (decision.backend == PlanBackend::kCspSat) {
+    compiled->base_matcher = std::make_shared<const CompiledUcq>(query);
+  }
+  chosen_[static_cast<size_t>(decision.backend)].fetch_add(
+      1, std::memory_order_relaxed);
+  return std::shared_ptr<const CompiledQuery>(std::move(compiled));
 }
 
 Result<std::shared_ptr<const CompiledQuery>> OmqPlan::CompileQuery(
@@ -78,33 +242,79 @@ Result<std::shared_ptr<const CompiledQuery>> OmqPlan::CompileQuery(
   // Compile outside the memo lock (rewriting may chase for a while); a
   // concurrent duplicate compile is wasted work, not a correctness issue —
   // the first insert wins below.
-  auto compiled = std::make_shared<CompiledQuery>();
-  compiled->query = query;
-  compiled->backend = backend_;
-  if (backend_ == PlanBackend::kDatalogRewrite) {
-    RewriterOptions ropts = options_.engine.rewriter;
-    ropts.certain = options_.engine.certain;
-    Result<RewriteResult> rewrite =
-        RewriteToDatalog(ontology(), query, ropts);
-    if (!rewrite.ok()) return rewrite.status();
-    compiled->program = std::move(rewrite->program);
-    compiled->configurations_explored = rewrite->configurations_explored;
-    compiled->truncated = rewrite->truncated;
-  }
+  Result<std::shared_ptr<const CompiledQuery>> compiled = BuildQuery(query);
+  if (!compiled.ok()) return compiled.status();
   query_compilations_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(queries_mu_);
-  auto [it, fresh] = queries_.emplace(std::move(key), std::move(compiled));
+  auto [it, fresh] = queries_.emplace(std::move(key), std::move(*compiled));
   (void)fresh;
   return it->second;
 }
 
+std::set<std::vector<ElemId>> OmqPlan::CspSatAnswers(
+    const Instance& base, const CompiledQuery& compiled) {
+  csp_solves_.fetch_add(1, std::memory_order_relaxed);
+  const CspEncoding& enc = *options_.csp_encoding;
+  Instance csp_input = enc.DecodeToCspInput(base);
+  if (csp_sat_->Solve(csp_input)) {
+    // Consistent: the base is its own minimal model on the query
+    // relations, so certain answers are exactly the base matches.
+    return compiled.base_matcher->AllAnswers(base);
+  }
+  csp_inconsistent_.fetch_add(1, std::memory_order_relaxed);
+  // Inconsistent: every tuple over dom(base) is certain — the same
+  // convention as CertainAnswerSolver::CertainAnswers (and the same
+  // empty-domain special case).
+  std::set<std::vector<ElemId>> out;
+  const size_t arity = compiled.query.Arity();
+  const uint32_t n = static_cast<uint32_t>(base.NumElements());
+  if (n == 0) return out;
+  std::vector<ElemId> tuple(arity, 0);
+  for (;;) {
+    out.insert(tuple);
+    size_t i = 0;
+    for (; i < arity; ++i) {
+      if (++tuple[i] < n) break;
+      tuple[i] = 0;
+    }
+    if (i == arity) break;
+  }
+  return out;
+}
+
+void OmqPlan::RecordAnswerLatency(PlanBackend b, double micros) {
+  cost_model_.Record(b, micros);
+}
+
+PlannerStats OmqPlan::planner_stats() const {
+  PlannerStats s;
+  for (size_t i = 0; i < kNumPlanBackends; ++i) {
+    s.chosen[i] = chosen_[i].load(std::memory_order_relaxed);
+    s.latency_samples[i] =
+        cost_model_.Samples(static_cast<PlanBackend>(i));
+  }
+  s.truncated_fallbacks =
+      truncated_fallbacks_.load(std::memory_order_relaxed);
+  s.fo_built = fo_built_.load(std::memory_order_relaxed);
+  s.fo_bailed = fo_bailed_.load(std::memory_order_relaxed);
+  s.csp_solves = csp_solves_.load(std::memory_order_relaxed);
+  s.csp_inconsistent = csp_inconsistent_.load(std::memory_order_relaxed);
+  return s;
+}
+
 std::string OmqPlan::Summary() const {
+  PlannerStats ps = planner_stats();
   std::ostringstream out;
   out << "plan " << id_ << ": backend=" << BackendName(backend_)
       << " band=" << StatusName(verdict_.syntactic.verdict)
       << " compile_micros=" << compile_micros_
       << " query_compilations=" << query_compilations()
       << " query_cache_hits=" << query_cache_hits();
+  for (size_t i = 0; i < kNumPlanBackends; ++i) {
+    out << " chosen_" << BackendName(static_cast<PlanBackend>(i)) << "="
+        << ps.chosen[i];
+  }
+  out << " truncated_fallbacks=" << ps.truncated_fallbacks;
   return out.str();
 }
 
@@ -152,6 +362,13 @@ Result<std::shared_ptr<OmqPlan>> PlanCache::GetOrCompile(
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+PlannerStats PlanCache::PlannerTotals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlannerStats total;
+  for (const Entry& e : lru_) total += e.plan->planner_stats();
+  return total;
 }
 
 size_t PlanCache::size() const {

@@ -1,8 +1,17 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gfomq::serve {
+
+namespace {
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 Session::Session(std::shared_ptr<OmqPlan> plan)
     : plan_(std::move(plan)), base_(plan_->ontology().symbols) {}
@@ -143,29 +152,52 @@ Result<std::set<std::vector<ElemId>>> Session::Answers(
     return Status::InvalidArgument("no query named '" + name + "'");
   }
   View& view = it->second;
-  if (view.compiled->backend == PlanBackend::kTableau) {
-    if (view.has_answers && view.answers_revision == base_.revision()) {
+  const PlanBackend backend = view.compiled->backend;
+  if (backend == PlanBackend::kDatalogRewrite) {
+    if (view.initialized && view.synced_pos == log_.size()) {
       ++stats_.answer_cache_hits;
-      return view.answers;
     }
-    view.answers = plan_->solver().CertainAnswers(base_, view.compiled->query);
-    view.answers_revision = base_.revision();
-    view.has_answers = true;
-    ++stats_.tableau_recomputes;
+    auto t0 = std::chrono::steady_clock::now();
+    SyncView(&view);
+    std::set<std::vector<ElemId>> out;
+    int64_t goal = view.compiled->program.goal_rel;
+    if (goal >= 0) {
+      for (const Fact* f :
+           view.materialized.FactsOfPtr(static_cast<uint32_t>(goal))) {
+        out.insert(f->args);
+      }
+    }
+    plan_->RecordAnswerLatency(backend, MicrosSince(t0));
+    return out;
+  }
+
+  // Revision-memoized backends: tableau, FO rewrite, CSP/SAT.
+  if (view.has_answers && view.answers_revision == base_.revision()) {
+    ++stats_.answer_cache_hits;
     return view.answers;
   }
-  if (view.initialized && view.synced_pos == log_.size()) {
-    ++stats_.answer_cache_hits;
+  auto t0 = std::chrono::steady_clock::now();
+  switch (backend) {
+    case PlanBackend::kTableau:
+      view.answers =
+          plan_->solver().CertainAnswers(base_, view.compiled->query);
+      ++stats_.tableau_recomputes;
+      break;
+    case PlanBackend::kFoRewrite:
+      view.answers = view.compiled->fo_compiled->AllAnswers(base_);
+      ++stats_.fo_evaluations;
+      break;
+    case PlanBackend::kCspSat:
+      view.answers = plan_->CspSatAnswers(base_, *view.compiled);
+      ++stats_.csp_sat_solves;
+      break;
+    case PlanBackend::kDatalogRewrite:
+      break;  // handled above
   }
-  SyncView(&view);
-  std::set<std::vector<ElemId>> out;
-  int64_t goal = view.compiled->program.goal_rel;
-  if (goal < 0) return out;
-  for (const Fact* f :
-       view.materialized.FactsOfPtr(static_cast<uint32_t>(goal))) {
-    out.insert(f->args);
-  }
-  return out;
+  plan_->RecordAnswerLatency(backend, MicrosSince(t0));
+  view.answers_revision = base_.revision();
+  view.has_answers = true;
+  return view.answers;
 }
 
 }  // namespace gfomq::serve

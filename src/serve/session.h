@@ -26,6 +26,9 @@ struct SessionStats {
   uint64_t rederived_facts = 0;     // facts restored by the rederive pass
   uint64_t answer_cache_hits = 0;   // Answers served with no pending delta
   uint64_t tableau_recomputes = 0;  // tableau-backend answer refreshes
+  uint64_t fo_evaluations = 0;      // FO-backend matcher runs (stateless —
+                                    // deltas cost nothing until Answers)
+  uint64_t csp_sat_solves = 0;      // CSP/SAT-backend consistency solves
 };
 
 /// One client's mutable state against a compiled plan: a base instance
@@ -44,6 +47,16 @@ struct SessionStats {
 ///    (Instance::revision() is the validity token) and recomputed through
 ///    the plan's shared solver — whose ConsistencyCache carries most of
 ///    the reuse across deltas and across sessions.
+///  - FO-rewrite views are *stateless*: the compiled UCQ is matched
+///    directly against the base (memoized per revision). Asserts and
+///    retracts cost literally nothing until the next Answers call — no
+///    fixpoint, no DRed.
+///  - CSP/SAT views are stateless too: one SAT-dispatched homomorphism
+///    test decides consistency, then answers come from base matching (or
+///    the full domain product when inconsistent).
+///
+/// Every computed (non-memo-hit) answer's latency is reported to the
+/// plan's cost model, so the planner's EWMAs track reality.
 ///
 /// Sessions are NOT thread-safe; the serving driver serializes calls per
 /// session (distinct sessions run concurrently and share only the plan's
@@ -88,7 +101,9 @@ class Session {
     Instance materialized;
     bool initialized = false;
     size_t synced_pos = 0;  // log_ prefix already folded into the view
-    // Tableau backend: answer memo keyed by base revision.
+    // Revision-memoized backends (tableau, FO, CSP/SAT): answers keyed by
+    // base revision. FO and CSP/SAT views are otherwise stateless — no
+    // engine, no materialization, zero per-delta maintenance.
     std::set<std::vector<ElemId>> answers;
     uint64_t answers_revision = 0;
     bool has_answers = false;
